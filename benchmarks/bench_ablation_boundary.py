@@ -1,0 +1,54 @@
+"""Ablation: the sharing boundary formula vs naive splits.
+
+The paper argues the boundary ``Cg*Fg/(Cg*Fg+Cc*Fc)`` "could guarantee
+sufficient data for GPU computation and no extra data transfer".  We
+sweep the GPU fraction for two transfer-bound DOALL apps and check that
+the formula's value is at or near the sweep's optimum.
+"""
+
+from repro.bench import render_table
+from repro.workloads import BY_NAME
+
+from conftest import run_once
+
+FRACTIONS = [0.25, 0.5, 0.75, None, 1.0]  # None = the paper formula
+
+
+def sweep(name):
+    w = BY_NAME[name]
+    rows = []
+    for frac in FRACTIONS:
+        ctx = w.make_context()
+        ctx.config.boundary_override = frac
+        res = w.run(strategy="japonica", context=ctx)
+        label = "paper formula" if frac is None else f"{frac:.2f}"
+        rows.append((label, res.sim_time_ms, ctx.boundary()))
+    return rows
+
+
+def test_boundary_sweep_vectoradd(benchmark):
+    rows = run_once(benchmark, lambda: sweep("VectorAdd"))
+    print()
+    print(
+        render_table(
+            ["GPU fraction", "Sharing time (ms)", "effective b"],
+            [(l, f"{t:.3f}", f"{b:.3f}") for l, t, b in rows],
+        )
+    )
+    times = {label: t for label, t, _ in rows}
+    best = min(times.values())
+    # the formula must be within 40% of the sweep's best point
+    assert times["paper formula"] <= best * 1.4
+
+
+def test_boundary_sweep_mvt(benchmark):
+    rows = run_once(benchmark, lambda: sweep("MVT"))
+    print()
+    print(
+        render_table(
+            ["GPU fraction", "Sharing time (ms)", "effective b"],
+            [(l, f"{t:.3f}", f"{b:.3f}") for l, t, b in rows],
+        )
+    )
+    times = {label: t for label, t, _ in rows}
+    assert times["paper formula"] <= min(times.values()) * 1.5

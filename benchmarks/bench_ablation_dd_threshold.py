@@ -1,0 +1,42 @@
+"""Ablation: the DD threshold N (the mode-B / mode-C crossover).
+
+"(Density > N) ? High : Low" — with N below BlackScholes' measured
+density (~0.01) the loop is classified high-TD and exiled to the CPU
+(mode C); with the default N it speculates on the GPU (mode B).
+"""
+
+from repro.bench import render_table
+from repro.workloads import BY_NAME
+
+from conftest import run_once
+
+THRESHOLDS = [0.001, 0.005, 0.05, 0.3]
+
+
+def sweep():
+    w = BY_NAME["BlackScholes"]
+    rows = []
+    for n in THRESHOLDS:
+        ctx = w.make_context()
+        ctx.config.dd_threshold = n
+        res = w.run(strategy="japonica", context=ctx)
+        mode = res.loop_results[0][1].mode
+        rows.append((n, mode, res.sim_time_ms))
+    return rows
+
+
+def test_dd_threshold_sweep(benchmark):
+    rows = run_once(benchmark, sweep)
+    print()
+    print(
+        render_table(
+            ["Threshold N", "Mode", "Time (ms)"],
+            [(n, m, f"{t:.3f}") for n, m, t in rows],
+        )
+    )
+    modes = {n: m for n, m, _ in rows}
+    assert modes[0.001] == "C"  # density ~0.01 > N: high -> CPU
+    assert modes[0.3] == "B"  # default: low -> GPU-TLS
+    times = {n: t for n, _, t in rows}
+    # speculating (B) must beat sequential exile (C) for this loop
+    assert times[0.3] < times[0.001]

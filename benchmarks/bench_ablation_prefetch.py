@@ -1,0 +1,43 @@
+"""Ablation: asynchronous prefetch (cyclic-communication removal) on/off.
+
+The sharing runtime moves GPU data "in advance and asynchronously with
+the kernel execution to avoid cyclic communication and to hide some
+latency"; this bench quantifies what that buys on the transfer-bound
+DOALL apps.
+"""
+
+from repro.bench import render_table
+from repro.workloads import BY_NAME
+
+from conftest import run_once
+
+
+def compare(name):
+    w = BY_NAME[name]
+    ctx_on = w.make_context()
+    on = w.run(strategy="japonica", context=ctx_on).sim_time_ms
+    ctx_off = w.make_context()
+    ctx_off.config.async_prefetch = False
+    off = w.run(strategy="japonica", context=ctx_off).sim_time_ms
+    return on, off
+
+
+def test_prefetch_ablation(benchmark):
+    def run():
+        return {name: compare(name) for name in ("VectorAdd", "MVT", "BFS")}
+
+    results = run_once(benchmark, run)
+    print()
+    print(
+        render_table(
+            ["Benchmark", "Prefetch on (ms)", "Prefetch off (ms)", "Gain"],
+            [
+                (n, f"{on:.3f}", f"{off:.3f}", f"{off / on:.2f}x")
+                for n, (on, off) in results.items()
+            ],
+        )
+    )
+    for name, (on, off) in results.items():
+        assert on <= off, f"{name}: prefetch must never hurt"
+    # on at least one transfer-bound app it must matter substantially
+    assert any(off / on > 1.3 for on, off in results.values())

@@ -1,0 +1,53 @@
+"""Ablation: GPU-TLS sub-loop size (warps per kernel).
+
+Small sub-loops bound mis-speculation waste but pay more launch/DC
+overhead; large sub-loops amortize overhead but risk violations when a
+dependence distance falls inside the window.  BlackScholes' audit chain
+(distance 1152) flips from clean to violating as the sub-loop grows
+past 36 warps.
+"""
+
+from repro.bench import render_table
+from repro.workloads import BY_NAME
+
+from conftest import run_once
+
+WARPS = [4, 8, 16, 32, 64]
+
+
+def sweep():
+    w = BY_NAME["BlackScholes"]
+    rows = []
+    for warps in WARPS:
+        ctx = w.make_context()
+        ctx.config.tls.warps_per_subloop = warps
+        res = w.run(strategy="japonica", context=ctx)
+        tls = res.loop_results[0][1].detail["tls"]
+        rows.append(
+            (warps, res.sim_time_ms, tls.subloops, tls.violations,
+             tls.cpu_iterations)
+        )
+    return rows
+
+
+def test_subloop_sweep(benchmark):
+    rows = run_once(benchmark, sweep)
+    print()
+    print(
+        render_table(
+            ["Warps/sub-loop", "Time (ms)", "Sub-loops", "Violations",
+             "CPU iters"],
+            [
+                (w, f"{t:.3f}", s, v, c)
+                for w, t, s, v, c in rows
+            ],
+        )
+    )
+    by_warps = {w: (t, v) for w, t, s, v, c in rows}
+    # the audit distance (1152 = 36 warps) is exceeded at 64 warps:
+    # long-range violations appear on top of the short-range ones
+    assert by_warps[64][1] > by_warps[8][1]
+    # every configuration stays faster than serial
+    serial = BY_NAME["BlackScholes"].run(strategy="serial").sim_time_ms
+    for w, (t, _v) in by_warps.items():
+        assert t < serial, f"warps={w}"

@@ -1,0 +1,30 @@
+"""Figure 3: task-sharing speedup of the DOALL apps over 16 CPU threads.
+
+Bars per app: CPU-16 (=1), GPU-only, simple 50/50 cooperative, sharing.
+"""
+
+from repro.bench import FIG3_STRATEGIES, figure3, render_figure
+
+from conftest import run_once
+
+
+def test_figure3(benchmark):
+    rows = run_once(benchmark, figure3)
+    print()
+    print(
+        render_figure(
+            "Figure 3 - DOALL apps, speedup over 16-thread CPU",
+            rows,
+            FIG3_STRATEGIES,
+        )
+    )
+    by_name = {r.workload: r.measured for r in rows}
+
+    # GEMM: the GPU dominates; sharing adds nothing over GPU-only
+    assert by_name["GEMM"]["gpu"] > 10
+    # transfer-bound apps: GPU-alone loses, sharing wins, coop in between
+    for name in ("VectorAdd", "BFS", "MVT"):
+        m = by_name[name]
+        assert m["gpu"] < 1.0, name
+        assert m["japonica"] > 1.0, name
+        assert m["gpu"] < m["coop50"] < m["japonica"], name

@@ -1,0 +1,39 @@
+"""Figure 4: task-sharing speedup of the DOACROSS apps over serial CPU.
+
+Per app the paper plots CPU (multithreaded where legal), GPU-only and
+Sharing, normalized to 1-thread CPU.  The four apps exercise all of the
+profiled execution modes: Gauss-Seidel -> C, CFD/Sepia -> D
+(privatization), BlackScholes -> B (GPU-TLS).
+"""
+
+import pytest
+
+from repro.bench import figure4, render_figure
+
+from conftest import run_once
+
+
+def test_figure4(benchmark):
+    rows = run_once(benchmark, figure4)
+    print()
+    print(
+        render_figure(
+            "Figure 4 - DOACROSS apps, speedup over serial CPU",
+            rows,
+            ("cpu16", "gpu", "japonica"),
+        )
+    )
+    by_name = {r.workload: r.measured for r in rows}
+
+    # Gauss-Seidel runs mode C: sharing == serial, GPU-alone loses
+    assert by_name["Guass-Seidel"]["japonica"] == pytest.approx(1.0, abs=0.05)
+    assert by_name["Guass-Seidel"]["gpu"] < 1.0
+
+    # CFD and Sepia run privatized (mode D): sharing beats GPU-alone
+    for name in ("CFD", "Sepia"):
+        m = by_name[name]
+        assert m["japonica"] > 1.0, name
+        assert m["japonica"] > m["gpu"], name
+
+    # BlackScholes runs GPU-TLS (mode B): clear win over serial
+    assert by_name["BlackScholes"]["japonica"] > 3.0

@@ -1,0 +1,41 @@
+"""Figure 5(a): task-stealing speedups over 16 CPU threads."""
+
+from repro.bench import figure5a, render_figure
+from repro.workloads import BY_NAME
+
+from conftest import run_once
+
+
+def test_figure5a(benchmark):
+    rows = run_once(benchmark, figure5a)
+    print()
+    print(
+        render_figure(
+            "Figure 5(a) - stealing apps, speedup over 16-thread CPU",
+            rows,
+            ("gpu", "japonica"),
+        )
+    )
+    by_name = {r.workload: r.measured for r in rows}
+    # BICG and Crypt: stealing beats both single-device versions
+    for name in ("BICG", "Crypt"):
+        m = by_name[name]
+        assert m["japonica"] > 1.0, name
+        assert m["japonica"] > m["gpu"] or m["gpu"] > 5, name
+    # 2MM: the GPU contributes all computations; stealing ~ GPU-only
+    m = by_name["2MM"]
+    assert 0.7 < m["japonica"] / m["gpu"] < 1.4
+
+
+def test_bicg_cpu_share(benchmark):
+    """Paper: the CPU ends up executing 62.5% of BICG's sub-loops."""
+
+    def run():
+        res = BY_NAME["BICG"].run(strategy="japonica")
+        return res.loop_results[0][1].detail["stats"]
+
+    stats = run_once(benchmark, run)
+    share = stats.share("cpu")
+    print(f"\nBICG sub-loops executed by the CPU: {share * 100:.1f}% "
+          f"(paper: 62.5%)")
+    assert share >= 0.375

@@ -1,0 +1,20 @@
+"""Figure 5(b): Crypt execution time, sharing vs stealing, size sweep.
+
+The paper sweeps 1024*1024 .. 5120*1024 text elements and shows stealing
+consistently below sharing; we sweep the same multipliers at the scaled
+simulation size.
+"""
+
+from repro.bench import figure5b, render_sweep
+
+from conftest import run_once
+
+
+def test_figure5b(benchmark):
+    points = run_once(benchmark, lambda: figure5b([1, 2, 3]))
+    print()
+    print(render_sweep(points))
+    for p in points:
+        assert p.stealing_ms < p.sharing_ms, p.label
+    # times grow with the input size
+    assert points[-1].stealing_ms > points[0].stealing_ms

@@ -1,0 +1,15 @@
+"""Headline averages from the abstract: Japonica vs the three baselines."""
+
+from repro.bench import headline_averages, render_headline
+
+from conftest import run_once
+
+
+def test_headline_averages(benchmark):
+    h = run_once(benchmark, headline_averages)
+    print()
+    print(render_headline(h))
+    # paper: 10x / 2.5x / 2.14x; we assert the directions with headroom
+    assert h.vs_serial > 5.0
+    assert h.vs_gpu > 1.5
+    assert h.vs_cpu > 1.3

@@ -1,0 +1,16 @@
+"""Table II: benchmark suite with paper-vs-modelled serial times."""
+
+from repro.bench import render_table2, table2
+
+from conftest import run_once
+
+
+def test_table2_serial_times(benchmark):
+    rows = run_once(benchmark, table2)
+    print()
+    print(render_table2(rows))
+    # the per-app Java efficiencies are calibrated against this column:
+    # every modelled serial time must land within 20% of the paper's
+    for row in rows:
+        ratio = row.measured_serial_ms / row.paper_serial_ms
+        assert 0.8 < ratio < 1.25, (row.name, ratio)

@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one table or figure of the paper: it executes
+the relevant workloads under the relevant strategies on the calibrated
+platform model, prints the paper-vs-measured rows, and asserts the
+orderings the paper's evaluation reports.  ``pytest benchmarks/
+--benchmark-only -s`` shows the rendered tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run a harness function exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _fresh_cache():
+    from repro.bench import clear_cache
+
+    clear_cache()
+    yield

@@ -1,0 +1,62 @@
+"""Privatization (mode D) on an image pipeline.
+
+The Sepia filter stages each pixel's tone through a small shared scratch
+buffer.  Static analysis cannot resolve the scratch subscripts, so the
+loop is profiled on the (simulated) GPU: the profile shows *false*
+dependencies only — every iteration overwrites the same scratch cells —
+and the scheduler runs the loop privatized: each GPU thread gets its own
+scratch copy, and the sequentially-last values are copied back.
+
+Run:  python examples/image_pipeline.py
+"""
+
+import numpy as np
+
+from repro.workloads import SEPIA
+
+
+def main() -> None:
+    pixels = 16_384
+    binds = SEPIA.bindings(size=pixels)
+    expected = SEPIA.reference(binds)
+
+    result = SEPIA.run(strategy="japonica", size=pixels)
+    loop_id, loop_res = result.loop_results[0]
+
+    print("=== Sepia under Japonica ===")
+    print(f"loop: {loop_id}, execution mode: {loop_res.mode} "
+          f"(D = privatized parallel execution, PE(V))")
+
+    profile = loop_res.detail["profile"]
+    print()
+    print("=== What the profiler saw ===")
+    print(f"iterations profiled : {profile.iterations}")
+    print(f"true-dep density    : {profile.td_density:.4f}")
+    print(f"false-dep pairs     : {profile.fd_pairs}")
+    print(f"privatizable arrays : {sorted(profile.privatizable_arrays)}")
+    print(f"uniform write sets  : {sorted(profile.uniform_write_arrays)}")
+    print(f"coalescing estimate : {profile.coalescing:.2f}")
+
+    print()
+    print("=== Split and correctness ===")
+    print(f"GPU pixels (privatized): {loop_res.detail['gpu_iterations']}")
+    print(f"CPU pixels (sequential): {loop_res.detail['cpu_iterations']}")
+    for name in ("r", "g", "b"):
+        assert np.array_equal(result.arrays[name], expected[name]), name
+    # the scratch ends with the *last* pixel's tone, as sequential code would
+    assert np.array_equal(result.arrays["tone"], expected["tone"])
+    print("results match the sequential reference bit-for-bit")
+
+    print()
+    print("=== Against the baselines (simulated) ===")
+    for strategy in ("serial", "cpu", "gpu"):
+        other = SEPIA.run(strategy=strategy, size=pixels)
+        print(
+            f"{strategy:8s} {other.sim_time_ms:9.3f} ms  "
+            f"(japonica is {other.sim_time_s / result.sim_time_s:.2f}x faster)"
+        )
+    print(f"japonica {result.sim_time_ms:9.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""GPU-TLS (mode B) on an option-pricing loop with a sparse dependence.
+
+BlackScholes prices options independently, but every iteration publishes
+into an audit buffer that a sparse subset of later iterations reads back
+through an index table.  Static analysis cannot resolve the indirection;
+the profiler measures a true-dependence density of ~0.01 — low enough to
+speculate.  The loop then runs on the GPU under GPU-TLS: sub-loop
+kernels speculate, the DC phase checks the access metadata, clean
+prefixes commit, and the few real conflicts trigger recovery (relaunch
+or CPU handoff, guided by the profile).
+
+Run:  python examples/speculative_options.py
+"""
+
+from repro.workloads import BLACKSCHOLES
+
+
+def main() -> None:
+    binds = BLACKSCHOLES.bindings()
+    result = BLACKSCHOLES.run(strategy="japonica")
+    BLACKSCHOLES.verify(result, binds)
+    loop_id, loop_res = result.loop_results[0]
+
+    print("=== BlackScholes under Japonica ===")
+    print(f"loop: {loop_id}, execution mode: {loop_res.mode} (B = GPU-TLS)")
+
+    profile = loop_res.detail["profile"]
+    print()
+    print("=== Dependency profile ===")
+    print(f"TD density        : {profile.td_density:.4f} "
+          f"(paper measured ~0.012)")
+    print(f"classification    : {profile.density_class()} "
+          f"(threshold N = 0.30)")
+    print(f"TD pairs          : {profile.td_pairs} "
+          f"({profile.intra_warp_td} intra-warp, "
+          f"{profile.inter_warp_td} inter-warp)")
+    print(f"distance histogram: {dict(sorted(profile.td_distances.items()))}")
+
+    tls = loop_res.detail["tls"]
+    print()
+    print("=== GPU-TLS execution ===")
+    print(f"sub-loop kernels    : {tls.subloops}")
+    print(f"violations          : {tls.violations}")
+    print(f"GPU relaunches      : {tls.relaunches}")
+    print(f"CPU handoffs        : {tls.cpu_handoffs} "
+          f"({tls.cpu_iterations} iterations run sequentially)")
+    print(f"iterations committed: {tls.committed_iterations}")
+    print(f"iterations squashed : {tls.squashed_iterations}")
+    print(f"event log           : {tls.events}")
+
+    print()
+    print("=== Speedups (simulated) ===")
+    serial = BLACKSCHOLES.run(strategy="serial")
+    gpu = BLACKSCHOLES.run(strategy="gpu")
+    print(f"serial  : {serial.sim_time_ms:9.3f} ms")
+    print(f"gpu-TLS-alone: {gpu.sim_time_ms:6.3f} ms")
+    print(f"japonica: {result.sim_time_ms:9.3f} ms "
+          f"({serial.sim_time_s / result.sim_time_s:.1f}x over serial; "
+          f"paper reports 5.1x)")
+    print()
+    print("results verified against the sequential reference.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""A TLS study with the synthetic workload generator.
+
+How does Japonica's scheduler react as a loop's true-dependence density
+rises from zero to one?  This sweep generates loops whose dependence
+structure is controlled exactly (period + distance of reads through an
+index table), runs each through the full pipeline, and prints the
+profiled density, the chosen execution mode, and the speedup over the
+serial baseline — the Figure-2 workflow, observed end to end.
+
+Run:  python examples/tls_density_study.py
+"""
+
+import numpy as np
+
+from repro.workloads.synthetic import SyntheticSpec, reference, run_synthetic
+
+#: (label, spec) — densities from 0 to ~1
+SWEEP = [
+    ("none", SyntheticSpec(n=2048, td_period=0, work=6)),
+    ("1/512", SyntheticSpec(n=2048, td_period=512, td_distance=1200, work=6)),
+    ("1/64", SyntheticSpec(n=2048, td_period=64, td_distance=1200, work=6)),
+    ("1/16", SyntheticSpec(n=2048, td_period=16, td_distance=1200, work=6)),
+    ("1/4", SyntheticSpec(n=2048, td_period=4, td_distance=8, work=6)),
+    ("every", SyntheticSpec(n=2048, td_period=1, td_distance=1, work=6)),
+]
+
+
+def main() -> None:
+    print("TD density sweep on a generated loop (n=2048)")
+    print(f"{'target':8s} {'profiled':>9s} {'mode':>5s} "
+          f"{'time':>11s} {'vs serial':>10s}  notes")
+    for label, spec in SWEEP:
+        result, binds = run_synthetic(spec, "japonica")
+        expected = reference(spec, binds)
+        for name, want in expected.items():
+            assert np.array_equal(result.arrays[name], want), name
+
+        serial, _ = run_synthetic(spec, "serial")
+        loop_res = result.loop_results[0][1]
+        profile = loop_res.detail.get("profile")
+        density = profile.td_density if profile else 0.0
+        mode = loop_res.mode
+        notes = {
+            "A": "statically DOALL",
+            "B": "GPU-TLS speculation",
+            "C": "CPU sequential (density above N)",
+            "D": "privatized",
+            "D'": "profiled clean",
+        }[mode]
+        tls = loop_res.detail.get("tls")
+        if tls is not None:
+            notes += (f"; {tls.subloops} sub-loops, "
+                      f"{tls.violations} violations")
+        print(
+            f"{label:8s} {density:9.4f} {mode:>5s} "
+            f"{result.sim_time_ms:9.3f}ms "
+            f"{serial.sim_time_s / result.sim_time_s:9.2f}x  {notes}"
+        )
+
+    print()
+    print("The workflow diagram in action: zero density stays mode A,")
+    print("sparse dependencies speculate (B), dense ones fall back to the")
+    print("CPU (C) — and every run is verified against sequential output.")
+
+
+if __name__ == "__main__":
+    main()

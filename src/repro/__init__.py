@@ -1,0 +1,31 @@
+"""Japonica reproduction: Java auto-parallelization on a heterogeneous
+CPU+GPU architecture (Han, Zhang, Lam, Wang - ICPP 2013), in simulation.
+
+The package implements the full pipeline of the paper: an annotated
+mini-Java frontend, static dependence analysis, translation to kernel IR
+(with generated CUDA/Java source artifacts), GPU-side dependency-density
+profiling, DOALL parallelization, GPU-TLS speculation with privatization,
+and the profile-guided task-sharing and task-stealing schedulers - all
+over functional CPU/GPU simulators with a calibrated performance model.
+"""
+
+from .api import CompiledProgram, Japonica, ProgramResult, STRATEGIES
+from .errors import JaponicaError
+from .runtime.platform import Platform, paper_platform, symmetric_platform
+from .scheduler.context import ExecutionContext, JaponicaConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledProgram",
+    "ExecutionContext",
+    "Japonica",
+    "JaponicaConfig",
+    "JaponicaError",
+    "Platform",
+    "ProgramResult",
+    "STRATEGIES",
+    "paper_platform",
+    "symmetric_platform",
+    "__version__",
+]

@@ -1,0 +1,103 @@
+"""Evaluation of loop-invariant integer expressions.
+
+Loop bounds, annotation array-section bounds, and affine subscript offsets
+are expressions over loop-invariant scalars.  This evaluator computes them
+against the host scalar environment at loop entry, with Java integer
+semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..errors import AnalysisError
+from ..ir import java_ops
+from ..lang import ast_nodes as A
+
+
+def eval_invariant(expr: A.Expr, env: Mapping[str, object]):
+    """Evaluate a loop-invariant expression against ``env``.
+
+    Supports the scalar expression subset (no array loads).  Raises
+    :class:`AnalysisError` when the expression references an unknown
+    variable or an unsupported construct.
+    """
+    if isinstance(expr, A.IntLit):
+        return java_ops.wrap_int(expr.value)
+    if isinstance(expr, A.LongLit):
+        return java_ops.wrap_long(expr.value)
+    if isinstance(expr, (A.DoubleLit, A.FloatLit)):
+        return float(expr.value)
+    if isinstance(expr, A.BoolLit):
+        return bool(expr.value)
+    if isinstance(expr, A.VarRef):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise AnalysisError(
+                f"expression references unknown scalar {expr.name!r}"
+            ) from None
+    if isinstance(expr, A.Length):
+        from ..ir.lower import length_param
+
+        key = length_param(expr.array.name, expr.axis)
+        try:
+            return env[key]
+        except KeyError:
+            raise AnalysisError(
+                f"expression references unknown length {key!r}"
+            ) from None
+    if isinstance(expr, A.Unary):
+        value = eval_invariant(expr.operand, env)
+        if expr.op == "-":
+            return -value if isinstance(value, float) else java_ops.wrap_int(-value)
+        if expr.op == "!":
+            return not value
+        if expr.op == "~":
+            return java_ops.wrap_int(~value)
+    if isinstance(expr, A.Cast):
+        value = eval_invariant(expr.operand, env)
+        from ..ir.instructions import jtype_of_prim, JType
+
+        src = JType.DOUBLE if isinstance(value, float) else JType.LONG
+        return java_ops.cast(value, src, jtype_of_prim(expr.target.name))
+    if isinstance(expr, A.Binary):
+        a = eval_invariant(expr.left, env)
+        b = eval_invariant(expr.right, env)
+        if expr.op in ("&&", "||"):
+            return (a and b) if expr.op == "&&" else (a or b)
+        if expr.op in ("<", "<=", ">", ">=", "==", "!="):
+            import operator
+
+            return {
+                "<": operator.lt,
+                "<=": operator.le,
+                ">": operator.gt,
+                ">=": operator.ge,
+                "==": operator.eq,
+                "!=": operator.ne,
+            }[expr.op](a, b)
+        if isinstance(a, float) or isinstance(b, float):
+            from ..ir.instructions import JType
+
+            return java_ops.binop(expr.op, float(a), float(b), JType.DOUBLE)
+        from ..ir.instructions import JType
+
+        return java_ops.binop(expr.op, int(a), int(b), JType.LONG)
+    if isinstance(expr, A.Ternary):
+        return (
+            eval_invariant(expr.then, env)
+            if eval_invariant(expr.cond, env)
+            else eval_invariant(expr.other, env)
+        )
+    raise AnalysisError(
+        f"cannot evaluate {type(expr).__name__} as a loop-invariant expression"
+    )
+
+
+def eval_int(expr: A.Expr, env: Mapping[str, object]) -> int:
+    """Evaluate to an int, rejecting non-integral results."""
+    value = eval_invariant(expr, env)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise AnalysisError(f"expected an integer, got {value!r}")
+    return value

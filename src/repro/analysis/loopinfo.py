@@ -1,0 +1,135 @@
+"""Canonical loop recognition.
+
+An annotated loop must have the canonical counted form the paper's
+translator handles::
+
+    for (int i = <lo>; i < <hi>; i++)        // or <=, or i += c
+
+with loop-invariant bounds.  :class:`LoopInfo` captures the induction
+variable and symbolic bounds, and evaluates the concrete iteration range
+against the host environment at execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..errors import AnalysisError
+from ..lang import ast_nodes as A
+from .consteval import eval_int
+
+
+@dataclass
+class LoopInfo:
+    """Canonical description of a counted loop."""
+
+    loop: A.For
+    index: str
+    lower: A.Expr
+    upper: A.Expr
+    upper_inclusive: bool
+    step: int
+
+    def bounds(self, env: Mapping[str, object]) -> tuple[int, int, int]:
+        """Concrete ``(start, stop_exclusive, step)`` for ``env``."""
+        start = eval_int(self.lower, env)
+        stop = eval_int(self.upper, env)
+        if self.upper_inclusive:
+            stop += 1
+        return start, stop, self.step
+
+    def indices(self, env: Mapping[str, object]) -> range:
+        start, stop, step = self.bounds(env)
+        return range(start, stop, step)
+
+    def trip_count(self, env: Mapping[str, object]) -> int:
+        return len(self.indices(env))
+
+
+def extract_loop_info(loop: A.For) -> LoopInfo:
+    """Recognize the canonical loop form; raise AnalysisError otherwise."""
+    # init: 'int i = <expr>' or 'i = <expr>'
+    if isinstance(loop.init, A.VarDecl):
+        if not (
+            isinstance(loop.init.type, A.PrimType)
+            and loop.init.type.name == "int"
+        ):
+            raise AnalysisError(
+                f"loop at {loop.pos}: induction variable must be int"
+            )
+        index = loop.init.name
+        if loop.init.init is None:
+            raise AnalysisError(f"loop at {loop.pos}: missing lower bound")
+        lower = loop.init.init
+    elif isinstance(loop.init, A.Assign) and isinstance(
+        loop.init.target, A.VarRef
+    ):
+        if loop.init.op:
+            raise AnalysisError(f"loop at {loop.pos}: compound init")
+        index = loop.init.target.name
+        lower = loop.init.value
+    else:
+        raise AnalysisError(
+            f"loop at {loop.pos}: initializer must set the induction variable"
+        )
+
+    # condition: 'i < <expr>' or 'i <= <expr>'
+    cond = loop.cond
+    if not (
+        isinstance(cond, A.Binary)
+        and cond.op in ("<", "<=")
+        and isinstance(cond.left, A.VarRef)
+        and cond.left.name == index
+    ):
+        raise AnalysisError(
+            f"loop at {loop.pos}: condition must be '{index} < bound' or "
+            f"'{index} <= bound'"
+        )
+    upper = cond.right
+    upper_inclusive = cond.op == "<="
+
+    # update: i++, i += c
+    update = loop.update
+    step: Optional[int] = None
+    if isinstance(update, A.IncDec) and isinstance(update.target, A.VarRef):
+        if update.target.name == index and update.op == "++":
+            step = 1
+    elif isinstance(update, A.Assign) and isinstance(update.target, A.VarRef):
+        if update.target.name == index and update.op == "+":
+            if isinstance(update.value, A.IntLit) and update.value.value > 0:
+                step = update.value.value
+        elif (
+            update.target.name == index
+            and update.op == ""
+            and isinstance(update.value, A.Binary)
+            and update.value.op == "+"
+            and isinstance(update.value.left, A.VarRef)
+            and update.value.left.name == index
+            and isinstance(update.value.right, A.IntLit)
+            and update.value.right.value > 0
+        ):
+            step = update.value.right.value
+    if step is None:
+        raise AnalysisError(
+            f"loop at {loop.pos}: update must be '{index}++' or "
+            f"'{index} += c' with positive constant c"
+        )
+
+    _check_invariance(lower, index, loop)
+    _check_invariance(upper, index, loop)
+    return LoopInfo(loop, index, lower, upper, upper_inclusive, step)
+
+
+def _check_invariance(expr: A.Expr, index: str, loop: A.For) -> None:
+    """Bounds must not reference the induction variable or array loads."""
+    for node in A.walk(expr):
+        if isinstance(node, A.VarRef) and node.name == index:
+            raise AnalysisError(
+                f"loop at {loop.pos}: bound depends on the induction variable"
+            )
+        if isinstance(node, A.ArrayRef):
+            raise AnalysisError(
+                f"loop at {loop.pos}: bound reads an array element; "
+                f"hoist it to a scalar first"
+            )

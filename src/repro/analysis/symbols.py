@@ -1,0 +1,113 @@
+"""Symbol tables: variable -> type environments per method and loop.
+
+Japonica analyzes one static method at a time (JavaR's unit).  For each
+annotated loop we need the types of every variable declared *outside* the
+loop (method parameters plus locals declared earlier in the body) — those
+are the candidates for live-in/live-out classification — while variables
+declared inside the loop (including the induction variable) are ``temp``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import AnalysisError
+from ..lang import ast_nodes as A
+
+
+@dataclass
+class MethodScope:
+    """Types of variables visible at some point in a method body."""
+
+    types: dict[str, A.Type] = field(default_factory=dict)
+
+    def copy(self) -> "MethodScope":
+        return MethodScope(dict(self.types))
+
+    def declare(self, name: str, vtype: A.Type) -> None:
+        if name in self.types:
+            raise AnalysisError(f"redeclaration of {name!r}")
+        self.types[name] = vtype
+
+
+def outer_scope_at_loop(method: A.Method, loop: A.For) -> MethodScope:
+    """The scope visible to ``loop``: everything declared before it.
+
+    Walks the method body tracking declarations; stops when the loop is
+    reached.  Declarations in sibling branches that cannot reach the loop
+    are still conservatively included only if they lexically precede it in
+    the same block chain (mini-Java has no shadowing, so this is safe).
+    """
+    scope = MethodScope()
+    for p in method.params:
+        scope.declare(p.name, p.type)
+    found = _collect_until(method.body, loop, scope)
+    if not found:
+        raise AnalysisError(
+            f"loop at {loop.pos} is not part of method {method.name!r}"
+        )
+    return scope
+
+
+def _collect_until(stmt: A.Stmt, target: A.For, scope: MethodScope) -> bool:
+    """Record declarations in pre-order until ``target``; True if found.
+
+    Declarations inside a compound statement (block, branch, loop) are
+    scoped to it: when the target is not found within, they are rolled
+    back, matching Java's block scoping — so two sibling loops may both
+    declare ``int i``.
+    """
+    if stmt is target:
+        return True
+    if isinstance(stmt, A.VarDecl):
+        scope.declare(stmt.name, stmt.type)
+        return False
+
+    def scoped(*parts: A.Stmt) -> bool:
+        before = set(scope.types)
+        for part in parts:
+            if part is not None and _collect_until(part, target, scope):
+                return True
+        for name in set(scope.types) - before:
+            del scope.types[name]
+        return False
+
+    if isinstance(stmt, A.Block):
+        return scoped(*stmt.stmts)
+    if isinstance(stmt, A.If):
+        return scoped(stmt.then, stmt.els)
+    if isinstance(stmt, A.While):
+        return scoped(stmt.body)
+    if isinstance(stmt, A.For):
+        return scoped(stmt.init, stmt.body)
+    return False
+
+
+def declared_inside(loop: A.For) -> set[str]:
+    """Names declared inside the loop (``temp`` class), incl. the index."""
+    names: set[str] = set()
+    if isinstance(loop.init, A.VarDecl):
+        names.add(loop.init.name)
+    for node in A.walk(loop.body):
+        if isinstance(node, A.VarDecl):
+            names.add(node.name)
+    return names
+
+
+def method_types(method: A.Method) -> dict[str, A.Type]:
+    """All declarations in a method (params + every local).
+
+    Distinct block scopes may reuse a name (e.g. two loops declaring
+    ``int i``) as long as the types agree; a conflicting redeclaration is
+    rejected because this flat map cannot represent it.
+    """
+    types: dict[str, A.Type] = {p.name: p.type for p in method.params}
+    for node in A.walk(method.body):
+        if isinstance(node, A.VarDecl):
+            if node.name in types and types[node.name] != node.type:
+                raise AnalysisError(
+                    f"conflicting redeclaration of {node.name!r}"
+                )
+            types[node.name] = node.type
+    return types

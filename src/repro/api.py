@@ -1,0 +1,295 @@
+"""Public API of the Japonica reproduction.
+
+Typical use::
+
+    from repro import Japonica
+    import numpy as np
+
+    src = '''
+    class VecAdd {
+      static void run(double[] a, double[] b, double[] c, int n) {
+        /* acc parallel copyin(a[0:n-1], b[0:n-1]) copyout(c[0:n-1]) */
+        for (int i = 0; i < n; i++) { c[i] = a[i] + b[i]; }
+      }
+    }
+    '''
+    program = Japonica().compile(src)
+    result = program.run("run", a=a, b=b, c=np.zeros_like(a), n=len(a))
+    print(result.sim_time_ms, result.arrays["c"])
+
+Execution strategies:
+
+``japonica``
+    the full system — profiling, mode dispatch, task sharing/stealing;
+``serial``
+    best serial version (1 CPU thread);
+``cpu``
+    CPU-alone multithreaded (16 threads);
+``gpu``
+    GPU-alone (synchronous JNI transfers, cyclic communication);
+``coop50``
+    simple cooperative version (50 % CPU / 50 % GPU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .errors import JaponicaError
+from .ir.interpreter import ArrayStorage
+from .ir.lower import length_param
+from .lang import ast_nodes as A
+from .lang.ast_nodes import ClassDecl
+from .runtime.hosteval import run_method_host
+from .runtime.platform import Platform
+from .runtime.result import ExecutionResult
+from .scheduler.baselines import (
+    CooperativeExecutor,
+    CpuParallelExecutor,
+    GpuOnlyExecutor,
+    SerialExecutor,
+)
+from .scheduler.context import ExecutionContext, JaponicaConfig
+from .scheduler.select import effective_scheme
+from .scheduler.sharing import TaskSharingScheduler
+from .scheduler.stealing import TaskStealingScheduler
+from .scheduler.task import Task
+from .translate.translator import TranslationUnit, Translator
+
+STRATEGIES = ("japonica", "serial", "cpu", "gpu", "coop50")
+
+_DTYPES = {
+    "int": np.int32,
+    "long": np.int64,
+    "float": np.float32,
+    "double": np.float64,
+    "boolean": np.bool_,
+}
+
+
+@dataclass
+class ProgramResult:
+    """Outcome of running one method end to end."""
+
+    arrays: dict[str, np.ndarray]
+    scalars: dict[str, object]
+    sim_time_s: float
+    host_time_s: float
+    loop_results: list[tuple[str, ExecutionResult]] = field(default_factory=list)
+    strategy: str = ""
+    scheme: str = ""
+
+    @property
+    def sim_time_ms(self) -> float:
+        return self.sim_time_s * 1e3
+
+    def loop_result(self, loop_id: str) -> ExecutionResult:
+        for lid, res in self.loop_results:
+            if lid == loop_id:
+                return res
+        raise KeyError(f"no result for loop {loop_id!r}")
+
+    def speedup_over(self, other: "ProgramResult") -> float:
+        return other.sim_time_s / self.sim_time_s if self.sim_time_s > 0 else (
+            float("inf")
+        )
+
+
+class CompiledProgram:
+    """A translated class, ready to run under any strategy."""
+
+    def __init__(
+        self,
+        unit: TranslationUnit,
+        platform: Optional[Platform] = None,
+        config: Optional[JaponicaConfig] = None,
+    ):
+        self.unit = unit
+        self.platform = platform
+        self.config = config
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def methods(self) -> list[str]:
+        return list(self.unit.methods)
+
+    def cuda_source(self, method: str) -> str:
+        return "\n\n".join(
+            tl.cuda_source for tl in self.unit.methods[method].loops
+        )
+
+    def java_source(self, method: str) -> str:
+        return "\n\n".join(
+            tl.java_source for tl in self.unit.methods[method].loops
+        )
+
+    # -- execution -------------------------------------------------------
+
+    def run(
+        self,
+        method: Optional[str] = None,
+        strategy: str = "japonica",
+        scheme: Optional[str] = None,
+        context: Optional[ExecutionContext] = None,
+        **bindings,
+    ) -> ProgramResult:
+        """Execute a method under a strategy.
+
+        ``bindings`` supplies every parameter by name; array arguments
+        are copied (the caller's data is never mutated) and coerced to
+        the declared element type.
+        """
+        if strategy not in STRATEGIES:
+            raise JaponicaError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        if method is None:
+            if len(self.unit.methods) != 1:
+                raise JaponicaError(
+                    f"program has {len(self.unit.methods)} methods with "
+                    f"annotated loops; pass method= explicitly"
+                )
+            method = next(iter(self.unit.methods))
+        if method not in self.unit.methods:
+            raise JaponicaError(f"no annotated method {method!r}")
+
+        mt = self.unit.methods[method]
+        decl = mt.method
+        storage, scalars = self._bind(decl, bindings)
+        ctx = context or ExecutionContext(self.platform, self.config)
+        ctx.reset_device()
+
+        use_scheme = effective_scheme(mt.loops, scheme)
+        by_node = {id(tl.analysis.info.loop): tl for tl in mt.loops}
+        loop_results: list[tuple[str, ExecutionResult]] = []
+
+        sharing = TaskSharingScheduler(ctx)
+        stealing = TaskStealingScheduler(ctx)
+        baselines = {
+            "serial": SerialExecutor(ctx),
+            "cpu": CpuParallelExecutor(ctx),
+            "gpu": GpuOnlyExecutor(ctx),
+            "coop50": CooperativeExecutor(ctx),
+        }
+
+        def loop_env() -> dict[str, object]:
+            env = dict(scalars)
+            for name, shape in storage.shapes.items():
+                for axis, size in enumerate(shape):
+                    env[length_param(name, axis)] = int(size)
+            return env
+
+        def write_back_scalars(env: dict[str, object]) -> None:
+            for key in scalars:
+                if key in env and env[key] != scalars[key]:
+                    scalars[key] = env[key]
+
+        def dispatch(loop_node: A.For, following: list[A.Stmt]) -> int:
+            tl = by_node.get(id(loop_node))
+            if tl is None:
+                raise JaponicaError("annotated loop missing from translation")
+            env = loop_env()
+            if strategy == "japonica" and use_scheme == "stealing":
+                run_loops = [tl]
+                consumed = 0
+                for stmt in following:
+                    if isinstance(stmt, A.For) and stmt.annotation is not None:
+                        nxt = by_node.get(id(stmt))
+                        if nxt is None:
+                            break
+                        run_loops.append(nxt)
+                        consumed += 1
+                    else:
+                        break
+                tasks = [Task(lp) for lp in run_loops]
+                result = stealing.execute(tasks, storage, env)
+                loop_results.append(("+".join(lp.id for lp in run_loops), result))
+                write_back_scalars(env)
+                return consumed
+            if strategy == "japonica":
+                result = sharing.execute(Task(tl), storage, env)
+            else:
+                result = baselines[strategy].execute(Task(tl), storage, env)
+            loop_results.append((tl.id, result))
+            write_back_scalars(env)
+            return 0
+
+        host_cost = run_method_host(decl, storage, scalars, dispatch)
+        host_time = ctx.cost.cpu_serial_time(host_cost.as_counts())
+        total = host_time + sum(res.sim_time_s for _, res in loop_results)
+
+        return ProgramResult(
+            arrays=storage.arrays,
+            scalars=scalars,
+            sim_time_s=total,
+            host_time_s=host_time,
+            loop_results=loop_results,
+            strategy=strategy,
+            scheme=use_scheme if strategy == "japonica" else "",
+        )
+
+    # -- binding -------------------------------------------------------------
+
+    @staticmethod
+    def _bind(
+        decl: A.Method, bindings: dict[str, object]
+    ) -> tuple[ArrayStorage, dict[str, object]]:
+        arrays: dict[str, np.ndarray] = {}
+        scalars: dict[str, object] = {}
+        missing = [p.name for p in decl.params if p.name not in bindings]
+        if missing:
+            raise JaponicaError(
+                f"method {decl.name!r} missing bindings for {missing}"
+            )
+        extra = set(bindings) - {p.name for p in decl.params}
+        if extra:
+            raise JaponicaError(f"unknown bindings {sorted(extra)}")
+        for p in decl.params:
+            value = bindings[p.name]
+            if isinstance(p.type, A.ArrayType):
+                arr = np.array(value, dtype=_DTYPES[p.type.elem.name], copy=True)
+                if arr.ndim != p.type.dims:
+                    raise JaponicaError(
+                        f"parameter {p.name!r} expects a {p.type.dims}-D "
+                        f"array, got {arr.ndim}-D"
+                    )
+                arrays[p.name] = arr
+            else:
+                if p.type.name == "boolean":
+                    scalars[p.name] = bool(value)
+                elif p.type.name in ("float", "double"):
+                    scalars[p.name] = float(value)
+                else:
+                    scalars[p.name] = int(value)
+        return ArrayStorage(arrays), scalars
+
+
+class Japonica:
+    """Compiler + runtime entry point."""
+
+    def __init__(
+        self,
+        platform: Optional[Platform] = None,
+        config: Optional[JaponicaConfig] = None,
+        cpu_threads: int = 16,
+    ):
+        self.platform = platform
+        self.config = config
+        self.translator = Translator(cpu_threads=cpu_threads)
+
+    def compile(self, source: str) -> CompiledProgram:
+        """Translate annotated Java source into a runnable program."""
+        unit = self.translator.translate_source(source)
+        if not unit.methods:
+            raise JaponicaError("no annotated loops found in the source")
+        return CompiledProgram(unit, self.platform, self.config)
+
+    def compile_class(self, cls: ClassDecl) -> CompiledProgram:
+        unit = self.translator.translate(cls)
+        if not unit.methods:
+            raise JaponicaError("no annotated loops found in the class")
+        return CompiledProgram(unit, self.platform, self.config)

@@ -1,0 +1,128 @@
+"""ASCII rendering of regenerated tables and figures."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .harness import FigureRow, Headline, SweepPoint, Table2Row
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    widths = [len(h) for h in headers]
+    texts = [[str(c) for c in row] for row in rows]
+    for row in texts:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    def line(cells):
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+    sep = "-+-".join("-" * w for w in widths)
+    return "\n".join([line(headers), sep] + [line(r) for r in texts])
+
+
+def render_table2(rows: list[Table2Row]) -> str:
+    body = [
+        (
+            r.name,
+            r.origin,
+            r.scheme,
+            r.paper_problem.split(",")[0],
+            f"{r.paper_serial_ms:.1f}",
+            f"{r.measured_serial_ms:.1f}",
+        )
+        for r in rows
+    ]
+    return "Table II - benchmark suite (serial times, paper vs measured)\n" + (
+        render_table(
+            ["Benchmark", "Origin", "Scheme", "Input", "Paper ms", "Model ms"],
+            body,
+        )
+    )
+
+
+def render_figure(
+    title: str, rows: list[FigureRow], series: Sequence[str]
+) -> str:
+    body = []
+    for row in rows:
+        cells = [row.workload]
+        for s in series:
+            paper = row.paper.get(s)
+            got = row.measured.get(s)
+            cells.append(
+                f"{paper:.2f} / {got:.2f}" if paper is not None else f"{got:.2f}"
+            )
+        body.append(tuple(cells))
+    headers = ["Benchmark"] + [f"{s} (paper/ours)" for s in series]
+    return f"{title}\n" + render_table(headers, body)
+
+
+def render_sweep(points: list[SweepPoint]) -> str:
+    body = [
+        (
+            p.label,
+            f"{p.sharing_ms:.2f}",
+            f"{p.stealing_ms:.2f}",
+            f"{p.sharing_ms / p.stealing_ms:.2f}x",
+        )
+        for p in points
+    ]
+    return (
+        "Figure 5(b) - Crypt execution time, sharing vs stealing\n"
+        + render_table(
+            ["Input size", "Sharing ms", "Stealing ms", "Steal advantage"],
+            body,
+        )
+    )
+
+
+def render_headline(h: Headline) -> str:
+    body = [
+        ("vs best serial", f"{h.paper_vs_serial:.2f}x", f"{h.vs_serial:.2f}x"),
+        ("vs GPU-alone", f"{h.paper_vs_gpu:.2f}x", f"{h.vs_gpu:.2f}x"),
+        ("vs CPU-alone", f"{h.paper_vs_cpu:.2f}x", f"{h.vs_cpu:.2f}x"),
+    ]
+    return "Headline average speedups of Japonica (abstract)\n" + render_table(
+        ["Comparison", "Paper", "Ours (geomean)"], body
+    )
+
+
+def render_bars(
+    title: str,
+    rows: list[FigureRow],
+    series: Sequence[str],
+    width: int = 44,
+) -> str:
+    """ASCII bar chart of a figure: one bar per (workload, series).
+
+    The paper presents these as grouped speedup bars; this renders the
+    same visual at the terminal, with the paper's value marked by '|'
+    on each measured bar when available.
+    """
+    peak = 0.0
+    for row in rows:
+        for s in series:
+            peak = max(peak, row.measured.get(s, 0.0), row.paper.get(s, 0.0))
+    if peak <= 0:
+        peak = 1.0
+    scale = width / peak
+
+    lines = [title, "=" * len(title)]
+    for row in rows:
+        lines.append(f"{row.workload} (vs {row.baseline})")
+        for s in series:
+            got = row.measured.get(s)
+            if got is None:
+                continue
+            bar = "#" * max(1, int(round(got * scale)))
+            paper = row.paper.get(s)
+            if paper is not None:
+                mark = min(width - 1, int(round(paper * scale)))
+                bar = bar.ljust(mark) if len(bar) <= mark else bar
+                bar = bar[:mark] + "|" + bar[mark + 1 :]
+            label = f"{got:6.2f}"
+            if paper is not None:
+                label += f" (paper {paper:.2f})"
+            lines.append(f"  {s:10s} {bar.ljust(width)} {label}")
+        lines.append("")
+    lines.append(f"scale: {width} cols = {peak:.2f}x; '|' marks the paper's bar")
+    return "\n".join(lines)

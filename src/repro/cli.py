@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    show the Table-II workloads and their calibration;
+``run WORKLOAD``
+    execute one workload under one or more strategies and print the
+    simulated times and execution modes;
+``table2`` / ``fig3`` / ``fig4`` / ``fig5a`` / ``fig5b`` / ``headline``
+    regenerate a table/figure of the paper (paper-vs-ours columns);
+``translate FILE``
+    compile an annotated mini-Java file and print the analysis verdicts
+    and generated CUDA/Java sources.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .api import Japonica, STRATEGIES
+
+
+def _cmd_list(_args) -> int:
+    from .workloads import ALL_WORKLOADS
+
+    print(f"{'name':14s} {'origin':12s} {'scheme':9s} {'paper problem'}")
+    for w in ALL_WORKLOADS:
+        print(f"{w.name:14s} {w.origin:12s} {w.scheme:9s} {w.paper_problem}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .workloads import get
+
+    try:
+        workload = get(args.workload)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    strategies = args.strategies.split(",") if args.strategies else ["japonica"]
+    binds = workload.bindings(n=args.n, seed=args.seed)
+    reference = workload.reference(binds) if args.verify else None
+
+    print(f"== {workload.name} ({workload.description}) ==")
+    times = {}
+    for strategy in strategies:
+        if strategy not in STRATEGIES:
+            print(f"unknown strategy {strategy!r}; choose from {STRATEGIES}",
+                  file=sys.stderr)
+            return 2
+        result = workload.run(strategy=strategy, n=args.n, seed=args.seed)
+        times[strategy] = result.sim_time_s
+        modes = ",".join(sorted({r.mode for _, r in result.loop_results}))
+        status = ""
+        if reference is not None:
+            try:
+                workload.verify(result, binds)
+                status = "verified"
+            except AssertionError as exc:
+                status = f"MISMATCH: {exc}"
+        print(f"{strategy:10s} {result.sim_time_ms:12.3f} ms  "
+              f"mode={modes:10s} {status}")
+    if "serial" in times:
+        base = times["serial"]
+        for strategy, t in times.items():
+            if strategy != "serial":
+                print(f"speedup {strategy} over serial: {base / t:.2f}x")
+    return 0
+
+
+def _cmd_figure(which):
+    def run(_args) -> int:
+        from . import bench
+
+        render = bench.render_bars if getattr(_args, "bars", False) else (
+            bench.render_figure
+        )
+        if which == "table2":
+            print(bench.render_table2(bench.table2()))
+        elif which == "fig3":
+            print(render(
+                "Figure 3 - DOALL apps, speedup over 16-thread CPU",
+                bench.figure3(), bench.FIG3_STRATEGIES,
+            ))
+        elif which == "fig4":
+            print(render(
+                "Figure 4 - DOACROSS apps, speedup over serial CPU",
+                bench.figure4(), ("cpu16", "gpu", "japonica"),
+            ))
+        elif which == "fig5a":
+            print(render(
+                "Figure 5(a) - stealing apps, speedup over 16-thread CPU",
+                bench.figure5a(), ("gpu", "japonica"),
+            ))
+        elif which == "fig5b":
+            print(bench.render_sweep(bench.figure5b([1, 2, 3])))
+        elif which == "headline":
+            print(bench.render_headline(bench.headline_averages()))
+        return 0
+
+    return run
+
+
+def _cmd_translate(args) -> int:
+    try:
+        source = open(args.file).read()
+    except OSError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    program = Japonica().compile(source)
+    for method in program.methods:
+        mt = program.unit.methods[method]
+        print(f"== method {method} ==")
+        for tl in mt.loops:
+            print(f"loop {tl.id}: {tl.analysis.status.value}"
+                  + (f" ({tl.cpu_only_reason})" if tl.cpu_only else ""))
+            print(f"  live-in : {sorted(tl.analysis.variables.live_in)}")
+            print(f"  live-out: {sorted(tl.analysis.variables.live_out)}")
+            print(f"  copyin  : {tl.data_plan.arrays_in()}")
+            print(f"  copyout : {tl.data_plan.arrays_out()}")
+        if args.cuda:
+            print("\n-- generated CUDA --")
+            print(program.cuda_source(method))
+        if args.java:
+            print("\n-- generated Java --")
+            print(program.java_source(method))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Japonica reproduction (ICPP 2013) command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the Table-II workloads").set_defaults(
+        fn=_cmd_list
+    )
+
+    run_p = sub.add_parser("run", help="run one workload")
+    run_p.add_argument("workload")
+    run_p.add_argument(
+        "--strategies",
+        default="serial,cpu,gpu,japonica",
+        help="comma-separated subset of " + ",".join(STRATEGIES),
+    )
+    run_p.add_argument("--n", type=int, default=1, help="problem multiplier")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--no-verify", dest="verify", action="store_false",
+        help="skip checking against the sequential reference",
+    )
+    run_p.set_defaults(fn=_cmd_run)
+
+    for which in ("table2", "fig3", "fig4", "fig5a", "fig5b", "headline"):
+        fig_p = sub.add_parser(
+            which, help=f"regenerate {which} (paper vs ours)"
+        )
+        fig_p.add_argument(
+            "--bars", action="store_true",
+            help="render as ASCII bars instead of a table",
+        )
+        fig_p.set_defaults(fn=_cmd_figure(which))
+
+    tr = sub.add_parser("translate", help="translate an annotated Java file")
+    tr.add_argument("file")
+    tr.add_argument("--cuda", action="store_true", help="print CUDA text")
+    tr.add_argument("--java", action="store_true", help="print Java text")
+    tr.set_defaults(fn=_cmd_translate)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

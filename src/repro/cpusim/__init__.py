@@ -1,0 +1,12 @@
+"""CPU executor model (the multithreaded-Java half of the dual executable)."""
+
+from .executor import CpuExecutor, CpuRunResult
+from .threads import block_partition, descending, uniform_chunks
+
+__all__ = [
+    "CpuExecutor",
+    "CpuRunResult",
+    "block_partition",
+    "descending",
+    "uniform_chunks",
+]

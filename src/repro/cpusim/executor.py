@@ -1,0 +1,120 @@
+"""CPU-side execution: the "multiple Java threads" half of the dual
+executable.
+
+Functionally, CPU execution writes host arrays directly (DOALL chunks are
+independent; sequential modes run in iteration order).  Simulated time
+comes from the cost model: work divided over the worker threads with a
+fork/join overhead, memory-bandwidth roofline applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..ir.instructions import IRFunction
+from ..ir.interpreter import (
+    ArrayStorage,
+    CompiledKernel,
+    Counts,
+    DirectBackend,
+)
+from ..ir.vectorizer import VectorizedKernel, can_vectorize
+from ..runtime.costmodel import CostModel
+from ..runtime.platform import CpuSpec
+
+
+@dataclass
+class CpuRunResult:
+    """Outcome of executing an index set on the CPU side."""
+
+    counts: Counts
+    sim_time_s: float
+    threads: int
+
+
+class CpuExecutor:
+    """Executes kernel IR on the modelled multicore CPU."""
+
+    def __init__(self, spec: CpuSpec, cost: CostModel):
+        self.spec = spec
+        self.cost = cost
+        self._compiled: dict[int, CompiledKernel] = {}
+        self._vectorized: dict[int, VectorizedKernel] = {}
+
+    def _kernel(self, fn: IRFunction) -> CompiledKernel:
+        key = id(fn)
+        if key not in self._compiled:
+            self._compiled[key] = CompiledKernel(fn)
+        return self._compiled[key]
+
+    def _vector_kernel(self, fn: IRFunction) -> VectorizedKernel:
+        key = id(fn)
+        if key not in self._vectorized:
+            self._vectorized[key] = VectorizedKernel(fn)
+        return self._vectorized[key]
+
+    def run_parallel(
+        self,
+        fn: IRFunction,
+        storage: ArrayStorage,
+        scalar_env: dict[str, object],
+        indices: Sequence[int],
+        threads: Optional[int] = None,
+        elem_bytes: float = 8.0,
+        allow_vectorized: bool = True,
+    ) -> CpuRunResult:
+        """Run a DOALL index set with the CPU thread pool.
+
+        ``allow_vectorized`` lets callers force the scalar interpreter
+        (needed when iteration order must be respected).
+        """
+        threads = threads if threads is not None else self.spec.worker_threads
+        counts = self._execute(
+            fn, storage, scalar_env, list(indices), allow_vectorized
+        )
+        sim_time = self.cost.cpu_time(counts, threads=threads, elem_bytes=elem_bytes)
+        return CpuRunResult(counts, sim_time, threads)
+
+    def run_serial(
+        self,
+        fn: IRFunction,
+        storage: ArrayStorage,
+        scalar_env: dict[str, object],
+        indices: Sequence[int],
+        elem_bytes: float = 8.0,
+    ) -> CpuRunResult:
+        """Run iterations sequentially, in the given order, on one thread.
+
+        Sequential execution must respect iteration order (it is the mode
+        C fallback for loops carrying true dependencies), so the scalar
+        interpreter is always used for correctness... unless the kernel is
+        straight-line, in which case ascending-order vectorized execution
+        coincides with sequential semantics only for DOALL loops — hence
+        no vectorization here.
+        """
+        counts = self._execute(
+            fn, storage, scalar_env, list(indices), allow_vectorized=False
+        )
+        sim_time = self.cost.cpu_time(counts, threads=1, elem_bytes=elem_bytes)
+        return CpuRunResult(counts, sim_time, 1)
+
+    def _execute(
+        self,
+        fn: IRFunction,
+        storage: ArrayStorage,
+        scalar_env: dict[str, object],
+        indices: list[int],
+        allow_vectorized: bool,
+    ) -> Counts:
+        if allow_vectorized and can_vectorize(fn) and indices:
+            return self._vector_kernel(fn).run_range(
+                storage, scalar_env, np.asarray(indices, dtype=np.int64)
+            )
+        kern = self._kernel(fn)
+        backend = DirectBackend(storage)
+        for i in indices:
+            kern.run_index(i, scalar_env, backend)
+        return kern.take_counts()

@@ -1,0 +1,36 @@
+"""Chunking helpers for the CPU thread pool and the sharing scheme."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def block_partition(indices: Sequence[int], parts: int) -> list[list[int]]:
+    """Split an index list into ``parts`` contiguous, near-equal blocks."""
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    n = len(indices)
+    out: list[list[int]] = []
+    base, extra = divmod(n, parts)
+    pos = 0
+    for k in range(parts):
+        size = base + (1 if k < extra else 0)
+        out.append(list(indices[pos : pos + size]))
+        pos += size
+    return out
+
+
+def uniform_chunks(indices: Sequence[int], chunk_size: int) -> list[list[int]]:
+    """Split into uniform chunks of ``chunk_size`` (last may be short)."""
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    return [
+        list(indices[k : k + chunk_size])
+        for k in range(0, len(indices), chunk_size)
+    ]
+
+
+def descending(indices: Sequence[int]) -> list[int]:
+    """Iteration order for the CPU side of the sharing scheme (the right
+    part of the data set is "executed on CPU in a descending order")."""
+    return list(reversed(list(indices)))

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the Japonica reproduction."""
+
+from __future__ import annotations
+
+
+class JaponicaError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class LexError(JaponicaError):
+    """Raised when the lexer encounters malformed source text."""
+
+
+class ParseError(JaponicaError):
+    """Raised when the parser encounters a syntactically invalid program."""
+
+
+class AnnotationError(JaponicaError):
+    """Raised when an ``/* acc ... */`` directive is malformed (Table I)."""
+
+
+class AnalysisError(JaponicaError):
+    """Raised when static analysis cannot process a loop nest."""
+
+
+class TypeCheckError(JaponicaError):
+    """Raised on type mismatches while lowering the AST to kernel IR."""
+
+
+class LoweringError(JaponicaError):
+    """Raised when an AST construct cannot be lowered to the kernel IR."""
+
+
+class DeviceError(JaponicaError):
+    """Raised by the GPU simulator on invalid device operations."""
+
+
+class MemoryFault(DeviceError):
+    """Raised on out-of-bounds or unmapped simulated-device memory access."""
+
+
+class LaunchError(DeviceError):
+    """Raised for invalid kernel-launch configurations."""
+
+
+class SchedulerError(JaponicaError):
+    """Raised on invalid scheduling requests (unknown scheme, empty plan...)."""
+
+
+class SpeculationError(JaponicaError):
+    """Raised when the TLS engine is driven through an illegal state."""
+
+
+class WorkloadError(JaponicaError):
+    """Raised by benchmark workloads on invalid parameters."""

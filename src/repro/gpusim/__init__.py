@@ -1,0 +1,17 @@
+"""Simulated GPU: device memory, warps, kernel launch engine."""
+
+from .device import GpuDevice, LaunchResult
+from .memory import DeviceAllocation, DeviceMemory, TransferStats
+from .warp import Warp, iter_warp_spans, partition_warps, warp_of
+
+__all__ = [
+    "DeviceAllocation",
+    "DeviceMemory",
+    "GpuDevice",
+    "LaunchResult",
+    "TransferStats",
+    "Warp",
+    "iter_warp_spans",
+    "partition_warps",
+    "warp_of",
+]

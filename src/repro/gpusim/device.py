@@ -1,0 +1,246 @@
+"""The simulated GPU device: kernel launches over warps of lanes.
+
+A launch executes the kernel IR once per iteration index ("the loop index
+is remapped to the CUDA thread ID").  Execution is *functional* — lanes
+really compute — and *metered* — dynamic work counts are converted to
+simulated kernel time by the cost model.  Three launch modes correspond
+to the three device-side execution styles in the paper:
+
+``buffered``
+    SE-phase style: per-lane write buffers + read/write logs
+    (:class:`SpeculativeBackend`).  Used by GPU-TLS, privatization, and
+    by DOALL execution (whose commit is trivially safe).
+``tracing``
+    Profiling instrumentation: direct writes plus a full address trace
+    (:class:`TracingBackend`) — but against a scratch copy of memory, as
+    the profiler must not perturb program state.
+``direct``
+    Straight execution; uses the vectorized fast path when the kernel is
+    straight-line.  Only safe for loops proven DOALL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import LaunchError
+from ..ir.instructions import IRFunction
+from ..ir.interpreter import (
+    ArrayStorage,
+    CompiledKernel,
+    Counts,
+    DirectBackend,
+    LaneSpecState,
+    SpeculativeBackend,
+    TracingBackend,
+)
+from ..ir.vectorizer import VectorizedKernel, can_vectorize
+from ..runtime.costmodel import CostModel
+from ..runtime.platform import GpuSpec
+from .memory import DeviceMemory
+from .warp import Warp, divergence_factor, partition_warps
+
+
+@dataclass
+class LaunchResult:
+    """Outcome of one kernel launch."""
+
+    counts: Counts
+    sim_time_s: float
+    n_threads: int
+    warps: list[Warp]
+    #: lock-step SIMD divergence penalty measured for this launch
+    divergence: float = 1.0
+    #: per-iteration speculative state (buffered mode only)
+    lanes: dict[int, LaneSpecState] = field(default_factory=dict)
+    #: per-iteration address traces (tracing mode only)
+    traces: dict[int, list] = field(default_factory=dict)
+    vectorized: bool = False
+
+
+class GpuDevice:
+    """One simulated GPU with its allocation table and launch engine."""
+
+    def __init__(self, spec: GpuSpec, cost: CostModel):
+        self.spec = spec
+        self.cost = cost
+        self.memory = DeviceMemory()
+        self._compiled: dict[int, CompiledKernel] = {}
+        self._vectorized: dict[int, VectorizedKernel] = {}
+
+    # -- kernel caches ---------------------------------------------------
+
+    def _kernel(self, fn: IRFunction) -> CompiledKernel:
+        key = id(fn)
+        if key not in self._compiled:
+            self._compiled[key] = CompiledKernel(fn)
+        return self._compiled[key]
+
+    def _vector_kernel(self, fn: IRFunction) -> VectorizedKernel:
+        key = id(fn)
+        if key not in self._vectorized:
+            self._vectorized[key] = VectorizedKernel(fn)
+        return self._vectorized[key]
+
+    # -- launches -------------------------------------------------------
+
+    def launch(
+        self,
+        fn: IRFunction,
+        indices: Sequence[int],
+        scalar_env: dict[str, object],
+        storage: ArrayStorage,
+        mode: str = "buffered",
+        coalescing: float = 1.0,
+        elem_bytes: float = 8.0,
+        check_allocations: bool = True,
+        block_size: Optional[int] = None,
+    ) -> LaunchResult:
+        """Execute ``fn`` for every index in ``indices`` as one kernel.
+
+        ``block_size`` is the CUDA threads-per-block of the launch (the
+        annotation's ``threads(n)`` clause); a block size that is not a
+        multiple of the warp size wastes the padding lanes of its last
+        warp, modelled as a compute inflation factor.
+        """
+        indices = list(indices)
+        if block_size is not None and block_size <= 0:
+            raise LaunchError(f"invalid block size {block_size}")
+        if check_allocations:
+            self._check_allocations(fn)
+        warps = partition_warps(indices, self.spec.warp_size)
+
+        if mode == "direct":
+            return self._launch_direct(
+                fn, indices, scalar_env, storage, warps, coalescing,
+                elem_bytes, mark_writes=check_allocations,
+                block_size=block_size,
+            )
+        if mode == "buffered":
+            backend = SpeculativeBackend(storage)
+        elif mode == "tracing":
+            backend = TracingBackend(storage)
+        else:
+            raise LaunchError(f"unknown launch mode {mode!r}")
+
+        kern = self._kernel(fn)
+        from ..ir.interpreter import C_TOTAL
+
+        per_lane: list[int] = []
+        for i in indices:
+            before = kern.counters[C_TOTAL]
+            kern.run_index(i, scalar_env, backend)
+            per_lane.append(kern.counters[C_TOTAL] - before)
+        counts = kern.take_counts()
+        div = divergence_factor(per_lane, self.spec.warp_size)
+        div *= self._block_padding(block_size)
+        sim_time = self.cost.gpu_kernel_time(
+            counts, len(indices), coalescing=coalescing,
+            elem_bytes=elem_bytes, divergence=div,
+        )
+        result = LaunchResult(counts, sim_time, len(indices), warps, divergence=div)
+        if mode == "buffered":
+            result.lanes = backend.lanes
+        else:
+            result.traces = backend.traces
+        if check_allocations:
+            self._mark_writes(fn)
+        return result
+
+    def _launch_direct(
+        self,
+        fn: IRFunction,
+        indices: list[int],
+        scalar_env: dict[str, object],
+        storage: ArrayStorage,
+        warps: list[Warp],
+        coalescing: float,
+        elem_bytes: float,
+        mark_writes: bool = True,
+        block_size: Optional[int] = None,
+    ) -> LaunchResult:
+        div = self._block_padding(block_size)
+        if can_vectorize(fn) and indices:
+            # straight-line bodies have uniform lanes: divergence = 1
+            counts = self._vector_kernel(fn).run_range(
+                storage, scalar_env, np.asarray(indices, dtype=np.int64)
+            )
+            vectorized = True
+        else:
+            from ..ir.interpreter import C_TOTAL
+
+            kern = self._kernel(fn)
+            backend = DirectBackend(storage)
+            per_lane: list[int] = []
+            for i in indices:
+                before = kern.counters[C_TOTAL]
+                kern.run_index(i, scalar_env, backend)
+                per_lane.append(kern.counters[C_TOTAL] - before)
+            counts = kern.take_counts()
+            div *= divergence_factor(per_lane, self.spec.warp_size)
+            vectorized = False
+        sim_time = self.cost.gpu_kernel_time(
+            counts, len(indices), coalescing=coalescing,
+            elem_bytes=elem_bytes, divergence=div,
+        )
+        if mark_writes:
+            self._mark_writes(fn)
+        return LaunchResult(
+            counts, sim_time, len(indices), warps, vectorized=vectorized,
+            divergence=div,
+        )
+
+    # -- helpers -----------------------------------------------------------
+
+    def _block_padding(self, block_size: Optional[int]) -> float:
+        """Compute inflation from a block size that pads its last warp."""
+        if block_size is None:
+            return 1.0
+        wsize = self.spec.warp_size
+        padded = -(-block_size // wsize) * wsize
+        return padded / block_size
+
+    def _check_allocations(self, fn: IRFunction) -> None:
+        written = _written_arrays(fn)
+        for arr in fn.arrays:
+            self.memory.require(arr.name, for_read=arr.name not in written)
+
+    def _mark_writes(self, fn: IRFunction) -> None:
+        for name in _written_arrays(fn):
+            self.memory.mark_written(name)
+
+    def commit_lanes(
+        self,
+        lanes: dict[int, LaneSpecState],
+        storage: ArrayStorage,
+        iterations: Sequence[int],
+    ) -> int:
+        """Commit buffered writes to memory in iteration order.
+
+        Returns the number of cells written.  Iteration-order commit makes
+        last-writer-wins match sequential semantics for overlapping writes
+        (the privatization copy-back rule).
+        """
+        written = 0
+        for i in sorted(iterations):
+            state = lanes.get(i)
+            if state is None:
+                continue
+            for (name, flat), value in state.buffer.items():
+                storage.write_flat(name, flat, value)
+                written += 1
+        return written
+
+
+def _written_arrays(fn: IRFunction) -> set[str]:
+    from ..ir.instructions import Opcode
+
+    return {
+        instr.array
+        for blk in fn.blocks
+        for instr in blk.instrs
+        if instr.op is Opcode.STORE
+    }

@@ -1,0 +1,134 @@
+"""Simulated device global memory.
+
+Tracks allocations, validity and transfer byte counts for the simulated
+GPU.  Functional array state lives in the host :class:`ArrayStorage`
+(kernels read host data through buffered backends and commit write sets
+back), but every kernel launch is checked against this allocation table —
+a kernel touching an array that was never ``copyin``'d or ``create``'d
+faults, exactly like dereferencing an unallocated device pointer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import MemoryFault
+
+
+@dataclass
+class DeviceAllocation:
+    """One device-resident array."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: np.dtype
+    #: True once host data has been copied in (reads are meaningful).
+    valid: bool = False
+    #: Fraction of the device copy that is out of date w.r.t. the host
+    #: (1.0 = all of it).  The sharing runtime's communication optimizer
+    #: transfers only the stale fraction on re-entry, which is how it
+    #: "removes cyclic communication" across repeated loop dispatches.
+    stale_fraction: float = 1.0
+
+    @property
+    def nbytes(self) -> int:
+        size = 1
+        for d in self.shape:
+            size *= d
+        return size * self.dtype.itemsize
+
+
+@dataclass
+class TransferStats:
+    """Accumulated host<->device traffic."""
+
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
+    h2d_count: int = 0
+    d2h_count: int = 0
+
+
+class DeviceMemory:
+    """Allocation table + transfer accounting for one simulated device."""
+
+    def __init__(self, capacity_bytes: int = 3 * 1024**3):
+        self.capacity_bytes = capacity_bytes
+        self.allocations: dict[str, DeviceAllocation] = {}
+        self.stats = TransferStats()
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(a.nbytes for a in self.allocations.values())
+
+    def alloc(self, name: str, shape: tuple[int, ...], dtype) -> DeviceAllocation:
+        """``create`` clause: allocate without copying."""
+        if name in self.allocations:
+            raise MemoryFault(f"array {name!r} already allocated on device")
+        allocation = DeviceAllocation(name, tuple(shape), np.dtype(dtype))
+        if self.allocated_bytes + allocation.nbytes > self.capacity_bytes:
+            raise MemoryFault(
+                f"device out of memory allocating {name!r} "
+                f"({allocation.nbytes} bytes)"
+            )
+        self.allocations[name] = allocation
+        return allocation
+
+    def free(self, name: str) -> None:
+        if name not in self.allocations:
+            raise MemoryFault(f"array {name!r} is not allocated on device")
+        del self.allocations[name]
+
+    def free_all(self) -> None:
+        self.allocations.clear()
+
+    def require(self, name: str, for_read: bool = True) -> DeviceAllocation:
+        """Fault unless ``name`` is allocated (and valid when read)."""
+        allocation = self.allocations.get(name)
+        if allocation is None:
+            raise MemoryFault(
+                f"kernel accesses array {name!r} which was never allocated "
+                f"on the device (missing copyin/create clause?)"
+            )
+        if for_read and not allocation.valid:
+            raise MemoryFault(
+                f"kernel reads array {name!r} before any copyin "
+                f"(device data is uninitialized)"
+            )
+        return allocation
+
+    # -- transfers -----------------------------------------------------------
+
+    def copyin(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        dtype,
+        nbytes: Optional[int] = None,
+    ) -> int:
+        """Host -> device copy; allocates on first touch. Returns bytes."""
+        allocation = self.allocations.get(name)
+        if allocation is None:
+            allocation = self.alloc(name, shape, dtype)
+        moved = allocation.nbytes if nbytes is None else nbytes
+        allocation.valid = True
+        self.stats.h2d_bytes += moved
+        self.stats.h2d_count += 1
+        return moved
+
+    def copyout(self, name: str, nbytes: Optional[int] = None) -> int:
+        """Device -> host copy. Returns bytes."""
+        allocation = self.require(name, for_read=False)
+        moved = allocation.nbytes if nbytes is None else nbytes
+        self.stats.d2h_bytes += moved
+        self.stats.d2h_count += 1
+        return moved
+
+    def mark_written(self, name: str) -> None:
+        """A kernel wrote this array; the device copy becomes the
+        authoritative version (valid, nothing stale)."""
+        allocation = self.require(name, for_read=False)
+        allocation.valid = True
+        allocation.stale_fraction = 0.0

@@ -1,0 +1,71 @@
+"""Warp organization: iteration indices -> warps of lock-step lanes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class Warp:
+    """A warp: up to ``warp_size`` consecutive iterations."""
+
+    id: int
+    indices: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    @property
+    def first(self) -> int:
+        return self.indices[0]
+
+    @property
+    def last(self) -> int:
+        return self.indices[-1]
+
+
+def partition_warps(
+    indices: Sequence[int], warp_size: int = 32
+) -> list[Warp]:
+    """Group an iteration list into warps of consecutive lanes."""
+    if warp_size <= 0:
+        raise ValueError("warp_size must be positive")
+    warps = []
+    for k in range(0, len(indices), warp_size):
+        warps.append(Warp(k // warp_size, tuple(indices[k : k + warp_size])))
+    return warps
+
+
+def warp_of(position: int, warp_size: int = 32) -> int:
+    """Warp id for a lane position within a launch."""
+    return position // warp_size
+
+
+def iter_warp_spans(
+    n: int, warp_size: int = 32
+) -> Iterator[tuple[int, int, int]]:
+    """Yield ``(warp_id, start, stop)`` lane-position spans for n lanes."""
+    for wid, start in enumerate(range(0, n, warp_size)):
+        yield wid, start, min(start + warp_size, n)
+
+
+def divergence_factor(
+    lane_instructions: Sequence[int], warp_size: int = 32
+) -> float:
+    """SIMD divergence penalty of a launch.
+
+    In lock-step execution a warp is busy for as long as its slowest
+    lane, so the issue slots charged are ``sum over warps of
+    (max lane count) * (lanes in warp)``; the factor is that total over
+    the useful work.  1.0 = perfectly uniform lanes; a warp whose lanes
+    execute wildly different instruction counts pays proportionally.
+    """
+    total = sum(lane_instructions)
+    if total <= 0:
+        return 1.0
+    charged = 0
+    for _wid, start, stop in iter_warp_spans(len(lane_instructions), warp_size):
+        lanes = lane_instructions[start:stop]
+        charged += max(lanes) * len(lanes)
+    return charged / total

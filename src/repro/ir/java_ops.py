@@ -1,0 +1,221 @@
+"""Exact Java numeric semantics for the scalar interpreter.
+
+The Crypt benchmark (IDEA cipher) depends on 32-bit wrap-around, truncating
+division and masked shift counts, so these are implemented precisely rather
+than delegated to Python's unbounded ints.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .instructions import JType
+
+_INT_MASK = 0xFFFFFFFF
+_LONG_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def wrap_int(value: int) -> int:
+    """Wrap to Java int (signed 32-bit two's complement)."""
+    value &= _INT_MASK
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+def wrap_long(value: int) -> int:
+    """Wrap to Java long (signed 64-bit two's complement)."""
+    value &= _LONG_MASK
+    return value - 0x10000000000000000 if value >= 0x8000000000000000 else value
+
+
+def _wrap(value: int, jtype: JType) -> int:
+    return wrap_int(value) if jtype is JType.INT else wrap_long(value)
+
+
+def java_div_int(a: int, b: int) -> int:
+    """Integer division truncating toward zero; raises on division by zero."""
+    if b == 0:
+        raise ZeroDivisionError("/ by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def java_rem_int(a: int, b: int) -> int:
+    """Remainder with the dividend's sign (Java ``%``)."""
+    if b == 0:
+        raise ZeroDivisionError("% by zero")
+    return a - java_div_int(a, b) * b
+
+
+def binop(op: str, a, b, jtype: JType):
+    """Apply a BIN operator at type ``jtype`` with Java semantics.
+
+    Comparison operators return Python bools; arithmetic returns a value of
+    ``jtype``.
+    """
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == ">":
+        return a > b
+    if op == ">=":
+        return a >= b
+    if op == "==":
+        return a == b
+    if op == "!=":
+        return a != b
+
+    if jtype is JType.BOOL:
+        if op == "&":
+            return bool(a) and bool(b)
+        if op == "|":
+            return bool(a) or bool(b)
+        if op == "^":
+            return bool(a) != bool(b)
+        raise ValueError(f"operator {op!r} not defined on boolean")
+
+    if jtype.is_floating:
+        if op == "+":
+            r = a + b
+        elif op == "-":
+            r = a - b
+        elif op == "*":
+            r = a * b
+        elif op == "/":
+            r = _fdiv(a, b)
+        elif op == "%":
+            r = math.fmod(a, b) if b != 0 else float("nan")
+        else:
+            raise ValueError(f"operator {op!r} not defined on floating types")
+        return _round_float(r) if jtype is JType.FLOAT else r
+
+    # Integral (int or long)
+    bits = 32 if jtype is JType.INT else 64
+    shift_mask = bits - 1
+    if op == "+":
+        return _wrap(a + b, jtype)
+    if op == "-":
+        return _wrap(a - b, jtype)
+    if op == "*":
+        return _wrap(a * b, jtype)
+    if op == "/":
+        return _wrap(java_div_int(a, b), jtype)
+    if op == "%":
+        return _wrap(java_rem_int(a, b), jtype)
+    if op == "<<":
+        return _wrap(a << (b & shift_mask), jtype)
+    if op == ">>":
+        return _wrap(a >> (b & shift_mask), jtype)
+    if op == ">>>":
+        mask = _INT_MASK if jtype is JType.INT else _LONG_MASK
+        return _wrap((a & mask) >> (b & shift_mask), jtype)
+    if op == "&":
+        return _wrap(a & b, jtype)
+    if op == "|":
+        return _wrap(a | b, jtype)
+    if op == "^":
+        return _wrap(a ^ b, jtype)
+    raise ValueError(f"unknown operator {op!r}")
+
+
+def _fdiv(a: float, b: float) -> float:
+    if b == 0.0:
+        if a == 0.0 or math.isnan(a):
+            return float("nan")
+        sign = math.copysign(1.0, a) * math.copysign(1.0, b)
+        return sign * float("inf")
+    return a / b
+
+
+def unop(op: str, a, jtype: JType):
+    """Apply a UN operator with Java semantics."""
+    if op == "-":
+        if jtype.is_floating:
+            return -a
+        return _wrap(-a, jtype)
+    if op == "!":
+        return not a
+    if op == "~":
+        return _wrap(~a, jtype)
+    raise ValueError(f"unknown unary operator {op!r}")
+
+
+def cast(value, src: JType, dst: JType):
+    """Java primitive conversion from ``src`` to ``dst``."""
+    if dst is JType.BOOL:
+        return bool(value)
+    if dst in (JType.INT, JType.LONG):
+        if src.is_floating:
+            if math.isnan(value):
+                return 0
+            bound = 0x7FFFFFFF if dst is JType.INT else 0x7FFFFFFFFFFFFFFF
+            if value >= bound:
+                return bound
+            if value <= -bound - 1:
+                return -bound - 1
+            return _wrap(int(value), dst)
+        return _wrap(int(value), dst)
+    # floating destination
+    result = float(value)
+    return _round_float(result) if dst is JType.FLOAT else result
+
+
+def _round_float(value: float) -> float:
+    """Round a double to the nearest representable IEEE-754 binary32."""
+    import struct
+
+    try:
+        return struct.unpack("f", struct.pack("f", value))[0]
+    except (OverflowError, ValueError):  # pragma: no cover - inf handling
+        return math.copysign(float("inf"), value)
+
+
+def intrinsic(name: str, args, jtype: JType):
+    """Evaluate a ``Math.*`` intrinsic."""
+    fns = {
+        "Math.sqrt": lambda x: math.sqrt(x) if x >= 0 else float("nan"),
+        "Math.exp": _safe_exp,
+        "Math.log": lambda x: math.log(x) if x > 0 else (
+            float("-inf") if x == 0 else float("nan")
+        ),
+        "Math.pow": _safe_pow,
+        "Math.abs": abs,
+        "Math.min": min,
+        "Math.max": max,
+        "Math.floor": math.floor,
+        "Math.ceil": math.ceil,
+        "Math.sin": math.sin,
+        "Math.cos": math.cos,
+        "Math.tan": math.tan,
+    }
+    result = fns[name](*args)
+    if jtype is JType.FLOAT:
+        return _round_float(float(result))
+    if jtype is JType.DOUBLE:
+        return float(result)
+    return _wrap(int(result), jtype)
+
+
+def _safe_exp(x: float) -> float:
+    try:
+        return math.exp(x)
+    except OverflowError:
+        return float("inf")
+
+
+def _safe_pow(x: float, y: float) -> float:
+    try:
+        return math.pow(x, y)
+    except (OverflowError, ValueError):
+        if x < 0:
+            return float("nan")
+        return float("inf")
+
+
+def default_value(jtype: JType):
+    """Java default field value for a type (0 / 0.0 / false)."""
+    if jtype is JType.BOOL:
+        return False
+    if jtype.is_floating:
+        return 0.0
+    return 0

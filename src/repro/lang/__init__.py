@@ -1,0 +1,34 @@
+"""Mini-Java frontend: lexer, parser, AST, and acc annotations."""
+
+from . import ast_nodes
+from .annotations import Annotation, ArraySection, parse_annotation
+from .ast_nodes import ClassDecl, For, Method, annotated_loops, find_loops, walk
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse_program
+from .pretty import fmt_class, fmt_expr, fmt_method, fmt_stmt, format_annotation
+from .tokens import Pos, TokKind, Token
+
+__all__ = [
+    "Annotation",
+    "ArraySection",
+    "ClassDecl",
+    "For",
+    "Lexer",
+    "Method",
+    "Parser",
+    "Pos",
+    "TokKind",
+    "Token",
+    "annotated_loops",
+    "ast_nodes",
+    "find_loops",
+    "fmt_class",
+    "fmt_expr",
+    "fmt_method",
+    "fmt_stmt",
+    "format_annotation",
+    "parse_annotation",
+    "parse_program",
+    "tokenize",
+    "walk",
+]

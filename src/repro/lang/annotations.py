@@ -1,0 +1,317 @@
+"""Parsing of ``/* acc ... */`` loop directives (Table I of the paper).
+
+The directive format is::
+
+    /* acc parallel [clause [, clause] ...] */
+
+with the clause set:
+
+``parallel``
+    start parallel execution on the heterogeneous platform;
+``private(list)``
+    one copy of each listed variable per execution element;
+``copyin(list)`` / ``copyout(list)`` / ``create(list)``
+    device allocation and host<->device movement directions, where each
+    list element is either a bare name or an array section ``arr[low:high]``
+    whose bounds are integer expressions over loop-invariant scalars;
+``threads(n)``
+    number of device threads to use;
+``scheme(s)``
+    task scheduling scheme, ``sharing`` (default) or ``stealing``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from ..errors import AnnotationError
+from .tokens import Pos, TokKind
+
+SCHEMES = ("sharing", "stealing")
+
+
+@dataclass
+class ArraySection:
+    """A data clause operand: a bare variable or ``name[low:high]``.
+
+    ``low``/``high`` are mini-Java expressions (see :mod:`repro.lang.parser`)
+    evaluated against the host scalar environment when the loop is entered;
+    ``None`` bounds mean "the whole array".  Following the paper's
+    ``copyin(arr[1:1024])`` example, the section covers indices
+    ``low .. high`` inclusive of ``low`` and exclusive of ``high + 1`` —
+    i.e. elements ``arr[low]`` through ``arr[high]``.
+    """
+
+    name: str
+    low: Optional[object] = None  # lang.ast_nodes.Expr
+    high: Optional[object] = None  # lang.ast_nodes.Expr
+
+    @property
+    def whole(self) -> bool:
+        """True when no explicit bounds were given."""
+        return self.low is None and self.high is None
+
+    def bounds(self, env: Mapping[str, int]) -> Optional[tuple[int, int]]:
+        """Evaluate ``(low, high_inclusive)`` against ``env``; None if whole."""
+        if self.whole:
+            return None
+        return (_eval_int(self.low, env), _eval_int(self.high, env))
+
+
+@dataclass
+class Annotation:
+    """A parsed acc directive attached to one ``for`` loop."""
+
+    pos: Pos
+    parallel: bool = False
+    private: list[str] = field(default_factory=list)
+    copyin: list[ArraySection] = field(default_factory=list)
+    copyout: list[ArraySection] = field(default_factory=list)
+    create: list[ArraySection] = field(default_factory=list)
+    threads: Optional[int] = None
+    scheme: str = "sharing"
+    scheme_explicit: bool = False
+
+    def sections(self) -> list[tuple[str, ArraySection]]:
+        """All data-clause sections as ``(direction, section)`` pairs."""
+        out: list[tuple[str, ArraySection]] = []
+        out.extend(("copyin", s) for s in self.copyin)
+        out.extend(("copyout", s) for s in self.copyout)
+        out.extend(("create", s) for s in self.create)
+        return out
+
+
+def _eval_int(expr, env: Mapping[str, int]) -> int:
+    """Evaluate an annotation bound expression to an int."""
+    from . import ast_nodes as A
+
+    if isinstance(expr, A.IntLit):
+        return expr.value
+    if isinstance(expr, A.LongLit):
+        return expr.value
+    if isinstance(expr, A.VarRef):
+        try:
+            return int(env[expr.name])
+        except KeyError:
+            raise AnnotationError(
+                f"annotation bound refers to unknown scalar {expr.name!r}"
+            ) from None
+    if isinstance(expr, A.Unary) and expr.op == "-":
+        return -_eval_int(expr.operand, env)
+    if isinstance(expr, A.Binary):
+        left = _eval_int(expr.left, env)
+        right = _eval_int(expr.right, env)
+        ops = {
+            "+": lambda a, b: a + b,
+            "-": lambda a, b: a - b,
+            "*": lambda a, b: a * b,
+            "/": lambda a, b: _java_div(a, b),
+            "%": lambda a, b: _java_rem(a, b),
+        }
+        if expr.op not in ops:
+            raise AnnotationError(
+                f"operator {expr.op!r} not allowed in annotation bounds"
+            )
+        return ops[expr.op](left, right)
+    raise AnnotationError(
+        f"unsupported expression in annotation bound: {type(expr).__name__}"
+    )
+
+
+def _java_div(a: int, b: int) -> int:
+    """Integer division truncating toward zero (Java semantics)."""
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _java_rem(a: int, b: int) -> int:
+    """Remainder with the sign of the dividend (Java semantics)."""
+    return a - _java_div(a, b) * b
+
+
+def parse_annotation(text: str, pos: Pos) -> Annotation:
+    """Parse the payload of an ``/* acc ... */`` comment.
+
+    ``text`` is the comment body with the surrounding ``/*`` ``*/`` already
+    stripped, starting with the word ``acc``.
+    """
+    from .lexer import tokenize
+    from .parser import Parser
+
+    body = text.strip()
+    if body == "acc" or body == "acc ":
+        raise AnnotationError(f"empty acc directive at {pos}")
+    payload = body[len("acc") :].strip()
+
+    try:
+        toks = tokenize(payload)
+    except Exception as exc:
+        raise AnnotationError(f"cannot lex acc directive at {pos}: {exc}") from exc
+
+    ann = Annotation(pos=pos)
+    i = 0
+
+    def peek(k: int = 0):
+        return toks[min(i + k, len(toks) - 1)]
+
+    seen: set[str] = set()
+    while peek().kind is not TokKind.EOF:
+        tok = peek()
+        if tok.kind is TokKind.COMMA:
+            i += 1
+            continue
+        if tok.kind not in (TokKind.IDENT, TokKind.KEYWORD):
+            raise AnnotationError(
+                f"expected clause name in acc directive at {pos}, "
+                f"found {tok.value!r}"
+            )
+        name = str(tok.value)
+        i += 1
+        if name in seen and name != "private":
+            raise AnnotationError(f"duplicate clause {name!r} in acc directive")
+        seen.add(name)
+
+        if name == "parallel":
+            ann.parallel = True
+            continue
+
+        if peek().kind is not TokKind.LPAREN:
+            raise AnnotationError(f"clause {name!r} requires a parenthesized list")
+        # Collect the argument token span up to the matching ')'.
+        depth = 0
+        start = i
+        while True:
+            t = peek()
+            if t.kind is TokKind.EOF:
+                raise AnnotationError(f"unterminated clause {name!r} at {pos}")
+            if t.kind is TokKind.LPAREN:
+                depth += 1
+            elif t.kind is TokKind.RPAREN:
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        arg_toks = toks[start + 1 : i]
+        i += 1  # consume ')'
+
+        if name == "private":
+            ann.private.extend(_parse_name_list(arg_toks, pos))
+        elif name in ("copyin", "copyout", "create"):
+            sections = _parse_sections(arg_toks, pos)
+            getattr(ann, name).extend(sections)
+        elif name == "threads":
+            value = _parse_single_int(arg_toks, pos, "threads")
+            if value <= 0:
+                raise AnnotationError(f"threads({value}) must be positive")
+            ann.threads = value
+        elif name == "scheme":
+            scheme = _parse_single_name(arg_toks, pos, "scheme")
+            if scheme not in SCHEMES:
+                raise AnnotationError(
+                    f"unknown scheme {scheme!r}; expected one of {SCHEMES}"
+                )
+            ann.scheme = scheme
+            ann.scheme_explicit = True
+        else:
+            raise AnnotationError(f"unknown acc clause {name!r} at {pos}")
+
+    if not ann.parallel:
+        raise AnnotationError(f"acc directive at {pos} is missing 'parallel'")
+    return ann
+
+
+def _split_commas(toks, pos: Pos) -> list[list]:
+    """Split a token span on top-level commas."""
+    groups: list[list] = [[]]
+    depth = 0
+    for t in toks:
+        if t.kind is TokKind.LPAREN or t.kind is TokKind.LBRACKET:
+            depth += 1
+        elif t.kind is TokKind.RPAREN or t.kind is TokKind.RBRACKET:
+            depth -= 1
+        if t.kind is TokKind.COMMA and depth == 0:
+            groups.append([])
+        else:
+            groups[-1].append(t)
+    if any(not g for g in groups):
+        raise AnnotationError(f"empty list element in acc directive at {pos}")
+    return groups
+
+
+def _parse_name_list(toks, pos: Pos) -> list[str]:
+    names = []
+    for group in _split_commas(toks, pos):
+        if len(group) != 1 or group[0].kind is not TokKind.IDENT:
+            raise AnnotationError(f"expected a variable name at {pos}")
+        names.append(str(group[0].value))
+    return names
+
+
+def _parse_sections(toks, pos: Pos) -> list[ArraySection]:
+    from .lexer import tokenize
+    from .parser import Parser
+    from .tokens import Token
+
+    sections = []
+    for group in _split_commas(toks, pos):
+        if group[0].kind is not TokKind.IDENT:
+            raise AnnotationError(f"expected array name at {pos}")
+        name = str(group[0].value)
+        if len(group) == 1:
+            sections.append(ArraySection(name))
+            continue
+        if (
+            group[1].kind is not TokKind.LBRACKET
+            or group[-1].kind is not TokKind.RBRACKET
+        ):
+            raise AnnotationError(
+                f"malformed array section for {name!r} at {pos}; "
+                f"expected {name}[low:high]"
+            )
+        inner = group[2:-1]
+        colon_at = None
+        depth = 0
+        for k, t in enumerate(inner):
+            if t.kind in (TokKind.LPAREN, TokKind.LBRACKET):
+                depth += 1
+            elif t.kind in (TokKind.RPAREN, TokKind.RBRACKET):
+                depth -= 1
+            elif t.kind is TokKind.COLON and depth == 0:
+                colon_at = k
+                break
+        if colon_at is None:
+            raise AnnotationError(
+                f"array section for {name!r} at {pos} needs a ':' "
+                f"separating low and high"
+            )
+        low = _parse_expr_span(inner[:colon_at], pos)
+        high = _parse_expr_span(inner[colon_at + 1 :], pos)
+        sections.append(ArraySection(name, low, high))
+    return sections
+
+
+def _parse_expr_span(toks, pos: Pos):
+    from .parser import Parser
+    from .tokens import Token
+
+    if not toks:
+        raise AnnotationError(f"missing bound in array section at {pos}")
+    span = list(toks) + [Token(TokKind.EOF, None, pos)]
+    parser = Parser(span)
+    expr = parser._expr()
+    if parser._peek().kind is not TokKind.EOF:
+        raise AnnotationError(f"trailing tokens in array-section bound at {pos}")
+    return expr
+
+
+def _parse_single_int(toks, pos: Pos, clause: str) -> int:
+    if len(toks) != 1 or toks[0].kind is not TokKind.INT_LIT:
+        raise AnnotationError(f"{clause}(...) expects one integer literal at {pos}")
+    return int(toks[0].value)
+
+
+def _parse_single_name(toks, pos: Pos, clause: str) -> str:
+    if len(toks) != 1 or toks[0].kind is not TokKind.IDENT:
+        raise AnnotationError(f"{clause}(...) expects one identifier at {pos}")
+    return str(toks[0].value)

@@ -1,0 +1,8 @@
+"""Program dependence graph over loop tasks."""
+
+from .builder import build_pdg
+from .export import to_dot
+from .graph import PdgNode, ProgramDependenceGraph
+from .toposort import JobPool
+
+__all__ = ["JobPool", "PdgNode", "ProgramDependenceGraph", "build_pdg", "to_dot"]

@@ -1,0 +1,45 @@
+"""Build the PDG from the static analyses of a loop sequence."""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from ..analysis.classify import LoopAnalysis
+from .graph import ProgramDependenceGraph
+
+
+def build_pdg(
+    analyses: Sequence[tuple[Hashable, LoopAnalysis]],
+) -> ProgramDependenceGraph:
+    """PDG over loops given in program order.
+
+    Edge kinds between an earlier loop A and a later loop B:
+
+    * ``flow``   — A writes an array B reads,
+    * ``output`` — A and B write a common array,
+    * ``anti``   — A reads an array B writes.
+
+    All three kinds order the tasks (the scheduler only needs a safe
+    partial order, and arrays are shared state).
+    """
+    pdg = ProgramDependenceGraph()
+    infos: list[tuple[Hashable, set[str], set[str]]] = []
+    for task_id, analysis in analyses:
+        reads = analysis.arrays_read()
+        writes = analysis.arrays_written()
+        pdg.add_task(task_id, reads, writes, label=str(task_id))
+        infos.append((task_id, reads, writes))
+
+    for i, (a_id, a_reads, a_writes) in enumerate(infos):
+        for b_id, b_reads, b_writes in infos[i + 1 :]:
+            kinds = []
+            if a_writes & b_reads:
+                kinds.append("flow")
+            if a_writes & b_writes:
+                kinds.append("output")
+            if a_reads & b_writes:
+                kinds.append("anti")
+            if kinds:
+                pdg.add_edge(a_id, b_id, "+".join(kinds))
+    pdg.check_acyclic()
+    return pdg

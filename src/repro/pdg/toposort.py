@@ -1,0 +1,50 @@
+"""Topological batch extraction for the task-stealing scheduler.
+
+Algorithm 1 line 3: ``taskSet <- getTasks(jobPool)`` — the scheduler
+repeatedly takes a maximal batch of data-independent tasks (all of whose
+dependencies are already done) from the job pool.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from ..errors import SchedulerError
+from .graph import ProgramDependenceGraph
+
+
+class JobPool:
+    """Mutable pool view over a PDG supporting incremental batch pulls."""
+
+    def __init__(self, pdg: ProgramDependenceGraph):
+        self.pdg = pdg
+        self._remaining: set[Hashable] = set(pdg.task_ids)
+        self._done: set[Hashable] = set()
+
+    def __bool__(self) -> bool:
+        return bool(self._remaining)
+
+    @property
+    def remaining(self) -> set[Hashable]:
+        return set(self._remaining)
+
+    def get_tasks(self) -> list[Hashable]:
+        """Next batch: remaining tasks whose dependencies are all done."""
+        batch = [
+            t
+            for t in self._remaining
+            if self.pdg.dependencies_of(t) <= self._done
+        ]
+        if not batch and self._remaining:
+            raise SchedulerError(
+                "job pool deadlock: no runnable tasks "
+                f"(remaining: {sorted(map(str, self._remaining))})"
+            )
+        return sorted(batch, key=str)
+
+    def mark_done(self, tasks: Iterable[Hashable]) -> None:
+        for t in tasks:
+            if t not in self._remaining:
+                raise SchedulerError(f"task {t!r} not pending")
+            self._remaining.discard(t)
+            self._done.add(t)

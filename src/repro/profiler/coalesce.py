@@ -1,0 +1,58 @@
+"""Dynamic memory-coalescing estimation from profiled address streams.
+
+For each memory-op slot (the lane-local op timestamp, which under
+lock-step SIMD is the warp-wide issue slot), adjacent lanes of a warp
+access addresses whose deltas determine how many memory transactions the
+warp needs: unit stride (or broadcast) coalesces into one transaction;
+scattered accesses serialize.  The estimate scales the GPU's effective
+memory bandwidth in the cost model.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Mapping, Sequence
+
+from ..ir.interpreter import LaneSpecState
+
+
+def estimate_coalescing(
+    lanes: Mapping[int, LaneSpecState],
+    iteration_order: Sequence[int],
+    warp_size: int = 32,
+    floor: float = 0.1,
+) -> float:
+    """Fraction in (0, 1]: 1.0 = perfectly coalesced accesses.
+
+    Computed as the fraction of adjacent-lane address pairs (same warp,
+    same op slot, same array) whose flat-address delta is 0 (broadcast)
+    or ±1 (unit stride).  Kernels with no comparable pairs default to 1.0.
+    """
+    # (warp, op, array) -> {lane_position: flat}
+    slots: dict[tuple[int, int, str], dict[int, int]] = defaultdict(dict)
+    for pos, it in enumerate(iteration_order):
+        state = lanes.get(it)
+        if state is None:
+            continue
+        warp = pos // warp_size
+        for rec in state.reads:
+            slots[(warp, rec.op, rec.array)][pos] = rec.flat
+        for rec in state.writes:
+            slots[(warp, rec.op, rec.array)][pos] = rec.flat
+
+    good = 0
+    total = 0
+    for mapping in slots.values():
+        if len(mapping) < 2:
+            continue
+        positions = sorted(mapping)
+        for a, b in zip(positions, positions[1:]):
+            if b != a + 1:
+                continue  # only adjacent lanes are coalescing-relevant
+            total += 1
+            delta = abs(mapping[b] - mapping[a])
+            if delta <= 1:
+                good += 1
+    if total == 0:
+        return 1.0
+    return max(floor, good / total)

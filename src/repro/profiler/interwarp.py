@@ -1,0 +1,43 @@
+"""Inter-warp analysis: TD reachability across warps.
+
+Used by the mode-B (GPU-TLS) recovery path: after a violation in warp
+``w*``, the scheduler asks whether the *following* warps contain true
+dependencies according to the profile; if not, it relaunches the kernel
+on the GPU from ``w*``, otherwise those warps run sequentially on the CPU
+first (paper §V-A).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .report import DependencyProfile
+
+
+def warps_with_td(profile: DependencyProfile) -> set[int]:
+    """Warp ids (by lane position) containing at least one TD target."""
+    return set(profile.td_warps)
+
+
+def next_warps_clear(
+    profile: DependencyProfile,
+    from_warp: int,
+    lookahead: int,
+) -> bool:
+    """True when warps ``from_warp .. from_warp+lookahead-1`` have no TD.
+
+    ``lookahead`` is the "following several warps" window the paper's
+    scheduler inspects before handing control back to the GPU.
+    """
+    window = range(from_warp, from_warp + max(lookahead, 1))
+    return not any(w in profile.td_warps for w in window)
+
+
+def td_free_prefix(profile: DependencyProfile, warps: Iterable[int]) -> int:
+    """Length of the leading run of TD-free warps in ``warps``."""
+    count = 0
+    for w in warps:
+        if w in profile.td_warps:
+            break
+        count += 1
+    return count

@@ -1,0 +1,20 @@
+"""Intra-warp dependence classification.
+
+Within a warp, lanes execute in lock-step SIMD, so the profiler separates
+dependencies whose endpoints share a warp from those crossing warps: the
+mode-B recovery logic restarts execution at warp granularity, and the
+GPU-TLS dependency-checking phase organizes its metadata scans the same
+way.
+"""
+
+from __future__ import annotations
+
+
+def classify_same_warp(pos_a: int, pos_b: int, warp_size: int = 32) -> bool:
+    """True when lane positions ``pos_a`` and ``pos_b`` share a warp."""
+    return pos_a // warp_size == pos_b // warp_size
+
+
+def warp_span(warp_id: int, warp_size: int = 32) -> tuple[int, int]:
+    """Lane-position span [start, stop) of a warp."""
+    return warp_id * warp_size, (warp_id + 1) * warp_size

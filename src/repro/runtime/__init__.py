@@ -1,0 +1,32 @@
+"""Runtime substrate: platform model, simulated clock, cost model."""
+
+from .clock import LANE_CPU, LANE_DMA, LANE_GPU, Event, Timeline
+from .costmodel import CostModel, TransferRequest, weighted_ops
+from .platform import (
+    CpuSpec,
+    GpuSpec,
+    InterconnectSpec,
+    Platform,
+    paper_platform,
+    symmetric_platform,
+)
+from .result import ExecutionResult, verify_same_results
+
+__all__ = [
+    "CostModel",
+    "CpuSpec",
+    "Event",
+    "ExecutionResult",
+    "GpuSpec",
+    "InterconnectSpec",
+    "LANE_CPU",
+    "LANE_DMA",
+    "LANE_GPU",
+    "Platform",
+    "Timeline",
+    "TransferRequest",
+    "paper_platform",
+    "symmetric_platform",
+    "verify_same_results",
+    "weighted_ops",
+]

@@ -1,0 +1,91 @@
+"""Discrete-event timeline for simulated wall-clock accounting.
+
+Execution plans are composed of operations on resource *lanes* (the GPU
+compute engine, the DMA engine, the CPU thread pool).  An operation starts
+when its lane is free **and** all its dependencies have finished; the
+timeline's makespan is the simulated wall-clock time of the plan.  This is
+how the model captures the paper's key scheduling effects: asynchronous
+pre-fetch overlapping kernel execution, serialized cyclic transfers, and
+CPU/GPU sides finishing at different times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+# Conventional lane names.
+LANE_GPU = "gpu"
+LANE_DMA = "dma"
+LANE_CPU = "cpu"
+
+
+@dataclass(frozen=True)
+class Event:
+    """A completed scheduling decision: [start, end) on a lane."""
+
+    id: int
+    lane: str
+    start: float
+    end: float
+    label: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    """Tracks per-lane availability and records scheduled events."""
+
+    events: list[Event] = field(default_factory=list)
+    _lane_free: dict[str, float] = field(default_factory=dict)
+    _next_id: int = 0
+
+    def schedule(
+        self,
+        lane: str,
+        duration: float,
+        after: Iterable[Event] = (),
+        label: str = "",
+        not_before: float = 0.0,
+    ) -> Event:
+        """Append an operation to ``lane``.
+
+        The operation starts at the latest of: the lane's free time, the
+        end of every event in ``after``, and ``not_before``.
+        """
+        if duration < 0:
+            raise ValueError(f"negative duration {duration} for {label!r}")
+        deps = tuple(after)
+        start = max(
+            self._lane_free.get(lane, 0.0),
+            not_before,
+            *(e.end for e in deps),
+        )
+        event = Event(self._next_id, lane, start, start + duration, label)
+        self._next_id += 1
+        self._lane_free[lane] = event.end
+        self.events.append(event)
+        return event
+
+    def barrier(self, lanes: Optional[Iterable[str]] = None) -> float:
+        """Time when all (or the given) lanes become idle."""
+        if lanes is None:
+            values = self._lane_free.values()
+        else:
+            values = [self._lane_free.get(lane, 0.0) for lane in lanes]
+        return max(values, default=0.0)
+
+    @property
+    def makespan(self) -> float:
+        """End time of the latest event."""
+        return max((e.end for e in self.events), default=0.0)
+
+    def lane_busy(self, lane: str) -> float:
+        """Total busy time accumulated on a lane."""
+        return sum(e.duration for e in self.events if e.lane == lane)
+
+    def lane_events(self, lane: str) -> list[Event]:
+        return [e for e in self.events if e.lane == lane]

@@ -1,0 +1,322 @@
+"""Host-side AST interpreter.
+
+The dual executable keeps all non-annotated code on the host JVM: driver
+loops, convergence checks, scalar bookkeeping.  This evaluator executes
+that glue directly over the host array storage with Java numeric
+semantics, and hands every annotated ``for`` loop to a dispatch hook (the
+strategy executor installed by the API layer).
+
+It is also the fallback executor for annotated loops that cannot be
+lowered to kernels (scalar live-outs): mode C runs them here
+sequentially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional
+
+from ..errors import JaponicaError, TypeCheckError
+from ..ir import java_ops
+from ..ir.instructions import INTRINSICS, JType, jtype_of_prim
+from ..ir.interpreter import ArrayStorage, Counts
+from ..ir.lower import promote
+from ..lang import ast_nodes as A
+
+#: Dispatch hook: (loop, stmts_after_in_block) -> number of extra
+#: statements consumed (for batching consecutive annotated loops).
+LoopDispatch = Callable[[A.For, list[A.Stmt]], int]
+
+
+@dataclass
+class HostCost:
+    """Work executed on the host (charged as serial CPU time)."""
+
+    ops: int = 0
+
+    def as_counts(self) -> Counts:
+        return Counts(int_ops=self.ops, instructions=self.ops)
+
+
+class HostEvaluator:
+    """Executes mini-Java statements against host state."""
+
+    def __init__(
+        self,
+        types: Mapping[str, A.Type],
+        storage: ArrayStorage,
+        scalars: dict[str, object],
+        dispatch: Optional[LoopDispatch] = None,
+    ):
+        self.types = dict(types)
+        self.storage = storage
+        self.scalars = scalars
+        self.dispatch = dispatch
+        self.cost = HostCost()
+
+    # -- types ----------------------------------------------------------
+
+    def _scalar_type(self, name: str) -> JType:
+        t = self.types.get(name)
+        if t is None or isinstance(t, A.ArrayType):
+            raise JaponicaError(f"{name!r} is not a host scalar")
+        return jtype_of_prim(t.name)
+
+    def _elem_type(self, name: str) -> JType:
+        t = self.types.get(name)
+        if not isinstance(t, A.ArrayType):
+            raise JaponicaError(f"{name!r} is not an array")
+        return jtype_of_prim(t.elem.name)
+
+    # -- expressions ------------------------------------------------------
+
+    def eval(self, e: A.Expr) -> tuple[object, JType]:
+        """Evaluate an expression; returns (value, type)."""
+        self.cost.ops += 1
+        if isinstance(e, A.IntLit):
+            return java_ops.wrap_int(e.value), JType.INT
+        if isinstance(e, A.LongLit):
+            return java_ops.wrap_long(e.value), JType.LONG
+        if isinstance(e, A.DoubleLit):
+            return float(e.value), JType.DOUBLE
+        if isinstance(e, A.FloatLit):
+            return java_ops.cast(e.value, JType.DOUBLE, JType.FLOAT), JType.FLOAT
+        if isinstance(e, A.BoolLit):
+            return bool(e.value), JType.BOOL
+        if isinstance(e, A.VarRef):
+            if e.name not in self.scalars:
+                raise JaponicaError(f"unbound host scalar {e.name!r}")
+            return self.scalars[e.name], self._scalar_type(e.name)
+        if isinstance(e, A.Length):
+            shape = self.storage.shapes[e.array.name]
+            return int(shape[e.axis]), JType.INT
+        if isinstance(e, A.ArrayRef):
+            idx = tuple(self._eval_index(ix) for ix in e.indices)
+            flat = self.storage.flat(e.base.name, idx)
+            return (
+                self.storage.read_flat(e.base.name, flat),
+                self._elem_type(e.base.name),
+            )
+        if isinstance(e, A.Cast):
+            value, vt = self.eval(e.operand)
+            to = jtype_of_prim(e.target.name)
+            return java_ops.cast(value, vt, to), to
+        if isinstance(e, A.Unary):
+            value, vt = self.eval(e.operand)
+            if e.op == "!":
+                return (not value), JType.BOOL
+            return java_ops.unop(e.op, value, vt), vt
+        if isinstance(e, A.Binary):
+            return self._binary(e)
+        if isinstance(e, A.Ternary):
+            cond, ct = self.eval(e.cond)
+            if ct is not JType.BOOL:
+                raise TypeCheckError(f"?: needs a boolean at {e.pos}")
+            return self.eval(e.then if cond else e.other)
+        if isinstance(e, A.Call):
+            if e.name not in INTRINSICS:
+                raise JaponicaError(f"unknown intrinsic {e.name!r}")
+            args = [self.eval(a) for a in e.args]
+            if e.name in ("Math.abs", "Math.min", "Math.max"):
+                out = args[0][1]
+                for _, t in args[1:]:
+                    out = promote(out, t)
+            else:
+                out = JType.DOUBLE
+            values = [
+                java_ops.cast(v, t, out if out.is_floating else t)
+                for v, t in args
+            ]
+            return java_ops.intrinsic(e.name, values, out), out
+        raise JaponicaError(f"cannot evaluate {type(e).__name__} on the host")
+
+    def _eval_index(self, e: A.Expr) -> int:
+        value, vt = self.eval(e)
+        if vt is JType.BOOL or vt.is_floating:
+            raise TypeCheckError("array index must be integral")
+        return int(value)
+
+    def _binary(self, e: A.Binary) -> tuple[object, JType]:
+        if e.op == "&&":
+            a, _ = self.eval(e.left)
+            if not a:
+                return False, JType.BOOL
+            b, _ = self.eval(e.right)
+            return bool(b), JType.BOOL
+        if e.op == "||":
+            a, _ = self.eval(e.left)
+            if a:
+                return True, JType.BOOL
+            b, _ = self.eval(e.right)
+            return bool(b), JType.BOOL
+        a, at = self.eval(e.left)
+        b, bt = self.eval(e.right)
+        if e.op in ("<", "<=", ">", ">=", "==", "!="):
+            common = at if at is JType.BOOL else promote(at, bt)
+            return java_ops.binop(e.op, a, b, common), JType.BOOL
+        if at is JType.BOOL and bt is JType.BOOL:
+            return java_ops.binop(e.op, a, b, JType.BOOL), JType.BOOL
+        if e.op in ("<<", ">>", ">>>"):
+            return java_ops.binop(e.op, a, int(b), at), at
+        common = promote(at, bt)
+        a = java_ops.cast(a, at, common)
+        b = java_ops.cast(b, bt, common)
+        return java_ops.binop(e.op, a, b, common), common
+
+    # -- statements -------------------------------------------------------
+
+    def exec_block_stmts(self, stmts: list[A.Stmt]) -> None:
+        k = 0
+        while k < len(stmts):
+            s = stmts[k]
+            if (
+                isinstance(s, A.For)
+                and s.annotation is not None
+                and self.dispatch is not None
+            ):
+                consumed = self.dispatch(s, stmts[k + 1 :])
+                k += 1 + consumed
+                continue
+            self.exec_stmt(s)
+            k += 1
+
+    def exec_stmt(self, s: A.Stmt) -> None:
+        self.cost.ops += 1
+        if isinstance(s, A.Block):
+            self.exec_block_stmts(s.stmts)
+            return
+        if isinstance(s, A.VarDecl):
+            if isinstance(s.type, A.ArrayType):
+                raise JaponicaError(
+                    f"host array declarations are not supported at {s.pos}; "
+                    f"pass arrays as method parameters"
+                )
+            self.types[s.name] = s.type
+            jt = jtype_of_prim(s.type.name)
+            if s.init is not None:
+                value, vt = self.eval(s.init)
+                self.scalars[s.name] = java_ops.cast(value, vt, jt)
+            else:
+                self.scalars[s.name] = java_ops.default_value(jt)
+            return
+        if isinstance(s, A.Assign):
+            self._assign(s)
+            return
+        if isinstance(s, A.IncDec):
+            one = A.IntLit(s.pos, 1)
+            self._assign(
+                A.Assign(s.pos, s.target, "+" if s.op == "++" else "-", one)
+            )
+            return
+        if isinstance(s, A.ExprStmt):
+            self.eval(s.expr)
+            return
+        if isinstance(s, A.If):
+            cond, _ = self.eval(s.cond)
+            if cond:
+                self.exec_stmt(s.then)
+            elif s.els is not None:
+                self.exec_stmt(s.els)
+            return
+        if isinstance(s, A.While):
+            while True:
+                cond, _ = self.eval(s.cond)
+                if not cond:
+                    return
+                self.exec_stmt(s.body)
+        if isinstance(s, A.For):
+            if s.annotation is not None and self.dispatch is not None:
+                self.dispatch(s, [])
+                return
+            if s.init is not None:
+                self.exec_stmt(s.init)
+            while True:
+                if s.cond is not None:
+                    cond, _ = self.eval(s.cond)
+                    if not cond:
+                        return
+                self.exec_stmt(s.body)
+                if s.update is not None:
+                    self.exec_stmt(s.update)
+        if isinstance(s, A.Return):
+            raise _ReturnSignal()
+        return
+
+    def _assign(self, s: A.Assign) -> None:
+        if isinstance(s.target, A.VarRef):
+            name = s.target.name
+            jt = self._scalar_type(name)
+            value = self._combined_value(
+                s, jt, lambda: (self.scalars[name], jt)
+            )
+            self.scalars[name] = value
+            return
+        target = s.target
+        idx = tuple(self._eval_index(ix) for ix in target.indices)
+        flat = self.storage.flat(target.base.name, idx)
+        elem = self._elem_type(target.base.name)
+        value = self._combined_value(
+            s,
+            elem,
+            lambda: (self.storage.read_flat(target.base.name, flat), elem),
+        )
+        self.storage.write_flat(target.base.name, flat, value)
+
+    def _combined_value(self, s: A.Assign, target_type: JType, current):
+        value, vt = self.eval(s.value)
+        if s.op:
+            old, ot = current()
+            if s.op in ("<<", ">>", ">>>"):
+                result = java_ops.binop(s.op, old, int(value), ot)
+                return java_ops.cast(result, ot, target_type)
+            common = promote(ot, vt) if ot is not JType.BOOL else JType.BOOL
+            a = java_ops.cast(old, ot, common)
+            b = java_ops.cast(value, vt, common)
+            result = java_ops.binop(s.op, a, b, common)
+            return java_ops.cast(result, common, target_type)
+        return java_ops.cast(value, vt, target_type)
+
+
+class _ReturnSignal(Exception):
+    pass
+
+
+def run_method_host(
+    method: A.Method,
+    storage: ArrayStorage,
+    scalars: dict[str, object],
+    dispatch: Optional[LoopDispatch] = None,
+) -> HostCost:
+    """Execute a whole method body on the host."""
+    types: dict[str, A.Type] = {p.name: p.type for p in method.params}
+    ev = HostEvaluator(types, storage, scalars, dispatch)
+    try:
+        ev.exec_stmt(method.body)
+    except _ReturnSignal:
+        pass
+    return ev.cost
+
+
+def run_loop_sequential_host(
+    loop,
+    storage: ArrayStorage,
+    scalar_env: dict[str, object],
+    cost_model,
+) -> tuple[Counts, float]:
+    """Mode-C fallback for loops that could not be lowered (scalar
+    live-outs): execute the loop AST sequentially on the host.
+
+    Mutates ``scalar_env`` in place with updated scalar live-outs.
+    Returns (counts, simulated seconds).
+    """
+    analysis = loop.analysis
+    ev = HostEvaluator(analysis.outer_types, storage, scalar_env)
+    node = analysis.info.loop
+    # run the For statement itself (init/cond/update + body)
+    saved_ann, node.annotation = node.annotation, None
+    try:
+        ev.exec_stmt(node)
+    finally:
+        node.annotation = saved_ann
+    counts = ev.cost.as_counts()
+    return counts, cost_model.cpu_serial_time(counts)

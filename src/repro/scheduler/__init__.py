@@ -1,0 +1,37 @@
+"""Profile-guided task scheduling: sharing, stealing, baselines."""
+
+from .baselines import (
+    CooperativeExecutor,
+    CpuParallelExecutor,
+    GpuOnlyExecutor,
+    SerialExecutor,
+)
+from .boundary import boundary_fraction, split_at_boundary
+from .context import ExecutionContext, JaponicaConfig
+from .modes import ExecMode, decide_mode
+from .queues import WorkerQueue
+from .select import effective_scheme, recommend_scheme
+from .sharing import TaskSharingScheduler
+from .stealing import Placement, StealingStats, TaskStealingScheduler
+from .task import Task
+
+__all__ = [
+    "CooperativeExecutor",
+    "CpuParallelExecutor",
+    "ExecMode",
+    "ExecutionContext",
+    "GpuOnlyExecutor",
+    "JaponicaConfig",
+    "Placement",
+    "SerialExecutor",
+    "StealingStats",
+    "Task",
+    "TaskSharingScheduler",
+    "TaskStealingScheduler",
+    "WorkerQueue",
+    "boundary_fraction",
+    "decide_mode",
+    "effective_scheme",
+    "recommend_scheme",
+    "split_at_boundary",
+]

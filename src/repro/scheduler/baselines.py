@@ -1,0 +1,288 @@
+"""Baseline executors the paper compares against.
+
+* best serial (1-thread CPU),
+* CPU-alone multithreaded (16 threads),
+* GPU-alone (JNI-managed synchronous transfers with cyclic
+  communication; TLS-alone for loops carrying true dependencies),
+* simple cooperative 50 % / 50 % split.
+
+Functional results of every baseline are identical to sequential
+execution; only the simulated time differs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.interpreter import ArrayStorage
+from ..profiler.report import DependencyProfile
+from ..runtime.clock import LANE_CPU, LANE_DMA, LANE_GPU, Timeline
+from ..runtime.result import ExecutionResult
+from ..tls.engine import GpuTlsEngine, TlsConfig
+from ..translate.translator import TranslatedLoop
+from .context import ExecutionContext
+from .task import Task
+
+
+class SerialExecutor:
+    """Best serial version: every loop on one CPU thread, in order."""
+
+    name = "serial"
+
+    def __init__(self, ctx: ExecutionContext):
+        self.ctx = ctx
+
+    def execute(
+        self, task: Task, storage: ArrayStorage, scalar_env: dict[str, object]
+    ) -> ExecutionResult:
+        loop = task.loop
+        tl = Timeline()
+        if loop.fn is not None:
+            run = self.ctx.cpu.run_serial(
+                loop.fn, storage, scalar_env, task.indices(scalar_env),
+                elem_bytes=loop.elem_bytes,
+            )
+            counts, time_s = run.counts, run.sim_time_s
+        else:
+            from ..runtime.hosteval import run_loop_sequential_host
+
+            counts, time_s = run_loop_sequential_host(
+                loop, storage, scalar_env, self.ctx.cost
+            )
+        tl.schedule(LANE_CPU, time_s, label="serial")
+        return ExecutionResult(
+            arrays=storage.arrays, sim_time_s=tl.makespan, counts=counts,
+            timeline=tl, mode="serial",
+        )
+
+
+class CpuParallelExecutor:
+    """CPU-alone: multithreaded where safe, sequential for TD loops.
+
+    The hand-written CPU version privatizes FD-only loops (thread-local
+    temporaries), so anything without a true dependence runs on all
+    worker threads.
+    """
+
+    name = "cpu"
+
+    def __init__(self, ctx: ExecutionContext, threads: Optional[int] = None):
+        self.ctx = ctx
+        self.threads = threads
+
+    def execute(
+        self, task: Task, storage: ArrayStorage, scalar_env: dict[str, object]
+    ) -> ExecutionResult:
+        loop = task.loop
+        indices = task.indices(scalar_env)
+        tl = Timeline()
+        threads = self.threads or self.ctx.config.cpu_threads
+
+        if loop.fn is None or self._has_true_dep(loop, indices, scalar_env, storage):
+            serial = SerialExecutor(self.ctx)
+            result = serial.execute(task, storage, scalar_env)
+            result.mode = "cpu-seq"
+            return result
+
+        # FD-only loops are parallel-safe via thread-private copies, but
+        # the vectorized fast path has no privatization: interpret them
+        # in ascending order (sequential semantics) instead.
+        profile = self.ctx.profiles.get(loop.id)
+        fd_only = profile is not None and profile.has_false
+        run = self.ctx.cpu.run_parallel(
+            loop.fn, storage, scalar_env, indices, threads=threads,
+            elem_bytes=loop.elem_bytes,
+            allow_vectorized=not fd_only,
+        )
+        tl.schedule(LANE_CPU, run.sim_time_s, label=f"cpu-{threads}t")
+        return ExecutionResult(
+            arrays=storage.arrays, sim_time_s=tl.makespan, counts=run.counts,
+            timeline=tl, mode="cpu-mt",
+        )
+
+    def _has_true_dep(
+        self, loop: TranslatedLoop, indices, scalar_env, storage
+    ) -> bool:
+        if loop.is_static_doall:
+            return False
+        if loop.analysis.has_static_true:
+            return True
+        profile = self.ctx.ensure_profile(loop, indices, scalar_env, storage)
+        return profile.has_true
+
+
+class GpuOnlyExecutor:
+    """GPU-alone: whole loop on the device.
+
+    Transfers use the synchronous JNI path and pay the cyclic-
+    communication factor (the naive round-trips the paper's optimizer
+    removes).  Loops with true dependencies fall back to TLS-alone:
+    speculation with pure GPU relaunch recovery, never borrowing the CPU.
+    """
+
+    name = "gpu"
+
+    def __init__(self, ctx: ExecutionContext):
+        self.ctx = ctx
+
+    def execute(
+        self, task: Task, storage: ArrayStorage, scalar_env: dict[str, object]
+    ) -> ExecutionResult:
+        loop = task.loop
+        if loop.fn is None:
+            # not expressible as a kernel: the honest GPU-alone equivalent
+            # is host execution (the paper has no such benchmark)
+            result = SerialExecutor(self.ctx).execute(task, storage, scalar_env)
+            result.mode = "gpu-fallback-serial"
+            return result
+
+        indices = task.indices(scalar_env)
+        tl = Timeline()
+        # A hand-written GPU port keeps arrays resident for the whole
+        # program (nothing else touches them), so only stale data moves.
+        b_in, b_out = self._register_resident(loop, storage, scalar_env)
+        cyc = self.ctx.cost.cyclic_bytes  # GPU-alone moves extra bytes
+
+        has_td = self._has_true_dep(loop, indices, scalar_env, storage)
+        coalescing = self._coalescing(loop)
+
+        dma_in = tl.schedule(
+            LANE_DMA,
+            self.ctx.cost.transfer_time(cyc(b_in), asynchronous=False),
+            label="h2d-sync",
+        )
+        tl.schedule(LANE_GPU, 0.0, after=[dma_in])
+
+        profile = self.ctx.profiles.get(loop.id)
+        if has_td:
+            # TLS-alone: optimistic relaunches, no CPU handoff.  Small
+            # sub-loops bound the wasted speculative work when the loop
+            # violates densely (a high-TD loop commits ~1 iteration per
+            # relaunch either way).
+            round_trip = self.ctx.cost.transfer_time(
+                cyc(b_in), asynchronous=False
+            ) + self.ctx.cost.transfer_time(cyc(b_out), asynchronous=False)
+            engine = GpuTlsEngine(
+                self.ctx.device,
+                self.ctx.cpu,
+                TlsConfig(
+                    warps_per_subloop=1,
+                    lookahead_warps=self.ctx.config.tls.lookahead_warps,
+                    relaunch_transfer_s=round_trip,
+                ),
+            )
+            tls = engine.execute(
+                loop.fn, indices, scalar_env, storage,
+                profile=None,  # no profiling in the GPU-alone build
+                coalescing=coalescing,
+                elem_bytes=loop.elem_bytes,
+                timeline=tl,
+            )
+            counts = tls.counts
+        elif profile is not None and profile.has_false:
+            # a hand-written GPU port privatizes the FD-carrying scratch
+            from ..tls.privatize import run_privatized
+
+            priv = run_privatized(
+                self.ctx.device, loop.fn, indices, scalar_env, storage,
+                coalescing=coalescing, elem_bytes=loop.elem_bytes,
+                profile=profile,
+            )
+            tl.schedule(
+                LANE_GPU, priv.kernel_time_s + priv.commit_time_s,
+                label="pe(v)",
+            )
+            counts = priv.counts
+        else:
+            # dependence-free: plain parallel kernel, direct stores
+            launch = self.ctx.device.launch(
+                loop.fn, indices, scalar_env, storage,
+                mode="direct",
+                coalescing=coalescing,
+                elem_bytes=loop.elem_bytes,
+                block_size=loop.annotation.threads,
+            )
+            tl.schedule(LANE_GPU, launch.sim_time_s, label="kernel")
+            counts = launch.counts
+
+        tl.schedule(
+            LANE_DMA,
+            self.ctx.cost.transfer_time(cyc(b_out), asynchronous=False),
+            not_before=tl.barrier([LANE_GPU]),
+            label="d2h-sync",
+        )
+        return ExecutionResult(
+            arrays=storage.arrays, sim_time_s=tl.makespan, counts=counts,
+            timeline=tl, mode="gpu-only",
+        )
+
+    def _register_resident(
+        self,
+        loop: TranslatedLoop,
+        storage: ArrayStorage,
+        scalar_env: dict[str, object],
+    ) -> tuple[float, float]:
+        """Allocate device copies; return (stale in-bytes, out-bytes)."""
+        mem = self.ctx.device.memory
+        b_in = 0.0
+        for move in loop.data_plan.copyin:
+            arr = storage.arrays[move.array]
+            alloc = mem.allocations.get(move.array)
+            nbytes = move.nbytes(scalar_env, arr)
+            if alloc is None:
+                mem.copyin(move.array, arr.shape, arr.dtype, nbytes)
+                alloc = mem.allocations[move.array]
+                b_in += nbytes
+            else:
+                b_in += nbytes * alloc.stale_fraction
+                alloc.valid = True
+            alloc.stale_fraction = 0.0
+        for move in loop.data_plan.create + loop.data_plan.copyout:
+            arr = storage.arrays[move.array]
+            if move.array not in mem.allocations:
+                mem.alloc(move.array, arr.shape, arr.dtype)
+        b_out = float(
+            loop.data_plan.total_out_bytes(scalar_env, storage.arrays)
+        )
+        return b_in, b_out
+
+    def _has_true_dep(self, loop, indices, scalar_env, storage) -> bool:
+        if loop.is_static_doall:
+            return False
+        if loop.analysis.has_static_true:
+            return True
+        profile = self.ctx.ensure_profile(loop, indices, scalar_env, storage)
+        return profile.has_true
+
+    def _coalescing(self, loop: TranslatedLoop) -> float:
+        profile = self.ctx.profiles.get(loop.id)
+        return profile.coalescing if profile else loop.static_coalescing
+
+
+class CooperativeExecutor:
+    """Simple cooperative version: a fixed split, no prefetch pipeline."""
+
+    name = "coop50"
+
+    def __init__(self, ctx: ExecutionContext, split: float = 0.5):
+        self.ctx = ctx
+        self.split = split
+
+    def execute(
+        self, task: Task, storage: ArrayStorage, scalar_env: dict[str, object]
+    ) -> ExecutionResult:
+        from .sharing import TaskSharingScheduler
+
+        saved_boundary = self.ctx.config.boundary_override
+        saved_prefetch = self.ctx.config.async_prefetch
+        self.ctx.config.boundary_override = self.split
+        self.ctx.config.async_prefetch = False
+        try:
+            result = TaskSharingScheduler(self.ctx).execute(
+                task, storage, scalar_env
+            )
+        finally:
+            self.ctx.config.boundary_override = saved_boundary
+            self.ctx.config.async_prefetch = saved_prefetch
+        result.mode = f"coop{int(self.split * 100)}"
+        return result

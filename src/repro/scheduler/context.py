@@ -1,0 +1,102 @@
+"""Execution context: devices, cost model, configuration, profile cache."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..cpusim.executor import CpuExecutor
+from ..gpusim.device import GpuDevice
+from ..ir.interpreter import ArrayStorage
+from ..profiler.report import DEFAULT_DD_THRESHOLD, DependencyProfile
+from ..profiler.trace import profile_loop
+from ..runtime.costmodel import CostModel
+from ..runtime.platform import Platform, paper_platform
+from ..tls.engine import TlsConfig
+from ..translate.translator import TranslatedLoop
+
+
+@dataclass
+class JaponicaConfig:
+    """Runtime tuning knobs."""
+
+    #: threshold N of the workflow diagram: TD density above N is 'high'
+    dd_threshold: float = DEFAULT_DD_THRESHOLD
+    #: CPU worker threads ("we set the number of threads as 16")
+    cpu_threads: int = 16
+    #: GPU chunks the sharing scheme pipelines ("uniform chunks of
+    #: moderate size ... executed on GPU in an ascending order")
+    sharing_chunks: int = 4
+    #: TLS engine configuration (mode B)
+    tls: TlsConfig = field(default_factory=lambda: TlsConfig(warps_per_subloop=32))
+    #: iterations the profiler instruments (prefix sample)
+    profile_sample: int = 8192
+    #: charge profiling time to the simulated clock
+    include_profile_time: bool = True
+    #: override the sharing boundary (None = paper formula)
+    boundary_override: Optional[float] = None
+    #: disable the async-prefetch pipeline (ablation)
+    async_prefetch: bool = True
+    #: paper-scale projection factors (see runtime.costmodel.CostModel)
+    work_scale: float = 1.0
+    byte_scale: float = 1.0
+    iter_scale: float = 1.0
+    link_scale: float = 1.0
+
+
+class ExecutionContext:
+    """Everything an execution strategy needs, plus the profile cache.
+
+    Profiles are cached per loop id: the paper profiles a loop once and
+    reuses the dependency information across scheduling decisions.
+    """
+
+    def __init__(
+        self,
+        platform: Optional[Platform] = None,
+        config: Optional[JaponicaConfig] = None,
+    ):
+        self.platform = platform or paper_platform()
+        self.config = config or JaponicaConfig()
+        self.cost = CostModel(
+            self.platform,
+            work_scale=self.config.work_scale,
+            byte_scale=self.config.byte_scale,
+            iter_scale=self.config.iter_scale,
+            link_scale=self.config.link_scale,
+        )
+        self.device = GpuDevice(self.platform.gpu, self.cost)
+        self.cpu = CpuExecutor(self.platform.cpu, self.cost)
+        self.profiles: dict[str, DependencyProfile] = {}
+
+    def reset_device(self) -> None:
+        """Fresh device memory (new application run)."""
+        self.device.memory.free_all()
+
+    def boundary(self) -> float:
+        if self.config.boundary_override is not None:
+            return self.config.boundary_override
+        return self.platform.sharing_boundary()
+
+    def ensure_profile(
+        self,
+        loop: TranslatedLoop,
+        indices,
+        scalar_env: dict[str, object],
+        storage: ArrayStorage,
+    ) -> DependencyProfile:
+        """Profile the loop on the GPU (once), caching the result."""
+        if loop.id in self.profiles:
+            return self.profiles[loop.id]
+        if loop.fn is None:
+            raise ValueError(f"loop {loop.id} cannot run on the GPU")
+        run = profile_loop(
+            self.device,
+            loop.fn,
+            indices,
+            scalar_env,
+            storage,
+            max_sample=self.config.profile_sample,
+        )
+        self.profiles[loop.id] = run.profile
+        return run.profile

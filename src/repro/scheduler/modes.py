@@ -1,0 +1,66 @@
+"""Execution-mode dispatch: the workflow diagram of Figure 2(b).
+
+::
+
+    Loops --- Determined DOALL? --yes--> A
+                |no
+                v (profile)
+            True dependence?
+                |yes: density > N ? --high--> C
+                |                  --low---> B
+                |no
+                v
+            Any false dependence? --yes--> D
+                                  --no---> D'
+
+Mode A: boundary split, GPU parallel + CPU multithreaded.
+Mode B: GPU-TLS with CPU handoff on violations.
+Mode C: CPU sequential.
+Mode D: GPU privatized PE(V) + CPU *sequential* part (lock-step TD checks
+        on the GPU cannot rule out TDs under CPU-parallel interleavings).
+Mode D': like A (no dependencies materialized at runtime).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from ..profiler.report import DependencyProfile
+from ..translate.translator import TranslatedLoop
+
+
+class ExecMode(enum.Enum):
+    A = "A"  # DOALL: GPU PE + CPU MT
+    B = "B"  # low TD density: GPU-TLS
+    C = "C"  # high TD density (or unloweable): CPU sequential
+    D = "D"  # FD only: GPU privatized + CPU sequential part
+    D_PRIME = "D'"  # profiled clean: parallel everywhere
+
+
+def decide_mode(
+    loop: TranslatedLoop,
+    profile: Optional[DependencyProfile],
+    dd_threshold: float,
+) -> ExecMode:
+    """Apply the Figure-2(b) decision procedure.
+
+    ``profile`` must be provided for every loop that is not statically
+    DOALL and not CPU-only.
+    """
+    if loop.cpu_only:
+        return ExecMode.C
+    if loop.is_static_doall:
+        return ExecMode.A
+    if profile is None:
+        raise ValueError(
+            f"loop {loop.id} is not statically DOALL; a dependency profile "
+            f"is required to choose its execution mode"
+        )
+    if profile.has_true:
+        if profile.td_density > dd_threshold:
+            return ExecMode.C
+        return ExecMode.B
+    if profile.has_false:
+        return ExecMode.D
+    return ExecMode.D_PRIME

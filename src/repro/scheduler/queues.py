@@ -1,0 +1,50 @@
+"""Worker queues with preferential stealing for the task-stealing scheme."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .task import Task
+
+
+@dataclass
+class WorkerQueue:
+    """FIFO task queue for one worker (CPU or GPU)."""
+
+    name: str
+    tasks: deque = field(default_factory=deque)
+
+    def push(self, task: Task) -> None:
+        self.tasks.append(task)
+
+    def pop(self) -> Optional[Task]:
+        return self.tasks.popleft() if self.tasks else None
+
+    def steal(self, prefer: Callable[[Task], bool]) -> Optional[Task]:
+        """Remove and return a preferential task, if any; else any task.
+
+        ``prefer`` ranks tasks the *stealing* worker runs well; when no
+        task satisfies it, the oldest task is taken (classic work
+        stealing), unless the queue is empty.
+        """
+        for k, task in enumerate(self.tasks):
+            if prefer(task):
+                del self.tasks[k]
+                return task
+        return self.pop()
+
+    def steal_only_if(self, allowed: Callable[[Task], bool]) -> Optional[Task]:
+        """Steal the first task satisfying ``allowed``; never settle."""
+        for k, task in enumerate(self.tasks):
+            if allowed(task):
+                del self.tasks[k]
+                return task
+        return None
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __bool__(self) -> bool:
+        return bool(self.tasks)

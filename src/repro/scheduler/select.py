@@ -1,0 +1,53 @@
+"""Scheme selection heuristic (paper §V-C).
+
+"Task sharing is preferable for applications with heavy computations
+centralized in only one or few loops while task stealing is more suitable
+for those with computations evenly distributed across several
+data-independent loops."
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..translate.translator import TranslatedLoop
+
+
+def recommend_scheme(
+    loops: Sequence[TranslatedLoop],
+    min_independent: int = 2,
+) -> str:
+    """'sharing' or 'stealing' for a method's annotated loops.
+
+    Stealing is recommended when the first PDG batch contains at least
+    ``min_independent`` data-independent loops (several peers to spread
+    over the two queues); otherwise sharing.
+    """
+    if len(loops) < 2:
+        return "sharing"
+    first_batch = 0
+    for k, loop in enumerate(loops):
+        reads = loop.analysis.arrays_read()
+        writes = loop.analysis.arrays_written()
+        independent = True
+        for earlier in loops[:k]:
+            e_w = earlier.analysis.arrays_written()
+            e_r = earlier.analysis.arrays_read()
+            if (e_w & (reads | writes)) or (e_r & writes):
+                independent = False
+                break
+        if independent:
+            first_batch += 1
+    return "stealing" if first_batch >= min_independent else "sharing"
+
+
+def effective_scheme(
+    loops: Sequence[TranslatedLoop], override: str | None = None
+) -> str:
+    """The scheme to use: explicit override > annotation > heuristic."""
+    if override in ("sharing", "stealing"):
+        return override
+    for loop in loops:
+        if loop.annotation.scheme_explicit:
+            return loop.annotation.scheme
+    return recommend_scheme(loops)

@@ -1,0 +1,405 @@
+"""The task-sharing scheme (paper §V-A).
+
+One loop's iteration space is split at the global boundary
+``Cg*Fg / (Cg*Fg + Cc*Fc)``: the left part runs on the GPU in ascending
+uniform chunks with data prefetched "in advance and asynchronously with
+the kernel execution to avoid cyclic communication and to hide some
+latency"; the right part runs on the CPU in descending order.  The
+execution mode (A/B/C/D/D') decides what "runs on" means on each side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cpusim.threads import block_partition, descending
+from ..ir.interpreter import ArrayStorage, Counts
+from ..profiler.report import DependencyProfile
+from ..runtime.clock import LANE_CPU, LANE_DMA, LANE_GPU, Timeline
+from ..runtime.result import ExecutionResult
+from ..tls.engine import GpuTlsEngine
+from ..tls.privatize import run_privatized
+from ..translate.translator import TranslatedLoop
+from .boundary import split_at_boundary
+from .context import ExecutionContext
+from .modes import ExecMode, decide_mode
+from .task import Task
+
+
+@dataclass
+class ShareOutcome:
+    """Per-side bookkeeping of a shared execution (for tests/reports)."""
+
+    mode: ExecMode
+    gpu_iterations: int
+    cpu_iterations: int
+    profile: Optional[DependencyProfile]
+
+
+class TaskSharingScheduler:
+    """Executes one task cooperatively across the CPU-GPU border."""
+
+    def __init__(self, ctx: ExecutionContext):
+        self.ctx = ctx
+
+    # -- public API ----------------------------------------------------------
+
+    def execute(
+        self,
+        task: Task,
+        storage: ArrayStorage,
+        scalar_env: dict[str, object],
+        timeline: Optional[Timeline] = None,
+    ) -> ExecutionResult:
+        loop = task.loop
+        indices = task.indices(scalar_env)
+        tl = timeline if timeline is not None else Timeline()
+
+        profile: Optional[DependencyProfile] = None
+        if not loop.is_static_doall and not loop.cpu_only:
+            profile = self.ctx.ensure_profile(
+                loop, indices, scalar_env, storage
+            )
+            if self.ctx.config.include_profile_time:
+                tl.schedule(LANE_GPU, profile.profile_time_s, label="profiling")
+
+        mode = decide_mode(loop, profile, self.ctx.config.dd_threshold)
+        coalescing = profile.coalescing if profile else loop.static_coalescing
+
+        if mode is ExecMode.C:
+            result = self._mode_c(loop, indices, scalar_env, storage, tl)
+        elif mode is ExecMode.B:
+            result = self._mode_b(
+                loop, indices, scalar_env, storage, tl, profile, coalescing
+            )
+        elif mode is ExecMode.D:
+            result = self._mode_d(
+                loop, indices, scalar_env, storage, tl, coalescing
+            )
+        else:
+            # A and D' both run fully parallel on both sides; the profile
+            # (for D') or static analysis (for A) guarantees direct
+            # stores cannot conflict
+            result = self._mode_a(
+                loop, indices, scalar_env, storage, tl, coalescing
+            )
+        result.mode = mode.value
+        result.detail["profile"] = profile
+        return result
+
+    # -- transfer helpers -------------------------------------------------
+
+    def _register_device_data(
+        self,
+        loop: TranslatedLoop,
+        storage: ArrayStorage,
+        scalar_env: dict[str, object],
+    ) -> tuple[float, int]:
+        """Allocate/refresh device copies; return (in_bytes, out_bytes).
+
+        The communication optimizer keeps arrays resident across loop
+        dispatches: only the *stale fraction* of each copyin operand is
+        actually moved (stale = never transferred, or partially
+        overwritten by the CPU side of an earlier dispatch).  This is the
+        paper's cyclic-communication removal; the GPU-alone baseline has
+        no such tracking and re-pays full transfers every time.
+        """
+        mem = self.ctx.device.memory
+        b_in = 0.0
+        for move in loop.data_plan.copyin:
+            arr = storage.arrays[move.array]
+            alloc = mem.allocations.get(move.array)
+            if alloc is None:
+                nbytes = move.nbytes(scalar_env, arr)
+                mem.copyin(move.array, arr.shape, arr.dtype, nbytes)
+                alloc = mem.allocations[move.array]
+                b_in += nbytes
+            else:
+                nbytes = move.nbytes(scalar_env, arr)
+                b_in += nbytes * alloc.stale_fraction
+                alloc.valid = True
+            alloc.stale_fraction = 0.0
+        for move in loop.data_plan.create:
+            arr = storage.arrays[move.array]
+            if move.array not in mem.allocations:
+                mem.alloc(move.array, arr.shape, arr.dtype)
+        b_out = 0
+        for move in loop.data_plan.copyout:
+            arr = storage.arrays[move.array]
+            if move.array not in mem.allocations:
+                mem.alloc(move.array, arr.shape, arr.dtype)
+            b_out += move.nbytes(scalar_env, arr)
+        return b_in, b_out
+
+    def _cpu_wrote(self, loop: TranslatedLoop, fraction: float) -> None:
+        """The CPU side wrote ``fraction`` of the loop's output arrays:
+        that share of any device copy is now stale."""
+        if fraction <= 0:
+            return
+        mem = self.ctx.device.memory
+        for name in loop.analysis.arrays_written():
+            alloc = mem.allocations.get(name)
+            if alloc is not None:
+                alloc.stale_fraction = min(
+                    1.0, alloc.stale_fraction + fraction
+                )
+
+    # -- mode implementations ----------------------------------------------
+
+    def _mode_a(
+        self,
+        loop: TranslatedLoop,
+        indices: list[int],
+        scalar_env: dict[str, object],
+        storage: ArrayStorage,
+        tl: Timeline,
+        coalescing: float,
+        buffered: bool = False,
+    ) -> ExecutionResult:
+        """DOALL (A) and profiled-clean (D'): PE on GPU + MT on CPU."""
+        cfg = self.ctx.config
+        gpu_idx, cpu_idx = split_at_boundary(indices, self.ctx.boundary())
+        b_in, b_out = self._register_device_data(loop, storage, scalar_env)
+        frac_gpu = len(gpu_idx) / max(1, len(indices))
+
+        total = Counts()
+        nchunks = max(1, min(cfg.sharing_chunks, len(gpu_idx)))
+        chunks = [c for c in block_partition(gpu_idx, nchunks) if c]
+
+        if cfg.async_prefetch:
+            # pipeline: DMA chunk k+1 overlaps kernel chunk k
+            per_chunk_in = (b_in * frac_gpu) / max(1, len(chunks))
+            kernel_events = []
+            for k, chunk in enumerate(chunks):
+                dma = tl.schedule(
+                    LANE_DMA,
+                    self.ctx.cost.transfer_time(per_chunk_in, asynchronous=True),
+                    label=f"h2d#{k}",
+                )
+                launch = self.ctx.device.launch(
+                    loop.fn,
+                    chunk,
+                    scalar_env,
+                    storage,
+                    mode="buffered" if buffered else "direct",
+                    coalescing=coalescing,
+                    elem_bytes=loop.elem_bytes,
+                    block_size=loop.annotation.threads,
+                )
+                if buffered:
+                    self.ctx.device.commit_lanes(launch.lanes, storage, chunk)
+                total = total + launch.counts
+                kernel_events.append(
+                    tl.schedule(
+                        LANE_GPU, launch.sim_time_s, after=[dma],
+                        label=f"kernel#{k}",
+                    )
+                )
+            if kernel_events:
+                tl.schedule(
+                    LANE_DMA,
+                    self.ctx.cost.transfer_time(
+                        b_out * frac_gpu, asynchronous=True
+                    ),
+                    after=[kernel_events[-1]],
+                    label="d2h",
+                )
+        else:
+            # no prefetch: one synchronous in, kernels, synchronous out
+            dma_in = tl.schedule(
+                LANE_DMA,
+                self.ctx.cost.transfer_time(b_in * frac_gpu, asynchronous=False),
+                label="h2d-sync",
+            )
+            last = dma_in
+            for k, chunk in enumerate(chunks):
+                launch = self.ctx.device.launch(
+                    loop.fn,
+                    chunk,
+                    scalar_env,
+                    storage,
+                    mode="buffered" if buffered else "direct",
+                    coalescing=coalescing,
+                    elem_bytes=loop.elem_bytes,
+                    block_size=loop.annotation.threads,
+                )
+                if buffered:
+                    self.ctx.device.commit_lanes(launch.lanes, storage, chunk)
+                total = total + launch.counts
+                last = tl.schedule(
+                    LANE_GPU, launch.sim_time_s, after=[last],
+                    label=f"kernel#{k}",
+                )
+            tl.schedule(
+                LANE_DMA,
+                self.ctx.cost.transfer_time(b_out * frac_gpu, asynchronous=False),
+                after=[last],
+                label="d2h-sync",
+            )
+
+        # CPU side: the right part, multithreaded, walked descending
+        if cpu_idx:
+            cpu_run = self.ctx.cpu.run_parallel(
+                loop.fn,
+                storage,
+                scalar_env,
+                descending(cpu_idx),
+                threads=cfg.cpu_threads,
+                elem_bytes=loop.elem_bytes,
+            )
+            total = total + cpu_run.counts
+            tl.schedule(LANE_CPU, cpu_run.sim_time_s, label="cpu-mt")
+            self._cpu_wrote(loop, 1.0 - frac_gpu)
+
+        return ExecutionResult(
+            arrays=storage.arrays,
+            sim_time_s=tl.makespan,
+            counts=total,
+            timeline=tl,
+            detail={
+                "gpu_iterations": len(gpu_idx),
+                "cpu_iterations": len(cpu_idx),
+            },
+        )
+
+    def _mode_b(
+        self,
+        loop: TranslatedLoop,
+        indices: list[int],
+        scalar_env: dict[str, object],
+        storage: ArrayStorage,
+        tl: Timeline,
+        profile: Optional[DependencyProfile],
+        coalescing: float,
+    ) -> ExecutionResult:
+        """Low TD density: GPU-TLS across the loop, CPU handles violations."""
+        b_in, b_out = self._register_device_data(loop, storage, scalar_env)
+        dma_in = tl.schedule(
+            LANE_DMA,
+            self.ctx.cost.transfer_time(b_in, asynchronous=True),
+            label="h2d",
+        )
+        tl.schedule(LANE_GPU, 0.0, after=[dma_in])
+
+        engine = GpuTlsEngine(self.ctx.device, self.ctx.cpu, self.ctx.config.tls)
+        tls = engine.execute(
+            loop.fn,
+            indices,
+            scalar_env,
+            storage,
+            profile=profile,
+            coalescing=coalescing,
+            elem_bytes=loop.elem_bytes,
+            timeline=tl,
+        )
+        tl.schedule(
+            LANE_DMA,
+            self.ctx.cost.transfer_time(b_out, asynchronous=True),
+            not_before=tl.barrier([LANE_GPU, LANE_CPU]),
+            label="d2h",
+        )
+        return ExecutionResult(
+            arrays=storage.arrays,
+            sim_time_s=tl.makespan,
+            counts=tls.counts,
+            timeline=tl,
+            detail={"tls": tls.stats},
+        )
+
+    def _mode_c(
+        self,
+        loop: TranslatedLoop,
+        indices: list[int],
+        scalar_env: dict[str, object],
+        storage: ArrayStorage,
+        tl: Timeline,
+    ) -> ExecutionResult:
+        """High TD density (or unloweable loop): CPU sequential."""
+        if loop.fn is not None:
+            run = self.ctx.cpu.run_serial(
+                loop.fn, storage, scalar_env, indices,
+                elem_bytes=loop.elem_bytes,
+            )
+            counts, time_s = run.counts, run.sim_time_s
+        else:
+            from ..runtime.hosteval import run_loop_sequential_host
+
+            counts, time_s = run_loop_sequential_host(
+                loop, storage, scalar_env, self.ctx.cost
+            )
+        tl.schedule(LANE_CPU, time_s, label="cpu-seq")
+        return ExecutionResult(
+            arrays=storage.arrays,
+            sim_time_s=tl.makespan,
+            counts=counts,
+            timeline=tl,
+        )
+
+    def _mode_d(
+        self,
+        loop: TranslatedLoop,
+        indices: list[int],
+        scalar_env: dict[str, object],
+        storage: ArrayStorage,
+        tl: Timeline,
+        coalescing: float,
+    ) -> ExecutionResult:
+        """FD only: GPU privatized PE(V); CPU part sequential.
+
+        The GPU's buffers commit before the CPU part executes so the
+        privatized variables end with the sequentially-last values.
+        """
+        gpu_idx, cpu_idx = split_at_boundary(indices, self.ctx.boundary())
+        b_in, b_out = self._register_device_data(loop, storage, scalar_env)
+        frac_gpu = len(gpu_idx) / max(1, len(indices))
+
+        dma_in = tl.schedule(
+            LANE_DMA,
+            self.ctx.cost.transfer_time(b_in * frac_gpu, asynchronous=True),
+            label="h2d",
+        )
+        profile = self.ctx.profiles.get(loop.id)
+        priv = run_privatized(
+            self.ctx.device,
+            loop.fn,
+            gpu_idx,
+            scalar_env,
+            storage,
+            coalescing=coalescing,
+            elem_bytes=loop.elem_bytes,
+            profile=profile,
+        )
+        kernel_evt = tl.schedule(
+            LANE_GPU, priv.kernel_time_s, after=[dma_in], label="pe(v)"
+        )
+        tl.schedule(LANE_GPU, priv.commit_time_s, label="commit")
+        tl.schedule(
+            LANE_DMA,
+            self.ctx.cost.transfer_time(b_out * frac_gpu, asynchronous=True),
+            after=[kernel_evt],
+            label="d2h",
+        )
+
+        total = priv.counts
+        if cpu_idx:
+            # sequential (ascending) so privatized cells end sequentially-last
+            cpu_run = self.ctx.cpu.run_serial(
+                loop.fn, storage, scalar_env, cpu_idx,
+                elem_bytes=loop.elem_bytes,
+            )
+            total = total + cpu_run.counts
+            tl.schedule(LANE_CPU, cpu_run.sim_time_s, label="cpu-seq")
+            self._cpu_wrote(loop, 1.0 - frac_gpu)
+
+        return ExecutionResult(
+            arrays=storage.arrays,
+            sim_time_s=tl.makespan,
+            counts=total,
+            timeline=tl,
+            detail={
+                "gpu_iterations": len(gpu_idx),
+                "cpu_iterations": len(cpu_idx),
+                "privatized_cells": priv.cells_committed,
+            },
+        )

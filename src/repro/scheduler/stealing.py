@@ -1,0 +1,408 @@
+"""The task-stealing scheme (paper §V-B, Algorithm 1).
+
+Inter-loop dependencies compose the PDG; the scheduler repeatedly pulls a
+batch of data-independent tasks (topological sort), distributes them to
+the CPU and GPU queues by the rule table, and lets the worker that drains
+its queue first steal preferential tasks from the other queue.  A barrier
+closes each batch ("wait until all tasks in taskSet are done").
+
+Distribution rules: loops with high TD density and loops without TD after
+profiling are *obligated* to CPU and GPU respectively; loops with
+moderate TD density are suited to CPU; loops determined DOALL at compile
+time are suited to GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import SchedulerError
+from ..ir.interpreter import ArrayStorage
+from ..pdg.graph import ProgramDependenceGraph
+from ..pdg.toposort import JobPool
+from ..runtime.clock import Timeline
+from ..runtime.result import ExecutionResult
+from ..tls.engine import GpuTlsEngine
+from ..translate.translator import TranslatedLoop
+from .context import ExecutionContext
+from .queues import WorkerQueue
+from .task import Task
+
+#: Modelled per-batch synchronization overhead (barrier + dispatch).
+BATCH_SYNC_OVERHEAD_S = 20e-6
+
+
+def _task_sections(
+    task: Task, storage: ArrayStorage, scalar_env: dict[str, object]
+) -> dict[str, dict[str, list[tuple[int, int]]]]:
+    """Accessed flat-address sections per array: {'R'|'W': {array: [(lo, hi)]}}.
+
+    Affine accesses are evaluated at the task's index-range endpoints
+    (linear forms are monotone in the index); anything unresolvable
+    covers the whole array.
+    """
+    out: dict[str, dict[str, list[tuple[int, int]]]] = {"R": {}, "W": {}}
+    indices = task.indices(scalar_env)
+    if not indices:
+        return out
+    i_lo, i_hi = min(indices), max(indices)
+    for acc in task.loop.analysis.accesses:
+        shape = storage.shapes.get(acc.array)
+        if shape is None:
+            continue
+        size = 1
+        for d in shape:
+            size *= d
+        interval = _access_interval(acc, i_lo, i_hi, shape, scalar_env)
+        if interval is None:
+            interval = (0, size - 1)
+        out[acc.kind].setdefault(acc.array, []).append(interval)
+    return out
+
+
+def _access_interval(acc, i_lo, i_hi, shape, env):
+    """Flat-address interval of one affine access, or None."""
+    if not acc.affine:
+        return None
+    dims = []
+    for form in acc.forms:
+        base = form.const
+        for name, k in form.syms:
+            value = env.get(name)
+            if value is None:
+                return None
+            base += k * int(value)
+        lo = form.coeff * i_lo + base
+        hi = form.coeff * i_hi + base
+        dims.append((min(lo, hi), max(lo, hi)))
+    if len(dims) == 1:
+        return dims[0]
+    ncols = shape[1]
+    return (dims[0][0] * ncols + dims[1][0], dims[0][1] * ncols + dims[1][1])
+
+
+def _section_conflicts(a_sec, b_sec) -> list[str]:
+    """Dependence kinds implied by intersecting sections of two tasks."""
+    kinds = []
+    if _intersects(a_sec["W"], b_sec["R"]):
+        kinds.append("flow")
+    if _intersects(a_sec["W"], b_sec["W"]):
+        kinds.append("output")
+    if _intersects(a_sec["R"], b_sec["W"]):
+        kinds.append("anti")
+    return kinds
+
+
+def _intersects(a_map, b_map) -> bool:
+    for array, a_ivs in a_map.items():
+        b_ivs = b_map.get(array)
+        if not b_ivs:
+            continue
+        for alo, ahi in a_ivs:
+            for blo, bhi in b_ivs:
+                if alo <= bhi and blo <= ahi:
+                    return True
+    return False
+
+
+@dataclass
+class Placement:
+    """Where a task ran and for how long (for tests and Figure 5a)."""
+
+    task_id: str
+    worker: str  # 'cpu' | 'gpu'
+    start_s: float
+    duration_s: float
+    stolen: bool = False
+
+
+@dataclass
+class StealingStats:
+    placements: list[Placement] = field(default_factory=list)
+    steals: int = 0
+    batches: int = 0
+
+    def share(self, worker: str) -> float:
+        """Fraction of tasks executed by a worker."""
+        if not self.placements:
+            return 0.0
+        mine = sum(1 for p in self.placements if p.worker == worker)
+        return mine / len(self.placements)
+
+
+class TaskStealingScheduler:
+    """Executes a set of loop tasks with per-device queues and stealing."""
+
+    def __init__(self, ctx: ExecutionContext):
+        self.ctx = ctx
+
+    # -- PDG over tasks ---------------------------------------------------
+
+    def build_task_pdg(
+        self,
+        tasks: list[Task],
+        storage: ArrayStorage,
+        scalar_env: dict[str, object],
+    ) -> ProgramDependenceGraph:
+        """Dependence graph at task granularity with array sections.
+
+        Two tasks conflict only when their accessed array *sections*
+        intersect; sections come from the affine subscript forms
+        evaluated over each task's index range.  This is what lets the
+        paper's source-level sub-loop splitting (BICG's 2x4 sub-loops,
+        Crypt's 16) yield genuinely independent tasks: the sub-loops
+        touch the same arrays but disjoint element ranges.  Irresolvable
+        accesses conservatively cover the whole array.
+        """
+        pdg = ProgramDependenceGraph()
+        sections: dict[str, dict[str, dict[str, list[tuple[int, int]]]]] = {}
+        for task in tasks:
+            analysis = task.loop.analysis
+            pdg.add_task(
+                task.id,
+                analysis.arrays_read(),
+                analysis.arrays_written(),
+                label=task.id,
+            )
+            sections[task.id] = _task_sections(task, storage, scalar_env)
+
+        for i, a in enumerate(tasks):
+            for b in tasks[i + 1 :]:
+                kinds = _section_conflicts(sections[a.id], sections[b.id])
+                if kinds:
+                    pdg.add_edge(a.id, b.id, "+".join(kinds))
+        pdg.check_acyclic()
+        return pdg
+
+    # -- distribution rules -----------------------------------------------
+
+    def _dd_class(
+        self, task: Task, storage: ArrayStorage, scalar_env
+    ) -> str:
+        """'doall' | 'zero' | 'low' | 'high' for the rule table."""
+        loop = task.loop
+        if loop.cpu_only:
+            return "high"
+        if loop.is_static_doall:
+            return "doall"
+        profile = self.ctx.ensure_profile(
+            loop, task.indices(scalar_env), scalar_env, storage
+        )
+        return profile.density_class(self.ctx.config.dd_threshold)
+
+    @staticmethod
+    def _gpu_obligatory(dd: str) -> bool:
+        return dd == "zero"
+
+    @staticmethod
+    def _cpu_obligatory(dd: str) -> bool:
+        return dd == "high"
+
+    # -- the scheduling loop ------------------------------------------------
+
+    def execute(
+        self,
+        tasks: list[Task],
+        storage: ArrayStorage,
+        scalar_env: dict[str, object],
+    ) -> ExecutionResult:
+        if not tasks:
+            raise SchedulerError("empty task set")
+        pdg = self.build_task_pdg(tasks, storage, scalar_env)
+        pool = JobPool(pdg)
+        by_id = {t.id: t for t in tasks}
+        stats = StealingStats()
+
+        t_cpu = 0.0
+        t_gpu = 0.0
+        from ..ir.interpreter import Counts
+
+        total = Counts()
+
+        while pool:
+            batch_ids = pool.get_tasks()
+            stats.batches += 1
+            gpu_q = WorkerQueue("gpu")
+            cpu_q = WorkerQueue("cpu")
+            dd_of: dict[str, str] = {}
+            for tid in batch_ids:
+                task = by_id[tid]
+                dd = self._dd_class(task, storage, scalar_env)
+                dd_of[tid] = dd
+                if self._cpu_obligatory(dd) or dd == "low":
+                    cpu_q.push(task)
+                else:  # 'zero' obligatory GPU, 'doall' suited to GPU
+                    gpu_q.push(task)
+
+            # Algorithm 1 lines 7-10: prime an empty queue by stealing
+            self._prime_empty_queue(gpu_q, cpu_q, dd_of)
+
+            # run the batch with dynamic stealing
+            while gpu_q or cpu_q:
+                worker = "gpu" if t_gpu <= t_cpu else "cpu"
+                task, stolen = self._next_task(worker, gpu_q, cpu_q, dd_of)
+                if task is None:
+                    # nothing this worker may run; let the other worker go
+                    worker = "cpu" if worker == "gpu" else "gpu"
+                    task, stolen = self._next_task(worker, gpu_q, cpu_q, dd_of)
+                    if task is None:
+                        raise SchedulerError("no runnable task in batch")
+                start = t_gpu if worker == "gpu" else t_cpu
+                duration, counts = self._run_on(
+                    worker, task, storage, scalar_env, dd_of[task.id]
+                )
+                total = total + counts
+                if worker == "gpu":
+                    t_gpu = start + duration
+                else:
+                    t_cpu = start + duration
+                if stolen:
+                    stats.steals += 1
+                stats.placements.append(
+                    Placement(task.id, worker, start, duration, stolen)
+                )
+
+            # batch barrier
+            t_cpu = t_gpu = max(t_cpu, t_gpu) + BATCH_SYNC_OVERHEAD_S
+            pool.mark_done(batch_ids)
+
+        makespan = max(t_cpu, t_gpu)
+        return ExecutionResult(
+            arrays=storage.arrays,
+            sim_time_s=makespan,
+            counts=total,
+            mode="stealing",
+            detail={"stats": stats},
+        )
+
+    def _prime_empty_queue(self, gpu_q, cpu_q, dd_of) -> None:
+        if not gpu_q and cpu_q:
+            task = cpu_q.steal_only_if(
+                lambda t: not self._cpu_obligatory(dd_of[t.id])
+            )
+            if task is not None:
+                gpu_q.push(task)
+        if not cpu_q and gpu_q:
+            # the CPU can run anything; prefer tasks not pinned to the GPU
+            task = gpu_q.steal(
+                lambda t: not self._gpu_obligatory(dd_of[t.id])
+            )
+            if task is not None:
+                cpu_q.push(task)
+
+    def _next_task(
+        self, worker: str, gpu_q: WorkerQueue, cpu_q: WorkerQueue, dd_of
+    ) -> tuple[Optional[Task], bool]:
+        own, other = (gpu_q, cpu_q) if worker == "gpu" else (cpu_q, gpu_q)
+        task = own.pop()
+        if task is not None:
+            return task, False
+        if worker == "gpu":
+            # the GPU steals parallel-friendly tasks only
+            stolen = other.steal_only_if(
+                lambda t: not self._cpu_obligatory(dd_of[t.id])
+            )
+        else:
+            # the CPU can run anything; prefer the tasks suited to it
+            stolen = other.steal(
+                lambda t: dd_of[t.id] in ("low", "high")
+            )
+        return stolen, stolen is not None
+
+    # -- per-worker execution -----------------------------------------------
+
+    def _run_on(
+        self,
+        worker: str,
+        task: Task,
+        storage: ArrayStorage,
+        scalar_env: dict[str, object],
+        dd: str,
+    ):
+        loop = task.loop
+        indices = task.indices(scalar_env)
+        frac = len(indices) / max(1, loop.analysis.info.trip_count(scalar_env))
+        if worker == "cpu":
+            if dd in ("high", "low") or loop.fn is None:
+                if loop.fn is None:
+                    from ..runtime.hosteval import run_loop_sequential_host
+
+                    counts, time_s = run_loop_sequential_host(
+                        loop, storage, scalar_env, self.ctx.cost
+                    )
+                    return time_s, counts
+                run = self.ctx.cpu.run_serial(
+                    loop.fn, storage, scalar_env, indices,
+                    elem_bytes=loop.elem_bytes,
+                )
+            else:
+                run = self.ctx.cpu.run_parallel(
+                    loop.fn, storage, scalar_env, indices,
+                    threads=self.ctx.config.cpu_threads,
+                    elem_bytes=loop.elem_bytes,
+                )
+            # a CPU write invalidates any device copy of the array
+            for name in loop.analysis.arrays_written():
+                alloc = self.ctx.device.memory.allocations.get(name)
+                if alloc is not None:
+                    alloc.valid = False
+            return run.sim_time_s, run.counts
+
+        # GPU worker
+        time_s = 0.0
+        mem = self.ctx.device.memory
+        for move in loop.data_plan.copyin:
+            arr = storage.arrays[move.array]
+            alloc = mem.allocations.get(move.array)
+            if alloc is None or not alloc.valid:
+                nbytes = move.nbytes(scalar_env, arr)
+                mem.copyin(move.array, arr.shape, arr.dtype, nbytes)
+                time_s += self.ctx.cost.transfer_time(nbytes, asynchronous=True)
+        for move in loop.data_plan.create:
+            arr = storage.arrays[move.array]
+            if move.array not in mem.allocations:
+                mem.alloc(move.array, arr.shape, arr.dtype)
+        for move in loop.data_plan.copyout:
+            arr = storage.arrays[move.array]
+            if move.array not in mem.allocations:
+                mem.alloc(move.array, arr.shape, arr.dtype)
+
+        profile = self.ctx.profiles.get(loop.id)
+        coalescing = profile.coalescing if profile else loop.static_coalescing
+
+        if dd == "low":
+            engine = GpuTlsEngine(self.ctx.device, self.ctx.cpu, self.ctx.config.tls)
+            tls = engine.execute(
+                loop.fn, indices, scalar_env, storage,
+                profile=profile, coalescing=coalescing,
+                elem_bytes=loop.elem_bytes,
+            )
+            time_s += tls.sim_time_s
+            counts = tls.counts
+        elif profile is not None and profile.has_false:
+            from ..tls.privatize import run_privatized
+
+            priv = run_privatized(
+                self.ctx.device, loop.fn, indices, scalar_env, storage,
+                coalescing=coalescing, elem_bytes=loop.elem_bytes,
+                profile=profile,
+            )
+            time_s += priv.sim_time_s
+            counts = priv.counts
+        else:
+            launch = self.ctx.device.launch(
+                loop.fn, indices, scalar_env, storage,
+                mode="direct", coalescing=coalescing,
+                elem_bytes=loop.elem_bytes,
+            )
+            time_s += launch.sim_time_s
+            counts = launch.counts
+
+        out_bytes = loop.data_plan.total_out_bytes(scalar_env, storage.arrays)
+        time_s += self.ctx.cost.transfer_time(
+            out_bytes * frac, asynchronous=True
+        )
+        for move in loop.data_plan.copyout:
+            mem.mark_written(move.array)
+        return time_s, counts

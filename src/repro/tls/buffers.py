@@ -1,0 +1,42 @@
+"""Write-buffer utilities for the TLS engine."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..ir.interpreter import ArrayStorage, LaneSpecState
+
+
+def buffered_cells(lanes: Mapping[int, LaneSpecState]) -> int:
+    """Total buffered cells across lanes (commit-volume metric)."""
+    return sum(len(state.buffer) for state in lanes.values())
+
+
+def buffered_bytes(
+    lanes: Mapping[int, LaneSpecState],
+    storage: ArrayStorage,
+    iterations: Sequence[int] | None = None,
+) -> int:
+    """Bytes the commit phase must move for the given iterations."""
+    total = 0
+    wanted = None if iterations is None else set(iterations)
+    for it, state in lanes.items():
+        if wanted is not None and it not in wanted:
+            continue
+        for (name, _flat) in state.buffer:
+            total += storage.arrays[name].dtype.itemsize
+    return total
+
+
+def metadata_entries(
+    lanes: Mapping[int, LaneSpecState],
+    iterations: Sequence[int] | None = None,
+) -> int:
+    """Logged accesses the dependency-checking phase must scan."""
+    total = 0
+    wanted = None if iterations is None else set(iterations)
+    for it, state in lanes.items():
+        if wanted is not None and it not in wanted:
+            continue
+        total += len(state.reads) + len(state.writes)
+    return total

@@ -1,0 +1,38 @@
+"""Commit phase: apply clean speculative buffers to memory.
+
+Buffers are applied in iteration order so overlapping writes resolve to
+the sequentially-last writer.  Only the clean *prefix* of a sub-loop (all
+iterations before the earliest violation) commits; the paper commits "those
+threads not found to have violations", and a non-violating thread that
+follows a violating one stays safe here too because it is simply
+re-executed after recovery — a strictly conservative refinement that keeps
+re-executed writes from invalidating already-committed state.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..ir.interpreter import ArrayStorage, LaneSpecState
+
+
+def commit_iterations(
+    lanes: Mapping[int, LaneSpecState],
+    storage: ArrayStorage,
+    iterations: Sequence[int],
+) -> tuple[int, int]:
+    """Apply the buffers of ``iterations`` (in the given sequential order).
+
+    Returns ``(cells_written, bytes_written)``.
+    """
+    cells = 0
+    nbytes = 0
+    for it in iterations:
+        state = lanes.get(it)
+        if state is None:
+            continue
+        for (name, flat), value in state.buffer.items():
+            storage.write_flat(name, flat, value)
+            cells += 1
+            nbytes += storage.arrays[name].dtype.itemsize
+    return cells, nbytes

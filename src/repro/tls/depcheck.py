@@ -1,0 +1,94 @@
+"""Dependency-checking (DC) phase of GPU-TLS.
+
+After speculative execution of a sub-loop, the DC phase scans the access
+metadata to find RAW violations: an iteration whose upward-exposed read
+touched a cell that a *sequentially earlier* iteration of the same
+sub-loop wrote.  (WAR needs no check — buffered reads always see pre-
+sub-loop state, which is the sequentially correct value for a read that
+precedes the write.  WAW needs no check — commit applies buffers in
+iteration order, so the last writer wins as in sequential execution.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from ..ir.interpreter import LaneSpecState
+
+
+@dataclass
+class Violation:
+    """One RAW violation found by the DC phase."""
+
+    iteration: int  # the violating (reading) iteration
+    src_iteration: int  # the earlier writer
+    array: str
+    flat: int
+
+
+@dataclass
+class DcResult:
+    """Outcome of the DC phase over one sub-loop."""
+
+    violations: list[Violation] = field(default_factory=list)
+    #: position (within the sub-loop order) of the earliest violator
+    first_violation_pos: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def violating_iterations(self) -> set[int]:
+        return {v.iteration for v in self.violations}
+
+
+def check_subloop(
+    lanes: Mapping[int, LaneSpecState],
+    order: Sequence[int],
+) -> DcResult:
+    """Find RAW violations among the sub-loop's iterations.
+
+    ``order`` is the sequential iteration order of the sub-loop (the
+    launch's index list).
+    """
+    pos = {it: p for p, it in enumerate(order)}
+    # cell -> earliest writer position (the first write wins for "is there
+    # an earlier writer" queries against readers)
+    writer_pos: dict[tuple[str, int], list[tuple[int, int]]] = {}
+    for it in order:
+        state = lanes.get(it)
+        if state is None:
+            continue
+        p = pos[it]
+        for rec in state.writes:
+            writer_pos.setdefault((rec.array, rec.flat), []).append((p, it))
+
+    result = DcResult()
+    for it in order:
+        state = lanes.get(it)
+        if state is None:
+            continue
+        p = pos[it]
+        for rec in state.reads:
+            writers = writer_pos.get((rec.array, rec.flat))
+            if not writers:
+                continue
+            # any earlier writer? (writers are in ascending position order)
+            src = None
+            for wp, wit in writers:
+                if wp >= p:
+                    break
+                src = wit
+            if src is not None:
+                result.violations.append(
+                    Violation(it, src, rec.array, rec.flat)
+                )
+                if (
+                    result.first_violation_pos is None
+                    or p < result.first_violation_pos
+                ):
+                    result.first_violation_pos = p
+                break  # one violation per iteration is enough to squash it
+    return result

@@ -1,0 +1,54 @@
+"""Mis-speculation recovery policy (paper §V-A, mode B).
+
+When the DC phase finds a violation, "the scheduler forwards control to
+CPU and detects whether the following several warps of threads contain TD
+in the profiling results.  If not, the scheduler launches another kernel
+from the violating warp to continue execution on GPU.  Otherwise, these
+warps should be executed on CPU sequentially and detection is repeated
+after execution finishes."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..profiler.interwarp import next_warps_clear
+from ..profiler.report import DependencyProfile
+
+#: How many following warps the recovery policy inspects.
+DEFAULT_LOOKAHEAD_WARPS = 2
+
+
+class RecoveryAction(enum.Enum):
+    RELAUNCH_GPU = "relaunch-gpu"
+    CPU_SEQUENTIAL = "cpu-sequential"
+
+
+@dataclass(frozen=True)
+class RecoveryDecision:
+    action: RecoveryAction
+    #: number of warps to run sequentially on CPU (CPU_SEQUENTIAL only)
+    cpu_warps: int = 0
+
+
+def decide_recovery(
+    profile: Optional[DependencyProfile],
+    violating_warp: int,
+    lookahead: int = DEFAULT_LOOKAHEAD_WARPS,
+) -> RecoveryDecision:
+    """Choose the recovery path after a violation in ``violating_warp``.
+
+    Warp ids are global lane-position warps of the whole loop, matching
+    the profile's ``td_warps``.  Without a profile the policy is
+    optimistic (relaunch on GPU) — the incremental sub-loop structure
+    bounds the wasted work.
+    """
+    if profile is None:
+        return RecoveryDecision(RecoveryAction.RELAUNCH_GPU)
+    if next_warps_clear(profile, violating_warp + 1, lookahead):
+        return RecoveryDecision(RecoveryAction.RELAUNCH_GPU)
+    return RecoveryDecision(
+        RecoveryAction.CPU_SEQUENTIAL, cpu_warps=max(1, lookahead)
+    )

@@ -1,0 +1,113 @@
+"""Array privatization by renaming (the classic compiler transform).
+
+Table I's ``private(list)`` semantics: "a copy of each variable in list
+is allocated for each execution element".  This module rewrites a kernel
+so every access to a privatized 1-D array ``tmp`` goes to a per-lane row
+of an expanded 2-D array ``__priv_tmp[lane][cell]``, where
+``lane = index - __priv_base``.  The rewritten kernel has no cross-lane
+conflicts at all, so a straight-line body stays vectorizable — this is
+the fast path of mode D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import Iterable
+
+from ..errors import LoweringError
+from ..ir.instructions import (
+    ArrayParam,
+    Block,
+    Instr,
+    IRFunction,
+    JType,
+    Opcode,
+    Reg,
+    ScalarParam,
+)
+
+PRIV_BASE = "__priv_base"
+
+
+def priv_name(array: str) -> str:
+    return f"__priv_{array}"
+
+
+def rename_privatized(fn: IRFunction, arrays: Iterable[str]) -> IRFunction:
+    """Rewrite ``fn`` so accesses to ``arrays`` hit per-lane private rows.
+
+    Only 1-D arrays can be privatized this way (the expanded array must
+    stay 2-D).  The caller binds ``__priv_<name>`` arrays of shape
+    ``(n_lanes, len(original))`` and passes ``__priv_base`` = the first
+    iteration index of the launch (indices must be contiguous ascending).
+    """
+    targets = set(arrays)
+    if not targets:
+        return fn
+    for arr in fn.arrays:
+        if arr.name in targets and arr.dims != 1:
+            raise LoweringError(
+                f"cannot rename-privatize {arr.name!r}: only 1-D arrays "
+                f"are supported"
+            )
+    unknown = targets - {a.name for a in fn.arrays}
+    if unknown:
+        raise LoweringError(f"unknown arrays to privatize: {sorted(unknown)}")
+
+    next_reg = fn.num_regs
+    base_reg = Reg(next_reg, JType.INT, PRIV_BASE)
+    lane_reg = Reg(next_reg + 1, JType.INT, "__lane")
+    next_reg += 2
+
+    new_blocks: list[Block] = []
+    for bi, blk in enumerate(fn.blocks):
+        instrs: list[Instr] = []
+        if bi == 0:
+            instrs.append(
+                Instr(
+                    Opcode.BIN,
+                    dst=lane_reg,
+                    binop="-",
+                    a=fn.index,
+                    b=base_reg,
+                )
+            )
+        for instr in blk.instrs:
+            if instr.op is Opcode.LOAD and instr.array in targets:
+                instrs.append(
+                    dc_replace(
+                        instr,
+                        array=priv_name(instr.array),
+                        idx=(lane_reg,) + instr.idx,
+                    )
+                )
+            elif instr.op is Opcode.STORE and instr.array in targets:
+                instrs.append(
+                    dc_replace(
+                        instr,
+                        array=priv_name(instr.array),
+                        idx=(lane_reg,) + instr.idx,
+                    )
+                )
+            else:
+                instrs.append(instr)
+        new_blocks.append(Block(blk.name, instrs))
+
+    new_arrays = []
+    for arr in fn.arrays:
+        if arr.name in targets:
+            new_arrays.append(ArrayParam(priv_name(arr.name), arr.elem, 2))
+        else:
+            new_arrays.append(arr)
+
+    new_fn = IRFunction(
+        name=fn.name + "__priv",
+        index=fn.index,
+        scalars=list(fn.scalars) + [ScalarParam(PRIV_BASE, JType.INT)],
+        arrays=new_arrays,
+        blocks=new_blocks,
+        scalar_regs={**fn.scalar_regs, PRIV_BASE: base_reg},
+        num_regs=next_reg,
+    )
+    new_fn.validate()
+    return new_fn

@@ -1,0 +1,23 @@
+"""Code translator: analysis + lowering + CUDA/Java code generation."""
+
+from .codegen_cuda import generate_cuda_kernel
+from .codegen_java import generate_java_threads
+from .datamove import DataMove, DataPlan, build_data_plan
+from .translator import (
+    MethodTranslation,
+    TranslatedLoop,
+    TranslationUnit,
+    Translator,
+)
+
+__all__ = [
+    "DataMove",
+    "DataPlan",
+    "MethodTranslation",
+    "TranslatedLoop",
+    "TranslationUnit",
+    "Translator",
+    "build_data_plan",
+    "generate_cuda_kernel",
+    "generate_java_threads",
+]

@@ -1,0 +1,189 @@
+"""CUDA C source generation from an annotated loop.
+
+This is the human-readable artifact of the translation ("annotated loops
+are transformed into CUDA kernels"): the loop body with the loop index
+remapped to the CUDA thread id, flattened array parameters, and the host
+stub with the inserted communication API calls.  The simulator executes
+the IR, not this text; the text is what a user inspects and what the
+paper's JNI layer would compile with nvcc.
+"""
+
+from __future__ import annotations
+
+from ..analysis.classify import LoopAnalysis
+from ..lang import ast_nodes as A
+from ..lang.pretty import fmt_expr
+from .datamove import DataPlan
+
+_CUDA_TYPES = {
+    "int": "int",
+    "long": "long long",
+    "float": "float",
+    "double": "double",
+    "boolean": "bool",
+}
+
+_MATH_FNS = {
+    "Math.sqrt": "sqrt",
+    "Math.exp": "exp",
+    "Math.log": "log",
+    "Math.pow": "pow",
+    "Math.abs": "fabs",
+    "Math.min": "min",
+    "Math.max": "max",
+    "Math.floor": "floor",
+    "Math.ceil": "ceil",
+    "Math.sin": "sin",
+    "Math.cos": "cos",
+    "Math.tan": "tan",
+}
+
+
+def _cuda_expr(e: A.Expr, shapes: dict[str, int]) -> str:
+    """Render an expression in CUDA C (2-D arrays flattened row-major)."""
+    if isinstance(e, A.ArrayRef) and len(e.indices) == 2:
+        base = e.base.name
+        i0 = _cuda_expr(e.indices[0], shapes)
+        i1 = _cuda_expr(e.indices[1], shapes)
+        return f"{base}[({i0}) * {base}_dim1 + ({i1})]"
+    if isinstance(e, A.Call) and e.name in _MATH_FNS:
+        args = ", ".join(_cuda_expr(a, shapes) for a in e.args)
+        return f"{_MATH_FNS[e.name]}({args})"
+    if isinstance(e, A.Length):
+        return f"{e.array.name}_dim{e.axis}"
+    if isinstance(e, A.Binary):
+        return f"({_cuda_expr(e.left, shapes)} {_cuda_expr_op(e.op)} {_cuda_expr(e.right, shapes)})"
+    if isinstance(e, A.Unary):
+        return f"({e.op}{_cuda_expr(e.operand, shapes)})"
+    if isinstance(e, A.Ternary):
+        return (
+            f"({_cuda_expr(e.cond, shapes)} ? {_cuda_expr(e.then, shapes)}"
+            f" : {_cuda_expr(e.other, shapes)})"
+        )
+    if isinstance(e, A.Cast):
+        return f"(({_CUDA_TYPES[e.target.name]}) {_cuda_expr(e.operand, shapes)})"
+    if isinstance(e, A.ArrayRef):
+        return f"{e.base.name}[{_cuda_expr(e.indices[0], shapes)}]"
+    return fmt_expr(e)
+
+
+def _cuda_expr_op(op: str) -> str:
+    return {">>>": ">>"}.get(op, op)  # unsigned shift handled via casts
+
+
+def _cuda_stmt(s: A.Stmt, shapes: dict[str, int], indent: int) -> str:
+    pad = "    " * indent
+    if isinstance(s, A.Block):
+        lines = [f"{pad}{{"]
+        lines += [_cuda_stmt(sub, shapes, indent + 1) for sub in s.stmts]
+        lines.append(f"{pad}}}")
+        return "\n".join(lines)
+    if isinstance(s, A.VarDecl):
+        init = f" = {_cuda_expr(s.init, shapes)}" if s.init is not None else ""
+        ctype = _CUDA_TYPES[s.type.name] if isinstance(s.type, A.PrimType) else "/*array*/"
+        return f"{pad}{ctype} {s.name}{init};"
+    if isinstance(s, A.Assign):
+        target = _cuda_expr(s.target, shapes)
+        op = f"{s.op}=" if s.op else "="
+        return f"{pad}{target} {op} {_cuda_expr(s.value, shapes)};"
+    if isinstance(s, A.IncDec):
+        return f"{pad}{_cuda_expr(s.target, shapes)}{s.op};"
+    if isinstance(s, A.ExprStmt):
+        return f"{pad}{_cuda_expr(s.expr, shapes)};"
+    if isinstance(s, A.If):
+        out = f"{pad}if ({_cuda_expr(s.cond, shapes)})\n" + _cuda_stmt(
+            _blockify(s.then), shapes, indent
+        )
+        if s.els is not None:
+            out += f"\n{pad}else\n" + _cuda_stmt(_blockify(s.els), shapes, indent)
+        return out
+    if isinstance(s, A.While):
+        return (
+            f"{pad}while ({_cuda_expr(s.cond, shapes)})\n"
+            + _cuda_stmt(_blockify(s.body), shapes, indent)
+        )
+    if isinstance(s, A.For):
+        init = _cuda_stmt(s.init, shapes, 0).strip().rstrip(";") if s.init else ""
+        cond = _cuda_expr(s.cond, shapes) if s.cond else ""
+        update = (
+            _cuda_stmt(s.update, shapes, 0).strip().rstrip(";") if s.update else ""
+        )
+        return (
+            f"{pad}for ({init}; {cond}; {update})\n"
+            + _cuda_stmt(_blockify(s.body), shapes, indent)
+        )
+    if isinstance(s, A.Return):
+        return f"{pad}return;"
+    raise TypeError(f"cannot emit {type(s).__name__}")
+
+
+def _blockify(s: A.Stmt) -> A.Block:
+    return s if isinstance(s, A.Block) else A.Block(s.pos, [s])
+
+
+def generate_cuda_kernel(
+    name: str,
+    analysis: LoopAnalysis,
+    plan: DataPlan,
+) -> str:
+    """Emit the ``__global__`` kernel plus the host launch stub."""
+    loop = analysis.info.loop
+    index = analysis.info.index
+    types = analysis.outer_types
+    shapes: dict[str, int] = {}
+
+    params = []
+    dims_params = []
+    scalar_params = []
+    for vname in sorted(analysis.arrays_read() | analysis.arrays_written()):
+        t = types.get(vname)
+        if isinstance(t, A.ArrayType):
+            ctype = _CUDA_TYPES[t.elem.name]
+            params.append(f"{ctype} *{vname}")
+            if t.dims == 2:
+                dims_params.append(f"int {vname}_dim1")
+    scalars = sorted(
+        v
+        for v in analysis.variables.live_in
+        if not isinstance(types.get(v), A.ArrayType)
+    )
+    for vname in scalars:
+        t = types[vname]
+        scalar_params.append(f"{_CUDA_TYPES[t.name]} {vname}")
+
+    lo = fmt_expr(analysis.info.lower)
+    sig = ", ".join(params + dims_params + scalar_params + ["int __lo", "int __n"])
+    body = _cuda_stmt(_blockify(loop.body), shapes, 1)
+
+    lines = [
+        f"__global__ void {name}({sig})",
+        "{",
+        f"    int {index} = blockIdx.x * blockDim.x + threadIdx.x + __lo;",
+        f"    if ({index} - __lo >= __n) return;",
+        body,
+        "}",
+        "",
+        f"/* host stub generated by the Japonica translator */",
+        f"void launch_{name}(...)",
+        "{",
+    ]
+    for m in plan.create:
+        lines.append(f"    cudaMalloc(&d_{m.array}, ...);  /* create */")
+    for m in plan.copyin:
+        sec = "" if m.section is None or m.section.whole else (
+            f" /* [{fmt_expr(m.section.low)}:{fmt_expr(m.section.high)}] */"
+        )
+        lines.append(
+            f"    cudaMemcpy(d_{m.array}, {m.array}, ..., "
+            f"cudaMemcpyHostToDevice);{sec}"
+        )
+    lines.append(
+        f"    {name}<<<grid, block>>>(...);  /* index {index} -> thread id */"
+    )
+    for m in plan.copyout:
+        lines.append(
+            f"    cudaMemcpy({m.array}, d_{m.array}, ..., "
+            f"cudaMemcpyDeviceToHost);"
+        )
+    lines.append("}")
+    return "\n".join(lines)

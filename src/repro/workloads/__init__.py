@@ -1,0 +1,47 @@
+"""The 11 benchmark applications of Table II."""
+
+from .base import Workload
+from .bfs import BFS
+from .bicg import BICG
+from .blackscholes import BLACKSCHOLES
+from .cfd import CFD
+from .crypt import CRYPT
+from .gauss_seidel import GAUSS_SEIDEL
+from .gemm import GEMM
+from .mvt import MVT
+from .registry import (
+    ALL_WORKLOADS,
+    BY_NAME,
+    FIG3_WORKLOADS,
+    FIG4_WORKLOADS,
+    FIG5_WORKLOADS,
+    SHARING_WORKLOADS,
+    STEALING_WORKLOADS,
+    get,
+)
+from .sepia import SEPIA
+from .twomm import TWOMM
+from .vectoradd import VECTORADD
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "BFS",
+    "BICG",
+    "BLACKSCHOLES",
+    "BY_NAME",
+    "CFD",
+    "CRYPT",
+    "FIG3_WORKLOADS",
+    "FIG4_WORKLOADS",
+    "FIG5_WORKLOADS",
+    "GAUSS_SEIDEL",
+    "GEMM",
+    "MVT",
+    "SEPIA",
+    "SHARING_WORKLOADS",
+    "STEALING_WORKLOADS",
+    "TWOMM",
+    "VECTORADD",
+    "Workload",
+    "get",
+]

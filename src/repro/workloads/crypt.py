@@ -1,0 +1,216 @@
+"""Crypt (Java Grande) — stealing.
+
+Paper input: ``n*1024*1024`` text elements, serial 2231.5 ms.  IDEA
+encryption followed by decryption; "the decryption process depends on the
+encryption output.  Like BICG, we divide each loop into eight subloops
+and eventually get 16 dependent loops."  Every sub-loop is deterministic
+DOALL; the section-level PDG links each decryption sub-loop to the
+encryption sub-loop producing its blocks, and the stealing scheduler
+spreads the batches over both devices (Figure 5a/5b).
+
+The cipher is the real IDEA structure: 8 rounds of multiply-mod-65537
+(with the 0 <-> 65536 convention), add-mod-65536 and xor, plus the final
+output transform.  The decryption key schedule is the standard inverse
+(computed host-side in :func:`decrypt_key`), so ``crypt2 == text`` after
+a run — a strong end-to-end correctness check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Workload
+
+_MUL_TMPL = (
+    "m = (long)({a} == 0 ? 65536 : {a}) * "
+    "(long)({k} == 0 ? 65536 : {k}) % 65537L;\n"
+)
+
+_BODY_TMPL = """
+      int x1 = {src}[i * 4];
+      int x2 = {src}[i * 4 + 1];
+      int x3 = {src}[i * 4 + 2];
+      int x4 = {src}[i * 4 + 3];
+      int t1 = 0;
+      int t2 = 0;
+      long m = 0L;
+      for (int rr = 0; rr < 8; rr++) {{
+        {mul_x1}x1 = (int)(m == 65536L ? 0L : m);
+        x2 = (x2 + {key}[rr * 6 + 1]) & 0xffff;
+        x3 = (x3 + {key}[rr * 6 + 2]) & 0xffff;
+        {mul_x4}x4 = (int)(m == 65536L ? 0L : m);
+        t2 = x1 ^ x3;
+        {mul_t2}t2 = (int)(m == 65536L ? 0L : m);
+        t1 = (t2 + (x2 ^ x4)) & 0xffff;
+        {mul_t1}t1 = (int)(m == 65536L ? 0L : m);
+        t2 = (t1 + t2) & 0xffff;
+        x1 = x1 ^ t1;
+        x4 = x4 ^ t2;
+        t2 = t2 ^ x2;
+        x2 = x3 ^ t1;
+        x3 = t2;
+      }}
+      {mul_o1}{dst}[i * 4] = (int)(m == 65536L ? 0L : m);
+      {dst}[i * 4 + 1] = (x3 + {key}[49]) & 0xffff;
+      {dst}[i * 4 + 2] = (x2 + {key}[50]) & 0xffff;
+      {mul_o4}{dst}[i * 4 + 3] = (int)(m == 65536L ? 0L : m);
+"""
+
+
+def _loop(k: int, src: str, dst: str, key: str, first: bool) -> str:
+    scheme = " scheme(stealing)" if first else ""
+    body = _BODY_TMPL.format(
+        src=src,
+        dst=dst,
+        key=key,
+        mul_x1=_MUL_TMPL.format(a="x1", k=f"{key}[rr * 6]"),
+        mul_x4=_MUL_TMPL.format(a="x4", k=f"{key}[rr * 6 + 3]"),
+        mul_t2=_MUL_TMPL.format(a="t2", k=f"{key}[rr * 6 + 4]"),
+        mul_t1=_MUL_TMPL.format(a="t1", k=f"{key}[rr * 6 + 5]"),
+        mul_o1=_MUL_TMPL.format(a="x1", k=f"{key}[48]"),
+        mul_o4=_MUL_TMPL.format(a="x4", k=f"{key}[51]"),
+    )
+    lo = f"{k} * (n / 4) / 8" if k else "0"
+    hi = f"{k + 1} * (n / 4) / 8"
+    return (
+        f"    /* acc parallel{scheme} */\n"
+        f"    for (int i = {lo}; i < {hi}; i++) {{{body}    }}\n"
+    )
+
+
+def _build_source() -> str:
+    parts = [
+        "class Crypt {",
+        "  static void run(int[] text, int[] crypt1, int[] crypt2,",
+        "                  int[] ekey, int[] dkey, int n) {",
+    ]
+    for k in range(8):
+        parts.append(_loop(k, "text", "crypt1", "ekey", first=(k == 0)))
+    for k in range(8):
+        parts.append(_loop(k, "crypt1", "crypt2", "dkey", first=False))
+    parts.append("  }")
+    parts.append("}")
+    return "\n".join(parts)
+
+
+SOURCE = _build_source()
+
+
+# --- host-side key schedule and reference cipher -------------------------
+
+
+def _inv(x: int) -> int:
+    """Multiplicative inverse mod 65537 in IDEA's 0 <-> 65536 convention."""
+    x = int(x)
+    if x <= 1:
+        return x
+    return pow(x, -1, 65537) % 65537
+
+
+def _neg(x: int) -> int:
+    return (-int(x)) & 0xFFFF
+
+
+def decrypt_key(Z: np.ndarray) -> np.ndarray:
+    """Standard IDEA inverse key schedule (Java Grande calcDecryptKey)."""
+    DK = [0] * 52
+    DK[51] = _inv(Z[3])
+    DK[50] = _neg(Z[2])
+    DK[49] = _neg(Z[1])
+    DK[48] = _inv(Z[0])
+    j, i = 47, 4
+    for _r in range(8, 1, -1):
+        DK[j] = int(Z[i + 1]); j -= 1
+        DK[j] = int(Z[i]); j -= 1
+        DK[j] = _inv(Z[i + 5]); j -= 1
+        DK[j] = _neg(Z[i + 3]); j -= 1
+        DK[j] = _neg(Z[i + 4]); j -= 1
+        DK[j] = _inv(Z[i + 2]); j -= 1
+        i += 6
+    DK[j] = int(Z[i + 1]); j -= 1
+    DK[j] = int(Z[i]); j -= 1
+    DK[j] = _inv(Z[i + 5]); j -= 1
+    DK[j] = _neg(Z[i + 4]); j -= 1
+    DK[j] = _neg(Z[i + 3]); j -= 1
+    DK[j] = _inv(Z[i + 2]); j -= 1
+    return np.array(DK, dtype=np.int32)
+
+
+def _mul(a: np.ndarray, b) -> np.ndarray:
+    aa = np.where(a == 0, 65536, a).astype(np.int64)
+    bb = np.where(np.asarray(b) == 0, 65536, b).astype(np.int64)
+    m = (aa * bb) % 65537
+    return np.where(m == 65536, 0, m).astype(np.int64)
+
+
+def cipher(blocks: np.ndarray, key: np.ndarray) -> np.ndarray:
+    """Reference IDEA over (n, 4) blocks of 16-bit values."""
+    key = np.asarray(key, dtype=np.int64)
+    x1, x2, x3, x4 = (blocks[:, k].astype(np.int64) for k in range(4))
+    ik = 0
+    for _round in range(8):
+        x1 = _mul(x1, key[ik]); ik += 1
+        x2 = (x2 + key[ik]) & 0xFFFF; ik += 1
+        x3 = (x3 + key[ik]) & 0xFFFF; ik += 1
+        x4 = _mul(x4, key[ik]); ik += 1
+        t2 = x1 ^ x3
+        t2 = _mul(t2, key[ik]); ik += 1
+        t1 = (t2 + (x2 ^ x4)) & 0xFFFF
+        t1 = _mul(t1, key[ik]); ik += 1
+        t2 = (t1 + t2) & 0xFFFF
+        x1 = x1 ^ t1
+        x4 = x4 ^ t2
+        t2 = t2 ^ x2
+        x2 = x3 ^ t1
+        x3 = t2
+    r1 = _mul(x1, key[48])
+    r2 = (x3 + key[49]) & 0xFFFF
+    r3 = (x2 + key[50]) & 0xFFFF
+    r4 = _mul(x4, key[51])
+    return np.stack([r1, r2, r3, r4], axis=1)
+
+
+def make_inputs(n: int = 1, seed: int = 0, size: int = 8192) -> dict:
+    count = size * max(1, n)
+    count -= count % 32  # 8 sub-loops of whole 4-element blocks
+    rng = np.random.default_rng(seed)
+    ekey = rng.integers(0, 65536, 52).astype(np.int32)
+    return {
+        "text": rng.integers(0, 65536, count).astype(np.int32),
+        "crypt1": np.zeros(count, dtype=np.int32),
+        "crypt2": np.zeros(count, dtype=np.int32),
+        "ekey": ekey,
+        "dkey": decrypt_key(ekey),
+        "n": count,
+    }
+
+
+def reference(bindings: dict) -> dict[str, np.ndarray]:
+    text = np.asarray(bindings["text"], dtype=np.int64)
+    blocks = text.reshape(-1, 4)
+    enc = cipher(blocks, bindings["ekey"])
+    dec = cipher(enc, bindings["dkey"])
+    assert np.array_equal(dec, blocks), "IDEA round-trip broken"
+    return {
+        "crypt1": enc.reshape(-1).astype(np.int32),
+        "crypt2": dec.reshape(-1).astype(np.int32),
+    }
+
+
+CRYPT = Workload(
+    name="Crypt",
+    origin="Java Grande",
+    description="IDEA encryption + decryption (16 dependent sub-loops)",
+    scheme="stealing",
+    method="run",
+    source=SOURCE,
+    paper_problem="n*1024*1024 text elements, serial 2231.5 ms",
+    default_params={"size": 8192},
+    work_scale=128.0,
+    byte_scale=128.0,
+    iter_scale=128.0,
+    java_efficiency=0.05534,
+    link_scale=1.2,
+    make_inputs=make_inputs,
+    reference=reference,
+)

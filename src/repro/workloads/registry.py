@@ -1,0 +1,54 @@
+"""Registry of the 11 Table-II workloads."""
+
+from __future__ import annotations
+
+from .base import Workload
+from .bfs import BFS
+from .bicg import BICG
+from .blackscholes import BLACKSCHOLES
+from .cfd import CFD
+from .crypt import CRYPT
+from .gauss_seidel import GAUSS_SEIDEL
+from .gemm import GEMM
+from .mvt import MVT
+from .sepia import SEPIA
+from .twomm import TWOMM
+from .vectoradd import VECTORADD
+
+#: Table II order.
+ALL_WORKLOADS: list[Workload] = [
+    GEMM,
+    VECTORADD,
+    BFS,
+    MVT,
+    GAUSS_SEIDEL,
+    CFD,
+    SEPIA,
+    BLACKSCHOLES,
+    BICG,
+    TWOMM,
+    CRYPT,
+]
+
+BY_NAME: dict[str, Workload] = {w.name: w for w in ALL_WORKLOADS}
+
+SHARING_WORKLOADS = [w for w in ALL_WORKLOADS if w.scheme == "sharing"]
+STEALING_WORKLOADS = [w for w in ALL_WORKLOADS if w.scheme == "stealing"]
+
+#: Figure 3's DOALL group.
+FIG3_WORKLOADS = [BY_NAME[n] for n in ("GEMM", "VectorAdd", "BFS", "MVT")]
+#: Figure 4's DOACROSS group.
+FIG4_WORKLOADS = [
+    BY_NAME[n] for n in ("Guass-Seidel", "CFD", "Sepia", "BlackScholes")
+]
+#: Figure 5(a)'s stealing group.
+FIG5_WORKLOADS = [BY_NAME[n] for n in ("BICG", "2MM", "Crypt")]
+
+
+def get(name: str) -> Workload:
+    try:
+        return BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(BY_NAME)}"
+        ) from None

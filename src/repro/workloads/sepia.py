@@ -1,0 +1,82 @@
+"""Sepia (Merge benchmark suite) — sharing, mode D.
+
+Paper input: ``n*2048*2048`` image elements, serial 334.8 ms.  Per-pixel
+RGB re-weighting staged through a 3-cell scratch buffer whose subscripts
+defeat static analysis: profiling finds only false dependencies, so the
+pixels run privatized on the GPU (mode D) with the CPU taking the tail
+sequentially.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Workload
+
+SOURCE = """
+class Sepia {
+  static void run(double[] r, double[] g, double[] b, double[] tone,
+                  int n) {
+    /* acc parallel scheme(sharing) */
+    for (int i = 0; i < n; i++) {
+      tone[(i * 3) % 3] = r[i] * 0.393 + g[i] * 0.769 + b[i] * 0.189;
+      tone[(i * 3 + 1) % 3] = r[i] * 0.349 + g[i] * 0.686 + b[i] * 0.168;
+      tone[(i * 3 + 2) % 3] = r[i] * 0.272 + g[i] * 0.534 + b[i] * 0.131;
+      double cr = tone[(i * 3) % 3];
+      double cg = tone[(i * 3 + 1) % 3];
+      double cb = tone[(i * 3 + 2) % 3];
+      r[i] = Math.min(cr, 255.0);
+      g[i] = Math.min(cg, 255.0);
+      b[i] = Math.min(cb, 255.0);
+    }
+  }
+}
+"""
+
+
+def make_inputs(n: int = 1, seed: int = 0, size: int = 16384) -> dict:
+    pixels = size * max(1, n)
+    rng = np.random.default_rng(seed)
+    return {
+        "r": rng.uniform(0, 255, pixels),
+        "g": rng.uniform(0, 255, pixels),
+        "b": rng.uniform(0, 255, pixels),
+        "tone": np.zeros(3),
+        "n": pixels,
+    }
+
+
+def reference(bindings: dict) -> dict[str, np.ndarray]:
+    r = np.asarray(bindings["r"], dtype=np.float64)
+    g = np.asarray(bindings["g"], dtype=np.float64)
+    b = np.asarray(bindings["b"], dtype=np.float64)
+    cr = r * 0.393 + g * 0.769 + b * 0.189
+    cg = r * 0.349 + g * 0.686 + b * 0.168
+    cb = r * 0.272 + g * 0.534 + b * 0.131
+    last = len(r) - 1
+    tone = np.array([cr[last], cg[last], cb[last]])
+    return {
+        "r": np.minimum(cr, 255.0),
+        "g": np.minimum(cg, 255.0),
+        "b": np.minimum(cb, 255.0),
+        "tone": tone,
+    }
+
+
+SEPIA = Workload(
+    name="Sepia",
+    origin="Merge",
+    description="Sepia-tone RGB filter",
+    scheme="sharing",
+    method="run",
+    source=SOURCE,
+    paper_problem="n*2048*2048 image elements, serial 334.8 ms",
+    default_params={"size": 16384},
+    work_scale=256.0,
+    byte_scale=256.0,
+    iter_scale=256.0,
+    java_efficiency=0.4121,
+    link_scale=6.0,
+    make_inputs=make_inputs,
+    reference=reference,
+)

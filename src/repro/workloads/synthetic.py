@@ -1,0 +1,175 @@
+"""Synthetic loop generator: parameterized dependence patterns.
+
+Research on speculative parallelization lives and dies by dependence
+*density* and *distance*; the paper's scheduler keys every decision off
+them. This module generates mini-Java loops whose dynamic dependence
+structure is controlled exactly:
+
+* ``td_period`` — one true-dependence target every N iterations
+  (density ~ 1/N), ``0`` for none;
+* ``td_distance`` — how far back each target reads (vs. the TLS
+  sub-loop size this decides whether speculation ever mis-speculates);
+* ``fd_cells`` — size of a shared scratch buffer written each iteration
+  (> 0 introduces false dependencies and makes the loop a
+  privatization candidate);
+* ``work`` — straight-line arithmetic per iteration (flops knob).
+
+The dependences are materialized through an index table (as in the
+BlackScholes audit chain), so static analysis classifies the loop
+*uncertain* and the whole profile->schedule pipeline engages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+
+def _coeff(k: int) -> float:
+    """The k-th work coefficient; shared by codegen and the reference so
+    the emitted literal round-trips to the identical float64."""
+    return 0.11 + 0.07 * k
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Knobs of one generated loop."""
+
+    n: int = 2048
+    td_period: int = 0  # 0 = no true dependencies
+    td_distance: int = 64
+    fd_cells: int = 0  # 0 = no scratch / false dependencies
+    work: int = 4  # fused multiply-adds per iteration
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.n <= 0:
+            raise WorkloadError("n must be positive")
+        if self.td_period < 0 or self.td_distance <= 0:
+            raise WorkloadError("bad TD parameters")
+        if self.fd_cells < 0:
+            raise WorkloadError("fd_cells must be >= 0")
+        if self.work < 1:
+            raise WorkloadError("work must be >= 1")
+
+    @property
+    def expected_td_density(self) -> float:
+        """Approximate fraction of iterations carrying an incoming TD."""
+        if self.td_period == 0:
+            return 0.0
+        targets = max(0, (self.n - 1 - self.td_distance)) // self.td_period
+        return targets / max(1, self.n - 1)
+
+
+def generate_source(spec: SyntheticSpec) -> str:
+    """Emit the annotated mini-Java program for ``spec``."""
+    spec.validate()
+    body = ["      double acc = x[i];"]
+    for k in range(spec.work):
+        body.append(f"      acc = acc * {_coeff(k)!r} + x[i];")
+    if spec.fd_cells > 0:
+        for c in range(spec.fd_cells):
+            body.append(
+                f"      scratch[(i * {spec.fd_cells} + {c}) % {spec.fd_cells}]"
+                f" = acc + {float(c)};"
+            )
+        body.append(
+            f"      acc = acc + scratch[(i * {spec.fd_cells}) % {spec.fd_cells}];"
+        )
+    if spec.td_period > 0:
+        body.append("      acc = acc + chain[look[i]] * 1.0e-6;")
+    body.append("      out[i] = acc;")
+    if spec.td_period > 0:
+        body.append("      chain[i] = acc;")
+    body_text = "\n".join(body)
+
+    params = ["double[] x", "double[] out"]
+    if spec.fd_cells > 0:
+        params.append("double[] scratch")
+    if spec.td_period > 0:
+        params.append("double[] chain")
+        params.append("int[] look")
+    params.append("int n")
+    sig = ", ".join(params)
+
+    return f"""
+class Synthetic {{
+  static void run({sig}) {{
+    /* acc parallel */
+    for (int i = 0; i < n; i++) {{
+{body_text}
+    }}
+  }}
+}}
+"""
+
+
+def make_inputs(spec: SyntheticSpec) -> dict:
+    """Bindings for the generated program."""
+    spec.validate()
+    rng = np.random.default_rng(spec.seed)
+    binds: dict = {
+        "x": rng.standard_normal(spec.n),
+        "out": np.zeros(spec.n),
+        "n": spec.n,
+    }
+    if spec.fd_cells > 0:
+        binds["scratch"] = np.zeros(spec.fd_cells)
+    if spec.td_period > 0:
+        look = np.arange(spec.n, 2 * spec.n, dtype=np.int32)
+        hot = np.arange(spec.td_distance, spec.n, spec.td_period)
+        look[hot] = hot - spec.td_distance
+        binds["chain"] = np.zeros(2 * spec.n)
+        binds["look"] = look
+    return binds
+
+
+def reference(spec: SyntheticSpec, binds: dict) -> dict[str, np.ndarray]:
+    """Sequential NumPy/Python reference for verification."""
+    x = np.asarray(binds["x"], dtype=np.float64)
+    out = np.zeros(spec.n)
+    scratch = (
+        np.zeros(spec.fd_cells) if spec.fd_cells > 0 else None
+    )
+    chain = np.zeros(2 * spec.n) if spec.td_period > 0 else None
+    look = (
+        np.asarray(binds["look"], dtype=np.int64)
+        if spec.td_period > 0
+        else None
+    )
+    for i in range(spec.n):
+        acc = x[i]
+        for k in range(spec.work):
+            acc = acc * _coeff(k) + x[i]
+        if scratch is not None:
+            for c in range(spec.fd_cells):
+                scratch[c] = acc + float(c)
+            acc = acc + scratch[0]
+        if chain is not None:
+            acc = acc + chain[look[i]] * 1.0e-6
+        out[i] = acc
+        if chain is not None:
+            chain[i] = acc
+    result = {"out": out}
+    if scratch is not None:
+        result["scratch"] = scratch
+    if chain is not None:
+        result["chain"] = chain
+    return result
+
+
+def run_synthetic(
+    spec: SyntheticSpec,
+    strategy: str = "japonica",
+    context=None,
+):
+    """Compile + run one synthetic loop; returns (result, bindings)."""
+    from ..api import Japonica
+
+    program = Japonica().compile(generate_source(spec))
+    binds = make_inputs(spec)
+    result = program.run(strategy=strategy, context=context, **binds)
+    return result, binds

@@ -1,0 +1,59 @@
+"""VectorAdd (CUDA SDK) — sharing, mode A.
+
+Paper input: ``n*2048*2048`` elements, serial 3548.6 ms.  Trivially
+DOALL and strongly transfer-bound: the GPU-alone version loses to 16 CPU
+threads, and task sharing wins by overlapping transfers (Figure 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Workload
+
+SOURCE = """
+class VectorAdd {
+  static void run(double[] a, double[] b, double[] c, int n) {
+    /* acc parallel copyin(a[0:n-1], b[0:n-1]) copyout(c[0:n-1]) threads(256) scheme(sharing) */
+    for (int i = 0; i < n; i++) {
+      c[i] = a[i] + b[i];
+    }
+  }
+}
+"""
+
+
+def make_inputs(n: int = 1, seed: int = 0, size: int = 262144) -> dict:
+    rng = np.random.default_rng(seed)
+    count = size * max(1, n)
+    return {
+        "a": rng.standard_normal(count),
+        "b": rng.standard_normal(count),
+        "c": np.zeros(count),
+        "n": count,
+    }
+
+
+def reference(bindings: dict) -> dict[str, np.ndarray]:
+    a = np.asarray(bindings["a"], dtype=np.float64)
+    b = np.asarray(bindings["b"], dtype=np.float64)
+    return {"c": a + b}
+
+
+VECTORADD = Workload(
+    name="VectorAdd",
+    origin="CUDA SDK",
+    description="Vector addition",
+    scheme="sharing",
+    method="run",
+    source=SOURCE,
+    paper_problem="n*2048*2048 elements, serial 3548.6 ms",
+    default_params={"size": 262144},
+    work_scale=16.0,
+    byte_scale=16.0,
+    iter_scale=16.0,
+    java_efficiency=0.00089,
+    link_scale=1.0,
+    make_inputs=make_inputs,
+    reference=reference,
+)

@@ -1,0 +1,124 @@
+"""Affine subscript compression tests (+ hypothesis property)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.affine import LinForm, compress, forms_key
+from repro.lang.parser import Parser
+from repro.lang.lexer import tokenize
+
+
+def expr(text: str):
+    toks = tokenize(text)
+    return Parser(toks)._expr()
+
+
+def comp(text: str, index="i", temps=frozenset({"j", "k", "tmp"})):
+    return compress(expr(text), index, temps)
+
+
+class TestCompression:
+    def test_plain_index(self):
+        f = comp("i")
+        assert (f.coeff, f.syms, f.const) == (1, (), 0)
+
+    def test_constant(self):
+        f = comp("7")
+        assert (f.coeff, f.const) == (0, 7)
+
+    def test_linear_combination(self):
+        f = comp("2 * i + 3")
+        assert (f.coeff, f.const) == (2, 3)
+
+    def test_symbolic_offset(self):
+        f = comp("i + n")
+        assert f.coeff == 1
+        assert f.syms == (("n", 1),)
+
+    def test_nested_arithmetic(self):
+        f = comp("3 * (i - 1) + 2 * n - 5")
+        assert f.coeff == 3
+        assert f.const == -8
+        assert f.syms == (("n", 2),)
+
+    def test_negation(self):
+        f = comp("-(i + 1)")
+        assert (f.coeff, f.const) == (-1, -1)
+
+    def test_cast_is_transparent(self):
+        f = comp("(int) (i + 1)")
+        assert (f.coeff, f.const) == (1, 1)
+
+    def test_sym_cancellation(self):
+        f = comp("n - n + i")
+        assert f.syms == ()
+        assert f.coeff == 1
+
+    def test_const_times_sym(self):
+        f = comp("4 * n")
+        assert f.syms == (("n", 4),)
+
+
+class TestIrresolvable:
+    def test_index_squared(self):
+        assert comp("i * i") is None
+
+    def test_sym_times_index(self):
+        # symbolic coefficient: not testable statically
+        assert comp("n * i") is None
+
+    def test_temp_reference(self):
+        assert comp("i + j") is None
+
+    def test_array_load(self):
+        assert comp("idx[i]", temps=frozenset()) is None
+
+    def test_modulo(self):
+        assert comp("i % 3") is None
+
+    def test_division(self):
+        assert comp("i / 2") is None
+
+
+class TestLinFormOps:
+    def test_add_sub_inverse(self):
+        a = LinForm(2, (("n", 1),), 3)
+        b = LinForm(1, (("m", 2),), -1)
+        assert (a + b) - b == a
+
+    def test_scale(self):
+        a = LinForm(2, (("n", 1),), 3)
+        s = a.scale(-2)
+        assert (s.coeff, s.const) == (-4, -6)
+        assert s.syms == (("n", -2),)
+
+    def test_scale_by_zero_clears_syms(self):
+        a = LinForm(2, (("n", 1),), 3)
+        assert a.scale(0) == LinForm(0, (), 0)
+
+    def test_invariant_flag(self):
+        assert LinForm(0, (("n", 1),), 0).invariant
+        assert not LinForm(1, (), 0).invariant
+
+    def test_forms_key_none_on_unresolved(self):
+        assert forms_key((None,)) is None
+        assert forms_key((LinForm(1, (), 0),)) is not None
+
+
+@given(
+    a=st.integers(-5, 5),
+    b=st.integers(-100, 100),
+    n_coeff=st.integers(-3, 3),
+    i_val=st.integers(0, 50),
+    n_val=st.integers(0, 50),
+)
+@settings(max_examples=100, deadline=None)
+def test_compression_matches_evaluation(a, b, n_coeff, i_val, n_val):
+    """compress(e)(i, n) must equal direct evaluation of e."""
+    text = f"{a} * i + {n_coeff} * n + {b}"
+    f = comp(text)
+    assert f is not None
+    sym_val = sum(k * {"n": n_val}[name] for name, k in f.syms)
+    got = f.coeff * i_val + sym_val + f.const
+    expected = a * i_val + n_coeff * n_val + b
+    assert got == expected

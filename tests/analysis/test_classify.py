@@ -1,0 +1,142 @@
+"""Loop classification tests (the paper's static-analysis outcomes)."""
+
+import pytest
+
+from repro.analysis import LoopStatus, analyze_loop
+from repro.lang import annotated_loops, parse_program
+
+from ..conftest import INDIRECT_SRC, SCRATCH_SRC, SEIDEL_SRC, VEC_SRC, analyzed
+
+
+class TestVariableClasses:
+    def test_vecadd_classes(self):
+        la = analyzed(VEC_SRC)
+        assert la.variables.live_in == {"a", "b"}
+        assert la.variables.live_out == {"c"}
+        assert "i" in la.variables.temp
+
+    def test_temp_inside_loop(self):
+        la = analyzed(
+            """
+            class T { static void f(double[] a, int n) {
+              /* acc parallel */
+              for (int i = 0; i < n; i++) { double t = a[i]; a[i] = t * t; }
+            } }
+            """
+        )
+        assert "t" in la.variables.temp
+        assert la.variables.live_out == {"a"}
+
+    def test_scalar_live_out_detected(self):
+        la = analyzed(
+            """
+            class T { static void f(double[] a, int n) {
+              double s = 0.0;
+              /* acc parallel */
+              for (int i = 0; i < n; i++) { s = s + a[i]; }
+            } }
+            """
+        )
+        assert la.scalar_live_outs == {"s"}
+        assert la.status is LoopStatus.STATIC_DEP
+
+    def test_scalar_read_only_is_live_in(self):
+        la = analyzed(
+            """
+            class T { static void f(double[] a, double alpha, int n) {
+              /* acc parallel */
+              for (int i = 0; i < n; i++) { a[i] = a[i] * alpha; }
+            } }
+            """
+        )
+        assert "alpha" in la.variables.live_in
+
+
+class TestStatus:
+    def test_vecadd_doall(self):
+        assert analyzed(VEC_SRC).status is LoopStatus.DOALL
+
+    def test_seidel_static_dep(self):
+        la = analyzed(SEIDEL_SRC)
+        assert la.status is LoopStatus.STATIC_DEP
+        assert la.has_static_true
+
+    def test_scratch_uncertain_due_to_modulo(self):
+        la = analyzed(SCRATCH_SRC)
+        assert la.status is LoopStatus.UNCERTAIN
+        assert la.profile_pairs
+
+    def test_indirect_read_only_is_doall(self):
+        # out[i] = v[idx[i]]: irregular READ of a read-only array is fine
+        la = analyzed(INDIRECT_SRC)
+        assert la.status is LoopStatus.DOALL
+
+    def test_indirect_write_uncertain(self):
+        la = analyzed(
+            """
+            class T { static void f(double[] v, int[] idx, double[] out, int n) {
+              /* acc parallel */
+              for (int i = 0; i < n; i++) { out[idx[i]] = v[i]; }
+            } }
+            """
+        )
+        assert la.status is LoopStatus.UNCERTAIN
+
+    def test_gemm_style_is_doall(self):
+        la = analyzed(
+            """
+            class T { static void f(double[][] A, double[][] B, double[][] C, int n) {
+              /* acc parallel */
+              for (int i = 0; i < n; i++) {
+                for (int j = 0; j < n; j++) {
+                  double acc = 0.0;
+                  for (int k = 0; k < n; k++) { acc += A[i][k] * B[k][j]; }
+                  C[i][j] = acc + C[i][j];
+                }
+              }
+            } }
+            """
+        )
+        assert la.status is LoopStatus.DOALL
+
+    def test_anti_only_loop(self):
+        la = analyzed(
+            """
+            class T { static void f(double[] x, int n) {
+              /* acc parallel */
+              for (int i = 0; i < n - 1; i++) { x[i] = x[i + 1]; }
+            } }
+            """
+        )
+        assert la.status is LoopStatus.STATIC_DEP
+        assert la.has_static_false
+        assert not la.has_static_true
+
+
+class TestWorkloadClassifications:
+    """The Table-II apps must land where the paper says they do."""
+
+    def test_all_workload_loops_analyze(self):
+        from repro.workloads import ALL_WORKLOADS
+
+        expectations = {
+            "GEMM": {LoopStatus.DOALL},
+            "VectorAdd": {LoopStatus.DOALL},
+            "BFS": {LoopStatus.DOALL},
+            "MVT": {LoopStatus.DOALL},
+            "Guass-Seidel": {LoopStatus.UNCERTAIN, LoopStatus.STATIC_DEP},
+            "CFD": {LoopStatus.UNCERTAIN, LoopStatus.DOALL},
+            "Sepia": {LoopStatus.UNCERTAIN},
+            "BlackScholes": {LoopStatus.UNCERTAIN},
+            "BICG": {LoopStatus.DOALL},
+            "2MM": {LoopStatus.DOALL},
+            "Crypt": {LoopStatus.DOALL},
+        }
+        for w in ALL_WORKLOADS:
+            cls = parse_program(w.source)
+            method = cls.method(w.method)
+            statuses = {
+                analyze_loop(method, loop).status
+                for loop in annotated_loops(method)
+            }
+            assert statuses <= expectations[w.name], (w.name, statuses)

@@ -1,0 +1,56 @@
+"""Loop-invariant expression evaluation tests."""
+
+import pytest
+
+from repro.analysis.consteval import eval_int, eval_invariant
+from repro.errors import AnalysisError
+from repro.lang.lexer import tokenize
+from repro.lang.parser import Parser
+
+
+def ev(text, env=None):
+    toks = tokenize(text)
+    return eval_invariant(Parser(toks)._expr(), env or {})
+
+
+class TestEval:
+    def test_arithmetic(self):
+        assert ev("2 + 3 * 4") == 14
+
+    def test_java_division(self):
+        assert ev("-7 / 2") == -3  # trunc toward zero
+        assert ev("-7 % 2") == -1
+
+    def test_variables(self):
+        assert ev("n * 2 + m", {"n": 5, "m": 1}) == 11
+
+    def test_shift_and_mask(self):
+        assert ev("(1 << 10) - 1") == 1023
+        assert ev("255 & 15") == 15
+
+    def test_comparison_and_ternary(self):
+        assert ev("n > 3 ? 1 : 0", {"n": 5}) == 1
+
+    def test_logical_short_circuit(self):
+        assert ev("n > 0 && m > 0", {"n": 1, "m": 0}) is False or ev(
+            "n > 0 && m > 0", {"n": 1, "m": 0}
+        ) == 0
+
+    def test_cast(self):
+        assert ev("(int) 2.9") == 2
+
+    def test_unknown_variable(self):
+        with pytest.raises(AnalysisError):
+            ev("q + 1")
+
+    def test_eval_int_rejects_float(self):
+        toks = tokenize("1.5")
+        with pytest.raises(AnalysisError):
+            eval_int(Parser(toks)._expr(), {})
+
+    def test_length_param(self):
+        from repro.ir.lower import length_param
+
+        toks = tokenize("a.length")
+        expr = Parser(toks)._expr()
+        assert eval_invariant(expr, {length_param("a", 0): 42}) == 42

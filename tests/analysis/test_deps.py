@@ -1,0 +1,178 @@
+"""Static dependence test unit tests."""
+
+import pytest
+
+from repro.analysis.deps import (
+    DepKind,
+    PairVerdict,
+    collect_accesses,
+    pair_test,
+)
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse_program
+
+
+def accesses_of(body: str, params="double[] x, double[] y, int[] idx, int n"):
+    src = f"""
+    class T {{
+      static void f({params}) {{
+        for (int i = 0; i < n; i++) {{ {body} }}
+      }}
+    }}
+    """
+    cls = parse_program(src)
+    loop = A.find_loops(cls.methods[0].body)[0]
+    from repro.analysis.symbols import declared_inside
+
+    return collect_accesses(loop, "i", declared_inside(loop) | {"i"})
+
+
+def find(accs, array, kind, nth=0):
+    hits = [a for a in accs if a.array == array and a.kind == kind]
+    return hits[nth]
+
+
+class TestCollection:
+    def test_read_and_write_collected_in_order(self):
+        accs = accesses_of("x[i] = y[i + 1];")
+        assert [(a.array, a.kind) for a in accs] == [("y", "R"), ("x", "W")]
+
+    def test_compound_assign_reads_then_writes(self):
+        accs = accesses_of("x[i] += 1.0;")
+        assert [(a.array, a.kind) for a in accs] == [("x", "R"), ("x", "W")]
+
+    def test_guard_depth_recorded(self):
+        accs = accesses_of("if (i > 0) { x[i] = 1.0; }")
+        assert find(accs, "x", "W").guard_depth == 1
+
+    def test_covered_read_marked(self):
+        accs = accesses_of("x[i] = 1.0; y[i] = x[i];")
+        read = find(accs, "x", "R")
+        assert read.covered
+
+    def test_guarded_write_does_not_cover(self):
+        accs = accesses_of("if (i > 0) { x[i] = 1.0; } y[i] = x[i];")
+        read = find(accs, "x", "R")
+        assert not read.covered
+
+    def test_irregular_write_not_affine(self):
+        accs = accesses_of("x[idx[i]] = 1.0;")
+        assert not find(accs, "x", "W").affine
+
+
+class TestPairVerdicts:
+    def _pair(self, body, arr="x", w_nth=0, other_kind="R", o_nth=0):
+        accs = accesses_of(body)
+        return pair_test(
+            find(accs, arr, "W", w_nth), find(accs, arr, other_kind, o_nth)
+        )
+
+    def test_same_cell_distance_zero_no_dep(self):
+        out = self._pair("x[i] = x[i] + 1.0;")
+        assert out.verdict is PairVerdict.NO_DEP
+
+    def test_flow_distance_one(self):
+        out = self._pair("x[i] = x[i - 1];")
+        assert out.verdict is PairVerdict.DEP
+        dep = out.deps[0]
+        assert dep.kind is DepKind.TRUE
+        assert dep.distance == 1
+
+    def test_anti_distance_one(self):
+        out = self._pair("x[i] = x[i + 1];")
+        assert out.verdict is PairVerdict.DEP
+        assert out.deps[0].kind is DepKind.ANTI
+        assert out.deps[0].distance == 1
+
+    def test_disjoint_strides_no_dep(self):
+        # writes even cells, reads odd cells
+        out = self._pair("x[2 * i] = x[2 * i + 1];")
+        assert out.verdict is PairVerdict.NO_DEP
+
+    def test_gcd_unknown(self):
+        # 2i vs 3j can coincide (gcd 1 divides 0): unresolvable statically
+        out = self._pair("x[2 * i] = x[3 * i];")
+        assert out.verdict is PairVerdict.UNKNOWN
+
+    def test_gcd_never(self):
+        # 2i vs 2j+1: parity proves no conflict
+        out = self._pair("x[2 * i] = x[2 * i + 1] + x[0]; ", o_nth=0)
+        assert out.verdict is PairVerdict.NO_DEP
+
+    def test_constant_cell_waw_self(self):
+        accs = accesses_of("x[0] = y[i];")
+        w = find(accs, "x", "W")
+        out = pair_test(w, w)
+        assert out.verdict is PairVerdict.DEP
+        assert out.deps[0].kind is DepKind.OUTPUT
+        assert out.deps[0].distance is None
+
+    def test_affine_write_self_pair_no_dep(self):
+        accs = accesses_of("x[i] = y[i];")
+        w = find(accs, "x", "W")
+        assert pair_test(w, w).verdict is PairVerdict.NO_DEP
+
+    def test_irregular_pair_unknown(self):
+        accs = accesses_of("x[idx[i]] = x[i];")
+        out = pair_test(find(accs, "x", "W"), find(accs, "x", "R"))
+        assert out.verdict is PairVerdict.UNKNOWN
+
+    def test_covered_read_suppresses_flow(self):
+        # const-cell write then read: covered -> only anti remains
+        accs = accesses_of("x[0] = y[i]; y[i] = x[0];")
+        w = find(accs, "x", "W")
+        r = find(accs, "x", "R")
+        assert r.covered
+        out = pair_test(w, r)
+        kinds = {d.kind for d in out.deps}
+        assert DepKind.TRUE not in kinds
+        assert DepKind.ANTI in kinds
+
+    def test_symbolic_offset_mismatch_unknown(self):
+        out = self._pair("x[i] = x[i + n];")
+        assert out.verdict is PairVerdict.UNKNOWN
+
+    def test_symbolic_offset_cancels(self):
+        out = self._pair("x[i + n] = x[i + n - 1];")
+        assert out.verdict is PairVerdict.DEP
+        assert out.deps[0].distance == 1
+
+
+class Test2D:
+    def _accs(self, body):
+        return accesses_of(body, params="double[][] M, int n")
+
+    def test_row_pinned_no_outer_dep(self):
+        # M[i][j] with inner j: dim 0 pins distance 0
+        src_accs = self._accs(
+            "for (int j = 0; j < n; j++) { M[i][j] = M[i][j] * 2.0; }"
+        )
+        w = find(src_accs, "M", "W")
+        r = find(src_accs, "M", "R")
+        assert pair_test(w, r).verdict is PairVerdict.NO_DEP
+
+    def test_row_shift_flow(self):
+        src_accs = self._accs(
+            "for (int j = 0; j < n; j++) { M[i][j] = M[i - 1][j] + 1.0; }"
+        )
+        w = find(src_accs, "M", "W")
+        r = find(src_accs, "M", "R")
+        out = pair_test(w, r)
+        # dim0 pins distance 1, dim1 is unknown (inner index) -> UNKNOWN,
+        # conservatively profiled
+        assert out.verdict is PairVerdict.UNKNOWN
+
+    def test_fixed_columns(self):
+        src_accs = self._accs("M[i][0] = M[i - 2][1];")
+        w = find(src_accs, "M", "W")
+        r = find(src_accs, "M", "R")
+        out = pair_test(w, r)
+        assert out.verdict is PairVerdict.NO_DEP  # columns 0 vs 1 never meet
+
+    def test_fixed_columns_conflict(self):
+        src_accs = self._accs("M[i][3] = M[i - 2][3];")
+        w = find(src_accs, "M", "W")
+        r = find(src_accs, "M", "R")
+        out = pair_test(w, r)
+        assert out.verdict is PairVerdict.DEP
+        assert out.deps[0].distance == 2

@@ -1,0 +1,116 @@
+"""Canonical loop recognition tests."""
+
+import pytest
+
+from repro.analysis.loopinfo import extract_loop_info
+from repro.errors import AnalysisError
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse_program
+
+
+def loop_of(header: str, body: str = "a[i] = 0.0;", decl: str = "int i"):
+    src = f"""
+    class T {{
+      static void f(double[] a, int n, int m) {{
+        for ({header}) {{ {body} }}
+      }}
+    }}
+    """
+    cls = parse_program(src)
+    return A.find_loops(cls.methods[0].body)[0]
+
+
+class TestRecognition:
+    def test_basic_exclusive(self):
+        info = extract_loop_info(loop_of("int i = 0; i < n; i++"))
+        assert info.index == "i"
+        assert not info.upper_inclusive
+        assert info.step == 1
+
+    def test_inclusive_bound(self):
+        info = extract_loop_info(loop_of("int i = 1; i <= n; i++"))
+        assert info.upper_inclusive
+        assert info.bounds({"n": 5}) == (1, 6, 1)
+
+    def test_step_plus_equals(self):
+        info = extract_loop_info(loop_of("int i = 0; i < n; i += 2"))
+        assert info.step == 2
+        assert list(info.indices({"n": 7})) == [0, 2, 4, 6]
+
+    def test_step_i_equals_i_plus(self):
+        info = extract_loop_info(loop_of("int i = 0; i < n; i = i + 3"))
+        assert info.step == 3
+
+    def test_symbolic_bounds(self):
+        info = extract_loop_info(loop_of("int i = m; i < n - 1; i++"))
+        assert info.bounds({"m": 2, "n": 10}) == (2, 9, 1)
+
+    def test_trip_count(self):
+        info = extract_loop_info(loop_of("int i = 0; i < n; i++"))
+        assert info.trip_count({"n": 100}) == 100
+        assert info.trip_count({"n": 0}) == 0
+        assert info.trip_count({"n": -5}) == 0
+
+    def test_assign_init_form(self):
+        # "i = 0" with i declared earlier
+        src = """
+        class T {
+          static void f(double[] a, int n) {
+            int i = 0;
+            for (i = 0; i < n; i++) { a[i] = 0.0; }
+          }
+        }
+        """
+        cls = parse_program(src)
+        loop = A.find_loops(cls.methods[0].body)[0]
+        assert extract_loop_info(loop).index == "i"
+
+
+class TestRejections:
+    def test_missing_lower_bound(self):
+        src = """
+        class T { static void f(double[] a, int n) {
+            int i;
+            for (i + 0; i < n; i++) { a[0] = 0.0; } } }
+        """
+        # "i + 0" init is an ExprStmt, not an assignment
+        cls = parse_program(src)
+        loop = A.find_loops(cls.methods[0].body)[0]
+        with pytest.raises(AnalysisError):
+            extract_loop_info(loop)
+
+    def test_downward_loop_rejected(self):
+        with pytest.raises(AnalysisError):
+            extract_loop_info(loop_of("int i = n; i < 0; i--", "a[0] = 0.0;"))
+
+    def test_wrong_condition_variable(self):
+        with pytest.raises(AnalysisError):
+            extract_loop_info(loop_of("int i = 0; n < 10; i++", "a[0] = 0.0;"))
+
+    def test_greater_than_condition(self):
+        with pytest.raises(AnalysisError):
+            extract_loop_info(loop_of("int i = n; i > 0; i++", "a[0] = 0.0;"))
+
+    def test_bound_depending_on_index(self):
+        with pytest.raises(AnalysisError):
+            extract_loop_info(loop_of("int i = 0; i < i + n; i++"))
+
+    def test_bound_reading_array(self):
+        src = """
+        class T { static void f(double[] a, int[] b, int n) {
+            for (int i = 0; i < b[0]; i++) { a[i] = 0.0; } } }
+        """
+        cls = parse_program(src)
+        loop = A.find_loops(cls.methods[0].body)[0]
+        with pytest.raises(AnalysisError):
+            extract_loop_info(loop)
+
+    def test_non_int_induction(self):
+        src = """
+        class T { static void f(double[] a, int n) {
+            for (double x = 0.0; x < 1.0; x += 0.5) { a[0] = x; } } }
+        """
+        cls = parse_program(src)
+        loop = A.find_loops(cls.methods[0].body)[0]
+        with pytest.raises(AnalysisError):
+            extract_loop_info(loop)

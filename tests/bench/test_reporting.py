@@ -1,0 +1,116 @@
+"""Bench harness + reporting unit tests (no full-figure runs)."""
+
+import pytest
+
+from repro.bench.harness import (
+    PAPER_FIG3,
+    PAPER_FIG4,
+    PAPER_FIG5A,
+    PAPER_SERIAL_MS,
+    FigureRow,
+    Headline,
+    SweepPoint,
+    Table2Row,
+    clear_cache,
+    measure,
+)
+from repro.bench.reporting import (
+    render_figure,
+    render_headline,
+    render_sweep,
+    render_table,
+    render_table2,
+)
+
+
+class TestPaperConstants:
+    def test_serial_column_covers_suite(self):
+        from repro.workloads import BY_NAME
+
+        assert set(PAPER_SERIAL_MS) == set(BY_NAME)
+
+    def test_figure_constants_cover_their_groups(self):
+        assert set(PAPER_FIG3) == {"GEMM", "VectorAdd", "BFS", "MVT"}
+        assert set(PAPER_FIG4) == {
+            "Guass-Seidel", "CFD", "Sepia", "BlackScholes"
+        }
+        assert set(PAPER_FIG5A) == {"BICG", "2MM", "Crypt"}
+
+
+class TestMeasureCache:
+    def test_cached_per_config(self):
+        from repro.workloads import BY_NAME
+
+        clear_cache()
+        w = BY_NAME["MVT"]
+        first = measure(w, ("serial",), size=24)
+        second = measure(w, ("serial",), size=24)
+        assert second is first  # cache hit
+        third = measure(w, ("serial",), size=32)
+        assert third is not first
+
+    def test_speedup_helper(self):
+        from repro.bench.harness import StrategyTimes
+
+        t = StrategyTimes("X", {"serial": 4.0, "japonica": 1.0})
+        assert t.speedup("japonica", over="serial") == 4.0
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "long-header"], [("xx", 1), ("y", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[:2])
+
+    def test_render_table2(self):
+        rows = [
+            Table2Row("X", "Origin", "desc", "input, serial 1 ms",
+                      "sharing", 10.0, 11.0)
+        ]
+        text = render_table2(rows)
+        assert "Table II" in text and "10.0" in text and "11.0" in text
+
+    def test_render_figure(self):
+        rows = [
+            FigureRow("X", "cpu-16", {"gpu": 1.5}, {"gpu": 1.4})
+        ]
+        text = render_figure("T", rows, ("gpu",))
+        assert "1.50 / 1.40" in text
+
+    def test_render_figure_missing_paper_value(self):
+        rows = [FigureRow("X", "cpu-16", {}, {"gpu": 2.0})]
+        text = render_figure("T", rows, ("gpu",))
+        assert "2.00" in text
+
+    def test_render_sweep(self):
+        text = render_sweep([SweepPoint("1024", 10.0, 5.0)])
+        assert "2.00x" in text
+
+    def test_render_headline(self):
+        text = render_headline(Headline(9.0, 2.0, 2.5))
+        assert "9.00x" in text and "10.00x" in text
+
+
+class TestBars:
+    def test_render_bars_marks_paper_value(self):
+        from repro.bench.reporting import render_bars
+
+        rows = [FigureRow("X", "cpu-16", {"gpu": 2.0}, {"gpu": 1.0})]
+        text = render_bars("T", rows, ("gpu",), width=20)
+        assert "#" in text and "|" in text
+        assert "(paper 2.00)" in text
+
+    def test_render_bars_without_paper(self):
+        from repro.bench.reporting import render_bars
+
+        rows = [FigureRow("X", "serial", {}, {"gpu": 1.5})]
+        text = render_bars("T", rows, ("gpu",))
+        assert "1.50" in text
+
+    def test_render_bars_empty_series_skipped(self):
+        from repro.bench.reporting import render_bars
+
+        rows = [FigureRow("X", "serial", {}, {})]
+        text = render_bars("T", rows, ("gpu",))
+        assert "X (vs serial)" in text

@@ -1,0 +1,125 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_loop
+from repro.ir import ArrayStorage, lower_loop_body
+from repro.lang import annotated_loops, parse_program
+
+
+def first_loop(source: str, method: str | None = None):
+    """Parse source, return (method AST, first annotated loop)."""
+    cls = parse_program(source)
+    m = cls.methods[0] if method is None else cls.method(method)
+    loops = annotated_loops(m)
+    assert loops, "source has no annotated loop"
+    return m, loops[0]
+
+
+def analyzed(source: str, method: str | None = None):
+    """Parse + statically analyze the first annotated loop."""
+    m, loop = first_loop(source, method)
+    return analyze_loop(m, loop)
+
+
+def lowered(source: str, method: str | None = None, name: str = "k"):
+    """Parse, analyze and lower the first annotated loop to IR."""
+    analysis = analyzed(source, method)
+    fn = lower_loop_body(
+        analysis.info.loop, analysis.outer_types, analysis.info.index, name
+    )
+    return analysis, fn
+
+
+VEC_SRC = """
+class Vec {
+  static void run(double[] a, double[] b, double[] c, int n) {
+    /* acc parallel copyin(a[0:n-1], b[0:n-1]) copyout(c[0:n-1]) */
+    for (int i = 0; i < n; i++) {
+      c[i] = a[i] * 2.0 + b[i];
+    }
+  }
+}
+"""
+
+SEIDEL_SRC = """
+class Seidel {
+  static void run(double[] x, double[] b, int n) {
+    /* acc parallel */
+    for (int i = 1; i < n - 1; i++) {
+      x[i] = 0.5 * (x[i - 1] + x[i + 1]) + b[i];
+    }
+  }
+}
+"""
+
+SCRATCH_SRC = """
+class Scratch {
+  static void run(double[] src, double[] dst, double[] tmp, int n) {
+    /* acc parallel */
+    for (int i = 0; i < n; i++) {
+      tmp[(i * 2) % 2] = src[i] * 2.0;
+      tmp[(i * 2 + 1) % 2] = src[i] + 1.0;
+      dst[i] = tmp[(i * 2) % 2] + tmp[(i * 2 + 1) % 2];
+    }
+  }
+}
+"""
+
+INDIRECT_SRC = """
+class Indirect {
+  static void run(double[] v, int[] idx, double[] out, int n) {
+    /* acc parallel */
+    for (int i = 0; i < n; i++) {
+      out[i] = v[idx[i]] + 1.0;
+    }
+  }
+}
+"""
+
+
+def register_all(device, storage):
+    """Allocate+validate every array on the simulated device (tests drive
+    the execution engines directly, without the scheduler's registration)."""
+    for name, arr in storage.arrays.items():
+        if name not in device.memory.allocations:
+            device.memory.copyin(name, arr.shape, arr.dtype)
+        else:
+            device.memory.allocations[name].valid = True
+
+
+@pytest.fixture
+def vec_storage():
+    """Small storage bound for VEC_SRC."""
+    rng = np.random.default_rng(7)
+    n = 64
+    return (
+        ArrayStorage(
+            {
+                "a": rng.standard_normal(n),
+                "b": rng.standard_normal(n),
+                "c": np.zeros(n),
+            }
+        ),
+        {"n": n},
+        n,
+    )
+
+
+@pytest.fixture
+def symmetric_ctx():
+    """Context on the symmetric platform (boundary = 0.5)."""
+    from repro.runtime.platform import symmetric_platform
+    from repro.scheduler.context import ExecutionContext
+
+    return ExecutionContext(symmetric_platform())
+
+
+@pytest.fixture
+def paper_ctx():
+    from repro.scheduler.context import ExecutionContext
+
+    return ExecutionContext()

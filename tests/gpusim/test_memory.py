@@ -1,0 +1,96 @@
+"""Device memory tests: allocation, validity, transfer accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryFault
+from repro.gpusim.memory import DeviceMemory
+
+
+class TestAllocation:
+    def test_alloc_and_bytes(self):
+        mem = DeviceMemory()
+        a = mem.alloc("a", (100,), np.float64)
+        assert a.nbytes == 800
+        assert mem.allocated_bytes == 800
+
+    def test_double_alloc_rejected(self):
+        mem = DeviceMemory()
+        mem.alloc("a", (4,), np.float64)
+        with pytest.raises(MemoryFault):
+            mem.alloc("a", (4,), np.float64)
+
+    def test_capacity_enforced(self):
+        mem = DeviceMemory(capacity_bytes=100)
+        with pytest.raises(MemoryFault, match="out of memory"):
+            mem.alloc("big", (1000,), np.float64)
+
+    def test_free(self):
+        mem = DeviceMemory()
+        mem.alloc("a", (4,), np.float64)
+        mem.free("a")
+        assert mem.allocated_bytes == 0
+        with pytest.raises(MemoryFault):
+            mem.free("a")
+
+    def test_free_all(self):
+        mem = DeviceMemory()
+        mem.alloc("a", (4,), np.float64)
+        mem.alloc("b", (4,), np.int32)
+        mem.free_all()
+        assert not mem.allocations
+
+
+class TestValidity:
+    def test_read_before_copyin_faults(self):
+        mem = DeviceMemory()
+        mem.alloc("a", (4,), np.float64)
+        with pytest.raises(MemoryFault, match="before any copyin"):
+            mem.require("a", for_read=True)
+
+    def test_unallocated_access_faults(self):
+        mem = DeviceMemory()
+        with pytest.raises(MemoryFault, match="never allocated"):
+            mem.require("ghost")
+
+    def test_copyin_marks_valid(self):
+        mem = DeviceMemory()
+        mem.copyin("a", (4,), np.float64)
+        assert mem.require("a", for_read=True).valid
+
+    def test_write_marks_valid(self):
+        mem = DeviceMemory()
+        mem.alloc("a", (4,), np.float64)
+        mem.mark_written("a")
+        assert mem.allocations["a"].valid
+
+
+class TestTransfers:
+    def test_copyin_accounting(self):
+        mem = DeviceMemory()
+        moved = mem.copyin("a", (128,), np.float64)
+        assert moved == 1024
+        assert mem.stats.h2d_bytes == 1024
+        assert mem.stats.h2d_count == 1
+
+    def test_partial_copyin_bytes(self):
+        mem = DeviceMemory()
+        mem.copyin("a", (128,), np.float64, nbytes=64)
+        assert mem.stats.h2d_bytes == 64
+
+    def test_copyout_accounting(self):
+        mem = DeviceMemory()
+        mem.alloc("a", (16,), np.int32)
+        moved = mem.copyout("a")
+        assert moved == 64
+        assert mem.stats.d2h_bytes == 64
+
+    def test_copyout_unallocated_faults(self):
+        mem = DeviceMemory()
+        with pytest.raises(MemoryFault):
+            mem.copyout("nope")
+
+    def test_stale_fraction_defaults(self):
+        mem = DeviceMemory()
+        alloc = mem.alloc("a", (4,), np.float64)
+        assert alloc.stale_fraction == 1.0

@@ -1,0 +1,126 @@
+"""Public-API tests."""
+
+import numpy as np
+import pytest
+
+from repro import Japonica, JaponicaError
+
+from ..conftest import VEC_SRC
+
+
+@pytest.fixture(scope="module")
+def program():
+    return Japonica().compile(VEC_SRC)
+
+
+class TestCompile:
+    def test_methods_listed(self, program):
+        assert program.methods == ["run"]
+
+    def test_sources_exposed(self, program):
+        assert "__global__" in program.cuda_source("run")
+        assert "Thread" in program.java_source("run")
+
+    def test_no_annotations_rejected(self):
+        with pytest.raises(JaponicaError, match="no annotated loops"):
+            Japonica().compile("class T { static void f(int n) { n = 1; } }")
+
+
+class TestRun:
+    def test_single_method_inferred(self, program):
+        n = 64
+        res = program.run(
+            a=np.ones(n), b=np.ones(n), c=np.zeros(n), n=n, strategy="serial"
+        )
+        assert np.array_equal(res.arrays["c"], np.full(n, 3.0))
+
+    def test_caller_arrays_not_mutated(self, program):
+        n = 32
+        c = np.zeros(n)
+        program.run(a=np.ones(n), b=np.ones(n), c=c, n=n, strategy="serial")
+        assert np.array_equal(c, np.zeros(n))
+
+    def test_dtype_coercion(self, program):
+        n = 16
+        res = program.run(
+            a=np.arange(n, dtype=np.int64),  # coerced to double
+            b=np.zeros(n),
+            c=np.zeros(n),
+            n=n,
+            strategy="serial",
+        )
+        assert res.arrays["a"].dtype == np.float64
+
+    def test_missing_binding(self, program):
+        with pytest.raises(JaponicaError, match="missing bindings"):
+            program.run(a=np.ones(4), b=np.ones(4), n=4, strategy="serial")
+
+    def test_unknown_binding(self, program):
+        with pytest.raises(JaponicaError, match="unknown bindings"):
+            program.run(
+                a=np.ones(4), b=np.ones(4), c=np.zeros(4), n=4, zzz=1,
+                strategy="serial",
+            )
+
+    def test_wrong_dims(self, program):
+        with pytest.raises(JaponicaError, match="1-D"):
+            program.run(
+                a=np.ones((4, 4)), b=np.ones(4), c=np.zeros(4), n=4,
+                strategy="serial",
+            )
+
+    def test_unknown_strategy(self, program):
+        with pytest.raises(JaponicaError, match="unknown strategy"):
+            program.run(
+                a=np.ones(4), b=np.ones(4), c=np.zeros(4), n=4,
+                strategy="warp9",
+            )
+
+    def test_unknown_method(self, program):
+        with pytest.raises(JaponicaError, match="no annotated method"):
+            program.run("nope", strategy="serial")
+
+    def test_result_metadata(self, program):
+        n = 64
+        res = program.run(
+            a=np.ones(n), b=np.ones(n), c=np.zeros(n), n=n,
+            strategy="japonica",
+        )
+        assert res.strategy == "japonica"
+        assert res.scheme == "sharing"
+        assert res.sim_time_s > 0
+        assert res.sim_time_ms == pytest.approx(res.sim_time_s * 1e3)
+        assert len(res.loop_results) == 1
+        loop_id, loop_res = res.loop_results[0]
+        assert loop_id == "run#0"
+        assert res.loop_result("run#0") is loop_res
+        with pytest.raises(KeyError):
+            res.loop_result("ghost")
+
+    def test_speedup_helper(self, program):
+        n = 256
+        kw = dict(a=np.ones(n), b=np.ones(n), c=np.zeros(n), n=n)
+        serial = program.run(strategy="serial", **kw)
+        cpu = program.run(strategy="cpu", **kw)
+        assert cpu.speedup_over(serial) == pytest.approx(
+            serial.sim_time_s / cpu.sim_time_s
+        )
+
+    def test_scalar_writeback(self):
+        src = """
+        class T {
+          static void f(double[] a, int n) {
+            double s = 0.0;
+            /* acc parallel */
+            for (int i = 0; i < n; i++) { s = s + a[i]; }
+            a[0] = s;
+          }
+        }
+        """
+        program = Japonica().compile(src)
+        n = 8
+        res = program.run(
+            a=np.ones(n), n=n, strategy="japonica"
+        )
+        # mode C host fallback must propagate the scalar back
+        assert res.arrays["a"][0] == float(n)

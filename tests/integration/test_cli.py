@@ -1,0 +1,58 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "GEMM" in out and "Crypt" in out
+
+    def test_run_with_verification(self, capsys):
+        code = main(["run", "MVT", "--strategies", "serial,japonica"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verified" in out
+        assert "speedup japonica over serial" in out
+
+    def test_run_unknown_workload(self, capsys):
+        assert main(["run", "NotAThing"]) == 2
+
+    def test_run_unknown_strategy(self, capsys):
+        assert main(["run", "MVT", "--strategies", "warp9"]) == 2
+
+    def test_translate(self, tmp_path, capsys):
+        src = tmp_path / "demo.java"
+        src.write_text(
+            """
+            class Demo {
+              static void f(double[] a, double[] b, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { b[i] = a[i] + 1.0; }
+              }
+            }
+            """
+        )
+        assert main(["translate", str(src), "--cuda"]) == 0
+        out = capsys.readouterr().out
+        assert "doall" in out
+        assert "__global__" in out
+
+    def test_translate_missing_file(self, capsys):
+        assert main(["translate", "/nonexistent.java"]) == 2
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+def test_cli_fig_bars_flag_parses():
+    """--bars must be accepted by every figure command (smoke: parser only)."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(["fig3", "--bars"])
+    assert args.bars is True

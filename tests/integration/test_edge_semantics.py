@@ -1,0 +1,154 @@
+"""Edge-case semantics across layers."""
+
+import numpy as np
+import pytest
+
+from repro import Japonica
+from repro.errors import SpeculationError
+
+
+class TestBooleanArrays:
+    SRC = """
+    class T {
+      static void f(boolean[] flags, double[] a, double[] out, int n) {
+        /* acc parallel */
+        for (int i = 0; i < n; i++) {
+          if (flags[i]) { out[i] = a[i] * 2.0; } else { out[i] = -1.0; }
+        }
+      }
+    }
+    """
+
+    @pytest.mark.parametrize("strategy", ["serial", "cpu", "japonica"])
+    def test_boolean_array_end_to_end(self, strategy):
+        program = Japonica().compile(self.SRC)
+        n = 32
+        rng = np.random.default_rng(0)
+        flags = rng.random(n) < 0.5
+        a = rng.standard_normal(n)
+        res = program.run(
+            flags=flags, a=a, out=np.zeros(n), n=n, strategy=strategy
+        )
+        expected = np.where(flags, a * 2.0, -1.0)
+        assert np.array_equal(res.arrays["out"], expected)
+
+
+class TestInclusiveBound:
+    def test_le_bound_end_to_end(self):
+        src = """
+        class T {
+          static void f(double[] a, int n) {
+            /* acc parallel */
+            for (int i = 0; i <= n; i++) { a[i] = (double) i; }
+          }
+        }
+        """
+        program = Japonica().compile(src)
+        res = program.run(a=np.zeros(6), n=5, strategy="japonica")
+        assert np.array_equal(res.arrays["a"], np.arange(6.0))
+
+    def test_java_text_adds_one_for_inclusive(self):
+        src = """
+        class T {
+          static void f(double[] a, int n) {
+            /* acc parallel */
+            for (int i = 0; i <= n; i++) { a[i] = 0.0; }
+          }
+        }
+        """
+        program = Japonica().compile(src)
+        assert "+ 1" in program.java_source("f")
+
+
+class TestStridedLoop:
+    @pytest.mark.parametrize("strategy", ["serial", "cpu", "gpu", "japonica"])
+    def test_step_two_loop(self, strategy):
+        src = """
+        class T {
+          static void f(double[] a, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i += 2) { a[i] = 1.0; }
+          }
+        }
+        """
+        program = Japonica().compile(src)
+        n = 17
+        res = program.run(a=np.zeros(n), n=n, strategy=strategy)
+        expected = np.zeros(n)
+        expected[::2] = 1.0
+        assert np.array_equal(res.arrays["a"], expected)
+
+
+class TestHostJavaOps:
+    def test_host_unsigned_shift_and_negative_modulo(self):
+        src = """
+        class T {
+          static void f(int[] out, int n) {
+            int a = -8;
+            out[0] = a >>> 28;
+            out[1] = -7 % 3;
+            out[2] = a >> 1;
+          }
+        }
+        """
+        program = Japonica().compile(
+            src.replace("static void f", "static void g")
+            if False
+            else """
+        class T {
+          static void f(int[] out, double[] dummy, int n) {
+            /* acc parallel */
+            for (int i = 0; i < 1; i++) { dummy[i] = 0.0; }
+            int a = -8;
+            out[0] = a >>> 28;
+            out[1] = -7 % 3;
+            out[2] = a >> 1;
+          }
+        }
+        """
+        )
+        res = program.run(
+            out=np.zeros(3, dtype=np.int32),
+            dummy=np.zeros(1),
+            n=1,
+            strategy="serial",
+        )
+        assert list(res.arrays["out"]) == [15, -1, -4]
+
+
+class TestTlsRelaunchBudget:
+    def test_budget_exhaustion_raises(self):
+        from repro.cpusim.executor import CpuExecutor
+        from repro.gpusim.device import GpuDevice
+        from repro.ir import ArrayStorage
+        from repro.runtime.costmodel import CostModel
+        from repro.runtime.platform import paper_platform
+        from repro.tls.engine import GpuTlsEngine, TlsConfig
+
+        from ..conftest import lowered
+
+        src = """
+        class T { static void f(double[] x, int[] look, int n) {
+          /* acc parallel */
+          for (int i = 0; i < n; i++) {
+            x[i] = x[look[i]] + 1.0;
+          }
+        } }
+        """
+        _, fn = lowered(src)
+        n = 64
+        look = np.maximum(np.arange(n, dtype=np.int32) - 1, 0)
+        storage = ArrayStorage({"x": np.zeros(n), "look": look})
+        platform = paper_platform()
+        from ..conftest import register_all
+        device = GpuDevice(platform.gpu, CostModel(platform))
+        register_all(device, storage)
+        engine = GpuTlsEngine(
+            device,
+            CpuExecutor(platform.cpu, CostModel(platform)),
+            TlsConfig(warps_per_subloop=1, max_relaunches=0),
+        )
+        with pytest.raises(SpeculationError, match="budget"):
+            engine.execute(
+                fn, range(n), {"n": n}, storage,
+            )

@@ -1,0 +1,117 @@
+"""Full-pipeline integration: every workload x every strategy, verified.
+
+This is the core guarantee of the reproduction: any scheduling decision —
+boundary split, privatization, speculation with mis-speculation recovery,
+stealing — must produce exactly the results of sequential execution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import STRATEGIES
+from repro.workloads import ALL_WORKLOADS, BY_NAME
+
+SMALL = {
+    # reduced sizes keep the functional simulators quick in CI
+    "GEMM": {"size": 24},
+    "VectorAdd": {"size": 8192},
+    "BFS": {"size": 512, "depth": 4},
+    "MVT": {"size": 48},
+    "Guass-Seidel": {"size": 32, "sweeps": 2},
+    "CFD": {"size": 512, "sweeps": 2},
+    "Sepia": {"size": 4096},
+    "BlackScholes": {"size": 5120},
+    "BICG": {"size": 48},
+    "2MM": {"size": 16},
+    "Crypt": {"size": 2048},
+}
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("w", ALL_WORKLOADS, ids=lambda w: w.name)
+def test_workload_strategy_correct(w, strategy):
+    overrides = SMALL[w.name]
+    binds = w.bindings(**overrides)
+    result = w.run(strategy=strategy, **overrides)
+    w.verify(result, binds)
+    assert result.sim_time_s > 0
+
+
+class TestExpectedModes:
+    """The paper's per-app execution modes must engage (§VI)."""
+
+    def modes_of(self, name, **overrides):
+        w = BY_NAME[name]
+        res = w.run(strategy="japonica", **{**SMALL[name], **overrides})
+        return [r.mode for _, r in res.loop_results]
+
+    def test_gemm_mode_a(self):
+        assert self.modes_of("GEMM") == ["A"]
+
+    def test_vectoradd_mode_a(self):
+        assert self.modes_of("VectorAdd") == ["A"]
+
+    def test_bfs_mode_a_every_level(self):
+        modes = self.modes_of("BFS")
+        assert set(modes) == {"A"}
+        assert len(modes) == 2 * SMALL["BFS"]["depth"]
+
+    def test_gauss_seidel_mode_c(self):
+        assert set(self.modes_of("Guass-Seidel")) == {"C"}
+
+    def test_cfd_modes_d_and_a(self):
+        modes = self.modes_of("CFD")
+        assert "D" in modes and "A" in modes
+
+    def test_sepia_mode_d(self):
+        assert self.modes_of("Sepia") == ["D"]
+
+    def test_blackscholes_mode_b(self):
+        assert self.modes_of("BlackScholes") == ["B"]
+
+    def test_stealing_apps_use_stealing(self):
+        for name in ("BICG", "2MM", "Crypt"):
+            assert set(self.modes_of(name)) == {"stealing"}, name
+
+
+class TestProfileOutcomes:
+    def test_blackscholes_profile_density(self):
+        w = BY_NAME["BlackScholes"]
+        ctx = w.make_context()
+        res = w.run(strategy="japonica", context=ctx, **SMALL["BlackScholes"])
+        profile = res.loop_results[0][1].detail["profile"]
+        assert profile is not None
+        # paper: "the data dependency value measured ... is about 0.012"
+        assert 0.004 < profile.td_density < 0.02
+        assert profile.density_class(0.3) == "low"
+
+    def test_blackscholes_tls_stats(self):
+        w = BY_NAME["BlackScholes"]
+        res = w.run(strategy="japonica", **SMALL["BlackScholes"])
+        tls = res.loop_results[0][1].detail["tls"]
+        assert tls.committed_iterations == SMALL["BlackScholes"]["size"]
+        # the short-distance audit entries really mis-speculate
+        assert tls.violations >= 1
+
+    def test_cfd_profile_fd_only(self):
+        w = BY_NAME["CFD"]
+        res = w.run(strategy="japonica", **SMALL["CFD"])
+        flux_res = res.loop_results[0][1]
+        profile = flux_res.detail["profile"]
+        assert profile.has_false and not profile.has_true
+        assert profile.privatizable
+
+    def test_bicg_stealing_placement(self):
+        w = BY_NAME["BICG"]
+        res = w.run(strategy="japonica", **SMALL["BICG"])
+        stats = res.loop_results[0][1].detail["stats"]
+        assert len(stats.placements) == 8
+        workers = {p.worker for p in stats.placements}
+        assert workers == {"cpu", "gpu"}  # both devices contribute
+
+    def test_crypt_two_batches(self):
+        w = BY_NAME["Crypt"]
+        res = w.run(strategy="japonica", **SMALL["Crypt"])
+        stats = res.loop_results[0][1].detail["stats"]
+        assert stats.batches == 2  # encrypt batch, then decrypt batch
+        assert len(stats.placements) == 16

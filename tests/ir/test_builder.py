@@ -1,0 +1,102 @@
+"""IRBuilder structural tests."""
+
+import pytest
+
+from repro.errors import LoweringError
+from repro.ir import IRBuilder, JType
+from repro.ir.instructions import Opcode
+
+
+def fresh():
+    b = IRBuilder("k")
+    b.declare_index("i")
+    return b
+
+
+class TestBuilder:
+    def test_minimal_kernel(self):
+        b = fresh()
+        blk = b.new_block("entry")
+        b.set_insert(blk)
+        b.ret()
+        fn = b.finish()
+        assert fn.entry.name == "entry0"
+        assert fn.is_straightline
+
+    def test_double_index_rejected(self):
+        b = fresh()
+        with pytest.raises(LoweringError):
+            b.declare_index("j")
+
+    def test_missing_index_rejected(self):
+        b = IRBuilder("k")
+        blk = b.new_block()
+        b.set_insert(blk)
+        b.ret()
+        with pytest.raises(LoweringError):
+            b.finish()
+
+    def test_emit_without_block(self):
+        b = fresh()
+        with pytest.raises(LoweringError):
+            b.const(1, JType.INT)
+
+    def test_emit_after_terminator_rejected(self):
+        b = fresh()
+        blk = b.new_block()
+        b.set_insert(blk)
+        b.ret()
+        with pytest.raises(LoweringError):
+            b.const(1, JType.INT)
+
+    def test_duplicate_scalar_rejected(self):
+        b = fresh()
+        b.declare_scalar("n", JType.INT)
+        with pytest.raises(LoweringError):
+            b.declare_scalar("n", JType.INT)
+
+    def test_duplicate_array_rejected(self):
+        b = fresh()
+        b.declare_array("a", JType.DOUBLE, 1)
+        with pytest.raises(LoweringError):
+            b.declare_array("a", JType.DOUBLE, 1)
+
+    def test_cast_same_type_is_noop(self):
+        b = fresh()
+        blk = b.new_block()
+        b.set_insert(blk)
+        r = b.const(1, JType.INT)
+        assert b.cast(r, JType.INT) is r
+        r2 = b.cast(r, JType.LONG)
+        assert r2 is not r and r2.type is JType.LONG
+
+    def test_validate_catches_missing_terminator(self):
+        b = fresh()
+        blk = b.new_block()
+        b.set_insert(blk)
+        b.const(1, JType.INT)
+        with pytest.raises(AssertionError):
+            b.finish()
+
+    def test_branch_targets_checked(self):
+        from repro.ir.instructions import Block, Instr, IRFunction, Reg
+
+        index = Reg(0, JType.INT, "i")
+        blk = Block("entry", [Instr(Opcode.BR, target="nowhere")])
+        fn = IRFunction("k", index, [], [], [blk], {}, 1)
+        with pytest.raises(AssertionError):
+            fn.validate()
+
+    def test_function_lookups(self):
+        b = fresh()
+        b.declare_array("a", JType.DOUBLE, 2)
+        blk = b.new_block()
+        b.set_insert(blk)
+        b.ret()
+        fn = b.finish()
+        assert fn.array("a").dims == 2
+        with pytest.raises(KeyError):
+            fn.array("nope")
+        assert fn.block(blk.name) is blk
+        with pytest.raises(KeyError):
+            fn.block("ghost")

@@ -1,0 +1,137 @@
+"""Java numeric semantics tests (+ hypothesis properties)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import java_ops as J
+from repro.ir.instructions import JType
+
+i32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+i64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+
+
+class TestWrap:
+    def test_int_overflow_wraps(self):
+        assert J.wrap_int(2**31) == -(2**31)
+        assert J.wrap_int(-(2**31) - 1) == 2**31 - 1
+
+    def test_long_overflow_wraps(self):
+        assert J.wrap_long(2**63) == -(2**63)
+
+    @given(i32, i32)
+    def test_add_matches_two_complement(self, a, b):
+        got = J.binop("+", a, b, JType.INT)
+        assert got == J.wrap_int(a + b)
+        assert -(2**31) <= got <= 2**31 - 1
+
+    @given(i32, i32)
+    def test_mul_stays_in_range(self, a, b):
+        got = J.binop("*", a, b, JType.INT)
+        assert -(2**31) <= got <= 2**31 - 1
+
+
+class TestDivision:
+    def test_trunc_toward_zero(self):
+        assert J.binop("/", -7, 2, JType.INT) == -3
+        assert J.binop("/", 7, -2, JType.INT) == -3
+        assert J.binop("%", -7, 2, JType.INT) == -1
+        assert J.binop("%", 7, -2, JType.INT) == 1
+
+    def test_divide_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            J.binop("/", 1, 0, JType.INT)
+
+    def test_min_int_division_wraps(self):
+        # Integer.MIN_VALUE / -1 overflows and wraps in Java
+        assert J.binop("/", -(2**31), -1, JType.INT) == -(2**31)
+
+    @given(i32, i32.filter(lambda v: v != 0))
+    def test_div_rem_identity(self, a, b):
+        q = J.binop("/", a, b, JType.INT)
+        r = J.binop("%", a, b, JType.INT)
+        assert J.wrap_int(q * b + r) == a
+
+
+class TestShifts:
+    def test_shift_count_masked(self):
+        assert J.binop("<<", 1, 33, JType.INT) == 2  # 33 & 31 == 1
+        assert J.binop("<<", 1, 65, JType.LONG) == 2
+
+    def test_arithmetic_shift_right(self):
+        assert J.binop(">>", -8, 1, JType.INT) == -4
+
+    def test_unsigned_shift_right(self):
+        assert J.binop(">>>", -1, 28, JType.INT) == 15
+        assert J.binop(">>>", -1, 0, JType.INT) == -1
+
+    @given(i32, st.integers(0, 100))
+    def test_ushr_nonnegative_for_positive_count(self, a, count):
+        got = J.binop(">>>", a, count, JType.INT)
+        if count & 31 != 0:
+            assert got >= 0
+
+
+class TestFloat:
+    def test_div_by_zero_gives_inf(self):
+        assert J.binop("/", 1.0, 0.0, JType.DOUBLE) == float("inf")
+        assert J.binop("/", -1.0, 0.0, JType.DOUBLE) == float("-inf")
+
+    def test_zero_over_zero_nan(self):
+        assert math.isnan(J.binop("/", 0.0, 0.0, JType.DOUBLE))
+
+    def test_float32_rounding(self):
+        got = J.binop("+", 0.1, 0.2, JType.FLOAT)
+        import struct
+
+        assert got == struct.unpack("f", struct.pack("f", 0.1 + 0.2))[0]
+
+    def test_fmod_sign(self):
+        assert J.binop("%", -5.5, 2.0, JType.DOUBLE) == math.fmod(-5.5, 2.0)
+
+
+class TestCast:
+    def test_double_to_int_truncates(self):
+        assert J.cast(2.9, JType.DOUBLE, JType.INT) == 2
+        assert J.cast(-2.9, JType.DOUBLE, JType.INT) == -2
+
+    def test_nan_to_int_is_zero(self):
+        assert J.cast(float("nan"), JType.DOUBLE, JType.INT) == 0
+
+    def test_saturation(self):
+        assert J.cast(1e20, JType.DOUBLE, JType.INT) == 2**31 - 1
+        assert J.cast(-1e20, JType.DOUBLE, JType.INT) == -(2**31)
+
+    def test_long_to_int_wraps(self):
+        assert J.cast(2**32 + 5, JType.LONG, JType.INT) == 5
+
+    def test_int_to_float_rounds(self):
+        # 2^24 + 1 is not representable in binary32
+        assert J.cast(2**24 + 1, JType.INT, JType.FLOAT) == float(2**24)
+
+
+class TestUnopsAndIntrinsics:
+    def test_negate_min_int(self):
+        assert J.unop("-", -(2**31), JType.INT) == -(2**31)
+
+    def test_bitwise_not(self):
+        assert J.unop("~", 0, JType.INT) == -1
+
+    def test_sqrt_negative_nan(self):
+        assert math.isnan(J.intrinsic("Math.sqrt", [-1.0], JType.DOUBLE))
+
+    def test_log_zero(self):
+        assert J.intrinsic("Math.log", [0.0], JType.DOUBLE) == float("-inf")
+
+    def test_exp_overflow(self):
+        assert J.intrinsic("Math.exp", [1e9], JType.DOUBLE) == float("inf")
+
+    def test_min_max_int(self):
+        assert J.intrinsic("Math.min", [3, 5], JType.INT) == 3
+        assert J.intrinsic("Math.max", [3, 5], JType.INT) == 5
+
+    def test_default_values(self):
+        assert J.default_value(JType.INT) == 0
+        assert J.default_value(JType.DOUBLE) == 0.0
+        assert J.default_value(JType.BOOL) is False

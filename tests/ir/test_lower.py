@@ -1,0 +1,149 @@
+"""Lowering tests: AST loop bodies -> kernel IR."""
+
+import pytest
+
+from repro.errors import LoweringError, TypeCheckError
+from repro.ir import JType, lower_loop_body
+from repro.ir.instructions import Opcode
+from repro.ir.lower import length_param, promote
+
+from ..conftest import lowered
+
+
+class TestPromotion:
+    @pytest.mark.parametrize(
+        "a,b,out",
+        [
+            (JType.INT, JType.INT, JType.INT),
+            (JType.INT, JType.LONG, JType.LONG),
+            (JType.LONG, JType.FLOAT, JType.FLOAT),
+            (JType.FLOAT, JType.DOUBLE, JType.DOUBLE),
+            (JType.INT, JType.DOUBLE, JType.DOUBLE),
+        ],
+    )
+    def test_binary_promotion(self, a, b, out):
+        assert promote(a, b) is out
+        assert promote(b, a) is out
+
+
+def _source(body, params="double[] a, double[] b, int n"):
+    return f"""
+    class T {{
+      static void f({params}) {{
+        /* acc parallel */
+        for (int i = 0; i < n; i++) {{ {body} }}
+      }}
+    }}
+    """
+
+
+class TestStructure:
+    def test_signature_contents(self):
+        _, fn = lowered(_source("b[i] = a[i] * 2.0;"))
+        assert {arr.name for arr in fn.arrays} == {"a", "b"}
+        assert fn.index.name == "i"
+        fn.validate()
+
+    def test_scalar_params_collected(self):
+        _, fn = lowered(
+            _source("b[i] = a[i] * alpha;", "double[] a, double[] b, double alpha, int n")
+        )
+        assert any(s.name == "alpha" for s in fn.scalars)
+
+    def test_length_becomes_param(self):
+        _, fn = lowered(_source("b[i] = (double) a.length;"))
+        assert any(s.name == length_param("a", 0) for s in fn.scalars)
+
+    def test_straightline_body_single_block(self):
+        _, fn = lowered(_source("b[i] = a[i] + 1.0;"))
+        assert fn.is_straightline
+
+    def test_if_creates_blocks(self):
+        _, fn = lowered(_source("if (a[i] > 0.0) { b[i] = 1.0; }"))
+        assert len(fn.blocks) > 1
+
+    def test_short_circuit_creates_blocks(self):
+        _, fn = lowered(
+            _source("if (i > 0 && a[i - 1] > 0.0) { b[i] = 1.0; }")
+        )
+        # && must guard the a[i-1] load behind control flow
+        assert len(fn.blocks) > 2
+
+    def test_inner_loop_lowered(self):
+        _, fn = lowered(
+            _source(
+                "double s = 0.0; for (int j = 0; j < n; j++) { s += a[j]; } b[i] = s;"
+            )
+        )
+        names = [blk.name for blk in fn.blocks]
+        assert any(n.startswith("for_head") for n in names)
+
+
+class TestRejections:
+    def test_scalar_live_out_rejected(self):
+        src = """
+        class T { static void f(double[] a, int n) {
+          double s = 0.0;
+          /* acc parallel */
+          for (int i = 0; i < n; i++) { s = s + a[i]; }
+        } }
+        """
+        with pytest.raises(LoweringError, match="live-out"):
+            lowered(src)
+
+    def test_assign_to_index_rejected(self):
+        with pytest.raises(LoweringError):
+            lowered(_source("i = 0; b[i] = 1.0;"))
+
+    def test_return_inside_loop_rejected(self):
+        with pytest.raises(LoweringError):
+            lowered(_source("return;"))
+
+    def test_unknown_intrinsic_rejected(self):
+        with pytest.raises(LoweringError):
+            lowered(_source("b[i] = Math.cbrt(a[i]);"))
+
+    def test_shadowing_rejected(self):
+        with pytest.raises(LoweringError):
+            lowered(_source("double n = 1.0; b[i] = n;"))
+
+    def test_boolean_arithmetic_rejected(self):
+        with pytest.raises(TypeCheckError):
+            lowered(_source("b[i] = (a[i] > 0.0) + 1.0;"))
+
+    def test_float_index_rejected(self):
+        with pytest.raises(TypeCheckError):
+            lowered(_source("b[a[i]] = 1.0;"))
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(TypeCheckError):
+            lowered(
+                _source("b[i] = M[i];", "double[][] M, double[] b, int n")
+            )
+
+    def test_nested_annotation_rejected(self):
+        src = """
+        class T { static void f(double[] a, int n) {
+          /* acc parallel */
+          for (int i = 0; i < n; i++) {
+            /* acc parallel */
+            for (int j = 0; j < n; j++) { a[j] = 0.0; }
+          }
+        } }
+        """
+        with pytest.raises(LoweringError, match="nested"):
+            lowered(src)
+
+
+class TestConstants:
+    def test_big_int_literal_wraps(self):
+        _, fn = lowered(
+            _source("b[i] = (double) (i * 2654435761);", "double[] a, double[] b, int n")
+        )
+        consts = [
+            instr.value
+            for blk in fn.blocks
+            for instr in blk.instrs
+            if instr.op is Opcode.CONST and isinstance(instr.value, int)
+        ]
+        assert all(-(2**31) <= v <= 2**31 - 1 for v in consts)

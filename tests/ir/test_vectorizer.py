@@ -1,0 +1,210 @@
+"""Vectorized-executor tests: must match the scalar interpreter exactly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import JaponicaError, MemoryFault
+from repro.ir import ArrayStorage, VectorizedKernel, can_vectorize, run_sequential
+
+from ..conftest import lowered
+
+
+def both_paths(src, arrays, env, n):
+    """Run scalar and vector paths on copies; return both storages+counts."""
+    _, fn = lowered(src)
+    assert can_vectorize(fn), "test kernel must be straight-line"
+    st1 = ArrayStorage({k: v.copy() for k, v in arrays.items()})
+    c1 = run_sequential(fn, st1, env, 0, n)
+    st2 = ArrayStorage({k: v.copy() for k, v in arrays.items()})
+    c2 = VectorizedKernel(fn).run_range(st2, env, np.arange(n))
+    return st1, c1, st2, c2
+
+
+def assert_equivalent(src, arrays, env, n):
+    st1, c1, st2, c2 = both_paths(src, arrays, env, n)
+    for name in arrays:
+        got, want = st2.arrays[name], st1.arrays[name]
+        assert np.array_equal(got, want, equal_nan=True), name
+    assert c1 == c2
+
+
+DOUBLE_SRC = """
+class T { static void f(double[] a, double[] b, double[] c, int n) {
+  /* acc parallel */
+  for (int i = 0; i < n; i++) {
+    c[i] = a[i] * 2.5 - b[i] / (a[i] + 10.0) + Math.sqrt(Math.abs(b[i]));
+  }
+} }
+"""
+
+INT_SRC = """
+class T { static void f(int[] x, int[] y, int n) {
+  /* acc parallel */
+  for (int i = 0; i < n; i++) {
+    int w = x[i] * 1103515245 + 12345;
+    w = (w ^ (w >>> 13)) & 0x7FFFFFFF;
+    int q = w / 97;
+    y[i] = w % 1000 - q % 13 + (w << 5) - (w >> 3) + ~x[i];
+  }
+} }
+"""
+
+LONG_SRC = """
+class T { static void f(int[] x, int[] y, int n) {
+  /* acc parallel */
+  for (int i = 0; i < n; i++) {
+    long m = (long) x[i] * 2654435761L % 65537L;
+    y[i] = (int) m;
+  }
+} }
+"""
+
+GATHER_SRC = """
+class T { static void f(double[] v, int[] idx, double[] out, int n) {
+  /* acc parallel */
+  for (int i = 0; i < n; i++) { out[i] = v[idx[i]] * 2.0; }
+} }
+"""
+
+TWO_D_SRC = """
+class T { static void f(double[][] M, double[] row, int j, int n) {
+  /* acc parallel */
+  for (int i = 0; i < n; i++) { row[i] = M[i][j] + M[0][i]; }
+} }
+"""
+
+
+class TestEquivalence:
+    def test_double_kernel(self):
+        rng = np.random.default_rng(1)
+        n = 257
+        assert_equivalent(
+            DOUBLE_SRC,
+            {
+                "a": rng.standard_normal(n),
+                "b": rng.standard_normal(n),
+                "c": np.zeros(n),
+            },
+            {"n": n},
+            n,
+        )
+
+    def test_int_kernel_bitwise(self):
+        rng = np.random.default_rng(2)
+        n = 500
+        assert_equivalent(
+            INT_SRC,
+            {
+                "x": rng.integers(-(2**31), 2**31, n, dtype=np.int32),
+                "y": np.zeros(n, dtype=np.int32),
+            },
+            {"n": n},
+            n,
+        )
+
+    def test_long_kernel(self):
+        rng = np.random.default_rng(3)
+        n = 300
+        assert_equivalent(
+            LONG_SRC,
+            {
+                "x": rng.integers(0, 2**31, n, dtype=np.int32),
+                "y": np.zeros(n, dtype=np.int32),
+            },
+            {"n": n},
+            n,
+        )
+
+    def test_gather(self):
+        rng = np.random.default_rng(4)
+        n = 64
+        assert_equivalent(
+            GATHER_SRC,
+            {
+                "v": rng.standard_normal(n),
+                "idx": rng.integers(0, n, n, dtype=np.int32),
+                "out": np.zeros(n),
+            },
+            {"n": n},
+            n,
+        )
+
+    def test_2d_access(self):
+        rng = np.random.default_rng(5)
+        n = 16
+        assert_equivalent(
+            TWO_D_SRC,
+            {"M": rng.standard_normal((n, n)), "row": np.zeros(n)},
+            {"j": 3, "n": n},
+            n,
+        )
+
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 80))
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_ints(self, seed, n):
+        rng = np.random.default_rng(seed)
+        assert_equivalent(
+            INT_SRC,
+            {
+                "x": rng.integers(-(2**31), 2**31, n, dtype=np.int32),
+                "y": np.zeros(n, dtype=np.int32),
+            },
+            {"n": n},
+            n,
+        )
+
+
+class TestGuards:
+    def test_control_flow_not_vectorizable(self):
+        src = """
+        class T { static void f(double[] a, int n) {
+          /* acc parallel */
+          for (int i = 0; i < n; i++) {
+            if (a[i] > 0.0) { a[i] = 0.0; }
+          }
+        } }
+        """
+        _, fn = lowered(src)
+        assert not can_vectorize(fn)
+        with pytest.raises(JaponicaError):
+            VectorizedKernel(fn)
+
+    def test_oob_gather_faults(self):
+        _, fn = lowered(GATHER_SRC)
+        storage = ArrayStorage(
+            {
+                "v": np.zeros(4),
+                "idx": np.array([0, 1, 9, 2], dtype=np.int32),
+                "out": np.zeros(4),
+            }
+        )
+        with pytest.raises(MemoryFault):
+            VectorizedKernel(fn).run_range(storage, {"n": 4}, np.arange(4))
+
+    def test_empty_range(self):
+        _, fn = lowered(DOUBLE_SRC)
+        storage = ArrayStorage(
+            {"a": np.zeros(4), "b": np.zeros(4), "c": np.zeros(4)}
+        )
+        counts = VectorizedKernel(fn).run_range(
+            storage, {"n": 4}, np.arange(0)
+        )
+        assert counts.instructions == 0
+
+    def test_int_div_by_zero_faults(self):
+        src = """
+        class T { static void f(int[] x, int[] y, int n) {
+          /* acc parallel */
+          for (int i = 0; i < n; i++) { y[i] = 10 / x[i]; }
+        } }
+        """
+        _, fn = lowered(src)
+        storage = ArrayStorage(
+            {
+                "x": np.array([1, 0, 2], dtype=np.int32),
+                "y": np.zeros(3, dtype=np.int32),
+            }
+        )
+        with pytest.raises(ZeroDivisionError):
+            VectorizedKernel(fn).run_range(storage, {"n": 3}, np.arange(3))

@@ -1,0 +1,185 @@
+"""Lexer unit tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokKind
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)][:-1]  # drop EOF
+
+
+def values(src):
+    return [t.value for t in tokenize(src)][:-1]
+
+
+class TestBasics:
+    def test_empty_input_gives_only_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokKind.EOF
+
+    def test_whitespace_only(self):
+        assert kinds("   \t\n\r\n  ") == []
+
+    def test_identifiers_and_keywords(self):
+        toks = tokenize("int foo while bar2 _x")
+        assert toks[0].is_kw("int")
+        assert toks[1].kind is TokKind.IDENT and toks[1].value == "foo"
+        assert toks[2].is_kw("while")
+        assert toks[3].value == "bar2"
+        assert toks[4].value == "_x"
+
+    def test_boolean_literals(self):
+        toks = tokenize("true false")
+        assert toks[0].kind is TokKind.BOOL_LIT and toks[0].value is True
+        assert toks[1].kind is TokKind.BOOL_LIT and toks[1].value is False
+
+    def test_position_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].pos.line, toks[0].pos.col) == (1, 1)
+        assert (toks[1].pos.line, toks[1].pos.col) == (2, 3)
+
+
+class TestNumbers:
+    def test_int_literal(self):
+        assert values("42") == [42]
+
+    def test_hex_literal(self):
+        assert values("0xFF 0x10001") == [255, 65537]
+
+    def test_hex_long_literal(self):
+        toks = tokenize("0xFFL")
+        assert toks[0].kind is TokKind.LONG_LIT
+        assert toks[0].value == 255
+
+    def test_long_suffix(self):
+        toks = tokenize("7L 8l")
+        assert all(t.kind is TokKind.LONG_LIT for t in toks[:2])
+
+    def test_double_literal(self):
+        toks = tokenize("3.25")
+        assert toks[0].kind is TokKind.DOUBLE_LIT
+        assert toks[0].value == 3.25
+
+    def test_float_suffix(self):
+        toks = tokenize("1.5f 2F")
+        assert toks[0].kind is TokKind.FLOAT_LIT
+        assert toks[1].kind is TokKind.FLOAT_LIT
+
+    def test_double_suffix(self):
+        toks = tokenize("1d 2.5D")
+        assert toks[0].kind is TokKind.DOUBLE_LIT
+        assert toks[1].kind is TokKind.DOUBLE_LIT
+
+    def test_exponent_forms(self):
+        assert values("1e3 2.5e-2 1E+4") == [1000.0, 0.025, 10000.0]
+
+    def test_leading_dot_number(self):
+        toks = tokenize(".5")
+        assert toks[0].kind is TokKind.DOUBLE_LIT and toks[0].value == 0.5
+
+    def test_long_suffix_on_float_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("1.5L")
+
+    def test_dot_after_number_not_consumed_twice(self):
+        # "1.2.3" -> 1.2 then .3
+        toks = tokenize("1.2.3")
+        assert toks[0].value == 1.2
+        assert toks[1].value == 0.3
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "text,kind",
+        [
+            ("+", TokKind.PLUS),
+            ("-", TokKind.MINUS),
+            ("*", TokKind.STAR),
+            ("/", TokKind.SLASH),
+            ("%", TokKind.PERCENT),
+            ("<<", TokKind.SHL),
+            (">>", TokKind.SHR),
+            (">>>", TokKind.USHR),
+            ("<=", TokKind.LE),
+            (">=", TokKind.GE),
+            ("==", TokKind.EQ),
+            ("!=", TokKind.NE),
+            ("&&", TokKind.AND_AND),
+            ("||", TokKind.OR_OR),
+            ("&", TokKind.AMP),
+            ("|", TokKind.PIPE),
+            ("^", TokKind.CARET),
+            ("~", TokKind.TILDE),
+            ("++", TokKind.PLUS_PLUS),
+            ("--", TokKind.MINUS_MINUS),
+            ("+=", TokKind.PLUS_ASSIGN),
+            ("<<=", TokKind.SHL_ASSIGN),
+            (">>=", TokKind.SHR_ASSIGN),
+        ],
+    )
+    def test_single_operator(self, text, kind):
+        assert kinds(text) == [kind]
+
+    def test_maximal_munch(self):
+        assert kinds("a>>>b") == [TokKind.IDENT, TokKind.USHR, TokKind.IDENT]
+        assert kinds("a>> >b") == [
+            TokKind.IDENT, TokKind.SHR, TokKind.GT, TokKind.IDENT
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert values("a // comment here\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert values("a /* plain comment */ b") == ["a", "b"]
+
+    def test_acc_comment_becomes_annotation(self):
+        toks = tokenize("/* acc parallel */ for")
+        assert toks[0].kind is TokKind.ANNOTATION
+        assert toks[0].value == "acc parallel"
+
+    def test_non_acc_comment_mentioning_acc_inside(self):
+        # 'acc' must be the first word
+        toks = tokenize("/* uses acc parallel */ x")
+        assert toks[0].kind is TokKind.IDENT
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never closed")
+
+    def test_multiline_block_comment_positions(self):
+        toks = tokenize("/* a\nb\nc */ x")
+        assert toks[0].value == "x"
+        assert toks[0].pos.line == 3
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_int_literal_roundtrip(value):
+    toks = tokenize(str(value))
+    assert toks[0].kind is TokKind.INT_LIT
+    assert toks[0].value == value
+
+
+@given(
+    st.floats(
+        min_value=0.0,
+        max_value=1e12,
+        allow_nan=False,
+        allow_infinity=False,
+    )
+)
+def test_double_literal_roundtrip(value):
+    text = repr(float(value))
+    toks = tokenize(text)
+    assert toks[0].kind is TokKind.DOUBLE_LIT
+    assert toks[0].value == float(text)

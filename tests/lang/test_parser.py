@@ -1,0 +1,213 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse_program
+
+
+def parse_method_body(body: str, params: str = "double[] a, int n"):
+    src = f"class T {{ static void m({params}) {{ {body} }} }}"
+    return parse_program(src).method("m").body
+
+
+def parse_expr(text: str, params: str = "double[] a, int n, double x"):
+    body = parse_method_body(f"x = {text};", params)
+    stmt = body.stmts[0]
+    assert isinstance(stmt, A.Assign)
+    return stmt.value
+
+
+class TestStructure:
+    def test_class_and_method(self):
+        cls = parse_program(
+            "class Foo { static int f(int x) { return x; } }"
+        )
+        assert cls.name == "Foo"
+        assert cls.methods[0].name == "f"
+        assert cls.methods[0].ret == A.INT
+        assert cls.methods[0].params[0].name == "x"
+
+    def test_public_modifiers_accepted(self):
+        cls = parse_program(
+            "public class Foo { public static void f() { } }"
+        )
+        assert cls.name == "Foo"
+
+    def test_array_parameter_types(self):
+        cls = parse_program(
+            "class T { static void f(double[] a, int[][] b) { } }"
+        )
+        p0, p1 = cls.methods[0].params
+        assert p0.type == A.ArrayType(A.DOUBLE, 1)
+        assert p1.type == A.ArrayType(A.INT, 2)
+
+    def test_missing_method_raises_keyerror(self):
+        cls = parse_program("class T { static void f() { } }")
+        with pytest.raises(KeyError):
+            cls.method("nope")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("class T { } extra")
+
+    def test_void_array_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("class T { static void f(void[] v) { } }")
+
+
+class TestStatements:
+    def test_var_decl_with_init(self):
+        body = parse_method_body("int k = 3;")
+        decl = body.stmts[0]
+        assert isinstance(decl, A.VarDecl)
+        assert decl.name == "k"
+        assert isinstance(decl.init, A.IntLit)
+
+    def test_compound_assignment(self):
+        body = parse_method_body("a[0] += 2.0;")
+        stmt = body.stmts[0]
+        assert isinstance(stmt, A.Assign)
+        assert stmt.op == "+"
+
+    def test_increment_statement(self):
+        body = parse_method_body("n++;", params="int n")
+        stmt = body.stmts[0]
+        assert isinstance(stmt, A.IncDec)
+        assert stmt.op == "++"
+
+    def test_if_else(self):
+        body = parse_method_body("if (n > 0) n = 1; else n = 2;", "int n")
+        stmt = body.stmts[0]
+        assert isinstance(stmt, A.If)
+        assert stmt.els is not None
+
+    def test_dangling_else_binds_inner(self):
+        body = parse_method_body(
+            "if (n > 0) if (n > 1) n = 1; else n = 2;", "int n"
+        )
+        outer = body.stmts[0]
+        assert outer.els is None
+        assert outer.then.els is not None
+
+    def test_while(self):
+        body = parse_method_body("while (n > 0) n--;", "int n")
+        assert isinstance(body.stmts[0], A.While)
+
+    def test_for_canonical(self):
+        body = parse_method_body("for (int i = 0; i < n; i++) { n--; }", "int n")
+        loop = body.stmts[0]
+        assert isinstance(loop, A.For)
+        assert isinstance(loop.init, A.VarDecl)
+        assert loop.annotation is None
+
+    def test_for_with_empty_clauses(self):
+        body = parse_method_body("for (;;) { n--; }", "int n")
+        loop = body.stmts[0]
+        assert loop.init is None and loop.cond is None and loop.update is None
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError):
+            parse_method_body("3 = n;", "int n")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert isinstance(e, A.Binary) and e.op == "+"
+        assert isinstance(e.right, A.Binary) and e.right.op == "*"
+
+    def test_precedence_shift_below_add(self):
+        e = parse_expr("n + 1 << 2", params="int n, int x")
+        assert e.op == "<<"
+
+    def test_precedence_bitand_below_equality(self):
+        e = parse_expr("n == 1 & n == 2", params="int n, boolean x")
+        assert e.op == "&"
+
+    def test_logical_precedence(self):
+        e = parse_expr("n > 0 && n < 5 || n == 9", params="int n, boolean x")
+        assert e.op == "||"
+        assert e.left.op == "&&"
+
+    def test_left_associativity(self):
+        e = parse_expr("10 - 4 - 3", params="int n, int x")
+        assert e.op == "-"
+        assert isinstance(e.left, A.Binary) and e.left.op == "-"
+
+    def test_ternary_right_associative(self):
+        e = parse_expr("n > 0 ? 1 : n > 1 ? 2 : 3", params="int n, int x")
+        assert isinstance(e, A.Ternary)
+        assert isinstance(e.other, A.Ternary)
+
+    def test_cast(self):
+        e = parse_expr("(int) 2.5", params="int n, int x")
+        assert isinstance(e, A.Cast)
+        assert e.target == A.INT
+
+    def test_paren_not_cast(self):
+        e = parse_expr("(n) + 1", params="int n, int x")
+        assert isinstance(e, A.Binary)
+
+    def test_unary_chain(self):
+        e = parse_expr("- -n", params="int n, int x")
+        assert isinstance(e, A.Unary) and isinstance(e.operand, A.Unary)
+
+    def test_unary_plus_dropped(self):
+        e = parse_expr("+n", params="int n, int x")
+        assert isinstance(e, A.VarRef)
+
+    def test_array_access_2d(self):
+        e = parse_expr("m[1][2]", params="double[][] m, double x")
+        assert isinstance(e, A.ArrayRef)
+        assert len(e.indices) == 2
+
+    def test_array_access_3d_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("m[1][2][3]", params="double[][] m, double x")
+
+    def test_length(self):
+        e = parse_expr("a.length", params="double[] a, double x")
+        assert isinstance(e, A.Length) and e.axis == 0
+
+    def test_second_axis_length(self):
+        e = parse_expr("m[0].length", params="double[][] m, double x")
+        assert isinstance(e, A.Length) and e.axis == 1
+
+    def test_math_call(self):
+        e = parse_expr("Math.sqrt(2.0)", params="int n, double x")
+        assert isinstance(e, A.Call)
+        assert e.name == "Math.sqrt"
+        assert len(e.args) == 1
+
+    def test_math_call_two_args(self):
+        e = parse_expr("Math.max(1.0, 2.0)", params="int n, double x")
+        assert len(e.args) == 2
+
+
+class TestAnnotations:
+    SRC = """
+    class T {
+      static void f(double[] a, int n) {
+        /* acc parallel copyin(a[0:n-1]) */
+        for (int i = 0; i < n; i++) { a[i] = 0.0; }
+      }
+    }
+    """
+
+    def test_annotation_attaches_to_loop(self):
+        cls = parse_program(self.SRC)
+        loops = A.find_loops(cls.methods[0].body)
+        assert loops[0].annotation is not None
+        assert loops[0].annotation.parallel
+
+    def test_annotation_must_precede_for(self):
+        with pytest.raises(ParseError):
+            parse_program(
+                "class T { static void f(int n) { /* acc parallel */ n = 1; } }"
+            )
+
+    def test_walk_and_find_helpers(self):
+        cls = parse_program(self.SRC)
+        assert len(A.annotated_loops(cls.methods[0])) == 1

@@ -1,0 +1,108 @@
+"""Pretty-printer tests, including the parse/print round-trip property."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import fmt_class, fmt_expr, fmt_stmt, parse_program
+from repro.lang import ast_nodes as A
+from repro.lang.tokens import Pos
+
+P = Pos(0, 0)
+
+
+class TestExprs:
+    def test_parenthesization_respects_precedence(self):
+        # (1 + 2) * 3 must keep its parens
+        e = A.Binary(
+            P, "*", A.Binary(P, "+", A.IntLit(P, 1), A.IntLit(P, 2)), A.IntLit(P, 3)
+        )
+        assert fmt_expr(e) == "(1 + 2) * 3"
+
+    def test_no_redundant_parens(self):
+        e = A.Binary(
+            P, "+", A.IntLit(P, 1), A.Binary(P, "*", A.IntLit(P, 2), A.IntLit(P, 3))
+        )
+        assert fmt_expr(e) == "1 + 2 * 3"
+
+    def test_left_assoc_subtraction(self):
+        # 10 - (4 - 3) needs parens; (10 - 4) - 3 does not
+        inner = A.Binary(P, "-", A.IntLit(P, 4), A.IntLit(P, 3))
+        e = A.Binary(P, "-", A.IntLit(P, 10), inner)
+        assert fmt_expr(e) == "10 - (4 - 3)"
+
+    def test_double_formatting_keeps_point(self):
+        assert fmt_expr(A.DoubleLit(P, 2.0)) == "2.0"
+
+    def test_float_suffix(self):
+        assert fmt_expr(A.FloatLit(P, 1.5)).endswith("f")
+
+    def test_long_suffix(self):
+        assert fmt_expr(A.LongLit(P, 7)) == "7L"
+
+
+# A compact generator for valid mini-Java methods; the round-trip property
+# is parse(pretty(parse(src))) == parse(src) structurally.
+_scalar = st.sampled_from(["n", "m"])
+_numbers = st.integers(min_value=0, max_value=999)
+
+
+@st.composite
+def simple_exprs(draw, depth=0):
+    if depth > 2:
+        return draw(
+            st.one_of(
+                _numbers.map(str),
+                _scalar,
+            )
+        )
+    choice = draw(st.integers(0, 4))
+    if choice == 0:
+        return str(draw(_numbers))
+    if choice == 1:
+        return draw(_scalar)
+    if choice == 2:
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        a = draw(simple_exprs(depth + 1))
+        b = draw(simple_exprs(depth + 1))
+        return f"({a} {op} {b})"
+    if choice == 3:
+        return f"a[({draw(simple_exprs(depth + 1))}) % 8]"
+    return f"-({draw(simple_exprs(depth + 1))})"
+
+
+@st.composite
+def methods(draw):
+    stmts = []
+    for _ in range(draw(st.integers(1, 4))):
+        kind = draw(st.integers(0, 2))
+        if kind == 0:
+            stmts.append(f"m = {draw(simple_exprs())};")
+        elif kind == 1:
+            stmts.append(
+                f"if (n > {draw(_numbers)}) m = {draw(simple_exprs())};"
+            )
+        else:
+            stmts.append(
+                f"for (int i = 0; i < 4; i++) {{ a[i] = (double) ({draw(simple_exprs())}); }}"
+            )
+    body = "\n".join(stmts)
+    return f"class G {{ static void f(int[] a, int n, int m) {{ {body} }} }}"
+
+
+@given(methods())
+@settings(max_examples=60, deadline=None)
+def test_parse_pretty_roundtrip(src):
+    first = parse_program(src)
+    text1 = fmt_class(first)
+    second = parse_program(text1)
+    assert fmt_class(second) == text1
+
+
+def test_roundtrip_of_annotated_workload_sources():
+    from repro.workloads import ALL_WORKLOADS
+
+    for w in ALL_WORKLOADS:
+        cls = parse_program(w.source)
+        text = fmt_class(cls)
+        again = parse_program(text)
+        assert fmt_class(again) == text, w.name

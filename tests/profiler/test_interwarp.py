@@ -1,0 +1,43 @@
+"""Inter-warp analysis tests."""
+
+from repro.profiler.interwarp import next_warps_clear, td_free_prefix, warps_with_td
+from repro.profiler.intrawarp import classify_same_warp, warp_span
+from repro.profiler.report import DependencyProfile
+
+
+def profile_with_td_warps(warps):
+    p = DependencyProfile(iterations=1000)
+    p.td_warps = set(warps)
+    p.td_pairs = len(warps)
+    return p
+
+
+class TestInterwarp:
+    def test_clear_window(self):
+        p = profile_with_td_warps({10})
+        assert next_warps_clear(p, 0, 5)
+        assert not next_warps_clear(p, 8, 5)
+        assert next_warps_clear(p, 11, 5)
+
+    def test_lookahead_minimum_one(self):
+        p = profile_with_td_warps({3})
+        assert not next_warps_clear(p, 3, 0)
+
+    def test_td_free_prefix(self):
+        p = profile_with_td_warps({2, 5})
+        assert td_free_prefix(p, [0, 1, 2, 3]) == 2
+        assert td_free_prefix(p, [3, 4, 5]) == 2
+        assert td_free_prefix(p, [6, 7]) == 2
+
+    def test_warps_with_td(self):
+        p = profile_with_td_warps({1, 4})
+        assert warps_with_td(p) == {1, 4}
+
+
+class TestIntrawarp:
+    def test_same_warp(self):
+        assert classify_same_warp(0, 31)
+        assert not classify_same_warp(31, 32)
+
+    def test_span(self):
+        assert warp_span(2, 32) == (64, 96)

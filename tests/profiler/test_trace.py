@@ -1,0 +1,76 @@
+"""Profiling-run tests on the GPU simulator."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import GpuDevice
+from repro.ir import ArrayStorage
+from repro.profiler.trace import profile_loop
+from repro.runtime.costmodel import CostModel
+from repro.runtime.platform import paper_platform
+
+from ..conftest import SCRATCH_SRC, SEIDEL_SRC, VEC_SRC, lowered
+
+
+@pytest.fixture
+def device():
+    platform = paper_platform()
+    return GpuDevice(platform.gpu, CostModel(platform))
+
+
+class TestProfileLoop:
+    def test_doall_profile_clean(self, device):
+        _, fn = lowered(VEC_SRC)
+        n = 128
+        storage = ArrayStorage(
+            {"a": np.ones(n), "b": np.ones(n), "c": np.zeros(n)}
+        )
+        run = profile_loop(device, fn, range(n), {"n": n}, storage)
+        assert not run.profile.has_true
+        assert not run.profile.has_false
+        assert run.profile.profile_time_s > 0
+        assert run.profile.coalescing == 1.0
+
+    def test_profiling_does_not_perturb_memory(self, device):
+        _, fn = lowered(SEIDEL_SRC)
+        n = 64
+        x = np.random.default_rng(0).standard_normal(n)
+        storage = ArrayStorage({"x": x.copy(), "b": np.zeros(n)})
+        profile_loop(device, fn, range(1, n - 1), {"n": n}, storage)
+        assert np.array_equal(storage.arrays["x"], x)
+
+    def test_seidel_profile_high_td(self, device):
+        _, fn = lowered(SEIDEL_SRC)
+        n = 96
+        storage = ArrayStorage(
+            {"x": np.ones(n), "b": np.zeros(n)}
+        )
+        run = profile_loop(device, fn, range(1, n - 1), {"n": n}, storage)
+        assert run.profile.has_true
+        assert run.profile.td_density > 0.9
+        assert run.profile.density_class() == "high"
+
+    def test_scratch_profile_fd_only(self, device):
+        _, fn = lowered(SCRATCH_SRC)
+        n = 64
+        storage = ArrayStorage(
+            {"src": np.ones(n), "dst": np.zeros(n), "tmp": np.zeros(2)}
+        )
+        run = profile_loop(device, fn, range(n), {"n": n}, storage)
+        p = run.profile
+        assert not p.has_true
+        assert p.has_false
+        assert p.privatizable
+        assert "tmp" in p.uniform_write_arrays
+
+    def test_sampling_cap(self, device):
+        _, fn = lowered(VEC_SRC)
+        n = 256
+        storage = ArrayStorage(
+            {"a": np.ones(n), "b": np.ones(n), "c": np.zeros(n)}
+        )
+        run = profile_loop(
+            device, fn, range(n), {"n": n}, storage, max_sample=64
+        )
+        assert run.sampled_iterations == 64
+        assert run.profile.iterations == 64

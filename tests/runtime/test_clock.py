@@ -1,0 +1,67 @@
+"""Timeline (discrete-event clock) tests."""
+
+import pytest
+
+from repro.runtime.clock import LANE_CPU, LANE_DMA, LANE_GPU, Timeline
+
+
+class TestScheduling:
+    def test_serial_on_one_lane(self):
+        tl = Timeline()
+        a = tl.schedule(LANE_GPU, 1.0)
+        b = tl.schedule(LANE_GPU, 2.0)
+        assert a.start == 0.0 and a.end == 1.0
+        assert b.start == 1.0 and b.end == 3.0
+        assert tl.makespan == 3.0
+
+    def test_parallel_lanes(self):
+        tl = Timeline()
+        tl.schedule(LANE_GPU, 5.0)
+        tl.schedule(LANE_CPU, 3.0)
+        assert tl.makespan == 5.0
+
+    def test_dependency_delays_start(self):
+        tl = Timeline()
+        dma = tl.schedule(LANE_DMA, 2.0)
+        kernel = tl.schedule(LANE_GPU, 1.0, after=[dma])
+        assert kernel.start == 2.0
+
+    def test_pipeline_overlap(self):
+        # classic prefetch pipeline: dma(k+1) overlaps kernel(k)
+        tl = Timeline()
+        k_prev = None
+        for _ in range(4):
+            dma = tl.schedule(LANE_DMA, 1.0)
+            deps = [dma] if k_prev is None else [dma]
+            k_prev = tl.schedule(LANE_GPU, 1.0, after=deps)
+        # 4 transfers of 1s pipelined with 4 kernels of 1s -> 5s total
+        assert tl.makespan == pytest.approx(5.0)
+
+    def test_not_before(self):
+        tl = Timeline()
+        e = tl.schedule(LANE_CPU, 1.0, not_before=10.0)
+        assert e.start == 10.0
+
+    def test_negative_duration_rejected(self):
+        tl = Timeline()
+        with pytest.raises(ValueError):
+            tl.schedule(LANE_CPU, -1.0)
+
+    def test_barrier(self):
+        tl = Timeline()
+        tl.schedule(LANE_GPU, 4.0)
+        tl.schedule(LANE_CPU, 2.0)
+        assert tl.barrier([LANE_CPU]) == 2.0
+        assert tl.barrier() == 4.0
+        assert tl.barrier(["nonexistent"]) == 0.0
+
+    def test_lane_busy_and_events(self):
+        tl = Timeline()
+        tl.schedule(LANE_GPU, 1.5, label="k1")
+        tl.schedule(LANE_GPU, 0.5, label="k2")
+        tl.schedule(LANE_CPU, 9.0)
+        assert tl.lane_busy(LANE_GPU) == 2.0
+        assert [e.label for e in tl.lane_events(LANE_GPU)] == ["k1", "k2"]
+
+    def test_empty_makespan(self):
+        assert Timeline().makespan == 0.0

@@ -1,0 +1,128 @@
+"""Cost-model tests: rooflines, scaling, transfer paths."""
+
+import pytest
+
+from repro.ir.interpreter import Counts
+from repro.runtime.costmodel import CPU_WEIGHTS, CostModel, weighted_ops
+from repro.runtime.platform import paper_platform
+
+
+@pytest.fixture
+def cost():
+    return CostModel(paper_platform())
+
+
+COMPUTE = Counts(float_ops=1_000_000, instructions=1_000_000)
+MEMORY = Counts(loads=5_000_000, stores=5_000_000, instructions=10_000_000)
+
+
+class TestCpu:
+    def test_threads_speed_up_compute(self, cost):
+        serial = cost.cpu_time(COMPUTE, threads=1)
+        parallel = cost.cpu_time(COMPUTE, threads=12)
+        assert parallel < serial
+        # compute-bound: near-linear in cores (minus fork/join)
+        assert serial / parallel > 8
+
+    def test_threads_capped_at_cores(self, cost):
+        t16 = cost.cpu_time(COMPUTE, threads=16)
+        t12 = cost.cpu_time(COMPUTE, threads=12)
+        assert t16 == pytest.approx(t12)
+
+    def test_memory_roofline_binds(self, cost):
+        t1 = cost.cpu_time(MEMORY, threads=1)
+        t12 = cost.cpu_time(MEMORY, threads=12)
+        # 10M memops * 8B = 80 MB at fixed bandwidth: no parallel speedup
+        cpu = cost.platform.cpu
+        floor = MEMORY.mem_ops * 8 / (cpu.mem_bandwidth_gbps * 1e9)
+        assert t12 >= floor
+        assert t12 < t1  # t1 is compute-bound here, still slower
+
+    def test_fork_join_only_when_parallel(self, cost):
+        tiny = Counts(int_ops=10, instructions=10)
+        assert cost.cpu_time(tiny, threads=1) < cost.cpu_time(tiny, threads=2)
+
+    def test_special_ops_cost_more(self, cost):
+        plain = Counts(float_ops=1000, instructions=1000)
+        special = Counts(special_ops=1000, instructions=1000)
+        assert cost.cpu_serial_time(special) > cost.cpu_serial_time(plain)
+
+
+class TestGpu:
+    def test_occupancy_penalty(self, cost):
+        few = cost.gpu_kernel_time(COMPUTE, n_threads=32)
+        many = cost.gpu_kernel_time(COMPUTE, n_threads=448)
+        assert few > many
+
+    def test_launch_overhead_included(self, cost):
+        t = cost.gpu_kernel_time(Counts(), n_threads=0)
+        assert t == cost.platform.gpu.launch_overhead_s
+
+    def test_coalescing_scales_memory(self, cost):
+        good = cost.gpu_kernel_time(MEMORY, n_threads=448, coalescing=1.0)
+        bad = cost.gpu_kernel_time(MEMORY, n_threads=448, coalescing=0.1)
+        assert bad > good * 5
+
+    def test_iter_scale_raises_occupancy(self):
+        platform = paper_platform()
+        unscaled = CostModel(platform).gpu_kernel_time(COMPUTE, n_threads=32)
+        scaled = CostModel(platform, iter_scale=14.0).gpu_kernel_time(
+            COMPUTE, n_threads=32
+        )
+        assert scaled < unscaled
+
+
+class TestTransfers:
+    def test_async_faster_than_sync(self, cost):
+        nbytes = 10 * 1024 * 1024
+        assert cost.transfer_time(nbytes, True) < cost.transfer_time(nbytes, False)
+
+    def test_latency_floor(self, cost):
+        assert cost.transfer_time(0, True) == cost.platform.link.latency_s
+
+    def test_link_scale(self):
+        platform = paper_platform()
+        base = CostModel(platform)
+        fast = CostModel(platform, link_scale=10.0)
+        nbytes = 1e8
+        assert fast.transfer_time(nbytes, False) < base.transfer_time(nbytes, False)
+
+    def test_cyclic_bytes(self, cost):
+        assert cost.cyclic_bytes(100) == 100 * cost.platform.link.cyclic_factor
+
+
+class TestScaling:
+    def test_work_scale_multiplies_compute(self):
+        platform = paper_platform()
+        t1 = CostModel(platform).cpu_serial_time(COMPUTE)
+        t100 = CostModel(platform, work_scale=100.0).cpu_serial_time(COMPUTE)
+        assert t100 == pytest.approx(100.0 * t1, rel=1e-6)
+
+    def test_byte_scale_multiplies_transfers(self):
+        platform = paper_platform()
+        t1 = CostModel(platform).transfer_time(1e6, True)
+        t10 = CostModel(platform, byte_scale=10.0).transfer_time(1e6, True)
+        assert (t10 - platform.link.latency_s) == pytest.approx(
+            10 * (t1 - platform.link.latency_s)
+        )
+
+    def test_weighted_ops(self):
+        counts = Counts(int_ops=3, special_ops=2, instructions=5)
+        assert weighted_ops(counts, CPU_WEIGHTS) == 3 + 2 * CPU_WEIGHTS["special_ops"]
+
+
+class TestPlatform:
+    def test_boundary_formula(self):
+        platform = paper_platform()
+        cg_fg = platform.gpu.cores * platform.gpu.freq_ghz
+        cc_fc = platform.cpu.cores * platform.cpu.freq_ghz
+        assert platform.sharing_boundary() == pytest.approx(
+            cg_fg / (cg_fg + cc_fc)
+        )
+        # the paper's platform puts ~94% of iterations on the GPU side
+        assert 0.9 < platform.sharing_boundary() < 0.96
+
+    def test_symmetric_platform_boundary(self):
+        from repro.runtime.platform import symmetric_platform
+
+        assert symmetric_platform().sharing_boundary() == pytest.approx(0.5)

@@ -1,0 +1,159 @@
+"""Host AST-interpreter tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import JaponicaError
+from repro.ir import ArrayStorage
+from repro.lang.parser import parse_program
+from repro.runtime.hosteval import HostEvaluator, run_method_host
+
+
+def run_host(src, arrays, scalars, method="f", dispatch=None):
+    cls = parse_program(src)
+    storage = ArrayStorage(arrays)
+    cost = run_method_host(cls.method(method), storage, scalars, dispatch)
+    return storage, scalars, cost
+
+
+class TestStatements:
+    def test_scalar_flow(self):
+        src = """
+        class T { static void f(int n) {
+          int acc = 0;
+          for (int i = 0; i < n; i++) { acc += i; }
+          n = acc;
+        } }
+        """
+        _, scalars, _ = run_host(src, {}, {"n": 5})
+        assert scalars["n"] == 10
+
+    def test_array_updates(self):
+        src = """
+        class T { static void f(double[] a, int n) {
+          for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0 + 1.0; }
+        } }
+        """
+        storage, _, _ = run_host(src, {"a": np.arange(4.0)}, {"n": 4})
+        assert list(storage.arrays["a"]) == [1.0, 3.0, 5.0, 7.0]
+
+    def test_while_and_if(self):
+        src = """
+        class T { static void f(int[] out, int n) {
+          int k = n;
+          int steps = 0;
+          while (k != 1) {
+            if (k % 2 == 0) { k = k / 2; } else { k = 3 * k + 1; }
+            steps++;
+          }
+          out[0] = steps;
+        } }
+        """
+        storage, _, _ = run_host(
+            src, {"out": np.zeros(1, dtype=np.int32)}, {"n": 6}
+        )
+        assert storage.arrays["out"][0] == 8  # collatz(6)
+
+    def test_int_wrapping_on_host(self):
+        src = """
+        class T { static void f(int[] out, int n) {
+          int big = 2147483647;
+          out[0] = big + 1;
+        } }
+        """
+        storage, _, _ = run_host(
+            src, {"out": np.zeros(1, dtype=np.int32)}, {"n": 0}
+        )
+        assert storage.arrays["out"][0] == -(2**31)
+
+    def test_math_intrinsics(self):
+        src = """
+        class T { static void f(double[] out, int n) {
+          out[0] = Math.sqrt(16.0) + Math.max(1.0, 2.0);
+        } }
+        """
+        storage, _, _ = run_host(src, {"out": np.zeros(1)}, {"n": 0})
+        assert storage.arrays["out"][0] == 6.0
+
+    def test_return_stops_execution(self):
+        src = """
+        class T { static void f(double[] out, int n) {
+          out[0] = 1.0;
+          if (n > 0) { return; }
+          out[0] = 2.0;
+        } }
+        """
+        storage, _, _ = run_host(src, {"out": np.zeros(1)}, {"n": 1})
+        assert storage.arrays["out"][0] == 1.0
+
+    def test_array_decl_rejected(self):
+        src = """
+        class T { static void f(int n) {
+          double[] temp;
+        } }
+        """
+        with pytest.raises(JaponicaError, match="array declarations"):
+            run_host(src, {}, {"n": 0})
+
+    def test_host_cost_counted(self):
+        src = """
+        class T { static void f(int n) {
+          int s = 0;
+          for (int i = 0; i < n; i++) { s += i; }
+        } }
+        """
+        _, _, cost = run_host(src, {}, {"n": 100})
+        assert cost.ops > 100
+
+
+class TestDispatch:
+    SRC = """
+    class T {
+      static void f(double[] a, int n) {
+        a[0] = 1.0;
+        /* acc parallel */
+        for (int i = 0; i < n; i++) { a[i] = 2.0; }
+        /* acc parallel */
+        for (int i = 0; i < n; i++) { a[i] = 3.0; }
+        a[1] = 4.0;
+      }
+    }
+    """
+
+    def test_annotated_loops_dispatched_not_executed(self):
+        seen = []
+
+        def dispatch(loop, following):
+            seen.append(loop)
+            return 0
+
+        storage, _, _ = run_host(
+            self.SRC, {"a": np.zeros(4)}, {"n": 4}, dispatch=dispatch
+        )
+        assert len(seen) == 2
+        # host executed only the plain statements
+        assert storage.arrays["a"][0] == 1.0
+        assert storage.arrays["a"][1] == 4.0
+        assert storage.arrays["a"][2] == 0.0
+
+    def test_dispatch_can_consume_following_loops(self):
+        batches = []
+
+        def dispatch(loop, following):
+            import repro.lang.ast_nodes as A
+
+            extra = 0
+            for stmt in following:
+                if isinstance(stmt, A.For) and stmt.annotation is not None:
+                    extra += 1
+                else:
+                    break
+            batches.append(1 + extra)
+            return extra
+
+        run_host(self.SRC, {"a": np.zeros(4)}, {"n": 4}, dispatch=dispatch)
+        assert batches == [2]  # both loops in one batch
+
+    def test_without_dispatch_loops_run_on_host(self):
+        storage, _, _ = run_host(self.SRC, {"a": np.zeros(4)}, {"n": 4})
+        assert storage.arrays["a"][2] == 3.0

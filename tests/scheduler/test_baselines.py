@@ -1,0 +1,129 @@
+"""Baseline-executor tests."""
+
+import numpy as np
+import pytest
+
+from repro.ir import ArrayStorage
+from repro.scheduler.baselines import (
+    CooperativeExecutor,
+    CpuParallelExecutor,
+    GpuOnlyExecutor,
+    SerialExecutor,
+)
+from repro.scheduler.context import ExecutionContext
+from repro.scheduler.task import Task
+from repro.translate.translator import Translator
+
+from ..conftest import SCRATCH_SRC, SEIDEL_SRC, VEC_SRC
+
+
+def setup(src, arrays):
+    ctx = ExecutionContext()
+    unit = Translator().translate_source(src)
+    return ctx, Task(unit.all_loops[0]), ArrayStorage(arrays)
+
+
+def vec_arrays(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "a": rng.standard_normal(n),
+        "b": rng.standard_normal(n),
+        "c": np.zeros(n),
+    }
+
+
+class TestSerial:
+    def test_result_and_mode(self):
+        n = 128
+        arrays = vec_arrays(n)
+        ctx, task, storage = setup(VEC_SRC, arrays)
+        res = SerialExecutor(ctx).execute(task, storage, {"n": n})
+        assert res.mode == "serial"
+        assert np.array_equal(storage.arrays["c"], arrays["a"] * 2 + arrays["b"])
+
+
+class TestCpuParallel:
+    def test_doall_multithreaded(self):
+        n = 128
+        ctx, task, storage = setup(VEC_SRC, vec_arrays(n))
+        res = CpuParallelExecutor(ctx).execute(task, storage, {"n": n})
+        assert res.mode == "cpu-mt"
+
+    def test_td_loop_sequential(self):
+        n = 64
+        ctx, task, storage = setup(
+            SEIDEL_SRC, {"x": np.ones(n), "b": np.zeros(n)}
+        )
+        res = CpuParallelExecutor(ctx).execute(task, storage, {"n": n})
+        assert res.mode == "cpu-seq"
+
+    def test_parallel_faster_than_serial(self):
+        n = 2048
+        ctx, task, storage = setup(VEC_SRC, vec_arrays(n))
+        par = CpuParallelExecutor(ctx).execute(task, storage, {"n": n})
+        ctx2, task2, storage2 = setup(VEC_SRC, vec_arrays(n))
+        ser = SerialExecutor(ctx2).execute(task2, storage2, {"n": n})
+        assert par.sim_time_s < ser.sim_time_s
+
+    def test_fd_loop_correct(self):
+        n = 128
+        rng = np.random.default_rng(1)
+        src_arr = rng.standard_normal(n)
+        ctx, task, storage = setup(
+            SCRATCH_SRC, {"src": src_arr, "dst": np.zeros(n), "tmp": np.zeros(2)}
+        )
+        res = CpuParallelExecutor(ctx).execute(task, storage, {"n": n})
+        assert np.array_equal(
+            storage.arrays["dst"], src_arr * 2.0 + (src_arr + 1.0)
+        )
+
+
+class TestGpuOnly:
+    def test_doall_on_device(self):
+        n = 256
+        arrays = vec_arrays(n)
+        ctx, task, storage = setup(VEC_SRC, arrays)
+        res = GpuOnlyExecutor(ctx).execute(task, storage, {"n": n})
+        assert res.mode == "gpu-only"
+        assert np.array_equal(storage.arrays["c"], arrays["a"] * 2 + arrays["b"])
+        labels = [e.label for e in res.timeline.events]
+        assert "h2d-sync" in labels and "d2h-sync" in labels
+
+    def test_td_loop_uses_tls_alone(self):
+        n = 64
+        x = np.random.default_rng(3).standard_normal(n)
+        ctx, task, storage = setup(SEIDEL_SRC, {"x": x.copy(), "b": np.zeros(n)})
+        res = GpuOnlyExecutor(ctx).execute(task, storage, {"n": n})
+        expected = x.copy()
+        for i in range(1, n - 1):
+            expected[i] = 0.5 * (expected[i - 1] + expected[i + 1])
+        assert np.allclose(storage.arrays["x"], expected)
+
+    def test_fd_loop_privatized(self):
+        n = 128
+        rng = np.random.default_rng(4)
+        src_arr = rng.standard_normal(n)
+        ctx, task, storage = setup(
+            SCRATCH_SRC, {"src": src_arr, "dst": np.zeros(n), "tmp": np.zeros(2)}
+        )
+        res = GpuOnlyExecutor(ctx).execute(task, storage, {"n": n})
+        assert np.array_equal(
+            storage.arrays["dst"], src_arr * 2.0 + (src_arr + 1.0)
+        )
+        assert storage.arrays["tmp"][0] == src_arr[-1] * 2.0
+
+
+class TestCooperative:
+    def test_even_split(self):
+        n = 200
+        ctx, task, storage = setup(VEC_SRC, vec_arrays(n))
+        res = CooperativeExecutor(ctx, split=0.5).execute(task, storage, {"n": n})
+        assert res.mode == "coop50"
+        assert res.detail["gpu_iterations"] == 100
+
+    def test_config_restored_after_run(self):
+        n = 64
+        ctx, task, storage = setup(VEC_SRC, vec_arrays(n))
+        CooperativeExecutor(ctx).execute(task, storage, {"n": n})
+        assert ctx.config.boundary_override is None
+        assert ctx.config.async_prefetch is True

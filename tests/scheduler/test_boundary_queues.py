@@ -1,0 +1,91 @@
+"""Boundary arithmetic and worker-queue tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime.platform import paper_platform, symmetric_platform
+from repro.scheduler.boundary import boundary_fraction, split_at_boundary
+from repro.scheduler.queues import WorkerQueue
+
+
+class TestBoundary:
+    def test_paper_value(self):
+        b = boundary_fraction(paper_platform())
+        # 448*1.15 / (448*1.15 + 12*2.66) ~ 0.9417
+        assert b == pytest.approx(0.9417, abs=1e-3)
+
+    def test_symmetric_half(self):
+        assert boundary_fraction(symmetric_platform()) == pytest.approx(0.5)
+
+    def test_split(self):
+        gpu, cpu = split_at_boundary(list(range(10)), 0.5)
+        assert gpu == [0, 1, 2, 3, 4]
+        assert cpu == [5, 6, 7, 8, 9]
+
+    def test_split_extremes(self):
+        gpu, cpu = split_at_boundary(list(range(4)), 0.0)
+        assert gpu == [] and cpu == [0, 1, 2, 3]
+        gpu, cpu = split_at_boundary(list(range(4)), 1.0)
+        assert gpu == [0, 1, 2, 3] and cpu == []
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            split_at_boundary([1], 1.5)
+
+    @given(
+        n=st.integers(0, 1000),
+        frac=st.floats(0.0, 1.0, allow_nan=False),
+    )
+    def test_split_partitions(self, n, frac):
+        indices = list(range(n))
+        gpu, cpu = split_at_boundary(indices, frac)
+        assert gpu + cpu == indices
+
+
+class _T:
+    """Minimal task stub for queue tests."""
+
+    def __init__(self, name, dd):
+        self.id = name
+        self.dd = dd
+
+    def __repr__(self):
+        return self.id
+
+
+class TestQueues:
+    def test_fifo(self):
+        q = WorkerQueue("cpu")
+        a, b = _T("a", "doall"), _T("b", "high")
+        q.push(a)
+        q.push(b)
+        assert q.pop() is a
+        assert q.pop() is b
+        assert q.pop() is None
+
+    def test_steal_prefers_predicate(self):
+        q = WorkerQueue("gpu")
+        tasks = [_T("a", "doall"), _T("b", "high"), _T("c", "doall")]
+        for t in tasks:
+            q.push(t)
+        got = q.steal(lambda t: t.dd == "high")
+        assert got.id == "b"
+        assert len(q) == 2
+
+    def test_steal_falls_back_to_oldest(self):
+        q = WorkerQueue("gpu")
+        q.push(_T("a", "doall"))
+        got = q.steal(lambda t: t.dd == "high")
+        assert got.id == "a"
+
+    def test_steal_only_if_never_settles(self):
+        q = WorkerQueue("cpu")
+        q.push(_T("a", "high"))
+        assert q.steal_only_if(lambda t: t.dd == "doall") is None
+        assert len(q) == 1
+
+    def test_bool_and_len(self):
+        q = WorkerQueue("cpu")
+        assert not q
+        q.push(_T("a", "x"))
+        assert q and len(q) == 1

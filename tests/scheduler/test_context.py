@@ -1,0 +1,67 @@
+"""ExecutionContext tests: profile cache, boundary, device reset."""
+
+import numpy as np
+import pytest
+
+from repro.ir import ArrayStorage
+from repro.runtime.platform import symmetric_platform
+from repro.scheduler.context import ExecutionContext, JaponicaConfig
+from repro.translate.translator import Translator
+
+from ..conftest import SCRATCH_SRC, VEC_SRC
+
+
+class TestContext:
+    def test_boundary_default_and_override(self):
+        ctx = ExecutionContext()
+        assert ctx.boundary() == pytest.approx(0.9417, abs=1e-3)
+        cfg = JaponicaConfig()
+        cfg.boundary_override = 0.33
+        assert ExecutionContext(config=cfg).boundary() == 0.33
+
+    def test_symmetric_platform(self):
+        ctx = ExecutionContext(symmetric_platform())
+        assert ctx.boundary() == pytest.approx(0.5)
+
+    def test_profile_cached_by_loop_id(self):
+        ctx = ExecutionContext()
+        loop = Translator().translate_source(SCRATCH_SRC).all_loops[0]
+        n = 64
+        storage = ArrayStorage(
+            {"src": np.ones(n), "dst": np.zeros(n), "tmp": np.zeros(2)}
+        )
+        p1 = ctx.ensure_profile(loop, range(n), {"n": n}, storage)
+        p2 = ctx.ensure_profile(loop, range(n), {"n": n}, storage)
+        assert p1 is p2
+
+    def test_profile_of_unloweable_loop_rejected(self):
+        src = """
+        class T { static void f(double[] a, int n) {
+          double s = 0.0;
+          /* acc parallel */
+          for (int i = 0; i < n; i++) { s = s + a[i]; }
+          a[0] = s;
+        } }
+        """
+        ctx = ExecutionContext()
+        loop = Translator().translate_source(src).all_loops[0]
+        storage = ArrayStorage({"a": np.ones(4)})
+        with pytest.raises(ValueError):
+            ctx.ensure_profile(loop, range(4), {"n": 4}, storage)
+
+    def test_reset_device_clears_allocations(self):
+        ctx = ExecutionContext()
+        ctx.device.memory.copyin("a", (4,), np.float64)
+        assert ctx.device.memory.allocations
+        ctx.reset_device()
+        assert not ctx.device.memory.allocations
+
+    def test_scale_factors_reach_cost_model(self):
+        cfg = JaponicaConfig()
+        cfg.work_scale = 7.0
+        cfg.byte_scale = 3.0
+        cfg.link_scale = 2.0
+        ctx = ExecutionContext(config=cfg)
+        assert ctx.cost.work_scale == 7.0
+        assert ctx.cost.byte_scale == 3.0
+        assert ctx.cost.link_scale == 2.0

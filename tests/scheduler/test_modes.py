@@ -1,0 +1,71 @@
+"""Mode-dispatch tests: the Figure-2(b) decision table."""
+
+import pytest
+
+from repro.profiler.report import DependencyProfile
+from repro.scheduler.modes import ExecMode, decide_mode
+from repro.translate.translator import Translator
+
+from ..conftest import SCRATCH_SRC, SEIDEL_SRC, VEC_SRC
+
+
+def translated(src):
+    unit = Translator().translate_source(src)
+    return unit.all_loops[0]
+
+
+def profile(td_density=0.0, td=0, fd=0, n=100):
+    p = DependencyProfile(iterations=n)
+    p.td_density = td_density
+    p.td_pairs = td
+    p.fd_pairs = fd
+    return p
+
+
+class TestDecisionTable:
+    def test_static_doall_is_mode_a(self):
+        loop = translated(VEC_SRC)
+        assert decide_mode(loop, None, 0.3) is ExecMode.A
+
+    def test_low_td_is_mode_b(self):
+        loop = translated(SCRATCH_SRC)
+        p = profile(td_density=0.05, td=3)
+        assert decide_mode(loop, p, 0.3) is ExecMode.B
+
+    def test_high_td_is_mode_c(self):
+        loop = translated(SCRATCH_SRC)
+        p = profile(td_density=0.9, td=90)
+        assert decide_mode(loop, p, 0.3) is ExecMode.C
+
+    def test_threshold_boundary_exclusive(self):
+        loop = translated(SCRATCH_SRC)
+        p = profile(td_density=0.3, td=30)
+        # density == N is 'low' (the paper: "> N ? High : Low")
+        assert decide_mode(loop, p, 0.3) is ExecMode.B
+
+    def test_fd_only_is_mode_d(self):
+        loop = translated(SCRATCH_SRC)
+        p = profile(fd=10)
+        assert decide_mode(loop, p, 0.3) is ExecMode.D
+
+    def test_clean_profile_is_mode_d_prime(self):
+        loop = translated(SCRATCH_SRC)
+        assert decide_mode(loop, profile(), 0.3) is ExecMode.D_PRIME
+
+    def test_profiled_loop_requires_profile(self):
+        loop = translated(SCRATCH_SRC)
+        with pytest.raises(ValueError, match="profile"):
+            decide_mode(loop, None, 0.3)
+
+    def test_cpu_only_loop_is_mode_c(self):
+        src = """
+        class T { static void f(double[] a, int n) {
+          double s = 0.0;
+          /* acc parallel */
+          for (int i = 0; i < n; i++) { s = s + a[i]; }
+          a[0] = s;
+        } }
+        """
+        loop = translated(src)
+        assert loop.cpu_only
+        assert decide_mode(loop, None, 0.3) is ExecMode.C

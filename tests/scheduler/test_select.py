@@ -1,0 +1,67 @@
+"""Scheme-selection tests (§V-C heuristic)."""
+
+from repro.scheduler.select import effective_scheme, recommend_scheme
+from repro.translate.translator import Translator
+
+from ..conftest import VEC_SRC
+
+INDEPENDENT_SRC = """
+class T {
+  static void run(double[] a, double[] b, double[] p, double[] q, int n) {
+    /* acc parallel */
+    for (int i = 0; i < n; i++) { b[i] = a[i] * 2.0; }
+    /* acc parallel */
+    for (int i = 0; i < n; i++) { q[i] = p[i] * 3.0; }
+  }
+}
+"""
+
+CHAINED_SRC = """
+class T {
+  static void run(double[] a, double[] b, double[] c, int n) {
+    /* acc parallel */
+    for (int i = 0; i < n; i++) { b[i] = a[i] * 2.0; }
+    /* acc parallel */
+    for (int i = 0; i < n; i++) { c[i] = b[i] * 3.0; }
+  }
+}
+"""
+
+
+def loops_of(src):
+    return Translator().translate_source(src).all_loops
+
+
+class TestRecommend:
+    def test_single_loop_sharing(self):
+        assert recommend_scheme(loops_of(VEC_SRC)) == "sharing"
+
+    def test_independent_loops_stealing(self):
+        assert recommend_scheme(loops_of(INDEPENDENT_SRC)) == "stealing"
+
+    def test_chained_loops_sharing(self):
+        assert recommend_scheme(loops_of(CHAINED_SRC)) == "sharing"
+
+
+class TestEffective:
+    def test_override_wins(self):
+        loops = loops_of(VEC_SRC)
+        assert effective_scheme(loops, "stealing") == "stealing"
+
+    def test_annotation_wins_over_heuristic(self):
+        src = INDEPENDENT_SRC.replace(
+            "/* acc parallel */", "/* acc parallel scheme(sharing) */", 1
+        )
+        loops = loops_of(src)
+        assert effective_scheme(loops) == "sharing"
+
+    def test_heuristic_fallback(self):
+        assert effective_scheme(loops_of(INDEPENDENT_SRC)) == "stealing"
+
+    def test_workload_schemes_match_table2(self):
+        from repro.workloads import ALL_WORKLOADS
+
+        for w in ALL_WORKLOADS:
+            unit = Translator().translate_source(w.source)
+            loops = unit.methods[w.method].loops
+            assert effective_scheme(loops) == w.scheme, w.name

@@ -1,0 +1,142 @@
+"""Task-sharing scheduler tests: modes, boundary split, transfer residency."""
+
+import numpy as np
+import pytest
+
+from repro.ir import ArrayStorage
+from repro.runtime.clock import LANE_CPU, LANE_DMA, LANE_GPU
+from repro.scheduler.context import ExecutionContext, JaponicaConfig
+from repro.scheduler.sharing import TaskSharingScheduler
+from repro.scheduler.task import Task
+from repro.translate.translator import Translator
+
+from ..conftest import SCRATCH_SRC, SEIDEL_SRC, VEC_SRC
+
+
+def setup(src, arrays, config=None):
+    ctx = ExecutionContext(config=config)
+    unit = Translator().translate_source(src)
+    task = Task(unit.all_loops[0])
+    storage = ArrayStorage(arrays)
+    return ctx, TaskSharingScheduler(ctx), task, storage
+
+
+def vec_arrays(n=640, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "a": rng.standard_normal(n),
+        "b": rng.standard_normal(n),
+        "c": np.zeros(n),
+    }
+
+
+class TestModeA:
+    def test_functional_result_and_split(self):
+        n = 640
+        arrays = vec_arrays(n)
+        ctx, sched, task, storage = setup(VEC_SRC, arrays)
+        res = sched.execute(task, storage, {"n": n})
+        assert res.mode == "A"
+        assert np.array_equal(
+            storage.arrays["c"], arrays["a"] * 2.0 + arrays["b"]
+        )
+        split = res.detail["gpu_iterations"], res.detail["cpu_iterations"]
+        assert split[0] + split[1] == n
+        # paper boundary ~0.94: GPU takes the lion's share
+        assert split[0] > 0.9 * n
+
+    def test_boundary_override(self):
+        n = 100
+        cfg = JaponicaConfig()
+        cfg.boundary_override = 0.5
+        ctx, sched, task, storage = setup(VEC_SRC, vec_arrays(n), cfg)
+        res = sched.execute(task, storage, {"n": n})
+        assert res.detail["gpu_iterations"] == 50
+
+    def test_prefetch_pipeline_on_timeline(self):
+        n = 640
+        ctx, sched, task, storage = setup(VEC_SRC, vec_arrays(n))
+        res = sched.execute(task, storage, {"n": n})
+        labels = [e.label for e in res.timeline.events]
+        assert sum(1 for l in labels if l.startswith("h2d#")) >= 2
+        assert "d2h" in labels
+
+    def test_prefetch_beats_sync(self):
+        n = 640
+        cfg_sync = JaponicaConfig()
+        cfg_sync.async_prefetch = False
+        _, s1, t1, st1 = setup(VEC_SRC, vec_arrays(n))
+        async_res = s1.execute(t1, st1, {"n": n})
+        _, s2, t2, st2 = setup(VEC_SRC, vec_arrays(n), cfg_sync)
+        sync_res = s2.execute(t2, st2, {"n": n})
+        assert async_res.sim_time_s < sync_res.sim_time_s
+
+    def test_residency_second_dispatch_cheaper(self):
+        n = 640
+        ctx, sched, task, storage = setup(VEC_SRC, vec_arrays(n))
+        first = sched.execute(task, storage, {"n": n})
+        second = sched.execute(task, storage, {"n": n})
+        dma_first = sum(
+            e.duration for e in first.timeline.lane_events(LANE_DMA)
+        )
+        dma_second = sum(
+            e.duration for e in second.timeline.lane_events(LANE_DMA)
+        )
+        # inputs a, b stay resident; only the CPU-written slice of c is stale
+        assert dma_second < dma_first
+
+    def test_cpu_write_invalidates_fraction(self):
+        n = 640
+        ctx, sched, task, storage = setup(VEC_SRC, vec_arrays(n))
+        sched.execute(task, storage, {"n": n})
+        alloc = ctx.device.memory.allocations["c"]
+        assert 0.0 < alloc.stale_fraction < 0.2
+
+
+class TestModeC:
+    def test_seidel_runs_sequential(self):
+        n = 96
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(n)
+        arrays = {"x": x.copy(), "b": rng.standard_normal(n)}
+        ctx, sched, task, storage = setup(SEIDEL_SRC, arrays)
+        res = sched.execute(task, storage, {"n": n})
+        assert res.mode == "C"
+        # sequential reference
+        expected = x.copy()
+        for i in range(1, n - 1):
+            expected[i] = 0.5 * (expected[i - 1] + expected[i + 1]) + arrays["b"][i]
+        assert np.array_equal(storage.arrays["x"], expected)
+        assert not res.timeline.lane_events(LANE_GPU) or (
+            res.timeline.lane_events(LANE_GPU)[0].label == "profiling"
+        )
+
+
+class TestModeD:
+    def test_scratch_privatized(self):
+        n = 256
+        rng = np.random.default_rng(2)
+        src_arr = rng.standard_normal(n)
+        arrays = {"src": src_arr, "dst": np.zeros(n), "tmp": np.zeros(2)}
+        ctx, sched, task, storage = setup(SCRATCH_SRC, arrays)
+        res = sched.execute(task, storage, {"n": n})
+        assert res.mode == "D"
+        assert np.array_equal(
+            storage.arrays["dst"], src_arr * 2.0 + (src_arr + 1.0)
+        )
+        # privatized scratch ends with the last iteration's values
+        assert storage.arrays["tmp"][0] == src_arr[-1] * 2.0
+        assert storage.arrays["tmp"][1] == src_arr[-1] + 1.0
+        assert res.detail["cpu_iterations"] > 0
+
+    def test_profile_cached_across_executions(self):
+        n = 128
+        arrays = {
+            "src": np.ones(n), "dst": np.zeros(n), "tmp": np.zeros(2)
+        }
+        ctx, sched, task, storage = setup(SCRATCH_SRC, arrays)
+        sched.execute(task, storage, {"n": n})
+        assert task.loop.id in ctx.profiles
+        before = ctx.profiles[task.loop.id]
+        sched.execute(task, storage, {"n": n})
+        assert ctx.profiles[task.loop.id] is before

@@ -1,0 +1,179 @@
+"""Task-stealing scheduler tests: PDG batches, rules, stealing dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulerError
+from repro.ir import ArrayStorage
+from repro.scheduler.context import ExecutionContext
+from repro.scheduler.stealing import TaskStealingScheduler
+from repro.scheduler.task import Task
+from repro.translate.translator import Translator
+
+TWO_PHASE_SRC = """
+class T {
+  static void run(double[] a, double[] b, double[] c, int n) {
+    /* acc parallel scheme(stealing) */
+    for (int i = 0; i < n / 2; i++) { b[i] = a[i] * 2.0; }
+    /* acc parallel */
+    for (int i = n / 2; i < n; i++) { b[i] = a[i] * 2.0; }
+    /* acc parallel */
+    for (int i = 0; i < n; i++) { c[i] = b[i] + 1.0; }
+  }
+}
+"""
+
+
+def setup(src=TWO_PHASE_SRC, n=512):
+    ctx = ExecutionContext()
+    unit = Translator().translate_source(src)
+    tasks = [Task(tl) for tl in unit.all_loops]
+    rng = np.random.default_rng(0)
+    storage = ArrayStorage(
+        {"a": rng.standard_normal(n), "b": np.zeros(n), "c": np.zeros(n)}
+    )
+    return ctx, TaskStealingScheduler(ctx), tasks, storage, {"n": n}
+
+
+class TestPdgSections:
+    def test_subloops_independent_consumer_ordered(self):
+        ctx, sched, tasks, storage, env = setup()
+        pdg = sched.build_task_pdg(tasks, storage, env)
+        batches = pdg.batches()
+        assert len(batches) == 2
+        assert len(batches[0]) == 2  # the two half-range producers
+        assert batches[1] == [tasks[2].id]
+
+    def test_overlapping_writes_ordered(self):
+        src = """
+        class T {
+          static void run(double[] a, double[] b, double[] c, int n) {
+            /* acc parallel scheme(stealing) */
+            for (int i = 0; i < n; i++) { b[i] = a[i]; }
+            /* acc parallel */
+            for (int i = 0; i < n; i++) { b[i] = b[i] * 2.0; }
+            /* acc parallel */
+            for (int i = 0; i < n; i++) { c[i] = 1.0; }
+          }
+        }
+        """
+        ctx, sched, tasks, storage, env = setup(src)
+        pdg = sched.build_task_pdg(tasks, storage, env)
+        batches = pdg.batches()
+        # loop 0 and loop 1 conflict on b; loop 2 is independent
+        assert batches[0] == sorted([tasks[0].id, tasks[2].id])
+        assert batches[1] == [tasks[1].id]
+
+
+class TestExecution:
+    def test_functional_result(self):
+        ctx, sched, tasks, storage, env = setup()
+        a = storage.arrays["a"].copy()
+        res = sched.execute(tasks, storage, env)
+        assert np.array_equal(storage.arrays["b"], a * 2.0)
+        assert np.array_equal(storage.arrays["c"], a * 2.0 + 1.0)
+        assert res.sim_time_s > 0
+
+    def test_placements_and_batches_recorded(self):
+        ctx, sched, tasks, storage, env = setup()
+        res = sched.execute(tasks, storage, env)
+        stats = res.detail["stats"]
+        assert stats.batches == 2
+        assert len(stats.placements) == 3
+        assert {p.task_id for p in stats.placements} == {t.id for t in tasks}
+
+    def test_cpu_steals_when_gpu_busy(self):
+        # many DOALL tasks all initially assigned to the GPU queue: the
+        # idle CPU must steal some (Algorithm 1 lines 7-10 + dynamics)
+        src_parts = ["class T {",
+                     "  static void run(double[] a, double[] b, int n) {"]
+        for k in range(6):
+            ann = " scheme(stealing)" if k == 0 else ""
+            src_parts.append(f"    /* acc parallel{ann} */")
+            src_parts.append(
+                f"    for (int i = {k} * n / 6; i < {k + 1} * n / 6; i++)"
+                " { b[i] = a[i] * 2.0; }"
+            )
+        src_parts += ["  }", "}"]
+        src = "\n".join(src_parts)
+        ctx = ExecutionContext()
+        unit = Translator().translate_source(src)
+        tasks = [Task(tl) for tl in unit.all_loops]
+        n = 600
+        rng = np.random.default_rng(1)
+        storage = ArrayStorage({"a": rng.standard_normal(n), "b": np.zeros(n)})
+        sched = TaskStealingScheduler(ctx)
+        res = sched.execute(tasks, storage, {"n": n})
+        stats = res.detail["stats"]
+        cpu_tasks = [p for p in stats.placements if p.worker == "cpu"]
+        assert cpu_tasks, "CPU never stole a task"
+        assert stats.steals >= len(cpu_tasks) - 1
+        assert np.array_equal(storage.arrays["b"], storage.arrays["a"] * 2.0)
+
+    def test_empty_task_set_rejected(self):
+        ctx, sched, tasks, storage, env = setup()
+        with pytest.raises(SchedulerError):
+            sched.execute([], storage, env)
+
+    def test_high_td_task_stays_on_cpu(self):
+        src = """
+        class T {
+          static void run(double[] x, double[] y, int n) {
+            /* acc parallel scheme(stealing) */
+            for (int i = 1; i < n; i++) { x[i] = x[i - 1] * 0.5 + x[i]; }
+            /* acc parallel */
+            for (int i = 0; i < n; i++) { y[i] = y[i] * 2.0; }
+          }
+        }
+        """
+        ctx = ExecutionContext()
+        unit = Translator().translate_source(src)
+        tasks = [Task(tl) for tl in unit.all_loops]
+        n = 256
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(n)
+        y = rng.standard_normal(n)
+        storage = ArrayStorage({"x": x.copy(), "y": y.copy()})
+        res = TaskStealingScheduler(ctx).execute(tasks, storage, {"n": n})
+        placements = {p.task_id: p.worker for p in res.detail["stats"].placements}
+        assert placements[tasks[0].id] == "cpu"  # obligatory
+        expected = x.copy()
+        for i in range(1, n):
+            expected[i] = expected[i - 1] * 0.5 + expected[i]
+        assert np.array_equal(storage.arrays["x"], expected)
+        assert np.array_equal(storage.arrays["y"], y * 2.0)
+
+
+class TestStealingWithTls:
+    def test_low_td_task_runs_tls_on_gpu(self):
+        """A sparse-TD loop in the job pool takes the GPU TLS path when
+        the distribution rules or stealing place it there."""
+        import numpy as np
+
+        from repro.workloads.synthetic import (
+            SyntheticSpec,
+            generate_source,
+            make_inputs,
+            reference,
+        )
+
+        spec = SyntheticSpec(n=1024, td_period=128, td_distance=200, work=2)
+        src = generate_source(spec)
+        ctx = ExecutionContext()
+        unit = Translator().translate_source(src)
+        tasks = [Task(unit.all_loops[0])]
+        binds = make_inputs(spec)
+        storage = ArrayStorage(
+            {k: v for k, v in binds.items() if isinstance(v, np.ndarray)}
+        )
+        sched = TaskStealingScheduler(ctx)
+        # profile first so the dd class is 'low'
+        dd = sched._dd_class(tasks[0], storage, {"n": spec.n})
+        assert dd == "low"
+        res = sched.execute(tasks, storage, {"n": spec.n})
+        expected = reference(spec, binds)
+        for name, want in expected.items():
+            assert np.array_equal(storage.arrays[name], want), name
+        # low-TD tasks are suited to the CPU by the rule table, but TLS
+        # handles them if stolen; either placement must be correct
+        assert res.detail["stats"].placements[0].worker in ("cpu", "gpu")

@@ -1,0 +1,175 @@
+"""GPU-TLS engine tests: SE/DC/commit/recovery over real kernels."""
+
+import numpy as np
+import pytest
+
+from repro.cpusim.executor import CpuExecutor
+from repro.gpusim.device import GpuDevice
+from repro.ir import ArrayStorage, run_sequential
+from repro.profiler.trace import profile_loop
+from repro.runtime.costmodel import CostModel
+from repro.runtime.platform import paper_platform
+from repro.tls.engine import GpuTlsEngine, TlsConfig
+
+from ..conftest import lowered, register_all
+
+
+@pytest.fixture
+def rig():
+    platform = paper_platform()
+    cost = CostModel(platform)
+    return GpuDevice(platform.gpu, cost), CpuExecutor(platform.cpu, cost)
+
+
+# iteration i reads cell i-D through a lookback table; D controls whether
+# violations occur within a sub-loop
+CHAIN_SRC = """
+class T { static void f(double[] x, double[] aux, int[] look, int n) {
+  /* acc parallel */
+  for (int i = 0; i < n; i++) {
+    double prior = aux[look[i]];
+    x[i] = x[i] * 2.0 + prior * 0.5;
+    aux[i] = x[i];
+  }
+} }
+"""
+
+
+def chain_setup(n, distance, period):
+    """lookback reads `distance` back every `period` iterations."""
+    look = np.arange(n, 2 * n, dtype=np.int32)
+    hot = np.arange(distance, n, period)
+    look[hot] = hot - distance
+    rng = np.random.default_rng(0)
+    return {
+        "x": rng.standard_normal(n),
+        "aux": np.zeros(2 * n),
+        "look": look,
+    }
+
+
+def reference_arrays(fn, arrays, env, n):
+    storage = ArrayStorage({k: v.copy() for k, v in arrays.items()})
+    run_sequential(fn, storage, env, 0, n)
+    return storage.snapshot()
+
+
+class TestCleanSpeculation:
+    def test_no_violations_when_distance_exceeds_subloop(self, rig):
+        device, cpu = rig
+        _, fn = lowered(CHAIN_SRC)
+        n = 300
+        arrays = chain_setup(n, distance=200, period=17)
+        expected = reference_arrays(fn, arrays, {"n": n}, n)
+
+        storage = ArrayStorage({k: v.copy() for k, v in arrays.items()})
+        register_all(device, storage)
+        engine = GpuTlsEngine(device, cpu, TlsConfig(warps_per_subloop=4))
+        result = engine.execute(fn, range(n), {"n": n}, storage)
+        assert result.stats.violations == 0
+        assert result.stats.committed_iterations == n
+        for name in expected:
+            assert np.array_equal(storage.arrays[name], expected[name]), name
+
+    def test_subloop_count(self, rig):
+        device, cpu = rig
+        _, fn = lowered(CHAIN_SRC)
+        n = 256
+        arrays = chain_setup(n, distance=256, period=999)
+        storage = ArrayStorage(arrays)
+        register_all(device, storage)
+        engine = GpuTlsEngine(device, cpu, TlsConfig(warps_per_subloop=2))
+        result = engine.execute(fn, range(n), {"n": n}, storage)
+        assert result.stats.subloops == 4  # 256 / (2*32)
+
+
+class TestMisSpeculation:
+    def test_violation_detected_and_result_correct(self, rig):
+        device, cpu = rig
+        _, fn = lowered(CHAIN_SRC)
+        n = 256
+        arrays = chain_setup(n, distance=10, period=64)  # inside sub-loops
+        expected = reference_arrays(fn, arrays, {"n": n}, n)
+
+        storage = ArrayStorage({k: v.copy() for k, v in arrays.items()})
+        register_all(device, storage)
+        engine = GpuTlsEngine(device, cpu, TlsConfig(warps_per_subloop=4))
+        result = engine.execute(fn, range(n), {"n": n}, storage)
+        assert result.stats.violations > 0
+        assert result.stats.relaunches > 0  # no profile -> optimistic
+        assert result.stats.squashed_iterations > 0
+        for name in expected:
+            assert np.array_equal(storage.arrays[name], expected[name]), name
+
+    def test_profile_guides_cpu_handoff(self, rig):
+        device, cpu = rig
+        _, fn = lowered(CHAIN_SRC)
+        n = 256
+        arrays = chain_setup(n, distance=10, period=24)  # dense TD warps
+        expected = reference_arrays(fn, arrays, {"n": n}, n)
+
+        storage = ArrayStorage({k: v.copy() for k, v in arrays.items()})
+        profile = profile_loop(
+            device, fn, range(n), {"n": n}, storage
+        ).profile
+        assert profile.has_true
+
+        register_all(device, storage)
+        engine = GpuTlsEngine(device, cpu, TlsConfig(warps_per_subloop=4))
+        result = engine.execute(
+            fn, range(n), {"n": n}, storage, profile=profile
+        )
+        assert result.stats.cpu_handoffs > 0
+        assert result.stats.cpu_iterations > 0
+        for name in expected:
+            assert np.array_equal(storage.arrays[name], expected[name]), name
+
+    def test_dense_chain_degenerates_but_stays_correct(self, rig):
+        device, cpu = rig
+        _, fn = lowered(CHAIN_SRC)
+        n = 96
+        arrays = chain_setup(n, distance=1, period=1)  # every iteration TD
+        expected = reference_arrays(fn, arrays, {"n": n}, n)
+
+        storage = ArrayStorage({k: v.copy() for k, v in arrays.items()})
+        register_all(device, storage)
+        engine = GpuTlsEngine(device, cpu, TlsConfig(warps_per_subloop=1))
+        result = engine.execute(fn, range(n), {"n": n}, storage)
+        assert result.stats.violations > 30
+        for name in expected:
+            assert np.array_equal(storage.arrays[name], expected[name]), name
+
+    def test_relaunch_transfer_charged(self, rig):
+        device, cpu = rig
+        _, fn = lowered(CHAIN_SRC)
+        n = 128
+        arrays = chain_setup(n, distance=5, period=32)
+        storage1 = ArrayStorage({k: v.copy() for k, v in arrays.items()})
+        register_all(device, storage1)
+        free = GpuTlsEngine(
+            device, cpu, TlsConfig(warps_per_subloop=2)
+        ).execute(fn, range(n), {"n": n}, storage1)
+        storage2 = ArrayStorage({k: v.copy() for k, v in arrays.items()})
+        register_all(device, storage2)
+        costly = GpuTlsEngine(
+            device, cpu,
+            TlsConfig(warps_per_subloop=2, relaunch_transfer_s=1.0),
+        ).execute(fn, range(n), {"n": n}, storage2)
+        assert costly.sim_time_s > free.sim_time_s + 0.9
+
+
+class TestTimeAccounting:
+    def test_phases_on_timeline(self, rig):
+        device, cpu = rig
+        _, fn = lowered(CHAIN_SRC)
+        n = 128
+        arrays = chain_setup(n, distance=128, period=999)
+        storage = ArrayStorage(arrays)
+        register_all(device, storage)
+        engine = GpuTlsEngine(device, cpu, TlsConfig(warps_per_subloop=2))
+        result = engine.execute(fn, range(n), {"n": n}, storage)
+        labels = [e.label for e in result.timeline.events]
+        assert any(l.startswith("SE@") for l in labels)
+        assert any(l.startswith("DC@") for l in labels)
+        assert any(l.startswith("commit@") for l in labels)
+        assert result.sim_time_s == result.timeline.makespan

@@ -1,0 +1,69 @@
+"""Recovery-policy tests."""
+
+from repro.profiler.report import DependencyProfile
+from repro.tls.recovery import RecoveryAction, decide_recovery
+
+
+def profile_with(warps):
+    p = DependencyProfile(iterations=100)
+    p.td_warps = set(warps)
+    p.td_pairs = len(warps)
+    return p
+
+
+class TestDecision:
+    def test_no_profile_relaunches(self):
+        d = decide_recovery(None, violating_warp=3)
+        assert d.action is RecoveryAction.RELAUNCH_GPU
+
+    def test_clear_lookahead_relaunches(self):
+        p = profile_with({20})
+        d = decide_recovery(p, violating_warp=3, lookahead=2)
+        assert d.action is RecoveryAction.RELAUNCH_GPU
+
+    def test_td_ahead_goes_cpu(self):
+        p = profile_with({5})
+        d = decide_recovery(p, violating_warp=4, lookahead=2)
+        assert d.action is RecoveryAction.CPU_SEQUENTIAL
+        assert d.cpu_warps == 2
+
+    def test_lookahead_window_boundaries(self):
+        p = profile_with({7})
+        # window is warps [violating+1, violating+lookahead]
+        assert (
+            decide_recovery(p, 6, lookahead=1).action
+            is RecoveryAction.CPU_SEQUENTIAL
+        )
+        assert (
+            decide_recovery(p, 7, lookahead=1).action
+            is RecoveryAction.RELAUNCH_GPU
+        )
+
+    def test_cpu_warps_at_least_one(self):
+        p = profile_with({1})
+        d = decide_recovery(p, 0, lookahead=0)
+        if d.action is RecoveryAction.CPU_SEQUENTIAL:
+            assert d.cpu_warps >= 1
+
+
+class TestBuffers:
+    def test_metadata_and_bytes_helpers(self):
+        import numpy as np
+
+        from repro.ir.interpreter import AccessRecord, ArrayStorage, LaneSpecState
+        from repro.tls.buffers import (
+            buffered_bytes,
+            buffered_cells,
+            metadata_entries,
+        )
+
+        storage = ArrayStorage({"x": np.zeros(8)})
+        s = LaneSpecState()
+        s.reads.append(AccessRecord(0, "R", "x", 0))
+        s.writes.append(AccessRecord(1, "W", "x", 1))
+        s.buffer[("x", 1)] = 2.0
+        lanes = {0: s}
+        assert metadata_entries(lanes) == 2
+        assert buffered_cells(lanes) == 1
+        assert buffered_bytes(lanes, storage) == 8
+        assert buffered_bytes(lanes, storage, iterations=[5]) == 0

@@ -1,0 +1,205 @@
+"""Translator tests: translation units, metadata, data plans, codegen."""
+
+import pytest
+
+from repro.analysis import LoopStatus
+from repro.errors import JaponicaError
+from repro.translate.translator import Translator
+
+from ..conftest import INDIRECT_SRC, SCRATCH_SRC, VEC_SRC
+
+TWO_METHOD_SRC = """
+class Multi {
+  static void one(double[] a, int n) {
+    /* acc parallel */
+    for (int i = 0; i < n; i++) { a[i] = 1.0; }
+  }
+  static void two(double[] a, int n) {
+    /* acc parallel */
+    for (int i = 0; i < n; i++) { a[i] = 2.0; }
+    /* acc parallel */
+    for (int i = 0; i < n; i++) { a[i] = a[i] + 1.0; }
+  }
+  static void plain(double[] a) { a[0] = 0.0; }
+}
+"""
+
+
+class TestUnit:
+    def test_methods_with_loops_only(self):
+        unit = Translator().translate_source(TWO_METHOD_SRC)
+        assert set(unit.methods) == {"one", "two"}
+        assert len(unit.methods["two"].loops) == 2
+
+    def test_loop_ids(self):
+        unit = Translator().translate_source(TWO_METHOD_SRC)
+        assert unit.methods["two"].loops[1].id == "two#1"
+        assert unit.loop("two#1").ordinal == 1
+        with pytest.raises(KeyError):
+            unit.loop("nope#0")
+
+    def test_doall_flag(self):
+        unit = Translator().translate_source(VEC_SRC)
+        tl = unit.all_loops[0]
+        assert tl.is_static_doall and not tl.needs_profiling
+
+    def test_uncertain_flag(self):
+        unit = Translator().translate_source(SCRATCH_SRC)
+        assert unit.all_loops[0].needs_profiling
+
+    def test_cpu_only_for_scalar_liveout(self):
+        src = """
+        class T { static void f(double[] a, int n) {
+          double s = 0.0;
+          /* acc parallel */
+          for (int i = 0; i < n; i++) { s = s + a[i]; }
+          a[0] = s;
+        } }
+        """
+        tl = Translator().translate_source(src).all_loops[0]
+        assert tl.cpu_only
+        assert "live-out" in tl.cpu_only_reason
+        assert tl.fn is None
+
+
+class TestMetadata:
+    def test_elem_bytes(self):
+        unit = Translator().translate_source(VEC_SRC)
+        assert unit.all_loops[0].elem_bytes == 8.0
+        int_src = VEC_SRC.replace("double[]", "int[]").replace("2.0", "2")
+        unit2 = Translator().translate_source(int_src)
+        assert unit2.all_loops[0].elem_bytes == 4.0
+
+    def test_static_coalescing_unit_stride(self):
+        unit = Translator().translate_source(VEC_SRC)
+        assert unit.all_loops[0].static_coalescing == 1.0
+
+    def test_static_coalescing_irregular(self):
+        unit = Translator().translate_source(INDIRECT_SRC)
+        assert unit.all_loops[0].static_coalescing < 1.0
+
+    def test_static_coalescing_column_major(self):
+        src = """
+        class T { static void f(double[][] M, double[] out, int n) {
+          /* acc parallel */
+          for (int i = 0; i < n; i++) { out[i] = M[i][0]; }
+        } }
+        """
+        tl = Translator().translate_source(src).all_loops[0]
+        assert tl.static_coalescing < 1.0  # row-major stride n access
+
+
+class TestDataPlan:
+    def test_annotation_sections_used(self):
+        unit = Translator().translate_source(VEC_SRC)
+        plan = unit.all_loops[0].data_plan
+        assert plan.arrays_in() == ["a", "b"]
+        assert plan.arrays_out() == ["c"]
+
+    def test_auto_plan_from_liveness(self):
+        src = """
+        class T { static void f(double[] x, double[] y, int n) {
+          /* acc parallel */
+          for (int i = 0; i < n; i++) { y[i] = x[i] + y[i]; }
+        } }
+        """
+        plan = Translator().translate_source(src).all_loops[0].data_plan
+        # x read-only -> in; y read+written -> in and out
+        assert set(plan.arrays_in()) == {"x", "y"}
+        assert plan.arrays_out() == ["y"]
+
+    def test_write_only_array_created_not_copied(self):
+        src = """
+        class T { static void f(double[] x, double[] y, int n) {
+          /* acc parallel */
+          for (int i = 0; i < n; i++) { y[i] = x[i]; }
+        } }
+        """
+        plan = Translator().translate_source(src).all_loops[0].data_plan
+        assert plan.arrays_in() == ["x"]
+        assert [m.array for m in plan.create] == ["y"]
+        assert plan.arrays_out() == ["y"]
+
+    def test_section_bytes(self):
+        import numpy as np
+
+        unit = Translator().translate_source(VEC_SRC)
+        plan = unit.all_loops[0].data_plan
+        arrays = {name: np.zeros(100) for name in ("a", "b", "c")}
+        assert plan.total_in_bytes({"n": 100}, arrays) == 2 * 100 * 8
+        assert plan.total_out_bytes({"n": 100}, arrays) == 100 * 8
+
+
+class TestCodegen:
+    def test_cuda_text_structure(self):
+        unit = Translator().translate_source(VEC_SRC)
+        cuda = unit.all_loops[0].cuda_source
+        assert "__global__" in cuda
+        assert "blockIdx.x * blockDim.x + threadIdx.x" in cuda
+        assert "cudaMemcpyHostToDevice" in cuda
+        assert "cudaMemcpyDeviceToHost" in cuda
+
+    def test_cuda_flattens_2d(self):
+        src = """
+        class T { static void f(double[][] M, double[] v, int n) {
+          /* acc parallel */
+          for (int i = 0; i < n; i++) { v[i] = M[i][2]; }
+        } }
+        """
+        cuda = Translator().translate_source(src).all_loops[0].cuda_source
+        assert "M_dim1" in cuda
+
+    def test_java_text_structure(self):
+        unit = Translator(cpu_threads=16).translate_source(VEC_SRC)
+        java = unit.all_loops[0].java_source
+        assert "__nThreads = 16" in java
+        assert "new Thread(new Runnable()" in java
+        assert ".join()" in java
+
+    def test_cuda_math_mapping(self):
+        src = """
+        class T { static void f(double[] a, int n) {
+          /* acc parallel */
+          for (int i = 0; i < n; i++) { a[i] = Math.sqrt(Math.abs(a[i])); }
+        } }
+        """
+        cuda = Translator().translate_source(src).all_loops[0].cuda_source
+        assert "sqrt(" in cuda and "fabs(" in cuda
+        assert "Math." not in cuda.split("/* host stub")[0]
+
+    def test_all_workload_sources_generate_code(self):
+        from repro.workloads import ALL_WORKLOADS
+
+        for w in ALL_WORKLOADS:
+            unit = Translator().translate_source(w.source)
+            for tl in unit.methods[w.method].loops:
+                assert "__global__" in tl.cuda_source, (w.name, tl.id)
+                assert "Thread" in tl.java_source
+
+
+class TestPrivateClause:
+    def test_valid_private_names_accepted(self):
+        src = """
+        class T { static void f(double[] a, double[] tmp, int n) {
+          /* acc parallel private(tmp, t) */
+          for (int i = 0; i < n; i++) {
+            double t = a[i];
+            tmp[(i * 1) % 1] = t;
+            a[i] = t + tmp[(i * 1) % 1];
+          }
+        } }
+        """
+        unit = Translator().translate_source(src)
+        assert unit.all_loops[0].annotation.private == ["tmp", "t"]
+
+    def test_unknown_private_name_rejected(self):
+        from repro.errors import AnnotationError
+
+        src = """
+        class T { static void f(double[] a, int n) {
+          /* acc parallel private(ghost) */
+          for (int i = 0; i < n; i++) { a[i] = 0.0; }
+        } }
+        """
+        with pytest.raises(AnnotationError, match="private"):
+            Translator().translate_source(src)
