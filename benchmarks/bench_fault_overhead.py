@@ -1,0 +1,65 @@
+"""Fault-injection overhead: what resilience costs at realistic rates.
+
+Three fault rates per app: 0 (the plane is disabled — an all-quiet
+schedule must be byte-for-byte the fault-free path, zero simulated
+overhead), 1e-4 (rare faults, overhead should be negligible) and 1e-2
+(a noisy machine, recoveries visibly charged to the simulated clock).
+The injected faults must never change the computed results.
+"""
+
+import numpy as np
+
+from repro.bench import render_table
+from repro.workloads import BY_NAME
+
+from conftest import run_once
+
+RATES = (0.0, 1e-4, 1e-2)
+APPS = ("VectorAdd", "BlackScholes")
+
+
+def measure(name):
+    w = BY_NAME[name]
+    binds = w.bindings()
+    clean = w.run(strategy="japonica")
+    rows = {}
+    for rate in RATES:
+        spec = f"gpu:{rate},transfer:{rate},cpu.worker:{rate}"
+        result = w.run(strategy="japonica", faults=spec, fault_seed=97)
+        w.verify(result, binds)  # faults must never corrupt results
+        rows[rate] = result
+    return clean, rows
+
+
+def test_fault_overhead(benchmark):
+    results = run_once(
+        benchmark, lambda: {name: measure(name) for name in APPS}
+    )
+    print()
+    table = []
+    for name, (clean, rows) in results.items():
+        for rate, result in rows.items():
+            rep = result.resilience
+            table.append((
+                name,
+                f"{rate:g}",
+                f"{result.sim_time_ms:.3f}",
+                f"{result.sim_time_s / clean.sim_time_s - 1.0:+.2%}",
+                "-" if rep is None else rep.summary(),
+            ))
+    print(render_table(
+        ["Benchmark", "Fault rate", "Time (ms)", "Overhead", "Resilience"],
+        table,
+    ))
+    for name, (clean, rows) in results.items():
+        # rate 0 disables the plane: exactly the fault-free path
+        zero = rows[0.0]
+        assert zero.sim_time_s == clean.sim_time_s, name
+        assert zero.resilience is None, name
+        # nonzero rates never make the run *faster* than fault-free
+        for rate in RATES[1:]:
+            assert rows[rate].sim_time_s >= clean.sim_time_s, (name, rate)
+        # results stay bit-identical to the clean run at every rate
+        for rate, result in rows.items():
+            for key, arr in clean.arrays.items():
+                assert np.array_equal(result.arrays[key], arr), (name, rate)

@@ -39,6 +39,8 @@ from typing import Optional
 import numpy as np
 
 from .errors import JaponicaError
+from .faults.resilience import ResilienceReport
+from .faults.schedule import FaultSchedule
 from .ir.interpreter import ArrayStorage
 from .ir.lower import length_param
 from .lang import ast_nodes as A
@@ -81,6 +83,8 @@ class ProgramResult:
     loop_results: list[tuple[str, ExecutionResult]] = field(default_factory=list)
     strategy: str = ""
     scheme: str = ""
+    #: what the resilience layer did (None unless fault injection was on)
+    resilience: Optional[ResilienceReport] = None
 
     @property
     def sim_time_ms(self) -> float:
@@ -135,6 +139,8 @@ class CompiledProgram:
         strategy: str = "japonica",
         scheme: Optional[str] = None,
         context: Optional[ExecutionContext] = None,
+        faults: Optional[object] = None,
+        fault_seed: int = 0,
         **bindings,
     ) -> ProgramResult:
         """Execute a method under a strategy.
@@ -142,6 +148,14 @@ class CompiledProgram:
         ``bindings`` supplies every parameter by name; array arguments
         are copied (the caller's data is never mutated) and coerced to
         the declared element type.
+
+        ``faults`` turns on deterministic fault injection: either a
+        :class:`FaultSchedule` or a spec string like
+        ``"gpu.launch:0.01,transfer@3"`` (see ``FaultSchedule.parse``),
+        seeded by ``fault_seed``.  The run then either produces results
+        bit-identical to a fault-free run or raises a typed
+        :class:`UnrecoverableFaultError`; what the resilience layer did
+        is attached as ``result.resilience``.
         """
         if strategy not in STRATEGIES:
             raise JaponicaError(
@@ -162,6 +176,12 @@ class CompiledProgram:
         storage, scalars = self._bind(decl, bindings)
         ctx = context or ExecutionContext(self.platform, self.config)
         ctx.reset_device()
+        if faults is not None:
+            if isinstance(faults, FaultSchedule):
+                schedule = faults  # carries its own seed
+            else:
+                schedule = FaultSchedule.parse(str(faults), seed=fault_seed)
+            ctx.faults.install(schedule)
 
         use_scheme = effective_scheme(mt.loops, scheme)
         by_node = {id(tl.analysis.info.loop): tl for tl in mt.loops}
@@ -230,6 +250,9 @@ class CompiledProgram:
             loop_results=loop_results,
             strategy=strategy,
             scheme=use_scheme if strategy == "japonica" else "",
+            resilience=(
+                ctx.faults.recorder.report() if ctx.faults.enabled else None
+            ),
         )
 
     # -- binding -------------------------------------------------------------

@@ -20,6 +20,32 @@ import argparse
 import sys
 
 from .api import Japonica, STRATEGIES
+from .errors import (
+    AnalysisError,
+    AnnotationError,
+    JaponicaError,
+    LexError,
+    LoweringError,
+    ParseError,
+    RuntimeFaultError,
+    TypeCheckError,
+)
+
+#: Process exit codes.  Argparse's own usage errors exit with 2.
+EXIT_OK = 0
+EXIT_ERROR = 1          # any other Japonica error
+EXIT_USAGE = 2          # bad command-line arguments
+EXIT_FRONTEND = 3       # source could not be parsed/analyzed/lowered
+EXIT_RUNTIME_FAULT = 4  # an (injected) runtime fault was not recovered
+
+_FRONTEND_ERRORS = (
+    LexError,
+    ParseError,
+    AnnotationError,
+    AnalysisError,
+    TypeCheckError,
+    LoweringError,
+)
 
 
 def _cmd_list(_args) -> int:
@@ -38,7 +64,7 @@ def _cmd_run(args) -> int:
         workload = get(args.workload)
     except KeyError as exc:
         print(exc, file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     strategies = args.strategies.split(",") if args.strategies else ["japonica"]
     binds = workload.bindings(n=args.n, seed=args.seed)
     reference = workload.reference(binds) if args.verify else None
@@ -49,8 +75,11 @@ def _cmd_run(args) -> int:
         if strategy not in STRATEGIES:
             print(f"unknown strategy {strategy!r}; choose from {STRATEGIES}",
                   file=sys.stderr)
-            return 2
-        result = workload.run(strategy=strategy, n=args.n, seed=args.seed)
+            return EXIT_USAGE
+        result = workload.run(
+            strategy=strategy, n=args.n, seed=args.seed,
+            faults=args.faults, fault_seed=args.fault_seed,
+        )
         times[strategy] = result.sim_time_s
         modes = ",".join(sorted({r.mode for _, r in result.loop_results}))
         status = ""
@@ -62,6 +91,8 @@ def _cmd_run(args) -> int:
                 status = f"MISMATCH: {exc}"
         print(f"{strategy:10s} {result.sim_time_ms:12.3f} ms  "
               f"mode={modes:10s} {status}")
+        if result.resilience is not None:
+            print(f"           resilience: {result.resilience.summary()}")
     if "serial" in times:
         base = times["serial"]
         for strategy, t in times.items():
@@ -153,6 +184,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-verify", dest="verify", action="store_false",
         help="skip checking against the sequential reference",
     )
+    run_p.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault-injection schedule, e.g. 'gpu.launch:0.01,transfer@3' "
+             "(site:rate for probabilistic, site@n+m for exact probes)",
+    )
+    run_p.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the deterministic fault schedule",
+    )
     run_p.set_defaults(fn=_cmd_run)
 
     for which in ("table2", "fig3", "fig4", "fig5a", "fig5b", "headline"):
@@ -175,7 +215,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except _FRONTEND_ERRORS as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FRONTEND
+    except RuntimeFaultError as exc:
+        print(f"runtime fault: {exc}", file=sys.stderr)
+        return EXIT_RUNTIME_FAULT
+    except JaponicaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,7 +14,14 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..ir.instructions import IRFunction
+from ..errors import WorkerFault
+from ..faults.plane import SITE_CPU_WORKER
+from ..faults.resilience import (
+    FaultRuntime,
+    restore_arrays,
+    snapshot_arrays,
+)
+from ..ir.instructions import IRFunction, stored_arrays
 from ..ir.interpreter import (
     ArrayStorage,
     CompiledKernel,
@@ -38,9 +45,15 @@ class CpuRunResult:
 class CpuExecutor:
     """Executes kernel IR on the modelled multicore CPU."""
 
-    def __init__(self, spec: CpuSpec, cost: CostModel):
+    def __init__(
+        self,
+        spec: CpuSpec,
+        cost: CostModel,
+        faults: Optional[FaultRuntime] = None,
+    ):
         self.spec = spec
         self.cost = cost
+        self.faults = faults
         self._compiled: dict[int, CompiledKernel] = {}
         self._vectorized: dict[int, VectorizedKernel] = {}
 
@@ -72,10 +85,12 @@ class CpuExecutor:
         (needed when iteration order must be respected).
         """
         threads = threads if threads is not None else self.spec.worker_threads
-        counts = self._execute(
+        counts, extra_s = self._execute(
             fn, storage, scalar_env, list(indices), allow_vectorized
         )
-        sim_time = self.cost.cpu_time(counts, threads=threads, elem_bytes=elem_bytes)
+        sim_time = extra_s + self.cost.cpu_time(
+            counts, threads=threads, elem_bytes=elem_bytes
+        )
         return CpuRunResult(counts, sim_time, threads)
 
     def run_serial(
@@ -95,10 +110,12 @@ class CpuExecutor:
         coincides with sequential semantics only for DOALL loops — hence
         no vectorization here.
         """
-        counts = self._execute(
+        counts, extra_s = self._execute(
             fn, storage, scalar_env, list(indices), allow_vectorized=False
         )
-        sim_time = self.cost.cpu_time(counts, threads=1, elem_bytes=elem_bytes)
+        sim_time = extra_s + self.cost.cpu_time(
+            counts, threads=1, elem_bytes=elem_bytes
+        )
         return CpuRunResult(counts, sim_time, 1)
 
     def _execute(
@@ -108,13 +125,103 @@ class CpuExecutor:
         scalar_env: dict[str, object],
         indices: list[int],
         allow_vectorized: bool,
+    ) -> tuple[Counts, float]:
+        """Run the index set; returns (counts, extra simulated seconds).
+
+        Under fault injection a chunk may die mid-flight (an injected
+        :class:`WorkerFault`).  The chunk's written arrays are restored
+        from a pre-chunk snapshot and the chunk restarts, bounded by the
+        resilience policy; the dead worker's partial iterations stay in
+        the dynamic counts (wasted work costs real simulated time) and
+        each restart adds a backoff window.  Exhausting the budget raises
+        a typed :class:`WorkerFault` for the schedulers to degrade on.
+        """
+        faults = self.faults
+        if faults is None or not faults.enabled:
+            return self._execute_once(fn, storage, scalar_env, indices,
+                                      allow_vectorized, None), 0.0
+        policy = faults.policy
+        written = stored_arrays(fn)
+        extra_s = 0.0
+        retries = 0
+        while True:
+            snapshot = snapshot_arrays(storage, written)
+            try:
+                counts = self._execute_once(
+                    fn, storage, scalar_env, indices, allow_vectorized, faults
+                )
+                return counts, extra_s
+            except WorkerFault as err:
+                if not err.injected:
+                    raise
+                restore_arrays(storage, snapshot)
+                if retries >= policy.max_retries:
+                    # drain the partial counts so they are not double
+                    # charged by a later run of the same kernel
+                    self._kernel(fn).take_counts()
+                    raise WorkerFault(
+                        f"CPU worker kept dying after {retries + 1} attempts",
+                        completed=err.completed,
+                        site=SITE_CPU_WORKER,
+                        at_s=faults.recorder.clock_s,
+                        retries=retries + 1,
+                    )
+                backoff = policy.backoff(retries)
+                extra_s += backoff
+                faults.recovered(
+                    SITE_CPU_WORKER, "worker-restart",
+                    penalty_s=backoff, retries=retries + 1,
+                    detail=f"completed={err.completed}/{len(indices)}",
+                )
+                retries += 1
+
+    def _execute_once(
+        self,
+        fn: IRFunction,
+        storage: ArrayStorage,
+        scalar_env: dict[str, object],
+        indices: list[int],
+        allow_vectorized: bool,
+        faults: Optional[FaultRuntime],
     ) -> Counts:
+        directive = (
+            faults.probe(SITE_CPU_WORKER) if faults is not None else None
+        )
         if allow_vectorized and can_vectorize(fn) and indices:
+            if directive is not None:
+                # the worker dies before the chunk starts: nothing ran
+                raise WorkerFault(
+                    "injected worker failure (before chunk)",
+                    completed=0,
+                    site=SITE_CPU_WORKER,
+                    injected=True,
+                )
             return self._vector_kernel(fn).run_range(
                 storage, scalar_env, np.asarray(indices, dtype=np.int64)
             )
         kern = self._kernel(fn)
         backend = DirectBackend(storage)
-        for i in indices:
+        dies_at = (
+            int(directive.fraction * len(indices))
+            if directive is not None
+            else None
+        )
+        for k, i in enumerate(indices):
+            if dies_at is not None and k == dies_at:
+                raise WorkerFault(
+                    f"injected worker failure mid-chunk at {k}/{len(indices)}",
+                    completed=k,
+                    site=SITE_CPU_WORKER,
+                    injected=True,
+                )
             kern.run_index(i, scalar_env, backend)
+        if dies_at is not None:
+            # fraction rounded to the chunk end: the worker died right
+            # after its last iteration, before reporting completion
+            raise WorkerFault(
+                "injected worker failure at chunk end",
+                completed=len(indices),
+                site=SITE_CPU_WORKER,
+                injected=True,
+            )
         return kern.take_counts()

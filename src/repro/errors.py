@@ -53,3 +53,71 @@ class SpeculationError(JaponicaError):
 
 class WorkloadError(JaponicaError):
     """Raised by benchmark workloads on invalid parameters."""
+
+
+class RuntimeFaultError(JaponicaError):
+    """Base of the fault-plane hierarchy: a runtime fault with context.
+
+    ``site`` is the fault-plane probe site that produced the error,
+    ``at_s`` the simulated-clock timestamp when it was raised, and
+    ``retries`` how many recovery attempts preceded it.  ``injected`` is
+    True for errors raised directly by the fault plane (as opposed to
+    typed escalations after recovery gave up).
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        site: str = "",
+        at_s: float = 0.0,
+        retries: int = 0,
+        injected: bool = False,
+    ):
+        super().__init__(message)
+        self.site = site
+        self.at_s = at_s
+        self.retries = retries
+        self.injected = injected
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        base = super().__str__()
+        ctx = []
+        if self.site:
+            ctx.append(f"site={self.site}")
+        if self.retries:
+            ctx.append(f"retries={self.retries}")
+        if self.at_s:
+            ctx.append(f"at={self.at_s * 1e3:.3f}ms")
+        return f"{base} [{', '.join(ctx)}]" if ctx else base
+
+
+class LaunchFault(RuntimeFaultError):
+    """A kernel launch failed at the device (transient driver fault)."""
+
+
+class WatchdogTimeout(RuntimeFaultError):
+    """A kernel hung; the watchdog killed it after its timeout."""
+
+
+class TransferError(RuntimeFaultError):
+    """A host<->device transfer failed and may be re-issued."""
+
+
+class DeviceMemoryFault(RuntimeFaultError, MemoryFault):
+    """A device allocation-table entry was corrupted (injected)."""
+
+
+class WorkerFault(RuntimeFaultError):
+    """A CPU worker died mid-chunk; ``completed`` iterations finished."""
+
+    def __init__(self, message: str = "", completed: int = 0, **context):
+        super().__init__(message, **context)
+        self.completed = completed
+
+
+class UnrecoverableFaultError(RuntimeFaultError):
+    """Every rung of the degradation ladder failed; the run is aborted.
+
+    This is the *only* way a fault schedule may surface to the caller:
+    either a run commits bit-identical results or it raises this error.
+    """

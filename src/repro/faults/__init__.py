@@ -1,0 +1,47 @@
+"""Deterministic fault-injection plane + resilience layer.
+
+The fault plane injects *simulated* hardware/runtime faults (kernel
+launch failures, device hangs, transfer errors, memory-table corruption,
+CPU worker failures) at registered probe sites, driven by a seedable
+schedule.  The resilience layer consumes those faults: bounded retry
+with backoff charged to the simulated clock, a kernel watchdog,
+transfer re-issue with allocation-table re-validation, and a graceful
+mode-degradation ladder in the schedulers.  Every recovery action is
+recorded in a structured :class:`ResilienceReport`.
+
+The correctness contract is an extension of the repo-wide invariant:
+under *any* injected fault schedule, an execution either commits
+bit-identical arrays to the sequential interpreter or raises a typed
+:class:`~repro.errors.UnrecoverableFaultError` — never silent
+corruption.  With no schedule installed every hook is a no-op and adds
+zero simulated time.
+"""
+
+from .plane import SITES, FaultDirective, FaultPlane
+from .resilience import (
+    FaultRuntime,
+    RecoveryEvent,
+    ResiliencePolicy,
+    ResilienceRecorder,
+    ResilienceReport,
+    is_recoverable_fault,
+    restore_arrays,
+    snapshot_arrays,
+)
+from .schedule import FaultSchedule, SiteRule
+
+__all__ = [
+    "SITES",
+    "FaultDirective",
+    "FaultPlane",
+    "FaultRuntime",
+    "FaultSchedule",
+    "RecoveryEvent",
+    "ResiliencePolicy",
+    "ResilienceRecorder",
+    "ResilienceReport",
+    "SiteRule",
+    "is_recoverable_fault",
+    "restore_arrays",
+    "snapshot_arrays",
+]

@@ -1,0 +1,82 @@
+"""Fault plane: the site registry and the injector.
+
+Components that can fault probe the plane at named *sites*; the plane
+consults its schedule and answers with a :class:`FaultDirective` when a
+fault must be injected.  The plane also keeps the ground-truth ledger of
+every injected fault (``injected``), which the chaos suite reconciles
+against the :class:`~repro.faults.resilience.ResilienceReport` — a fault
+the resilience layer failed to observe and account is itself a bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .schedule import FaultSchedule
+
+#: Registered probe sites.
+SITE_GPU_LAUNCH = "gpu.launch"      #: kernel launch fails outright
+SITE_GPU_HANG = "gpu.hang"          #: kernel hangs; the watchdog kills it
+SITE_GPU_MEMORY = "gpu.memory"      #: allocation-table entry corrupted
+SITE_TRANSFER_H2D = "transfer.h2d"  #: host->device transfer error
+SITE_TRANSFER_D2H = "transfer.d2h"  #: device->host transfer error
+SITE_CPU_WORKER = "cpu.worker"      #: CPU worker dies mid-chunk
+
+SITES = (
+    SITE_GPU_LAUNCH,
+    SITE_GPU_HANG,
+    SITE_GPU_MEMORY,
+    SITE_TRANSFER_H2D,
+    SITE_TRANSFER_D2H,
+    SITE_CPU_WORKER,
+)
+
+
+@dataclass(frozen=True)
+class FaultDirective:
+    """One injected fault, as decided by the schedule."""
+
+    site: str
+    #: 1-based injection sequence number across the whole plane
+    seq: int
+    #: 1-based probe index at this site
+    probe_index: int
+    #: deterministic parameter in [0, 1) (e.g. where in a chunk a worker
+    #: dies)
+    fraction: float = 0.0
+
+
+class FaultPlane:
+    """Injects faults at probe sites according to a schedule."""
+
+    def __init__(self, schedule: Optional[FaultSchedule] = None):
+        self.schedule = schedule
+        self.injected: list[FaultDirective] = []
+        self._probe_counts: dict[str, int] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.schedule is not None and bool(self.schedule)
+
+    def probes(self, site: str) -> int:
+        """How many times ``site`` has been probed."""
+        return self._probe_counts.get(site, 0)
+
+    def probe(self, site: str) -> Optional[FaultDirective]:
+        """One probe of ``site``; returns a directive when a fault fires."""
+        if self.schedule is None:
+            return None
+        n = self._probe_counts.get(site, 0) + 1
+        self._probe_counts[site] = n
+        fraction = self.schedule.decide(site, n)
+        if fraction is None:
+            return None
+        directive = FaultDirective(
+            site=site,
+            seq=len(self.injected) + 1,
+            probe_index=n,
+            fraction=fraction,
+        )
+        self.injected.append(directive)
+        return directive

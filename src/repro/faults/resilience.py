@@ -1,0 +1,250 @@
+"""Resilience layer: policy, recovery accounting, and shared helpers.
+
+Recovery from injected faults happens at three levels:
+
+1. **Component level** — the GPU device retries failed launches with
+   exponential backoff, the watchdog kills hung kernels, transfers are
+   re-issued with allocation-table re-validation, and the CPU executor
+   restarts a dead worker's chunk from a pre-chunk snapshot.  All the
+   wasted time (backoff, watchdog windows, re-transferred bytes,
+   re-executed iterations) is charged to the simulated clock.
+2. **Engine level** — the TLS engine relaunches with a smaller sub-loop
+   when a speculative kernel keeps faulting.
+3. **Scheduler level** — the mode-degradation ladder: a side that keeps
+   failing is abandoned and the loop re-runs on the next-safer mode
+   (GPU -> CPU-MT -> CPU-sequential), restoring array state from a
+   snapshot first so no partial writes survive.
+
+Every fault observed and every recovery action taken is recorded as a
+:class:`RecoveryEvent`; the :class:`ResilienceReport` is attached to
+execution results and reconciled against the plane's injection ledger by
+the chaos suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..errors import RuntimeFaultError, TransferError, UnrecoverableFaultError
+from .plane import FaultPlane
+from .schedule import FaultSchedule
+
+#: Event kinds.
+KIND_FAULT = "fault"        #: a fault fired at a probe site
+KIND_RECOVERY = "recovery"  #: a bounded, same-level recovery action
+KIND_DEGRADE = "degrade"    #: a rung change on the degradation ladder
+
+
+@dataclass
+class ResiliencePolicy:
+    """Tuning knobs of the resilience layer."""
+
+    #: bounded retries per component-level operation
+    max_retries: int = 3
+    #: first backoff window (simulated seconds); doubles per retry
+    backoff_base_s: float = 2e-5
+    backoff_factor: float = 2.0
+    #: how long the watchdog waits before killing a hung kernel
+    watchdog_timeout_s: float = 5e-4
+
+    def backoff(self, attempt: int) -> float:
+        return self.backoff_base_s * self.backoff_factor**attempt
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One fault observation or recovery action."""
+
+    kind: str  # KIND_FAULT | KIND_RECOVERY | KIND_DEGRADE
+    site: str
+    action: str
+    at_s: float = 0.0
+    penalty_s: float = 0.0
+    retries: int = 0
+    detail: str = ""
+
+
+@dataclass
+class ResilienceReport:
+    """Structured account of what the resilience layer did."""
+
+    events: list[RecoveryEvent] = field(default_factory=list)
+
+    @property
+    def faults_seen(self) -> int:
+        return sum(1 for e in self.events if e.kind == KIND_FAULT)
+
+    @property
+    def recoveries(self) -> int:
+        return sum(1 for e in self.events if e.kind == KIND_RECOVERY)
+
+    @property
+    def degradations(self) -> int:
+        return sum(1 for e in self.events if e.kind == KIND_DEGRADE)
+
+    @property
+    def penalty_s(self) -> float:
+        return sum(e.penalty_s for e in self.events)
+
+    def by_site(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for e in self.events:
+            if e.kind == KIND_FAULT:
+                out[e.site] = out.get(e.site, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        sites = ", ".join(
+            f"{site}:{n}" for site, n in sorted(self.by_site().items())
+        )
+        return (
+            f"faults={self.faults_seen} ({sites or 'none'}) "
+            f"recoveries={self.recoveries} degradations={self.degradations} "
+            f"penalty={self.penalty_s * 1e3:.3f}ms"
+        )
+
+
+class ResilienceRecorder:
+    """Accumulates recovery events; supports per-execution slices."""
+
+    def __init__(self):
+        self.events: list[RecoveryEvent] = []
+        #: best-effort simulated-clock hint, advanced by the schedulers
+        self.clock_s: float = 0.0
+
+    def record(
+        self,
+        kind: str,
+        site: str,
+        action: str,
+        penalty_s: float = 0.0,
+        retries: int = 0,
+        detail: str = "",
+    ) -> RecoveryEvent:
+        event = RecoveryEvent(
+            kind=kind,
+            site=site,
+            action=action,
+            at_s=self.clock_s,
+            penalty_s=penalty_s,
+            retries=retries,
+            detail=detail,
+        )
+        self.events.append(event)
+        return event
+
+    def mark(self) -> int:
+        return len(self.events)
+
+    def report(self, since: int = 0) -> ResilienceReport:
+        return ResilienceReport(events=list(self.events[since:]))
+
+
+@dataclass
+class FaultRuntime:
+    """The bundle components share: plane + policy + recorder.
+
+    A single instance is created per :class:`ExecutionContext` and handed
+    to the GPU device, the device memory, and the CPU executor, so a
+    schedule installed mid-flight (``install``) is visible everywhere.
+    """
+
+    plane: FaultPlane = field(default_factory=FaultPlane)
+    policy: ResiliencePolicy = field(default_factory=ResiliencePolicy)
+    recorder: ResilienceRecorder = field(default_factory=ResilienceRecorder)
+
+    @property
+    def enabled(self) -> bool:
+        return self.plane.enabled
+
+    def install(self, schedule: Optional[FaultSchedule]) -> None:
+        """Install a fault schedule (fresh plane + ledger)."""
+        self.plane = FaultPlane(schedule)
+        self.recorder = ResilienceRecorder()
+
+    # -- probing -----------------------------------------------------------
+
+    def probe(self, site: str):
+        """Probe a site; record the fault event when one fires.
+
+        The fault event is recorded *here*, co-located with the
+        injection, so the report accounts every directive the plane ever
+        issued no matter which layer handles (or mishandles) it.
+        """
+        directive = self.plane.probe(site)
+        if directive is not None:
+            self.recorder.record(
+                KIND_FAULT, site, "inject",
+                detail=f"probe#{directive.probe_index}",
+            )
+        return directive
+
+    def recovered(
+        self,
+        site: str,
+        action: str,
+        penalty_s: float = 0.0,
+        retries: int = 0,
+        detail: str = "",
+    ) -> None:
+        self.recorder.record(
+            KIND_RECOVERY, site, action,
+            penalty_s=penalty_s, retries=retries, detail=detail,
+        )
+
+    def degraded(self, site: str, action: str, detail: str = "") -> None:
+        self.recorder.record(KIND_DEGRADE, site, action, detail=detail)
+
+    # -- shared recovery primitives ---------------------------------------
+
+    def charge_transfer(self, site: str, nbytes: float) -> float:
+        """Byte cost of one transfer under injection, with re-issue.
+
+        Returns the total bytes to charge (the nominal amount plus one
+        full re-issue per injected transfer error).  Raises
+        :class:`TransferError` when the retry budget is exhausted.
+        """
+        if not self.enabled or nbytes <= 0:
+            return nbytes
+        total = float(nbytes)
+        retries = 0
+        while self.probe(site) is not None:
+            if retries >= self.policy.max_retries:
+                raise TransferError(
+                    f"transfer at {site} failed after {retries + 1} attempts",
+                    site=site,
+                    at_s=self.recorder.clock_s,
+                    retries=retries + 1,
+                )
+            total += float(nbytes)
+            self.recovered(
+                site, "reissue", penalty_s=0.0, retries=retries + 1,
+                detail=f"+{nbytes:.0f}B",
+            )
+            retries += 1
+        return total
+
+
+def is_recoverable_fault(err: BaseException) -> bool:
+    """True for typed faults the degradation ladder may absorb."""
+    return isinstance(err, RuntimeFaultError) and not isinstance(
+        err, UnrecoverableFaultError
+    )
+
+
+def snapshot_arrays(storage, names: Iterable[str]) -> dict[str, np.ndarray]:
+    """Copy the named arrays (pre-execution state for rollback)."""
+    return {
+        name: storage.arrays[name].copy()
+        for name in names
+        if name in storage.arrays
+    }
+
+
+def restore_arrays(storage, snapshot: dict[str, np.ndarray]) -> None:
+    """Roll the named arrays back to their snapshot, in place."""
+    for name, saved in snapshot.items():
+        np.copyto(storage.arrays[name], saved)

@@ -1,0 +1,141 @@
+"""Seedable, deterministic fault schedules.
+
+A schedule is a set of :class:`SiteRule` entries.  Each rule targets a
+probe site (or a whole site family by prefix) and fires either
+probabilistically (``rate``) or at explicit probe indices (``at``).
+Decisions are a pure function of ``(seed, site, probe_index)``: replaying
+a run with the same seed and the same probe order injects the identical
+faults, which is what makes chaos failures reproducible.
+
+CLI spec grammar (comma-separated entries)::
+
+    SPEC  := ENTRY ("," ENTRY)*
+    ENTRY := SITE ":" RATE          probabilistic, e.g.  gpu.launch:0.01
+           | SITE "@" N ("+" N)*    explicit 1-based probe indices,
+                                    e.g.  transfer.h2d@2+5
+
+``SITE`` may be a full site name or a family prefix (``gpu`` covers
+``gpu.launch``, ``gpu.hang`` and ``gpu.memory``; ``transfer`` covers
+both directions).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+from ..errors import JaponicaError
+
+
+@dataclass(frozen=True)
+class SiteRule:
+    """One injection rule: where and how often to fault."""
+
+    site: str
+    rate: float = 0.0
+    at: frozenset[int] = frozenset()
+
+    def matches(self, site: str) -> bool:
+        return site == self.site or site.startswith(self.site + ".")
+
+
+class FaultSchedule:
+    """Deterministic decision source for the fault plane."""
+
+    def __init__(self, rules: list[SiteRule] | None = None, seed: int = 0):
+        self.rules = list(rules or [])
+        self.seed = seed
+
+    def __bool__(self) -> bool:
+        return any(r.rate > 0 or r.at for r in self.rules)
+
+    def decide(self, site: str, probe_index: int) -> float | None:
+        """Should probe number ``probe_index`` (1-based) of ``site`` fault?
+
+        Returns ``None`` for no fault, else a deterministic fraction in
+        [0, 1) that parameterizes the fault (e.g. how far into a chunk a
+        worker dies).
+        """
+        for rule in self.rules:
+            if not rule.matches(site):
+                continue
+            if probe_index in rule.at:
+                return self._fraction(site, probe_index)
+            if rule.rate > 0:
+                u = self._uniform(site, probe_index)
+                if u < rule.rate:
+                    return u / rule.rate
+        return None
+
+    # -- deterministic draws ---------------------------------------------
+    # Seeded through a digest, not hash(): str hashes are randomized per
+    # process, and the same (seed, spec) must replay identically.
+
+    def _draw(self, *key: object) -> float:
+        text = repr((self.seed,) + key).encode()
+        digest = hashlib.sha256(text).digest()
+        return random.Random(int.from_bytes(digest[:8], "big")).random()
+
+    def _uniform(self, site: str, probe_index: int) -> float:
+        return self._draw(site, probe_index)
+
+    def _fraction(self, site: str, probe_index: int) -> float:
+        return self._draw(site, probe_index, "frac")
+
+    # -- CLI spec --------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultSchedule":
+        """Parse the ``--faults`` CLI grammar into a schedule."""
+        from .plane import SITES  # deferred: plane imports this module
+
+        def check_site(site: str) -> str:
+            if not any(t == site or t.startswith(site + ".") for t in SITES):
+                raise JaponicaError(
+                    f"unknown fault site {site!r}; known sites: "
+                    + ", ".join(SITES)
+                )
+            return site
+
+        rules: list[SiteRule] = []
+        for entry in spec.split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            if "@" in entry:
+                site, _, points = entry.partition("@")
+                try:
+                    at = frozenset(int(p) for p in points.split("+"))
+                except ValueError:
+                    raise JaponicaError(
+                        f"bad fault spec entry {entry!r}: probe indices "
+                        f"must be integers like 'site@2+5'"
+                    ) from None
+                if any(p < 1 for p in at):
+                    raise JaponicaError(
+                        f"bad fault spec entry {entry!r}: probe indices "
+                        f"are 1-based"
+                    )
+                rules.append(SiteRule(check_site(site.strip()), at=at))
+            elif ":" in entry:
+                site, _, rate_text = entry.partition(":")
+                try:
+                    rate = float(rate_text)
+                except ValueError:
+                    raise JaponicaError(
+                        f"bad fault spec entry {entry!r}: rate must be a "
+                        f"float like 'site:0.01'"
+                    ) from None
+                if not 0.0 <= rate <= 1.0:
+                    raise JaponicaError(
+                        f"bad fault spec entry {entry!r}: rate must be "
+                        f"in [0, 1]"
+                    )
+                rules.append(SiteRule(check_site(site.strip()), rate=rate))
+            else:
+                raise JaponicaError(
+                    f"bad fault spec entry {entry!r}: expected 'site:rate' "
+                    f"or 'site@n+m'"
+                )
+        return cls(rules, seed=seed)

@@ -26,8 +26,15 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..errors import LaunchError
-from ..ir.instructions import IRFunction
+from ..errors import (
+    DeviceMemoryFault,
+    LaunchError,
+    LaunchFault,
+    WatchdogTimeout,
+)
+from ..faults.plane import SITE_GPU_HANG, SITE_GPU_LAUNCH
+from ..faults.resilience import FaultRuntime
+from ..ir.instructions import IRFunction, stored_arrays
 from ..ir.interpreter import (
     ArrayStorage,
     CompiledKernel,
@@ -64,10 +71,16 @@ class LaunchResult:
 class GpuDevice:
     """One simulated GPU with its allocation table and launch engine."""
 
-    def __init__(self, spec: GpuSpec, cost: CostModel):
+    def __init__(
+        self,
+        spec: GpuSpec,
+        cost: CostModel,
+        faults: Optional[FaultRuntime] = None,
+    ):
         self.spec = spec
         self.cost = cost
-        self.memory = DeviceMemory()
+        self.faults = faults
+        self.memory = DeviceMemory(faults=faults)
         self._compiled: dict[int, CompiledKernel] = {}
         self._vectorized: dict[int, VectorizedKernel] = {}
 
@@ -109,15 +122,14 @@ class GpuDevice:
         indices = list(indices)
         if block_size is not None and block_size <= 0:
             raise LaunchError(f"invalid block size {block_size}")
-        if check_allocations:
-            self._check_allocations(fn)
+        penalty_s = self._fault_preamble(fn, check_allocations)
         warps = partition_warps(indices, self.spec.warp_size)
 
         if mode == "direct":
             return self._launch_direct(
                 fn, indices, scalar_env, storage, warps, coalescing,
                 elem_bytes, mark_writes=check_allocations,
-                block_size=block_size,
+                block_size=block_size, penalty_s=penalty_s,
             )
         if mode == "buffered":
             backend = SpeculativeBackend(storage)
@@ -137,7 +149,7 @@ class GpuDevice:
         counts = kern.take_counts()
         div = divergence_factor(per_lane, self.spec.warp_size)
         div *= self._block_padding(block_size)
-        sim_time = self.cost.gpu_kernel_time(
+        sim_time = penalty_s + self.cost.gpu_kernel_time(
             counts, len(indices), coalescing=coalescing,
             elem_bytes=elem_bytes, divergence=div,
         )
@@ -161,6 +173,7 @@ class GpuDevice:
         elem_bytes: float,
         mark_writes: bool = True,
         block_size: Optional[int] = None,
+        penalty_s: float = 0.0,
     ) -> LaunchResult:
         div = self._block_padding(block_size)
         if can_vectorize(fn) and indices:
@@ -182,7 +195,7 @@ class GpuDevice:
             counts = kern.take_counts()
             div *= divergence_factor(per_lane, self.spec.warp_size)
             vectorized = False
-        sim_time = self.cost.gpu_kernel_time(
+        sim_time = penalty_s + self.cost.gpu_kernel_time(
             counts, len(indices), coalescing=coalescing,
             elem_bytes=elem_bytes, divergence=div,
         )
@@ -192,6 +205,78 @@ class GpuDevice:
             counts, sim_time, len(indices), warps, vectorized=vectorized,
             divergence=div,
         )
+
+    # -- resilience --------------------------------------------------------
+
+    def _fault_preamble(self, fn: IRFunction, check_allocations: bool) -> float:
+        """Allocation checks + injected-fault gate before a launch.
+
+        With no fault plane this reduces to the original allocation check
+        and returns 0.  Under injection the gate retries transient launch
+        faults with exponential backoff, charges the watchdog window for
+        hung kernels, and re-validates corrupted allocation-table entries
+        (a full re-transfer of the affected arrays).  Returns the
+        simulated seconds consumed before the kernel finally ran; raises
+        the last typed error once the retry budget is exhausted.
+
+        Faults are injected strictly *before* any lane executes, so a
+        failed launch never leaves partial writes behind.
+        """
+        faults = self.faults
+        if faults is None or not faults.enabled:
+            if check_allocations:
+                self._check_allocations(fn)
+            return 0.0
+        policy = faults.policy
+        penalty = 0.0
+        retries = 0
+        while True:
+            try:
+                if check_allocations:
+                    self._check_allocations(fn)
+                if faults.probe(SITE_GPU_LAUNCH) is not None:
+                    raise LaunchFault(
+                        "injected kernel launch failure",
+                        site=SITE_GPU_LAUNCH,
+                        at_s=faults.recorder.clock_s,
+                        injected=True,
+                    )
+                if faults.probe(SITE_GPU_HANG) is not None:
+                    raise WatchdogTimeout(
+                        "injected kernel hang",
+                        site=SITE_GPU_HANG,
+                        at_s=faults.recorder.clock_s,
+                        injected=True,
+                    )
+                return penalty
+            except (LaunchFault, WatchdogTimeout, DeviceMemoryFault) as err:
+                if not err.injected:
+                    raise
+                if isinstance(err, WatchdogTimeout):
+                    # the kernel sat hung for the whole watchdog window
+                    penalty += policy.watchdog_timeout_s
+                    action = "watchdog-kill"
+                elif isinstance(err, DeviceMemoryFault):
+                    moved = self.memory.revalidate(
+                        arr.name for arr in fn.arrays
+                    )
+                    penalty += self.cost.transfer_time(moved, asynchronous=False)
+                    action = "revalidate"
+                else:
+                    action = "relaunch"
+                if retries >= policy.max_retries:
+                    raise type(err)(
+                        f"GPU gave up after {retries + 1} attempts: {err}",
+                        site=err.site,
+                        at_s=faults.recorder.clock_s,
+                        retries=retries + 1,
+                    )
+                backoff = policy.backoff(retries)
+                penalty += backoff
+                faults.recovered(
+                    err.site, action, penalty_s=backoff, retries=retries + 1,
+                )
+                retries += 1
 
     # -- helpers -----------------------------------------------------------
 
@@ -204,12 +289,12 @@ class GpuDevice:
         return padded / block_size
 
     def _check_allocations(self, fn: IRFunction) -> None:
-        written = _written_arrays(fn)
+        written = stored_arrays(fn)
         for arr in fn.arrays:
             self.memory.require(arr.name, for_read=arr.name not in written)
 
     def _mark_writes(self, fn: IRFunction) -> None:
-        for name in _written_arrays(fn):
+        for name in stored_arrays(fn):
             self.memory.mark_written(name)
 
     def commit_lanes(
@@ -235,12 +320,3 @@ class GpuDevice:
         return written
 
 
-def _written_arrays(fn: IRFunction) -> set[str]:
-    from ..ir.instructions import Opcode
-
-    return {
-        instr.array
-        for blk in fn.blocks
-        for instr in blk.instrs
-        if instr.op is Opcode.STORE
-    }

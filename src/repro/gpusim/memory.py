@@ -15,7 +15,13 @@ from typing import Optional
 
 import numpy as np
 
-from ..errors import MemoryFault
+from ..errors import DeviceMemoryFault, MemoryFault
+from ..faults.plane import (
+    SITE_GPU_MEMORY,
+    SITE_TRANSFER_D2H,
+    SITE_TRANSFER_H2D,
+)
+from ..faults.resilience import FaultRuntime
 
 
 @dataclass
@@ -54,10 +60,18 @@ class TransferStats:
 class DeviceMemory:
     """Allocation table + transfer accounting for one simulated device."""
 
-    def __init__(self, capacity_bytes: int = 3 * 1024**3):
+    def __init__(
+        self,
+        capacity_bytes: int = 3 * 1024**3,
+        faults: Optional[FaultRuntime] = None,
+    ):
         self.capacity_bytes = capacity_bytes
         self.allocations: dict[str, DeviceAllocation] = {}
         self.stats = TransferStats()
+        self.faults = faults
+
+    def _faults_on(self) -> bool:
+        return self.faults is not None and self.faults.enabled
 
     @property
     def allocated_bytes(self) -> int:
@@ -92,6 +106,16 @@ class DeviceMemory:
                 f"kernel accesses array {name!r} which was never allocated "
                 f"on the device (missing copyin/create clause?)"
             )
+        if self._faults_on() and self.faults.probe(SITE_GPU_MEMORY) is not None:
+            # injected table corruption: the entry is no longer trusted
+            # until a re-validation transfer refreshes it
+            allocation.valid = False
+            raise DeviceMemoryFault(
+                f"device allocation-table entry for {name!r} corrupted",
+                site=SITE_GPU_MEMORY,
+                at_s=self.faults.recorder.clock_s,
+                injected=True,
+            )
         if for_read and not allocation.valid:
             raise MemoryFault(
                 f"kernel reads array {name!r} before any copyin "
@@ -108,22 +132,51 @@ class DeviceMemory:
         dtype,
         nbytes: Optional[int] = None,
     ) -> int:
-        """Host -> device copy; allocates on first touch. Returns bytes."""
+        """Host -> device copy; allocates on first touch.
+
+        Returns the bytes actually moved: under fault injection a failed
+        transfer is re-issued (bounded by the resilience policy), so the
+        returned byte count — which callers convert into simulated
+        transfer time — already includes every re-issue.
+        """
         allocation = self.allocations.get(name)
         if allocation is None:
             allocation = self.alloc(name, shape, dtype)
         moved = allocation.nbytes if nbytes is None else nbytes
+        if self._faults_on():
+            moved = self.faults.charge_transfer(SITE_TRANSFER_H2D, moved)
         allocation.valid = True
         self.stats.h2d_bytes += moved
         self.stats.h2d_count += 1
         return moved
 
     def copyout(self, name: str, nbytes: Optional[int] = None) -> int:
-        """Device -> host copy. Returns bytes."""
+        """Device -> host copy. Returns bytes (including re-issues)."""
         allocation = self.require(name, for_read=False)
         moved = allocation.nbytes if nbytes is None else nbytes
+        if self._faults_on():
+            moved = self.faults.charge_transfer(SITE_TRANSFER_D2H, moved)
         self.stats.d2h_bytes += moved
         self.stats.d2h_count += 1
+        return moved
+
+    def revalidate(self, names) -> int:
+        """Re-validate corrupted table entries; returns bytes re-moved.
+
+        The recovery path after an injected :class:`DeviceMemoryFault`:
+        every named allocation that lost its ``valid`` bit is refreshed
+        from the host (a full re-transfer, charged to the caller through
+        the returned byte count).  No fault probing happens here — this
+        *is* the recovery transfer.
+        """
+        moved = 0
+        for name in names:
+            allocation = self.allocations.get(name)
+            if allocation is not None and not allocation.valid:
+                allocation.valid = True
+                moved += allocation.nbytes
+                self.stats.h2d_bytes += allocation.nbytes
+                self.stats.h2d_count += 1
         return moved
 
     def mark_written(self, name: str) -> None:

@@ -289,3 +289,13 @@ class IRFunction:
         )
         head = f"kernel {self.name}(index={self.index}; {scalars}; {arrays})"
         return head + "\n" + "\n".join(str(b) for b in self.blocks)
+
+
+def stored_arrays(fn: IRFunction) -> set[str]:
+    """Names of the arrays the kernel writes (its rollback set)."""
+    return {
+        instr.array
+        for blk in fn.blocks
+        for instr in blk.instrs
+        if instr.op is Opcode.STORE
+    }

@@ -7,6 +7,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..faults.resilience import ResilienceReport
 from ..ir.interpreter import Counts
 from .clock import Timeline
 
@@ -28,6 +29,9 @@ class ExecutionResult:
     timeline: Optional[Timeline] = None
     mode: str = ""
     detail: dict = field(default_factory=dict)
+    #: what the resilience layer did during this execution (fault
+    #: injection only; None when no fault plane was active)
+    resilience: Optional["ResilienceReport"] = None
 
     @property
     def sim_time_ms(self) -> float:

@@ -14,6 +14,13 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..errors import RuntimeFaultError, UnrecoverableFaultError, WorkerFault
+from ..faults.plane import SITE_TRANSFER_D2H, SITE_TRANSFER_H2D
+from ..faults.resilience import (
+    is_recoverable_fault,
+    restore_arrays,
+    snapshot_arrays,
+)
 from ..ir.interpreter import ArrayStorage
 from ..profiler.report import DependencyProfile
 from ..runtime.clock import LANE_CPU, LANE_DMA, LANE_GPU, Timeline
@@ -38,10 +45,22 @@ class SerialExecutor:
         loop = task.loop
         tl = Timeline()
         if loop.fn is not None:
-            run = self.ctx.cpu.run_serial(
-                loop.fn, storage, scalar_env, task.indices(scalar_env),
-                elem_bytes=loop.elem_bytes,
-            )
+            try:
+                run = self.ctx.cpu.run_serial(
+                    loop.fn, storage, scalar_env, task.indices(scalar_env),
+                    elem_bytes=loop.elem_bytes,
+                )
+            except WorkerFault as err:
+                if not err.injected:
+                    raise
+                # serial CPU is the bottom of every degradation ladder:
+                # if it cannot complete, nothing can
+                raise UnrecoverableFaultError(
+                    f"serial execution failed: {err}",
+                    site=err.site,
+                    at_s=err.at_s,
+                    retries=err.retries,
+                )
             counts, time_s = run.counts, run.sim_time_s
         else:
             from ..runtime.hosteval import run_loop_sequential_host
@@ -89,11 +108,23 @@ class CpuParallelExecutor:
         # in ascending order (sequential semantics) instead.
         profile = self.ctx.profiles.get(loop.id)
         fd_only = profile is not None and profile.has_false
-        run = self.ctx.cpu.run_parallel(
-            loop.fn, storage, scalar_env, indices, threads=threads,
-            elem_bytes=loop.elem_bytes,
-            allow_vectorized=not fd_only,
-        )
+        try:
+            run = self.ctx.cpu.run_parallel(
+                loop.fn, storage, scalar_env, indices, threads=threads,
+                elem_bytes=loop.elem_bytes,
+                allow_vectorized=not fd_only,
+            )
+        except WorkerFault as err:
+            if not err.injected:
+                raise
+            # the executor restored array state before giving up; retry
+            # the whole loop on the sequential last resort
+            self.ctx.faults.degraded(
+                err.site, "cpu-mt->cpu-seq", detail=str(err)
+            )
+            result = SerialExecutor(self.ctx).execute(task, storage, scalar_env)
+            result.mode = "cpu-mt->cpu-seq"
+            return result
         tl.schedule(LANE_CPU, run.sim_time_s, label=f"cpu-{threads}t")
         return ExecutionResult(
             arrays=storage.arrays, sim_time_s=tl.makespan, counts=run.counts,
@@ -107,7 +138,16 @@ class CpuParallelExecutor:
             return False
         if loop.analysis.has_static_true:
             return True
-        profile = self.ctx.ensure_profile(loop, indices, scalar_env, storage)
+        try:
+            profile = self.ctx.ensure_profile(loop, indices, scalar_env, storage)
+        except RuntimeFaultError as err:
+            if not is_recoverable_fault(err):
+                raise
+            self.ctx.faults.degraded(
+                err.site, "profile->assume-td",
+                detail="profiling failed; assuming a true dependence",
+            )
+            return True
         return profile.has_true
 
 
@@ -136,6 +176,31 @@ class GpuOnlyExecutor:
             result.mode = "gpu-fallback-serial"
             return result
 
+        faults = self.ctx.faults
+        if not faults.enabled:
+            return self._execute_gpu(task, storage, scalar_env)
+        written = loop.analysis.arrays_written()
+        snapshot = snapshot_arrays(storage, written)
+        try:
+            return self._execute_gpu(task, storage, scalar_env)
+        except RuntimeFaultError as err:
+            if not is_recoverable_fault(err):
+                raise
+            restore_arrays(storage, snapshot)
+            mem = self.ctx.device.memory
+            for name in written:
+                alloc = mem.allocations.get(name)
+                if alloc is not None:
+                    alloc.stale_fraction = 1.0
+            faults.degraded(err.site, "gpu-only->serial", detail=str(err))
+            result = SerialExecutor(self.ctx).execute(task, storage, scalar_env)
+            result.mode = "gpu-only->serial"
+            return result
+
+    def _execute_gpu(
+        self, task: Task, storage: ArrayStorage, scalar_env: dict[str, object]
+    ) -> ExecutionResult:
+        loop = task.loop
         indices = task.indices(scalar_env)
         tl = Timeline()
         # A hand-written GPU port keeps arrays resident for the whole
@@ -205,9 +270,12 @@ class GpuOnlyExecutor:
             tl.schedule(LANE_GPU, launch.sim_time_s, label="kernel")
             counts = launch.counts
 
+        out_bytes = self.ctx.faults.charge_transfer(
+            SITE_TRANSFER_D2H, cyc(b_out)
+        )
         tl.schedule(
             LANE_DMA,
-            self.ctx.cost.transfer_time(cyc(b_out), asynchronous=False),
+            self.ctx.cost.transfer_time(out_bytes, asynchronous=False),
             not_before=tl.barrier([LANE_GPU]),
             label="d2h-sync",
         )
@@ -230,11 +298,13 @@ class GpuOnlyExecutor:
             alloc = mem.allocations.get(move.array)
             nbytes = move.nbytes(scalar_env, arr)
             if alloc is None:
-                mem.copyin(move.array, arr.shape, arr.dtype, nbytes)
+                # copyin's return already includes fault re-issues
+                b_in += mem.copyin(move.array, arr.shape, arr.dtype, nbytes)
                 alloc = mem.allocations[move.array]
-                b_in += nbytes
             else:
-                b_in += nbytes * alloc.stale_fraction
+                b_in += self.ctx.faults.charge_transfer(
+                    SITE_TRANSFER_H2D, nbytes * alloc.stale_fraction
+                )
                 alloc.valid = True
             alloc.stale_fraction = 0.0
         for move in loop.data_plan.create + loop.data_plan.copyout:
@@ -251,7 +321,16 @@ class GpuOnlyExecutor:
             return False
         if loop.analysis.has_static_true:
             return True
-        profile = self.ctx.ensure_profile(loop, indices, scalar_env, storage)
+        try:
+            profile = self.ctx.ensure_profile(loop, indices, scalar_env, storage)
+        except RuntimeFaultError as err:
+            if not is_recoverable_fault(err):
+                raise
+            self.ctx.faults.degraded(
+                err.site, "profile->assume-td",
+                detail="profiling failed; assuming a true dependence",
+            )
+            return True
         return profile.has_true
 
     def _coalescing(self, loop: TranslatedLoop) -> float:

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..cpusim.executor import CpuExecutor
+from ..faults.resilience import FaultRuntime
 from ..gpusim.device import GpuDevice
 from ..ir.interpreter import ArrayStorage
 from ..profiler.report import DEFAULT_DD_THRESHOLD, DependencyProfile
@@ -55,6 +56,7 @@ class ExecutionContext:
         self,
         platform: Optional[Platform] = None,
         config: Optional[JaponicaConfig] = None,
+        faults: Optional[FaultRuntime] = None,
     ):
         self.platform = platform or paper_platform()
         self.config = config or JaponicaConfig()
@@ -65,8 +67,11 @@ class ExecutionContext:
             iter_scale=self.config.iter_scale,
             link_scale=self.config.link_scale,
         )
-        self.device = GpuDevice(self.platform.gpu, self.cost)
-        self.cpu = CpuExecutor(self.platform.cpu, self.cost)
+        # one FaultRuntime shared by every component so a schedule
+        # installed through it is seen everywhere at once
+        self.faults = faults or FaultRuntime()
+        self.device = GpuDevice(self.platform.gpu, self.cost, faults=self.faults)
+        self.cpu = CpuExecutor(self.platform.cpu, self.cost, faults=self.faults)
         self.profiles: dict[str, DependencyProfile] = {}
 
     def reset_device(self) -> None:

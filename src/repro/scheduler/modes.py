@@ -64,3 +64,26 @@ def decide_mode(
     if profile.has_false:
         return ExecMode.D
     return ExecMode.D_PRIME
+
+
+#: Degradation-ladder rungs below the native modes.
+RUNG_CPU_MT = "cpu-mt"    # all iterations on the CPU thread pool
+RUNG_CPU_SEQ = "cpu-seq"  # sequential CPU: the always-correct last resort
+
+
+def downgrade_ladder(mode: ExecMode) -> list[str]:
+    """Fallback rungs for a mode, safest last.
+
+    The first rung is the mode itself (the native plan); each later rung
+    trades performance for independence from the failing component.  A
+    GPU+CPU-MT mode can drop the GPU and still run multithreaded; the
+    speculative and privatized modes cannot (their CPU halves rely on
+    GPU-side dependency machinery), so they fall straight to sequential.
+    Sequential CPU execution is always correct for any loop, hence it
+    terminates every ladder.
+    """
+    if mode in (ExecMode.A, ExecMode.D_PRIME):
+        return [mode.value, RUNG_CPU_MT, RUNG_CPU_SEQ]
+    if mode in (ExecMode.B, ExecMode.D):
+        return [mode.value, RUNG_CPU_SEQ]
+    return [RUNG_CPU_SEQ]

@@ -14,6 +14,13 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..cpusim.threads import block_partition, descending
+from ..errors import RuntimeFaultError, UnrecoverableFaultError
+from ..faults.plane import SITE_TRANSFER_D2H, SITE_TRANSFER_H2D
+from ..faults.resilience import (
+    is_recoverable_fault,
+    restore_arrays,
+    snapshot_arrays,
+)
 from ..ir.interpreter import ArrayStorage, Counts
 from ..profiler.report import DependencyProfile
 from ..runtime.clock import LANE_CPU, LANE_DMA, LANE_GPU, Timeline
@@ -23,7 +30,7 @@ from ..tls.privatize import run_privatized
 from ..translate.translator import TranslatedLoop
 from .boundary import split_at_boundary
 from .context import ExecutionContext
-from .modes import ExecMode, decide_mode
+from .modes import RUNG_CPU_MT, RUNG_CPU_SEQ, ExecMode, decide_mode, downgrade_ladder
 from .task import Task
 
 
@@ -55,38 +62,159 @@ class TaskSharingScheduler:
         loop = task.loop
         indices = task.indices(scalar_env)
         tl = timeline if timeline is not None else Timeline()
+        faults = self.ctx.faults
+        mark = faults.recorder.mark()
 
-        profile: Optional[DependencyProfile] = None
-        if not loop.is_static_doall and not loop.cpu_only:
-            profile = self.ctx.ensure_profile(
-                loop, indices, scalar_env, storage
-            )
-            if self.ctx.config.include_profile_time:
-                tl.schedule(LANE_GPU, profile.profile_time_s, label="profiling")
-
-        mode = decide_mode(loop, profile, self.ctx.config.dd_threshold)
+        profile, mode = self._plan(loop, indices, scalar_env, storage, tl)
         coalescing = profile.coalescing if profile else loop.static_coalescing
 
-        if mode is ExecMode.C:
-            result = self._mode_c(loop, indices, scalar_env, storage, tl)
-        elif mode is ExecMode.B:
-            result = self._mode_b(
+        result, label = self._run_ladder(
+            mode, loop, indices, scalar_env, storage, tl, profile, coalescing
+        )
+        result.mode = label
+        result.detail["profile"] = profile
+        if faults.enabled:
+            result.resilience = faults.recorder.report(since=mark)
+        return result
+
+    def _plan(
+        self,
+        loop: TranslatedLoop,
+        indices: list[int],
+        scalar_env: dict[str, object],
+        storage: ArrayStorage,
+        tl: Timeline,
+    ) -> tuple[Optional[DependencyProfile], ExecMode]:
+        """Profile (when needed) and pick the execution mode.
+
+        A profiling run killed by injected faults degrades straight to
+        mode C: with no dependency information the only safe plan is
+        sequential CPU execution.  (Profiling runs against scratch
+        memory, so a dead profile leaves no state to roll back.)
+        """
+        profile: Optional[DependencyProfile] = None
+        if not loop.is_static_doall and not loop.cpu_only:
+            try:
+                profile = self.ctx.ensure_profile(
+                    loop, indices, scalar_env, storage
+                )
+            except RuntimeFaultError as err:
+                if not is_recoverable_fault(err):
+                    raise
+                self.ctx.faults.degraded(
+                    err.site, "profile->cpu-seq",
+                    detail="profiling failed; falling back to sequential",
+                )
+                return None, ExecMode.C
+            if self.ctx.config.include_profile_time:
+                tl.schedule(LANE_GPU, profile.profile_time_s, label="profiling")
+        return profile, decide_mode(loop, profile, self.ctx.config.dd_threshold)
+
+    # -- degradation ladder ------------------------------------------------
+
+    def _run_ladder(
+        self,
+        mode: ExecMode,
+        loop: TranslatedLoop,
+        indices: list[int],
+        scalar_env: dict[str, object],
+        storage: ArrayStorage,
+        tl: Timeline,
+        profile: Optional[DependencyProfile],
+        coalescing: float,
+    ) -> tuple[ExecutionResult, str]:
+        """Run the mode, degrading rung-by-rung on recoverable faults.
+
+        Each failed rung's partial writes are rolled back from a
+        pre-rung snapshot (device copies of rolled-back arrays become
+        fully stale), so every rung starts from clean state.  Simulated
+        time already scheduled by the failed attempt stays on the
+        timeline — failure costs time, never correctness.  Returns the
+        result plus its mode label (``"A"`` natively, ``"A->cpu-mt"``
+        degraded); raises :class:`UnrecoverableFaultError` when even the
+        sequential last resort keeps dying.
+        """
+        faults = self.ctx.faults
+        rungs = downgrade_ladder(mode)
+        if not faults.enabled:
+            # fault-free fast path: no snapshots, no ladder
+            result = self._run_rung(
+                rungs[0], loop, indices, scalar_env, storage, tl,
+                profile, coalescing,
+            )
+            return result, mode.value
+        written = loop.analysis.arrays_written()
+        last_err: Optional[RuntimeFaultError] = None
+        for pos, rung in enumerate(rungs):
+            snapshot = snapshot_arrays(storage, written)
+            try:
+                result = self._run_rung(
+                    rung, loop, indices, scalar_env, storage, tl,
+                    profile, coalescing,
+                )
+                if pos > 0 and rung == RUNG_CPU_SEQ:
+                    # a degraded sequential run rewrote the outputs on
+                    # the host; any device copy is now fully stale
+                    self._cpu_wrote(loop, 1.0)
+                label = mode.value if pos == 0 else f"{mode.value}->{rung}"
+                return result, label
+            except RuntimeFaultError as err:
+                if not is_recoverable_fault(err):
+                    raise
+                restore_arrays(storage, snapshot)
+                self._invalidate_device(written)
+                faults.recorder.clock_s = tl.makespan
+                last_err = err
+                nxt = rungs[pos + 1] if pos + 1 < len(rungs) else None
+                if nxt is not None:
+                    faults.degraded(err.site, f"{rung}->{nxt}", detail=str(err))
+        raise UnrecoverableFaultError(
+            f"degradation ladder exhausted for loop {loop.id!r}: {last_err}",
+            site=last_err.site if last_err else "",
+            at_s=faults.recorder.clock_s,
+        )
+
+    def _run_rung(
+        self,
+        rung: str,
+        loop: TranslatedLoop,
+        indices: list[int],
+        scalar_env: dict[str, object],
+        storage: ArrayStorage,
+        tl: Timeline,
+        profile: Optional[DependencyProfile],
+        coalescing: float,
+    ) -> ExecutionResult:
+        if rung == RUNG_CPU_SEQ:
+            return self._mode_c(loop, indices, scalar_env, storage, tl)
+        if rung == RUNG_CPU_MT:
+            return self._mode_cpu_mt(
+                loop, indices, scalar_env, storage, tl, profile
+            )
+        mode = ExecMode(rung)
+        if mode is ExecMode.B:
+            return self._mode_b(
                 loop, indices, scalar_env, storage, tl, profile, coalescing
             )
-        elif mode is ExecMode.D:
-            result = self._mode_d(
+        if mode is ExecMode.D:
+            return self._mode_d(
                 loop, indices, scalar_env, storage, tl, coalescing
             )
-        else:
-            # A and D' both run fully parallel on both sides; the profile
-            # (for D') or static analysis (for A) guarantees direct
-            # stores cannot conflict
-            result = self._mode_a(
-                loop, indices, scalar_env, storage, tl, coalescing
-            )
-        result.mode = mode.value
-        result.detail["profile"] = profile
-        return result
+        # A and D' both run fully parallel on both sides; the profile
+        # (for D') or static analysis (for A) guarantees direct
+        # stores cannot conflict
+        return self._mode_a(
+            loop, indices, scalar_env, storage, tl, coalescing
+        )
+
+    def _invalidate_device(self, names) -> None:
+        """After a rollback the host is authoritative again: any device
+        copy of a rolled-back array is fully stale."""
+        mem = self.ctx.device.memory
+        for name in names:
+            alloc = mem.allocations.get(name)
+            if alloc is not None:
+                alloc.stale_fraction = 1.0
 
     # -- transfer helpers -------------------------------------------------
 
@@ -106,18 +234,21 @@ class TaskSharingScheduler:
         no such tracking and re-pays full transfers every time.
         """
         mem = self.ctx.device.memory
+        faults = self.ctx.faults
         b_in = 0.0
         for move in loop.data_plan.copyin:
             arr = storage.arrays[move.array]
             alloc = mem.allocations.get(move.array)
             if alloc is None:
                 nbytes = move.nbytes(scalar_env, arr)
-                mem.copyin(move.array, arr.shape, arr.dtype, nbytes)
+                # copyin's return already includes any fault re-issues
+                b_in += mem.copyin(move.array, arr.shape, arr.dtype, nbytes)
                 alloc = mem.allocations[move.array]
-                b_in += nbytes
             else:
                 nbytes = move.nbytes(scalar_env, arr)
-                b_in += nbytes * alloc.stale_fraction
+                b_in += faults.charge_transfer(
+                    SITE_TRANSFER_H2D, nbytes * alloc.stale_fraction
+                )
                 alloc.valid = True
             alloc.stale_fraction = 0.0
         for move in loop.data_plan.create:
@@ -197,11 +328,12 @@ class TaskSharingScheduler:
                     )
                 )
             if kernel_events:
+                out_bytes = self.ctx.faults.charge_transfer(
+                    SITE_TRANSFER_D2H, b_out * frac_gpu
+                )
                 tl.schedule(
                     LANE_DMA,
-                    self.ctx.cost.transfer_time(
-                        b_out * frac_gpu, asynchronous=True
-                    ),
+                    self.ctx.cost.transfer_time(out_bytes, asynchronous=True),
                     after=[kernel_events[-1]],
                     label="d2h",
                 )
@@ -231,9 +363,12 @@ class TaskSharingScheduler:
                     LANE_GPU, launch.sim_time_s, after=[last],
                     label=f"kernel#{k}",
                 )
+            out_bytes = self.ctx.faults.charge_transfer(
+                SITE_TRANSFER_D2H, b_out * frac_gpu
+            )
             tl.schedule(
                 LANE_DMA,
-                self.ctx.cost.transfer_time(b_out * frac_gpu, asynchronous=False),
+                self.ctx.cost.transfer_time(out_bytes, asynchronous=False),
                 after=[last],
                 label="d2h-sync",
             )
@@ -293,9 +428,10 @@ class TaskSharingScheduler:
             elem_bytes=loop.elem_bytes,
             timeline=tl,
         )
+        out_bytes = self.ctx.faults.charge_transfer(SITE_TRANSFER_D2H, b_out)
         tl.schedule(
             LANE_DMA,
-            self.ctx.cost.transfer_time(b_out, asynchronous=True),
+            self.ctx.cost.transfer_time(out_bytes, asynchronous=True),
             not_before=tl.barrier([LANE_GPU, LANE_CPU]),
             label="d2h",
         )
@@ -305,6 +441,40 @@ class TaskSharingScheduler:
             counts=tls.counts,
             timeline=tl,
             detail={"tls": tls.stats},
+        )
+
+    def _mode_cpu_mt(
+        self,
+        loop: TranslatedLoop,
+        indices: list[int],
+        scalar_env: dict[str, object],
+        storage: ArrayStorage,
+        tl: Timeline,
+        profile: Optional[DependencyProfile],
+    ) -> ExecutionResult:
+        """Degraded rung below A/D': every iteration on the CPU pool.
+
+        Only reachable for loops with no true dependency (statically
+        DOALL or profiled clean), so a thread-pool run is always
+        correct; vectorization is withheld if the profile saw false
+        dependencies, to keep write ordering deterministic.
+        """
+        run = self.ctx.cpu.run_parallel(
+            loop.fn,
+            storage,
+            scalar_env,
+            indices,
+            threads=self.ctx.config.cpu_threads,
+            elem_bytes=loop.elem_bytes,
+            allow_vectorized=not (profile is not None and profile.has_false),
+        )
+        tl.schedule(LANE_CPU, run.sim_time_s, label="cpu-mt-degraded")
+        self._cpu_wrote(loop, 1.0)
+        return ExecutionResult(
+            arrays=storage.arrays,
+            sim_time_s=tl.makespan,
+            counts=run.counts,
+            timeline=tl,
         )
 
     def _mode_c(
@@ -374,9 +544,12 @@ class TaskSharingScheduler:
             LANE_GPU, priv.kernel_time_s, after=[dma_in], label="pe(v)"
         )
         tl.schedule(LANE_GPU, priv.commit_time_s, label="commit")
+        out_bytes = self.ctx.faults.charge_transfer(
+            SITE_TRANSFER_D2H, b_out * frac_gpu
+        )
         tl.schedule(
             LANE_DMA,
-            self.ctx.cost.transfer_time(b_out * frac_gpu, asynchronous=True),
+            self.ctx.cost.transfer_time(out_bytes, asynchronous=True),
             after=[kernel_evt],
             label="d2h",
         )

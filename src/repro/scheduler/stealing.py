@@ -17,7 +17,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..errors import SchedulerError
+from ..errors import RuntimeFaultError, SchedulerError, UnrecoverableFaultError
+from ..faults.plane import SITE_TRANSFER_D2H
+from ..faults.resilience import (
+    is_recoverable_fault,
+    restore_arrays,
+    snapshot_arrays,
+)
 from ..ir.interpreter import ArrayStorage
 from ..pdg.graph import ProgramDependenceGraph
 from ..pdg.toposort import JobPool
@@ -186,9 +192,20 @@ class TaskStealingScheduler:
             return "high"
         if loop.is_static_doall:
             return "doall"
-        profile = self.ctx.ensure_profile(
-            loop, task.indices(scalar_env), scalar_env, storage
-        )
+        try:
+            profile = self.ctx.ensure_profile(
+                loop, task.indices(scalar_env), scalar_env, storage
+            )
+        except RuntimeFaultError as err:
+            if not is_recoverable_fault(err):
+                raise
+            # no dependency information: classify conservatively so the
+            # task is pinned to the (always-correct) sequential CPU path
+            self.ctx.faults.degraded(
+                err.site, "profile->cpu-obligatory",
+                detail=f"task {task.id}: profiling failed",
+            )
+            return "high"
         return profile.density_class(self.ctx.config.dd_threshold)
 
     @staticmethod
@@ -209,6 +226,7 @@ class TaskStealingScheduler:
     ) -> ExecutionResult:
         if not tasks:
             raise SchedulerError("empty task set")
+        mark = self.ctx.faults.recorder.mark()
         pdg = self.build_task_pdg(tasks, storage, scalar_env)
         pool = JobPool(pdg)
         by_id = {t.id: t for t in tasks}
@@ -274,6 +292,11 @@ class TaskStealingScheduler:
             counts=total,
             mode="stealing",
             detail={"stats": stats},
+            resilience=(
+                self.ctx.faults.recorder.report(since=mark)
+                if self.ctx.faults.enabled
+                else None
+            ),
         )
 
     def _prime_empty_queue(self, gpu_q, cpu_q, dd_of) -> None:
@@ -320,6 +343,59 @@ class TaskStealingScheduler:
         scalar_env: dict[str, object],
         dd: str,
     ):
+        """Run one task on a worker, degrading on injected faults.
+
+        Fault-free this is a straight call through to the raw runner.
+        Under injection, a recoverable fault rolls the task's written
+        arrays back to a pre-task snapshot, marks their device copies
+        invalid, and re-runs the task on the next-safer plan: GPU task ->
+        CPU (with its native dd class), then CPU-sequential as the last
+        resort.  When even sequential execution keeps dying the fault is
+        unrecoverable.
+        """
+        faults = self.ctx.faults
+        if not faults.enabled:
+            return self._run_on_raw(worker, task, storage, scalar_env, dd)
+        plans = [(worker, dd)]
+        if worker == "gpu":
+            plans.append(("cpu", dd))
+        if plans[-1] != ("cpu", "high"):
+            plans.append(("cpu", "high"))  # forces the serial CPU path
+        written = task.loop.analysis.arrays_written()
+        last_err: Optional[RuntimeFaultError] = None
+        for pos, (w, d) in enumerate(plans):
+            snapshot = snapshot_arrays(storage, written)
+            try:
+                return self._run_on_raw(w, task, storage, scalar_env, d)
+            except RuntimeFaultError as err:
+                if not is_recoverable_fault(err):
+                    raise
+                restore_arrays(storage, snapshot)
+                for name in written:
+                    alloc = self.ctx.device.memory.allocations.get(name)
+                    if alloc is not None:
+                        alloc.valid = False
+                last_err = err
+                if pos + 1 < len(plans):
+                    nxt = plans[pos + 1]
+                    faults.degraded(
+                        err.site, f"{w}->{nxt[0]}",
+                        detail=f"task {task.id}: {err}",
+                    )
+        raise UnrecoverableFaultError(
+            f"task {task.id} failed on every worker: {last_err}",
+            site=last_err.site if last_err else "",
+            at_s=faults.recorder.clock_s,
+        )
+
+    def _run_on_raw(
+        self,
+        worker: str,
+        task: Task,
+        storage: ArrayStorage,
+        scalar_env: dict[str, object],
+        dd: str,
+    ):
         loop = task.loop
         indices = task.indices(scalar_env)
         frac = len(indices) / max(1, loop.analysis.info.trip_count(scalar_env))
@@ -357,8 +433,9 @@ class TaskStealingScheduler:
             alloc = mem.allocations.get(move.array)
             if alloc is None or not alloc.valid:
                 nbytes = move.nbytes(scalar_env, arr)
-                mem.copyin(move.array, arr.shape, arr.dtype, nbytes)
-                time_s += self.ctx.cost.transfer_time(nbytes, asynchronous=True)
+                # copyin's return already includes fault re-issues
+                moved = mem.copyin(move.array, arr.shape, arr.dtype, nbytes)
+                time_s += self.ctx.cost.transfer_time(moved, asynchronous=True)
         for move in loop.data_plan.create:
             arr = storage.arrays[move.array]
             if move.array not in mem.allocations:
@@ -399,10 +476,11 @@ class TaskStealingScheduler:
             time_s += launch.sim_time_s
             counts = launch.counts
 
-        out_bytes = loop.data_plan.total_out_bytes(scalar_env, storage.arrays)
-        time_s += self.ctx.cost.transfer_time(
-            out_bytes * frac, asynchronous=True
+        out_bytes = self.ctx.faults.charge_transfer(
+            SITE_TRANSFER_D2H,
+            loop.data_plan.total_out_bytes(scalar_env, storage.arrays) * frac,
         )
+        time_s += self.ctx.cost.transfer_time(out_bytes, asynchronous=True)
         for move in loop.data_plan.copyout:
             mem.mark_written(move.array)
         return time_s, counts

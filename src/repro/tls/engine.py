@@ -19,7 +19,8 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..cpusim.executor import CpuExecutor
-from ..errors import SpeculationError
+from ..errors import RuntimeFaultError, SpeculationError
+from ..faults.resilience import is_recoverable_fault
 from ..gpusim.device import GpuDevice
 from ..ir.instructions import IRFunction
 from ..ir.interpreter import ArrayStorage, Counts
@@ -114,15 +115,38 @@ class GpuTlsEngine:
         relaunches_left = self.config.max_relaunches
         while pos < n:
             chunk = indices[pos : pos + sub_size]
-            se = speculative_run(
-                self.device,
-                fn,
-                chunk,
-                scalar_env,
-                storage,
-                coalescing=coalescing,
-                elem_bytes=elem_bytes,
-            )
+            try:
+                se = speculative_run(
+                    self.device,
+                    fn,
+                    chunk,
+                    scalar_env,
+                    storage,
+                    coalescing=coalescing,
+                    elem_bytes=elem_bytes,
+                )
+            except RuntimeFaultError as err:
+                # engine-level recovery: a speculative kernel that keeps
+                # faulting is relaunched over a smaller sub-loop (SE
+                # buffers are per-launch, so a failed launch committed
+                # nothing).  At warp granularity there is nothing left
+                # to shrink — escalate to the scheduler's ladder.
+                faults = self.device.faults
+                if faults is None or not is_recoverable_fault(err):
+                    raise
+                if sub_size <= warp_size:
+                    raise
+                sub_size = max(warp_size, sub_size // 2)
+                stats.events.append(f"shrink@{pos}->{sub_size}")
+                faults.degraded(
+                    err.site, "tls-shrink",
+                    detail=f"sub-loop -> {sub_size} iterations",
+                )
+                tl.schedule(
+                    LANE_GPU, faults.policy.backoff_base_s,
+                    label=f"shrink@{pos}",
+                )
+                continue
             total = total + se.counts
             stats.subloops += 1
             tl.schedule(LANE_GPU, se.kernel_time_s, label=f"SE@{pos}")
@@ -167,7 +191,10 @@ class GpuTlsEngine:
 
             global_warp = pos // warp_size
             decision = decide_recovery(
-                profile, global_warp, self.config.lookahead_warps
+                profile,
+                global_warp,
+                self.config.lookahead_warps,
+                warps_remaining=-(-(n - pos) // warp_size),
             )
             if decision.action is RecoveryAction.RELAUNCH_GPU:
                 if relaunches_left <= 0:

@@ -37,6 +37,7 @@ def decide_recovery(
     profile: Optional[DependencyProfile],
     violating_warp: int,
     lookahead: int = DEFAULT_LOOKAHEAD_WARPS,
+    warps_remaining: Optional[int] = None,
 ) -> RecoveryDecision:
     """Choose the recovery path after a violation in ``violating_warp``.
 
@@ -44,11 +45,19 @@ def decide_recovery(
     the profile's ``td_warps``.  Without a profile the policy is
     optimistic (relaunch on GPU) — the incremental sub-loop structure
     bounds the wasted work.
+
+    ``warps_remaining`` is how many warps the loop still has to run
+    (counting the violating one).  A CPU handoff never asks for more
+    warps than remain — near the end of the loop a lookahead-sized
+    request would overshoot the iteration space — and always asks for at
+    least one, so ``lookahead == 0`` still makes forward progress past
+    the violating warp.
     """
     if profile is None:
         return RecoveryDecision(RecoveryAction.RELAUNCH_GPU)
     if next_warps_clear(profile, violating_warp + 1, lookahead):
         return RecoveryDecision(RecoveryAction.RELAUNCH_GPU)
-    return RecoveryDecision(
-        RecoveryAction.CPU_SEQUENTIAL, cpu_warps=max(1, lookahead)
-    )
+    cpu_warps = max(1, lookahead)
+    if warps_remaining is not None:
+        cpu_warps = max(1, min(cpu_warps, warps_remaining))
+    return RecoveryDecision(RecoveryAction.CPU_SEQUENTIAL, cpu_warps=cpu_warps)

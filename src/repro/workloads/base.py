@@ -95,13 +95,17 @@ class Workload:
         scheme: Optional[str] = None,
         context=None,
         paper_scale: bool = True,
+        faults=None,
+        fault_seed: int = 0,
         **overrides,
     ) -> ProgramResult:
         """Execute under a strategy.
 
         By default the run uses a context calibrated for paper-scale
         projection (``make_context``); pass ``paper_scale=False`` for raw
-        simulated-size costs, or an explicit ``context``.
+        simulated-size costs, or an explicit ``context``.  ``faults`` /
+        ``fault_seed`` turn on deterministic fault injection (see
+        :meth:`CompiledProgram.run`).
         """
         program = self.compile(japonica)
         binds = self.bindings(n=n, seed=seed, **overrides)
@@ -111,6 +115,8 @@ class Workload:
             strategy=strategy,
             scheme=scheme or self.scheme,
             context=ctx,
+            faults=faults,
+            fault_seed=fault_seed,
             **binds,
         )
 

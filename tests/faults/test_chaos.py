@@ -1,0 +1,216 @@
+"""Property-based chaos suite (hypothesis).
+
+The system-wide invariant: under ANY injected fault schedule a run
+either produces results bit-identical to the fault-free run or raises a
+typed :class:`UnrecoverableFaultError` — never silent corruption.  And
+the attached :class:`ResilienceReport` accounts for every fault the
+plane actually injected.
+
+Three workload shapes cover the three execution paths: an in-place
+DOALL (sharing, mode A family), a lookback chain that needs GPU-TLS
+(sharing, mode B family), and a multi-loop program under task stealing.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import Japonica
+from repro.errors import UnrecoverableFaultError
+from repro.faults import SITES, FaultSchedule, SiteRule
+from repro.scheduler.context import ExecutionContext
+
+DOALL_SRC = """
+class T { static void f(double[] a, double[] b, int n) {
+  /* acc parallel */
+  for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0 + b[i]; }
+} }
+"""
+
+CHAIN_SRC = """
+class T { static void f(double[] x, double[] aux, int[] look, int n) {
+  /* acc parallel */
+  for (int i = 0; i < n; i++) {
+    double prior = aux[look[i]];
+    x[i] = x[i] * 2.0 + prior * 0.5;
+    aux[i] = x[i];
+  }
+} }
+"""
+
+TWO_PHASE_SRC = """
+class T {
+  static void run(double[] a, double[] b, double[] c, int n) {
+    /* acc parallel scheme(stealing) */
+    for (int i = 0; i < n / 2; i++) { b[i] = a[i] * 2.0; }
+    /* acc parallel */
+    for (int i = n / 2; i < n; i++) { b[i] = a[i] * 2.0; }
+    /* acc parallel */
+    for (int i = 0; i < n; i++) { c[i] = b[i] + 1.0; }
+  }
+}
+"""
+
+N = 256
+
+
+def doall_bindings():
+    rng = np.random.default_rng(7)
+    return {"a": rng.standard_normal(N), "b": rng.standard_normal(N), "n": N}
+
+
+def chain_bindings():
+    n = N
+    look = np.arange(n, 2 * n, dtype=np.int32)
+    hot = np.arange(24, n, 48)
+    look[hot] = hot - 24  # sparse true dependences -> speculation territory
+    rng = np.random.default_rng(3)
+    return {"x": rng.standard_normal(n), "aux": np.zeros(2 * n),
+            "look": look, "n": n}
+
+
+def stealing_bindings():
+    rng = np.random.default_rng(5)
+    return {"a": rng.standard_normal(N), "b": np.zeros(N),
+            "c": np.zeros(N), "n": N}
+
+
+WORKLOADS = {
+    "doall": (DOALL_SRC, "f", doall_bindings, "sharing"),
+    "chain": (CHAIN_SRC, "f", chain_bindings, "sharing"),
+    "stealing": (TWO_PHASE_SRC, "run", stealing_bindings, "stealing"),
+}
+
+_programs: dict = {}
+_references: dict = {}
+
+
+def run_workload(name, schedule):
+    src, method, make, scheme = WORKLOADS[name]
+    if name not in _programs:
+        _programs[name] = Japonica().compile(src)
+    ctx = ExecutionContext()
+    result = _programs[name].run(
+        method, strategy="japonica", scheme=scheme, context=ctx,
+        faults=schedule, **make(),
+    )
+    return ctx, result
+
+
+def reference(name):
+    if name not in _references:
+        _, result = run_workload(name, None)
+        _references[name] = {k: v.copy() for k, v in result.arrays.items()}
+    return _references[name]
+
+
+FAMILIES = ("gpu", "transfer", "cpu")
+
+site_st = st.sampled_from(tuple(SITES) + FAMILIES)
+rule_st = st.one_of(
+    st.builds(
+        SiteRule, site=site_st,
+        rate=st.floats(min_value=0.0, max_value=0.3),
+    ),
+    st.builds(
+        SiteRule, site=site_st,
+        at=st.frozensets(st.integers(min_value=1, max_value=8), max_size=3),
+    ),
+)
+schedule_st = st.builds(
+    FaultSchedule,
+    st.lists(rule_st, max_size=3),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+
+
+def check_invariant(name, schedule):
+    expected = reference(name)
+    try:
+        ctx, result = run_workload(name, schedule)
+    except UnrecoverableFaultError:
+        return  # typed give-up is an allowed outcome; corruption is not
+    for key, want in expected.items():
+        assert np.array_equal(result.arrays[key], want), (
+            f"{name}: array {key!r} diverged under faults {schedule.rules} "
+            f"seed={schedule.seed}"
+        )
+    injected = ctx.faults.plane.injected
+    if result.resilience is None:
+        # an all-quiet schedule disables the plane entirely
+        assert not schedule
+        assert injected == []
+    else:
+        assert result.resilience.faults_seen == len(injected)
+
+
+class TestInvariant:
+    @settings(max_examples=25, deadline=None)
+    @given(schedule=schedule_st)
+    def test_doall(self, schedule):
+        check_invariant("doall", schedule)
+
+    @settings(max_examples=20, deadline=None)
+    @given(schedule=schedule_st)
+    def test_chain(self, schedule):
+        check_invariant("chain", schedule)
+
+    @settings(max_examples=20, deadline=None)
+    @given(schedule=schedule_st)
+    def test_stealing(self, schedule):
+        check_invariant("stealing", schedule)
+
+
+class TestDeterministicReplay:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        name=st.sampled_from(sorted(WORKLOADS)),
+    )
+    def test_same_seed_same_run(self, seed, name):
+        schedule = FaultSchedule(
+            [SiteRule("gpu", rate=0.2), SiteRule("cpu.worker", rate=0.1),
+             SiteRule("transfer", rate=0.1)],
+            seed=seed,
+        )
+        outcomes = []
+        for _ in range(2):
+            try:
+                ctx, result = run_workload(name, schedule)
+                outcomes.append(
+                    ("ok", {k: v.copy() for k, v in result.arrays.items()},
+                     list(ctx.faults.plane.injected),
+                     result.sim_time_s)
+                )
+            except UnrecoverableFaultError as err:
+                outcomes.append(("fail", str(err)))
+        first, second = outcomes
+        assert first[0] == second[0]
+        if first[0] == "ok":
+            for key in first[1]:
+                assert np.array_equal(first[1][key], second[1][key])
+            assert first[2] == second[2]  # identical injection ledgers
+            assert first[3] == second[3]  # identical simulated time
+        else:
+            assert first[1] == second[1]
+
+
+class TestTargetedStorms:
+    """Deterministic heavy-rate storms per site family."""
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    @pytest.mark.parametrize("spec", [
+        "gpu.launch:0.5", "gpu.hang:0.5", "gpu.memory:0.5",
+        "transfer:0.4", "cpu.worker:0.4", "gpu:0.3,transfer:0.3",
+    ])
+    def test_storm(self, name, spec):
+        check_invariant(name, FaultSchedule.parse(spec, seed=13))
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_total_failure_is_typed(self, name):
+        schedule = FaultSchedule(
+            [SiteRule("gpu", rate=1.0), SiteRule("cpu.worker", rate=1.0),
+             SiteRule("transfer", rate=1.0)]
+        )
+        with pytest.raises(UnrecoverableFaultError):
+            run_workload(name, schedule)

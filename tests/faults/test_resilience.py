@@ -1,0 +1,284 @@
+"""Component-level resilience: retry, watchdog, re-issue, worker restart.
+
+These tests drive the GPU device and the CPU executor directly with
+surgical (``site@n``) fault schedules and check three things every time:
+the functional result is unchanged, the recovery is visible in the
+recorder, and the wasted work is charged to the simulated clock.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cpusim.executor import CpuExecutor
+from repro.errors import (
+    DeviceMemoryFault,
+    LaunchFault,
+    TransferError,
+    UnrecoverableFaultError,
+    WatchdogTimeout,
+    WorkerFault,
+)
+from repro.faults import FaultRuntime, FaultSchedule, SiteRule
+from repro.faults.resilience import (
+    is_recoverable_fault,
+    restore_arrays,
+    snapshot_arrays,
+)
+from repro.gpusim.device import GpuDevice
+from repro.ir import ArrayStorage
+from repro.runtime.costmodel import CostModel
+from repro.runtime.platform import paper_platform
+
+from ..conftest import lowered
+
+SRC = """
+class T { static void f(double[] a, double[] b, int n) {
+  /* acc parallel */
+  for (int i = 0; i < n; i++) { b[i] = a[i] + 1.0; }
+} }
+"""
+
+INPLACE_SRC = """
+class T { static void f(double[] a, int n) {
+  /* acc parallel */
+  for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0 + 1.0; }
+} }
+"""
+
+
+def runtime(*rules, seed=0):
+    faults = FaultRuntime()
+    faults.install(FaultSchedule(list(rules), seed=seed))
+    return faults
+
+
+def gpu_rig(faults=None):
+    platform = paper_platform()
+    cost = CostModel(platform)
+    return GpuDevice(platform.gpu, cost, faults=faults), cost
+
+
+def cpu_rig(faults=None):
+    platform = paper_platform()
+    cost = CostModel(platform)
+    return CpuExecutor(platform.cpu, cost, faults=faults)
+
+
+def storage_ab(n=64):
+    return ArrayStorage(
+        {"a": np.arange(n, dtype=np.float64), "b": np.zeros(n)}
+    )
+
+
+def register(device, storage):
+    for name, arr in storage.arrays.items():
+        device.memory.copyin(name, arr.shape, arr.dtype)
+
+
+class TestDeviceRetry:
+    def test_launch_fault_retried_and_charged(self):
+        faults = runtime(SiteRule("gpu.launch", at=frozenset({1})))
+        device, _ = gpu_rig(faults)
+        clean_device, _ = gpu_rig()
+        _, fn = lowered(SRC)
+        storage = storage_ab()
+        register(device, storage)
+        register(clean_device, ArrayStorage(dict(storage.arrays)))
+
+        clean = clean_device.launch(fn, range(64), {"n": 64},
+                                    ArrayStorage({k: v.copy() for k, v in
+                                                  storage.arrays.items()}),
+                                    mode="direct")
+        res = device.launch(fn, range(64), {"n": 64}, storage, mode="direct")
+        assert np.array_equal(storage.arrays["b"],
+                              np.arange(64, dtype=np.float64) + 1.0)
+        # the retry backoff is charged on top of the clean kernel time
+        assert res.sim_time_s == pytest.approx(
+            clean.sim_time_s + faults.policy.backoff(0)
+        )
+        report = faults.recorder.report()
+        assert report.faults_seen == 1
+        assert report.recoveries == 1
+        assert report.events[1].action == "relaunch"
+
+    def test_hang_charges_watchdog_window(self):
+        faults = runtime(SiteRule("gpu.hang", at=frozenset({1})))
+        device, _ = gpu_rig(faults)
+        clean_device, _ = gpu_rig()
+        _, fn = lowered(SRC)
+        storage = storage_ab()
+        register(device, storage)
+        clean = clean_device.launch(
+            fn, range(64), {"n": 64},
+            ArrayStorage({k: v.copy() for k, v in storage.arrays.items()}),
+            mode="direct", check_allocations=False,
+        )
+        res = device.launch(fn, range(64), {"n": 64}, storage, mode="direct")
+        assert res.sim_time_s == pytest.approx(
+            clean.sim_time_s
+            + faults.policy.watchdog_timeout_s
+            + faults.policy.backoff(0)
+        )
+        assert faults.recorder.report().events[1].action == "watchdog-kill"
+
+    def test_memory_fault_revalidates_allocation(self):
+        faults = runtime(SiteRule("gpu.memory", at=frozenset({1})))
+        device, cost = gpu_rig(faults)
+        _, fn = lowered(SRC)
+        storage = storage_ab()
+        register(device, storage)
+        before = device.memory.stats.h2d_bytes
+        device.launch(fn, range(64), {"n": 64}, storage, mode="direct")
+        # the corrupted entry was refreshed with a full re-transfer
+        assert device.memory.stats.h2d_bytes > before
+        assert all(a.valid for a in device.memory.allocations.values())
+        assert faults.recorder.report().events[1].action == "revalidate"
+
+    def test_exhausted_retries_raise_typed_fault(self):
+        faults = runtime(SiteRule("gpu.launch", rate=1.0))
+        device, _ = gpu_rig(faults)
+        _, fn = lowered(SRC)
+        storage = storage_ab()
+        register(device, storage)
+        with pytest.raises(LaunchFault) as err:
+            device.launch(fn, range(64), {"n": 64}, storage, mode="direct")
+        assert err.value.retries == faults.policy.max_retries + 1
+        assert err.value.site == "gpu.launch"
+        assert is_recoverable_fault(err.value)
+
+    def test_persistent_hang_raises_watchdog_timeout(self):
+        faults = runtime(SiteRule("gpu.hang", rate=1.0))
+        device, _ = gpu_rig(faults)
+        _, fn = lowered(SRC)
+        storage = storage_ab()
+        register(device, storage)
+        with pytest.raises(WatchdogTimeout):
+            device.launch(fn, range(64), {"n": 64}, storage, mode="direct")
+
+
+class TestTransfers:
+    def test_copyin_reissue_doubles_bytes(self):
+        faults = runtime(SiteRule("transfer.h2d", at=frozenset({1})))
+        device, _ = gpu_rig(faults)
+        arr = np.zeros(100)
+        moved = device.memory.copyin("a", arr.shape, arr.dtype)
+        assert moved == 2 * arr.nbytes  # the original plus one re-issue
+        report = faults.recorder.report()
+        assert report.faults_seen == 1
+        assert report.events[1].action == "reissue"
+
+    def test_copyout_reissue(self):
+        faults = runtime(SiteRule("transfer.d2h", at=frozenset({1})))
+        device, _ = gpu_rig(faults)
+        arr = np.zeros(100)
+        device.memory.copyin("a", arr.shape, arr.dtype)
+        assert device.memory.copyout("a") == 2 * arr.nbytes
+
+    def test_persistent_transfer_error_raises(self):
+        faults = runtime(SiteRule("transfer.h2d", rate=1.0))
+        device, _ = gpu_rig(faults)
+        arr = np.zeros(100)
+        with pytest.raises(TransferError) as err:
+            device.memory.copyin("a", arr.shape, arr.dtype)
+        assert err.value.site == "transfer.h2d"
+        assert err.value.retries == faults.policy.max_retries + 1
+
+    def test_charge_transfer_noop_when_disabled(self):
+        faults = FaultRuntime()
+        assert faults.charge_transfer("transfer.h2d", 1000) == 1000
+        assert faults.recorder.events == []
+
+
+class TestCpuWorker:
+    def test_worker_restart_preserves_results(self):
+        faults = runtime(SiteRule("cpu.worker", at=frozenset({1})))
+        cpu = cpu_rig(faults)
+        _, fn = lowered(INPLACE_SRC)
+        n = 64
+        storage = ArrayStorage({"a": np.arange(n, dtype=np.float64)})
+        run = cpu.run_serial(fn, storage, {"n": n}, range(n))
+        # in-place update applied exactly once despite the mid-chunk death
+        assert np.array_equal(
+            storage.arrays["a"], np.arange(n, dtype=np.float64) * 2.0 + 1.0
+        )
+        report = faults.recorder.report()
+        assert report.faults_seen == 1
+        assert report.events[1].action == "worker-restart"
+        # the restart backoff reached the simulated clock
+        clean = cpu_rig().run_serial(
+            fn, ArrayStorage({"a": np.arange(n, dtype=np.float64)}),
+            {"n": n}, range(n),
+        )
+        assert run.sim_time_s > clean.sim_time_s
+
+    def test_wasted_iterations_are_charged(self):
+        # force a late death: high fraction comes from the seed; instead
+        # pin the death with rate 1.0 on probe 1 only via at-set and
+        # check the dynamic counts grew vs. a clean run
+        faults = runtime(SiteRule("cpu.worker", at=frozenset({1})), seed=5)
+        cpu = cpu_rig(faults)
+        _, fn = lowered(INPLACE_SRC)
+        n = 256
+        storage = ArrayStorage({"a": np.arange(n, dtype=np.float64)})
+        run = cpu.run_serial(fn, storage, {"n": n}, range(n))
+        clean = cpu_rig().run_serial(
+            fn, ArrayStorage({"a": np.arange(n, dtype=np.float64)}),
+            {"n": n}, range(n),
+        )
+        # the dead worker's partial iterations stay in the counts
+        assert run.counts.instructions >= clean.counts.instructions
+
+    def test_persistent_worker_death_raises_typed_fault(self):
+        faults = runtime(SiteRule("cpu.worker", rate=1.0))
+        cpu = cpu_rig(faults)
+        _, fn = lowered(INPLACE_SRC)
+        n = 32
+        original = np.arange(n, dtype=np.float64)
+        storage = ArrayStorage({"a": original.copy()})
+        with pytest.raises(WorkerFault) as err:
+            cpu.run_serial(fn, storage, {"n": n}, range(n))
+        assert err.value.injected is False  # the *exhaustion* error
+        assert err.value.retries == faults.policy.max_retries + 1
+        # state was rolled back before giving up: no partial writes
+        assert np.array_equal(storage.arrays["a"], original)
+
+
+class TestRuntimePlumbing:
+    def test_disabled_runtime_probes_nothing(self):
+        faults = FaultRuntime()
+        assert not faults.enabled
+        assert faults.probe("gpu.launch") is None
+        assert faults.recorder.events == []
+
+    def test_install_resets_plane_and_recorder(self):
+        faults = runtime(SiteRule("gpu.launch", rate=1.0))
+        faults.probe("gpu.launch")
+        assert faults.plane.injected
+        faults.install(FaultSchedule([SiteRule("gpu.hang", rate=1.0)]))
+        assert faults.plane.injected == []
+        assert faults.recorder.events == []
+
+    def test_snapshot_restore_roundtrip(self):
+        storage = ArrayStorage({"x": np.arange(8.0), "y": np.zeros(4)})
+        snap = snapshot_arrays(storage, {"x", "missing"})
+        assert set(snap) == {"x"}
+        storage.arrays["x"][:] = -1.0
+        restore_arrays(storage, snap)
+        assert np.array_equal(storage.arrays["x"], np.arange(8.0))
+
+    def test_unrecoverable_is_not_recoverable(self):
+        assert not is_recoverable_fault(UnrecoverableFaultError("nope"))
+        assert not is_recoverable_fault(ValueError("not a fault"))
+        assert is_recoverable_fault(DeviceMemoryFault("x", injected=True))
+
+    def test_report_slices_and_summary(self):
+        faults = runtime(SiteRule("gpu.launch", at=frozenset({1, 2})))
+        faults.probe("gpu.launch")
+        mark = faults.recorder.mark()
+        faults.probe("gpu.launch")
+        full = faults.recorder.report()
+        tail = faults.recorder.report(since=mark)
+        assert full.faults_seen == 2
+        assert tail.faults_seen == 1
+        assert "gpu.launch:2" in full.summary()
+        assert full.by_site() == {"gpu.launch": 2}

@@ -1,0 +1,125 @@
+"""Fault schedule: determinism, the spec grammar, and site matching."""
+
+import pytest
+
+from repro.errors import JaponicaError
+from repro.faults import SITES, FaultPlane, FaultSchedule, SiteRule
+from repro.faults.plane import (
+    SITE_GPU_HANG,
+    SITE_GPU_LAUNCH,
+    SITE_GPU_MEMORY,
+    SITE_TRANSFER_D2H,
+    SITE_TRANSFER_H2D,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        a = FaultSchedule([SiteRule("gpu.launch", rate=0.3)], seed=42)
+        b = FaultSchedule([SiteRule("gpu.launch", rate=0.3)], seed=42)
+        seq_a = [a.decide("gpu.launch", i) for i in range(1, 200)]
+        seq_b = [b.decide("gpu.launch", i) for i in range(1, 200)]
+        assert seq_a == seq_b
+        assert any(x is not None for x in seq_a)  # 0.3 over 199 probes fires
+
+    def test_different_seeds_differ(self):
+        a = FaultSchedule([SiteRule("gpu.launch", rate=0.3)], seed=1)
+        b = FaultSchedule([SiteRule("gpu.launch", rate=0.3)], seed=2)
+        seq_a = [a.decide("gpu.launch", i) for i in range(1, 200)]
+        seq_b = [b.decide("gpu.launch", i) for i in range(1, 200)]
+        assert seq_a != seq_b
+
+    def test_decision_is_stateless(self):
+        s = FaultSchedule([SiteRule("cpu.worker", rate=0.5)], seed=9)
+        first = s.decide("cpu.worker", 7)
+        for _ in range(5):
+            assert s.decide("cpu.worker", 7) == first
+
+    def test_fraction_in_unit_interval(self):
+        s = FaultSchedule([SiteRule("cpu.worker", rate=1.0)], seed=3)
+        for i in range(1, 100):
+            frac = s.decide("cpu.worker", i)
+            assert frac is not None
+            assert 0.0 <= frac < 1.0
+
+
+class TestRules:
+    def test_rate_one_always_fires(self):
+        s = FaultSchedule([SiteRule("gpu.hang", rate=1.0)], seed=0)
+        assert all(s.decide("gpu.hang", i) is not None for i in range(1, 50))
+
+    def test_rate_zero_never_fires_and_disables(self):
+        s = FaultSchedule([SiteRule("gpu.hang", rate=0.0)], seed=0)
+        assert not s
+        assert all(s.decide("gpu.hang", i) is None for i in range(1, 50))
+
+    def test_at_set_fires_exactly(self):
+        s = FaultSchedule([SiteRule("transfer.h2d", at=frozenset({2, 5}))])
+        fired = [i for i in range(1, 10) if s.decide("transfer.h2d", i)]
+        assert fired == [2, 5]
+
+    def test_prefix_matches_family(self):
+        rule = SiteRule("gpu", rate=1.0)
+        assert rule.matches(SITE_GPU_LAUNCH)
+        assert rule.matches(SITE_GPU_HANG)
+        assert rule.matches(SITE_GPU_MEMORY)
+        assert not rule.matches(SITE_TRANSFER_H2D)
+        xfer = SiteRule("transfer", rate=1.0)
+        assert xfer.matches(SITE_TRANSFER_H2D)
+        assert xfer.matches(SITE_TRANSFER_D2H)
+        assert not xfer.matches("cpu.worker")
+
+    def test_prefix_is_dotted_not_substring(self):
+        assert not SiteRule("gpu.l", rate=1.0).matches(SITE_GPU_LAUNCH)
+
+
+class TestParse:
+    def test_rate_and_at_entries(self):
+        s = FaultSchedule.parse("gpu.launch:0.25, transfer@2+5", seed=11)
+        assert s.seed == 11
+        assert s.rules[0] == SiteRule("gpu.launch", rate=0.25)
+        assert s.rules[1] == SiteRule("transfer", at=frozenset({2, 5}))
+
+    def test_bad_entries_rejected(self):
+        for spec in (
+            "gpu.launch",          # no rate or probe list
+            "gpu.launch:huh",      # non-numeric rate
+            "gpu.launch:1.5",      # rate out of range
+            "gpu.launch@0",        # probe indices are 1-based
+            "gpu.launch@x",        # non-integer probe
+            "gpu.lunch:0.5",       # unknown site
+            "nope@3",              # unknown site
+        ):
+            with pytest.raises(JaponicaError):
+                FaultSchedule.parse(spec)
+
+    def test_every_canonical_site_parses(self):
+        for site in SITES:
+            FaultSchedule.parse(f"{site}:0.5")
+
+
+class TestPlane:
+    def test_disabled_plane_never_fires_or_counts(self):
+        plane = FaultPlane()
+        assert not plane.enabled
+        assert plane.probe("gpu.launch") is None
+        assert plane.probes("gpu.launch") == 0
+        assert plane.injected == []
+
+    def test_probe_counts_and_ledger(self):
+        plane = FaultPlane(
+            FaultSchedule([SiteRule("gpu.launch", at=frozenset({2}))])
+        )
+        assert plane.probe("gpu.launch") is None
+        d = plane.probe("gpu.launch")
+        assert d is not None and d.probe_index == 2
+        assert plane.probes("gpu.launch") == 2
+        assert [x.probe_index for x in plane.injected] == [2]
+
+    def test_sites_counted_independently(self):
+        plane = FaultPlane(
+            FaultSchedule([SiteRule("gpu", at=frozenset({1}))])
+        )
+        assert plane.probe("gpu.launch") is not None
+        assert plane.probe("gpu.hang") is not None  # its own probe #1
+        assert len(plane.injected) == 2

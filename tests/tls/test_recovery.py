@@ -46,6 +46,46 @@ class TestDecision:
             assert d.cpu_warps >= 1
 
 
+class TestClamping:
+    """cpu_warps never overshoots the warps actually remaining."""
+
+    def test_clamped_to_remaining(self):
+        p = profile_with({5})
+        d = decide_recovery(p, 4, lookahead=8, warps_remaining=3)
+        assert d.action is RecoveryAction.CPU_SEQUENTIAL
+        assert d.cpu_warps == 3
+
+    def test_single_remaining_warp(self):
+        p = profile_with({5})
+        d = decide_recovery(p, 4, lookahead=8, warps_remaining=1)
+        assert d.action is RecoveryAction.CPU_SEQUENTIAL
+        assert d.cpu_warps == 1
+
+    def test_no_clamp_when_plenty_remain(self):
+        p = profile_with({5})
+        d = decide_recovery(p, 4, lookahead=8, warps_remaining=100)
+        assert d.cpu_warps == 8
+
+    def test_default_is_unclamped(self):
+        p = profile_with({5})
+        assert decide_recovery(p, 4, lookahead=8).cpu_warps == 8
+
+    def test_zero_lookahead_keeps_forward_progress(self):
+        # the inspection window floors at one warp, so a TD directly
+        # ahead still hands exactly one warp to the CPU — never zero
+        p = profile_with({1, 2, 3})
+        d = decide_recovery(p, 0, lookahead=0, warps_remaining=5)
+        assert d.action is RecoveryAction.CPU_SEQUENTIAL
+        assert d.cpu_warps == 1
+
+    def test_clamp_floor_is_one(self):
+        # even a degenerate remaining count keeps at least one warp
+        p = profile_with({5})
+        d = decide_recovery(p, 4, lookahead=8, warps_remaining=0)
+        if d.action is RecoveryAction.CPU_SEQUENTIAL:
+            assert d.cpu_warps == 1
+
+
 class TestBuffers:
     def test_metadata_and_bytes_helpers(self):
         import numpy as np
