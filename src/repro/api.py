@@ -45,6 +45,12 @@ from .ir.interpreter import ArrayStorage
 from .ir.lower import length_param
 from .lang import ast_nodes as A
 from .lang.ast_nodes import ClassDecl
+from .obs.metrics import (
+    NULL_INSTRUMENTATION,
+    Instrumentation,
+    record_resilience,
+)
+from .obs.tracer import PHASE_EXECUTE
 from .runtime.hosteval import run_method_host
 from .runtime.platform import Platform
 from .runtime.result import ExecutionResult
@@ -110,10 +116,12 @@ class CompiledProgram:
         unit: TranslationUnit,
         platform: Optional[Platform] = None,
         config: Optional[JaponicaConfig] = None,
+        obs: Optional[Instrumentation] = None,
     ):
         self.unit = unit
         self.platform = platform
         self.config = config
+        self.obs = obs or NULL_INSTRUMENTATION
 
     # -- introspection ----------------------------------------------------
 
@@ -174,7 +182,9 @@ class CompiledProgram:
         mt = self.unit.methods[method]
         decl = mt.method
         storage, scalars = self._bind(decl, bindings)
-        ctx = context or ExecutionContext(self.platform, self.config)
+        ctx = context or ExecutionContext(
+            self.platform, self.config, obs=self.obs
+        )
         ctx.reset_device()
         if faults is not None:
             if isinstance(faults, FaultSchedule):
@@ -208,6 +218,11 @@ class CompiledProgram:
                 if key in env and env[key] != scalars[key]:
                     scalars[key] = env[key]
 
+        def record(label: str, result: ExecutionResult) -> None:
+            loop_results.append((label, result))
+            mode = result.mode or strategy
+            ctx.obs.metrics.counter(f"scheduler.mode.{mode}").inc()
+
         def dispatch(loop_node: A.For, following: list[A.Stmt]) -> int:
             tl = by_node.get(id(loop_node))
             if tl is None:
@@ -226,15 +241,27 @@ class CompiledProgram:
                     else:
                         break
                 tasks = [Task(lp) for lp in run_loops]
-                result = stealing.execute(tasks, storage, env)
-                loop_results.append(("+".join(lp.id for lp in run_loops), result))
+                label = "+".join(lp.id for lp in run_loops)
+                with ctx.obs.tracer.span(
+                    f"dispatch:{label}", PHASE_EXECUTE,
+                    strategy=strategy, scheme=use_scheme,
+                ) as sp:
+                    result = stealing.execute(tasks, storage, env)
+                    sp.annotate(mode=result.mode)
+                    sp.set_sim(0.0, result.sim_time_s)
+                record(label, result)
                 write_back_scalars(env)
                 return consumed
-            if strategy == "japonica":
-                result = sharing.execute(Task(tl), storage, env)
-            else:
-                result = baselines[strategy].execute(Task(tl), storage, env)
-            loop_results.append((tl.id, result))
+            with ctx.obs.tracer.span(
+                f"dispatch:{tl.id}", PHASE_EXECUTE, strategy=strategy,
+            ) as sp:
+                if strategy == "japonica":
+                    result = sharing.execute(Task(tl), storage, env)
+                else:
+                    result = baselines[strategy].execute(Task(tl), storage, env)
+                sp.annotate(mode=result.mode)
+                sp.set_sim(0.0, result.sim_time_s)
+            record(tl.id, result)
             write_back_scalars(env)
             return 0
 
@@ -242,6 +269,9 @@ class CompiledProgram:
         host_time = ctx.cost.cpu_serial_time(host_cost.as_counts())
         total = host_time + sum(res.sim_time_s for _, res in loop_results)
 
+        report = ctx.faults.recorder.report() if ctx.faults.enabled else None
+        if report is not None:
+            record_resilience(ctx.obs.metrics, report)
         return ProgramResult(
             arrays=storage.arrays,
             scalars=scalars,
@@ -250,9 +280,7 @@ class CompiledProgram:
             loop_results=loop_results,
             strategy=strategy,
             scheme=use_scheme if strategy == "japonica" else "",
-            resilience=(
-                ctx.faults.recorder.report() if ctx.faults.enabled else None
-            ),
+            resilience=report,
         )
 
     # -- binding -------------------------------------------------------------
@@ -299,20 +327,22 @@ class Japonica:
         platform: Optional[Platform] = None,
         config: Optional[JaponicaConfig] = None,
         cpu_threads: int = 16,
+        obs: Optional[Instrumentation] = None,
     ):
         self.platform = platform
         self.config = config
-        self.translator = Translator(cpu_threads=cpu_threads)
+        self.obs = obs or NULL_INSTRUMENTATION
+        self.translator = Translator(cpu_threads=cpu_threads, obs=self.obs)
 
     def compile(self, source: str) -> CompiledProgram:
         """Translate annotated Java source into a runnable program."""
         unit = self.translator.translate_source(source)
         if not unit.methods:
             raise JaponicaError("no annotated loops found in the source")
-        return CompiledProgram(unit, self.platform, self.config)
+        return CompiledProgram(unit, self.platform, self.config, obs=self.obs)
 
     def compile_class(self, cls: ClassDecl) -> CompiledProgram:
         unit = self.translator.translate(cls)
         if not unit.methods:
             raise JaponicaError("no annotated loops found in the class")
-        return CompiledProgram(unit, self.platform, self.config)
+        return CompiledProgram(unit, self.platform, self.config, obs=self.obs)

@@ -13,6 +13,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..runtime.clock import LANE_CPU, LANE_DMA, LANE_GPU
 from ..workloads import BY_NAME, Workload
 from ..workloads.registry import (
     ALL_WORKLOADS,
@@ -55,6 +56,61 @@ def measure(
 
 def clear_cache() -> None:
     _CACHE.clear()
+
+
+# ---------------------------------------------------------------------------
+# Per-phase breakdown (observability surface)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PhaseRow:
+    """Simulated-time breakdown of one loop dispatch, by phase and lane.
+
+    Lane-busy columns can overlap in time (that is the point of the
+    prefetch pipeline), so they need not sum to ``total_ms``; each is
+    bounded by it.
+    """
+
+    label: str
+    mode: str
+    profile_ms: float
+    gpu_ms: float
+    dma_ms: float
+    cpu_ms: float
+    total_ms: float
+
+
+def phase_breakdown(result, strategy: str = "") -> list[PhaseRow]:
+    """Break a :class:`~repro.api.ProgramResult` into per-loop phase rows.
+
+    Uses each loop result's :class:`~repro.runtime.clock.Timeline`;
+    loop results without a timeline contribute a total-only row.
+    """
+    rows = []
+    for lid, res in result.loop_results:
+        label = f"{strategy}:{lid}" if strategy else lid
+        tl = res.timeline
+        if tl is None:
+            rows.append(
+                PhaseRow(label, res.mode, 0.0, 0.0, 0.0, 0.0, res.sim_time_ms)
+            )
+            continue
+        profile_ms = 1e3 * sum(
+            e.duration for e in tl.events if e.label == "profiling"
+        )
+        rows.append(
+            PhaseRow(
+                label,
+                res.mode,
+                profile_ms=profile_ms,
+                gpu_ms=tl.lane_busy(LANE_GPU) * 1e3,
+                dma_ms=tl.lane_busy(LANE_DMA) * 1e3,
+                cpu_ms=tl.lane_busy(LANE_CPU) * 1e3,
+                total_ms=res.sim_time_ms,
+            )
+        )
+    return rows
 
 
 # ---------------------------------------------------------------------------

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from .harness import FigureRow, Headline, SweepPoint, Table2Row
+from .harness import FigureRow, Headline, PhaseRow, SweepPoint, Table2Row
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
@@ -56,13 +56,20 @@ def render_figure(
     return f"{title}\n" + render_table(headers, body)
 
 
+def _steal_advantage(p: SweepPoint) -> str:
+    """Sharing/stealing ratio; a degenerate point must not divide by 0."""
+    if p.stealing_ms == 0:
+        return "n/a" if p.sharing_ms == 0 else "inf"
+    return f"{p.sharing_ms / p.stealing_ms:.2f}x"
+
+
 def render_sweep(points: list[SweepPoint]) -> str:
     body = [
         (
             p.label,
             f"{p.sharing_ms:.2f}",
             f"{p.stealing_ms:.2f}",
-            f"{p.sharing_ms / p.stealing_ms:.2f}x",
+            _steal_advantage(p),
         )
         for p in points
     ]
@@ -72,6 +79,31 @@ def render_sweep(points: list[SweepPoint]) -> str:
             ["Input size", "Sharing ms", "Stealing ms", "Steal advantage"],
             body,
         )
+    )
+
+
+def render_phases(rows: list[PhaseRow]) -> str:
+    """Per-loop phase/lane breakdown table (simulated milliseconds).
+
+    Lanes overlap in time under the prefetch pipeline, so the busy
+    columns are each bounded by — but need not sum to — the total.
+    """
+    body = [
+        (
+            r.label,
+            r.mode,
+            f"{r.profile_ms:.3f}",
+            f"{r.gpu_ms:.3f}",
+            f"{r.dma_ms:.3f}",
+            f"{r.cpu_ms:.3f}",
+            f"{r.total_ms:.3f}",
+        )
+        for r in rows
+    ]
+    return "Per-phase breakdown (simulated ms; lanes overlap)\n" + render_table(
+        ["Loop", "Mode", "Profile", "GPU busy", "DMA busy", "CPU busy",
+         "Total"],
+        body,
     )
 
 

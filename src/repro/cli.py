@@ -69,6 +69,21 @@ def _cmd_run(args) -> int:
     binds = workload.bindings(n=args.n, seed=args.seed)
     reference = workload.reference(binds) if args.verify else None
 
+    # --trace / --metrics turn on the observability plane.  The traced
+    # path compiles once with a recording Instrumentation (parse/analyze/
+    # translate spans) and gives every strategy a fresh context — sharing
+    # one would share the profile cache and change the simulated times.
+    observing = bool(args.trace or args.metrics)
+    obs = None
+    program = None
+    timelines: list[tuple[str, object]] = []
+    phase_rows = []
+    if observing:
+        from .obs import Instrumentation
+
+        obs = Instrumentation.recording()
+        program = Japonica(obs=obs).compile(workload.source)
+
     print(f"== {workload.name} ({workload.description}) ==")
     times = {}
     for strategy in strategies:
@@ -76,10 +91,27 @@ def _cmd_run(args) -> int:
             print(f"unknown strategy {strategy!r}; choose from {STRATEGIES}",
                   file=sys.stderr)
             return EXIT_USAGE
-        result = workload.run(
-            strategy=strategy, n=args.n, seed=args.seed,
-            faults=args.faults, fault_seed=args.fault_seed,
-        )
+        if observing:
+            result = program.run(
+                workload.method,
+                strategy=strategy,
+                scheme=args.scheme or workload.scheme,
+                context=workload.make_context(obs=obs),
+                faults=args.faults, fault_seed=args.fault_seed,
+                **binds,
+            )
+            from .bench import phase_breakdown
+
+            phase_rows.extend(phase_breakdown(result, strategy))
+            for lid, res in result.loop_results:
+                if res.timeline is not None:
+                    timelines.append((f"{strategy}:{lid}", res.timeline))
+        else:
+            result = workload.run(
+                strategy=strategy, n=args.n, seed=args.seed,
+                scheme=args.scheme,
+                faults=args.faults, fault_seed=args.fault_seed,
+            )
         times[strategy] = result.sim_time_s
         modes = ",".join(sorted({r.mode for _, r in result.loop_results}))
         status = ""
@@ -98,6 +130,30 @@ def _cmd_run(args) -> int:
         for strategy, t in times.items():
             if strategy != "serial":
                 print(f"speedup {strategy} over serial: {base / t:.2f}x")
+    if phase_rows:
+        from .bench import render_phases
+
+        print()
+        print(render_phases(phase_rows))
+    if args.trace:
+        from .obs import write_chrome_trace
+
+        write_chrome_trace(
+            args.trace, obs.tracer.finished_spans(), timelines,
+            metadata={
+                "workload": workload.name,
+                "strategies": ",".join(strategies),
+            },
+        )
+        print(f"trace written to {args.trace} "
+              f"(load at https://ui.perfetto.dev)")
+    if args.metrics:
+        from .obs import write_metrics_json
+
+        write_metrics_json(
+            args.metrics, obs.metrics, extra={"workload": workload.name}
+        )
+        print(f"metrics written to {args.metrics}")
     return 0
 
 
@@ -192,6 +248,19 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--fault-seed", type=int, default=0,
         help="seed of the deterministic fault schedule",
+    )
+    run_p.add_argument(
+        "--scheme", choices=("sharing", "stealing"), default=None,
+        help="override the workload's japonica scheduling scheme",
+    )
+    run_p.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a Chrome trace-event JSON (Perfetto-loadable) of the "
+             "pipeline spans and per-lane execution timelines",
+    )
+    run_p.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="write runtime metrics (counters/gauges/histograms) as JSON",
     )
     run_p.set_defaults(fn=_cmd_run)
 

@@ -29,6 +29,7 @@ from ..ir.interpreter import (
     DirectBackend,
 )
 from ..ir.vectorizer import VectorizedKernel, can_vectorize
+from ..obs.metrics import NULL_INSTRUMENTATION, Instrumentation
 from ..runtime.costmodel import CostModel
 from ..runtime.platform import CpuSpec
 
@@ -50,10 +51,12 @@ class CpuExecutor:
         spec: CpuSpec,
         cost: CostModel,
         faults: Optional[FaultRuntime] = None,
+        obs: Optional[Instrumentation] = None,
     ):
         self.spec = spec
         self.cost = cost
         self.faults = faults
+        self.obs = obs or NULL_INSTRUMENTATION
         self._compiled: dict[int, CompiledKernel] = {}
         self._vectorized: dict[int, VectorizedKernel] = {}
 
@@ -85,12 +88,14 @@ class CpuExecutor:
         (needed when iteration order must be respected).
         """
         threads = threads if threads is not None else self.spec.worker_threads
+        indices = list(indices)
         counts, extra_s = self._execute(
-            fn, storage, scalar_env, list(indices), allow_vectorized
+            fn, storage, scalar_env, indices, allow_vectorized
         )
         sim_time = extra_s + self.cost.cpu_time(
             counts, threads=threads, elem_bytes=elem_bytes
         )
+        self._record_run("parallel", len(indices), threads, sim_time)
         return CpuRunResult(counts, sim_time, threads)
 
     def run_serial(
@@ -110,13 +115,25 @@ class CpuExecutor:
         coincides with sequential semantics only for DOALL loops — hence
         no vectorization here.
         """
+        indices = list(indices)
         counts, extra_s = self._execute(
-            fn, storage, scalar_env, list(indices), allow_vectorized=False
+            fn, storage, scalar_env, indices, allow_vectorized=False
         )
         sim_time = extra_s + self.cost.cpu_time(
             counts, threads=1, elem_bytes=elem_bytes
         )
+        self._record_run("serial", len(indices), 1, sim_time)
         return CpuRunResult(counts, sim_time, 1)
+
+    def _record_run(
+        self, kind: str, n: int, threads: int, sim_time: float
+    ) -> None:
+        m = self.obs.metrics
+        m.counter("cpu.chunks").inc()
+        m.counter(f"cpu.chunks.{kind}").inc()
+        m.counter("cpu.iterations").inc(n)
+        m.counter("cpu.time_s").inc(sim_time)
+        m.histogram("cpu.threads").observe(threads)
 
     def _execute(
         self,

@@ -45,6 +45,7 @@ from ..ir.interpreter import (
     TracingBackend,
 )
 from ..ir.vectorizer import VectorizedKernel, can_vectorize
+from ..obs.metrics import NULL_INSTRUMENTATION, Instrumentation
 from ..runtime.costmodel import CostModel
 from ..runtime.platform import GpuSpec
 from .memory import DeviceMemory
@@ -76,11 +77,13 @@ class GpuDevice:
         spec: GpuSpec,
         cost: CostModel,
         faults: Optional[FaultRuntime] = None,
+        obs: Optional[Instrumentation] = None,
     ):
         self.spec = spec
         self.cost = cost
         self.faults = faults
-        self.memory = DeviceMemory(faults=faults)
+        self.obs = obs or NULL_INSTRUMENTATION
+        self.memory = DeviceMemory(faults=faults, obs=self.obs)
         self._compiled: dict[int, CompiledKernel] = {}
         self._vectorized: dict[int, VectorizedKernel] = {}
 
@@ -160,6 +163,7 @@ class GpuDevice:
             result.traces = backend.traces
         if check_allocations:
             self._mark_writes(fn)
+        self._record_launch(mode, len(indices), div, sim_time, False)
         return result
 
     def _launch_direct(
@@ -201,10 +205,23 @@ class GpuDevice:
         )
         if mark_writes:
             self._mark_writes(fn)
+        self._record_launch("direct", len(indices), div, sim_time, vectorized)
         return LaunchResult(
             counts, sim_time, len(indices), warps, vectorized=vectorized,
             divergence=div,
         )
+
+    def _record_launch(
+        self, mode: str, n: int, div: float, sim_time: float, vectorized: bool
+    ) -> None:
+        m = self.obs.metrics
+        m.counter("gpu.launches").inc()
+        m.counter(f"gpu.launches.{mode}").inc()
+        m.counter("gpu.threads").inc(n)
+        m.counter("gpu.kernel_s").inc(sim_time)
+        m.histogram("gpu.divergence").observe(div)
+        if vectorized:
+            m.counter("gpu.vectorized_launches").inc()
 
     # -- resilience --------------------------------------------------------
 

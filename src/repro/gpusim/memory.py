@@ -22,6 +22,7 @@ from ..faults.plane import (
     SITE_TRANSFER_H2D,
 )
 from ..faults.resilience import FaultRuntime
+from ..obs.metrics import NULL_INSTRUMENTATION, Instrumentation
 
 
 @dataclass
@@ -64,11 +65,13 @@ class DeviceMemory:
         self,
         capacity_bytes: int = 3 * 1024**3,
         faults: Optional[FaultRuntime] = None,
+        obs: Optional[Instrumentation] = None,
     ):
         self.capacity_bytes = capacity_bytes
         self.allocations: dict[str, DeviceAllocation] = {}
         self.stats = TransferStats()
         self.faults = faults
+        self.obs = obs or NULL_INSTRUMENTATION
 
     def _faults_on(self) -> bool:
         return self.faults is not None and self.faults.enabled
@@ -148,6 +151,9 @@ class DeviceMemory:
         allocation.valid = True
         self.stats.h2d_bytes += moved
         self.stats.h2d_count += 1
+        m = self.obs.metrics
+        m.counter("transfer.h2d.bytes").inc(moved)
+        m.counter("transfer.h2d.count").inc()
         return moved
 
     def copyout(self, name: str, nbytes: Optional[int] = None) -> int:
@@ -158,6 +164,9 @@ class DeviceMemory:
             moved = self.faults.charge_transfer(SITE_TRANSFER_D2H, moved)
         self.stats.d2h_bytes += moved
         self.stats.d2h_count += 1
+        m = self.obs.metrics
+        m.counter("transfer.d2h.bytes").inc(moved)
+        m.counter("transfer.d2h.count").inc()
         return moved
 
     def revalidate(self, names) -> int:
@@ -177,6 +186,10 @@ class DeviceMemory:
                 moved += allocation.nbytes
                 self.stats.h2d_bytes += allocation.nbytes
                 self.stats.h2d_count += 1
+        if moved:
+            m = self.obs.metrics
+            m.counter("transfer.h2d.bytes").inc(moved)
+            m.counter("transfer.revalidated.bytes").inc(moved)
         return moved
 
     def mark_written(self, name: str) -> None:

@@ -140,8 +140,15 @@ def parse_annotation(text: str, pos: Pos) -> Annotation:
     from .parser import Parser
 
     body = text.strip()
-    if body == "acc" or body == "acc ":
+    if body == "acc":
         raise AnnotationError(f"empty acc directive at {pos}")
+    # word boundary: 'acc' must be followed by whitespace (or be the whole
+    # body, handled above) — 'accparallel' is not an acc directive
+    if not (body.startswith("acc") and body[3:4].isspace()):
+        raise AnnotationError(
+            f"malformed acc directive at {pos}: expected 'acc' followed "
+            f"by whitespace, got {body.split(None, 1)[0]!r}"
+        )
     payload = body[len("acc") :].strip()
 
     try:

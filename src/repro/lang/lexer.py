@@ -160,7 +160,11 @@ class Lexer:
         body = self.src[start : self.i]
         self._advance(2)
         stripped = body.strip()
-        if stripped.startswith("acc ") or stripped == "acc":
+        # same word-boundary rule as parse_annotation: 'acc' then
+        # whitespace (any kind, not just a space) or end of body
+        if stripped == "acc" or (
+            stripped.startswith("acc") and stripped[3:4].isspace()
+        ):
             return Token(TokKind.ANNOTATION, stripped, pos)
         return None
 

@@ -1,0 +1,70 @@
+"""Observability plane: pipeline tracing, metrics, deterministic exports.
+
+See :mod:`repro.obs.tracer` (spans), :mod:`repro.obs.metrics`
+(counters/gauges/histograms + the :class:`Instrumentation` bundle) and
+:mod:`repro.obs.export` (Chrome trace-event and metrics JSON).
+"""
+
+from .export import (
+    METRICS_SCHEMA,
+    TRACE_SCHEMA,
+    chrome_trace,
+    metrics_document,
+    span_events,
+    timeline_events,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Instrumentation,
+    MetricsRegistry,
+    NULL_INSTRUMENTATION,
+    NULL_METRICS,
+    NullMetricsRegistry,
+    record_resilience,
+)
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    PHASE_ANALYZE,
+    PHASE_EXECUTE,
+    PHASE_PARSE,
+    PHASE_PROFILE,
+    PHASE_SCHEDULE,
+    PHASE_TRANSLATE,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "NULL_INSTRUMENTATION",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "PHASE_ANALYZE",
+    "PHASE_EXECUTE",
+    "PHASE_PARSE",
+    "PHASE_PROFILE",
+    "PHASE_SCHEDULE",
+    "PHASE_TRANSLATE",
+    "Span",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "chrome_trace",
+    "metrics_document",
+    "record_resilience",
+    "span_events",
+    "timeline_events",
+    "write_chrome_trace",
+    "write_metrics_json",
+]

@@ -1,0 +1,143 @@
+"""Exporters: Chrome trace-event JSON (Perfetto-loadable) and metrics JSON.
+
+The Chrome trace groups work into processes:
+
+* ``pid 1`` — the **pipeline** process: compile- and dispatch-level spans
+  on the tracer's logical tick clock (1 tick = 1 us).  Spans that wrap
+  simulated work carry their simulated interval in ``args`` instead of
+  mixing the two clocks on one axis.
+* ``pid 2..`` — one **timeline** process per traced execution, with one
+  thread per resource lane (cpu/dma/gpu).  Timestamps and durations are
+  the *simulated* clock in microseconds, so a trace is deterministic:
+  re-running the same program with the same seed yields the same bytes.
+
+Load the output at https://ui.perfetto.dev (or chrome://tracing).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional, Sequence
+
+#: Schema tags written into the exports.
+TRACE_SCHEMA = "repro.trace/v1"
+METRICS_SCHEMA = "repro.metrics/v1"
+
+_PIPELINE_PID = 1
+
+
+def _meta(pid: int, name: str, tid: Optional[int] = None) -> dict:
+    event = {
+        "ph": "M",
+        "pid": pid,
+        "name": "process_name" if tid is None else "thread_name",
+        "args": {"name": name},
+    }
+    if tid is not None:
+        event["tid"] = tid
+    return event
+
+
+def span_events(spans: Iterable) -> list[dict]:
+    """Pipeline spans -> complete ('X') events on the tick clock."""
+    events = []
+    for sp in spans:
+        if sp.open:
+            continue
+        args = dict(sp.attrs)
+        if sp.sim_start_s is not None:
+            args["sim_start_ms"] = sp.sim_start_s * 1e3
+        if sp.sim_end_s is not None:
+            args["sim_end_ms"] = sp.sim_end_s * 1e3
+            if sp.sim_start_s is not None:
+                args["sim_dur_ms"] = (sp.sim_end_s - sp.sim_start_s) * 1e3
+        events.append(
+            {
+                "ph": "X",
+                "pid": _PIPELINE_PID,
+                "tid": 0,
+                "ts": sp.tick_start,
+                "dur": sp.tick_end - sp.tick_start,
+                "name": sp.name,
+                "cat": sp.category,
+                "args": args,
+            }
+        )
+    return events
+
+
+def timeline_events(timeline, pid: int) -> list[dict]:
+    """One simulated :class:`Timeline` -> per-lane 'X' events (sim us)."""
+    lanes = sorted({e.lane for e in timeline.events})
+    tid_of = {lane: tid for tid, lane in enumerate(lanes)}
+    events = [_meta(pid, lane, tid) for lane, tid in tid_of.items()]
+    for e in timeline.events:
+        events.append(
+            {
+                "ph": "X",
+                "pid": pid,
+                "tid": tid_of[e.lane],
+                "ts": e.start * 1e6,
+                "dur": e.duration * 1e6,
+                "name": e.label or e.lane,
+                "cat": e.lane,
+                "args": {"id": e.id},
+            }
+        )
+    return events
+
+
+def chrome_trace(
+    spans: Iterable = (),
+    timelines: Sequence[tuple[str, object]] = (),
+    metadata: Optional[dict] = None,
+) -> dict:
+    """Build the Chrome trace-event document.
+
+    ``timelines`` is a sequence of ``(track_name, Timeline)`` pairs; each
+    becomes its own process so overlapping simulated clocks (one per
+    traced loop execution) never collide.
+    """
+    events: list[dict] = [_meta(_PIPELINE_PID, "pipeline")]
+    events.extend(span_events(spans))
+    for k, (name, timeline) in enumerate(timelines):
+        pid = _PIPELINE_PID + 1 + k
+        events.append(_meta(pid, name))
+        events.extend(timeline_events(timeline, pid))
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": TRACE_SCHEMA, **(metadata or {})},
+    }
+    return doc
+
+
+def write_chrome_trace(
+    path: str,
+    spans: Iterable = (),
+    timelines: Sequence[tuple[str, object]] = (),
+    metadata: Optional[dict] = None,
+) -> None:
+    with open(path, "w") as fh:
+        json.dump(
+            chrome_trace(spans, timelines, metadata), fh,
+            indent=1, sort_keys=True,
+        )
+        fh.write("\n")
+
+
+def metrics_document(registry, extra: Optional[dict] = None) -> dict:
+    doc = {"schema": METRICS_SCHEMA}
+    if extra:
+        doc.update(extra)
+    doc.update(registry.to_dict())
+    return doc
+
+
+def write_metrics_json(
+    path: str, registry, extra: Optional[dict] = None
+) -> None:
+    with open(path, "w") as fh:
+        json.dump(metrics_document(registry, extra), fh,
+                  indent=1, sort_keys=True)
+        fh.write("\n")

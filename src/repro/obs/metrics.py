@@ -1,0 +1,211 @@
+"""Metrics registry: counters, gauges, histograms.
+
+Every instrumented component (the schedulers, the GPU and CPU
+simulators, the TLS engine, the fault plane bridge) feeds a shared
+:class:`MetricsRegistry` owned by the :class:`Instrumentation` bundle on
+the execution context.  Instruments measure *simulated* quantities —
+bytes, launches, steals, violations, simulated seconds — so a metrics
+dump is deterministic for a given program and seed.
+
+When observability is off the registry is :data:`NULL_METRICS`, whose
+instruments are shared singletons with no-op mutators: the hot paths pay
+one attribute lookup and one call, and no state is retained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Counter:
+    """Monotonically increasing value (counts, bytes, seconds)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (boundaries, thresholds, pool sizes)."""
+
+    __slots__ = ("name", "value", "written")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.written = False
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.written = True
+
+
+class Histogram:
+    """Streaming summary: count / sum / min / max of observations."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram for the disabled path."""
+
+    __slots__ = ()
+    name = ""
+    value = 0.0
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    enabled = True
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(name)
+        return inst
+
+    def to_dict(self) -> dict:
+        """Plain-JSON view, keys sorted for deterministic dumps."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value
+                for name, g in sorted(self._gauges.items())
+                if g.written
+            },
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "sum": h.total,
+                    "min": h.min if h.count else 0.0,
+                    "max": h.max if h.count else 0.0,
+                    "mean": h.mean,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+
+class NullMetricsRegistry:
+    """Disabled metrics: every instrument is the shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def to_dict(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_METRICS = NullMetricsRegistry()
+
+
+def record_resilience(metrics, report) -> None:
+    """Bridge a :class:`~repro.faults.resilience.ResilienceReport` into
+    the metrics registry (fault-plane counters per site)."""
+    if report is None:
+        return
+    metrics.counter("faults.injected").inc(report.faults_seen)
+    metrics.counter("faults.recoveries").inc(report.recoveries)
+    metrics.counter("faults.degradations").inc(report.degradations)
+    metrics.counter("faults.penalty_s").inc(report.penalty_s)
+    for site, n in sorted(report.by_site().items()):
+        metrics.counter(f"faults.injected.{site}").inc(n)
+
+
+@dataclass
+class Instrumentation:
+    """The observability bundle handed to every component.
+
+    ``NULL_INSTRUMENTATION`` (the default everywhere) carries the no-op
+    tracer and registry, so instrumented code needs no ``if`` guards and
+    a disabled run is byte-identical to an uninstrumented one.
+    """
+
+    tracer: object
+    metrics: object
+    enabled: bool = True
+
+    @classmethod
+    def recording(cls) -> "Instrumentation":
+        from .tracer import Tracer
+
+        return cls(tracer=Tracer(), metrics=MetricsRegistry(), enabled=True)
+
+    @classmethod
+    def disabled(cls) -> "Instrumentation":
+        return NULL_INSTRUMENTATION
+
+
+from .tracer import NULL_TRACER  # noqa: E402  (cycle-free tail import)
+
+NULL_INSTRUMENTATION = Instrumentation(
+    tracer=NULL_TRACER, metrics=NULL_METRICS, enabled=False
+)

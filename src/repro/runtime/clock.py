@@ -37,11 +37,19 @@ class Event:
 
 @dataclass
 class Timeline:
-    """Tracks per-lane availability and records scheduled events."""
+    """Tracks per-lane availability and records scheduled events.
+
+    ``makespan`` and ``lane_busy`` are maintained incrementally by
+    :meth:`schedule` (schedulers poll them after every operation, so they
+    must stay O(1)); the recorded ``events`` list remains the source of
+    truth for exporters and for the equivalence tests.
+    """
 
     events: list[Event] = field(default_factory=list)
     _lane_free: dict[str, float] = field(default_factory=dict)
     _next_id: int = 0
+    _makespan: float = 0.0
+    _lane_busy: dict[str, float] = field(default_factory=dict)
 
     def schedule(
         self,
@@ -68,6 +76,14 @@ class Timeline:
         self._next_id += 1
         self._lane_free[lane] = event.end
         self.events.append(event)
+        if event.end > self._makespan:
+            self._makespan = event.end
+        # accumulate event.duration (end - start), not the requested
+        # duration: the two differ at ULP level in float arithmetic, and
+        # the scan oracle sums event durations
+        self._lane_busy[lane] = (
+            self._lane_busy.get(lane, 0.0) + event.duration
+        )
         return event
 
     def barrier(self, lanes: Optional[Iterable[str]] = None) -> float:
@@ -80,11 +96,19 @@ class Timeline:
 
     @property
     def makespan(self) -> float:
-        """End time of the latest event."""
-        return max((e.end for e in self.events), default=0.0)
+        """End time of the latest event (O(1), maintained by schedule)."""
+        return self._makespan
 
     def lane_busy(self, lane: str) -> float:
-        """Total busy time accumulated on a lane."""
+        """Total busy time accumulated on a lane (O(1))."""
+        return self._lane_busy.get(lane, 0.0)
+
+    def scan_makespan(self) -> float:
+        """Makespan by full event scan (the incremental value's oracle)."""
+        return max((e.end for e in self.events), default=0.0)
+
+    def scan_lane_busy(self, lane: str) -> float:
+        """Lane busy time by full event scan (the incremental oracle)."""
         return sum(e.duration for e in self.events if e.lane == lane)
 
     def lane_events(self, lane: str) -> list[Event]:

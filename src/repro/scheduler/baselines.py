@@ -235,6 +235,7 @@ class GpuOnlyExecutor:
                     lookahead_warps=self.ctx.config.tls.lookahead_warps,
                     relaunch_transfer_s=round_trip,
                 ),
+                obs=self.ctx.obs,
             )
             tls = engine.execute(
                 loop.fn, indices, scalar_env, storage,
@@ -273,6 +274,10 @@ class GpuOnlyExecutor:
         out_bytes = self.ctx.faults.charge_transfer(
             SITE_TRANSFER_D2H, cyc(b_out)
         )
+        if out_bytes:
+            m = self.ctx.obs.metrics
+            m.counter("transfer.d2h.bytes").inc(out_bytes)
+            m.counter("transfer.d2h.count").inc()
         tl.schedule(
             LANE_DMA,
             self.ctx.cost.transfer_time(out_bytes, asynchronous=False),
@@ -302,9 +307,14 @@ class GpuOnlyExecutor:
                 b_in += mem.copyin(move.array, arr.shape, arr.dtype, nbytes)
                 alloc = mem.allocations[move.array]
             else:
-                b_in += self.ctx.faults.charge_transfer(
+                refreshed = self.ctx.faults.charge_transfer(
                     SITE_TRANSFER_H2D, nbytes * alloc.stale_fraction
                 )
+                b_in += refreshed
+                if refreshed:
+                    m = self.ctx.obs.metrics
+                    m.counter("transfer.h2d.bytes").inc(refreshed)
+                    m.counter("transfer.h2d.count").inc()
                 alloc.valid = True
             alloc.stale_fraction = 0.0
         for move in loop.data_plan.create + loop.data_plan.copyout:

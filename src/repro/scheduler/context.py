@@ -9,6 +9,8 @@ from ..cpusim.executor import CpuExecutor
 from ..faults.resilience import FaultRuntime
 from ..gpusim.device import GpuDevice
 from ..ir.interpreter import ArrayStorage
+from ..obs.metrics import NULL_INSTRUMENTATION, Instrumentation
+from ..obs.tracer import PHASE_PROFILE
 from ..profiler.report import DEFAULT_DD_THRESHOLD, DependencyProfile
 from ..profiler.trace import profile_loop
 from ..runtime.costmodel import CostModel
@@ -57,6 +59,7 @@ class ExecutionContext:
         platform: Optional[Platform] = None,
         config: Optional[JaponicaConfig] = None,
         faults: Optional[FaultRuntime] = None,
+        obs: Optional[Instrumentation] = None,
     ):
         self.platform = platform or paper_platform()
         self.config = config or JaponicaConfig()
@@ -70,8 +73,15 @@ class ExecutionContext:
         # one FaultRuntime shared by every component so a schedule
         # installed through it is seen everywhere at once
         self.faults = faults or FaultRuntime()
-        self.device = GpuDevice(self.platform.gpu, self.cost, faults=self.faults)
-        self.cpu = CpuExecutor(self.platform.cpu, self.cost, faults=self.faults)
+        # one Instrumentation bundle likewise shared by every component;
+        # the default is the no-op plane (zero overhead, no state)
+        self.obs = obs or NULL_INSTRUMENTATION
+        self.device = GpuDevice(
+            self.platform.gpu, self.cost, faults=self.faults, obs=self.obs
+        )
+        self.cpu = CpuExecutor(
+            self.platform.cpu, self.cost, faults=self.faults, obs=self.obs
+        )
         self.profiles: dict[str, DependencyProfile] = {}
 
     def reset_device(self) -> None:
@@ -95,13 +105,28 @@ class ExecutionContext:
             return self.profiles[loop.id]
         if loop.fn is None:
             raise ValueError(f"loop {loop.id} cannot run on the GPU")
-        run = profile_loop(
-            self.device,
-            loop.fn,
-            indices,
-            scalar_env,
-            storage,
-            max_sample=self.config.profile_sample,
-        )
-        self.profiles[loop.id] = run.profile
-        return run.profile
+        with self.obs.tracer.span(
+            f"profile:{loop.id}", PHASE_PROFILE, loop=loop.id
+        ) as sp:
+            run = profile_loop(
+                self.device,
+                loop.fn,
+                indices,
+                scalar_env,
+                storage,
+                max_sample=self.config.profile_sample,
+            )
+            profile = run.profile
+            sp.annotate(
+                sampled=run.sampled_iterations,
+                td_density=profile.td_density,
+                fd_density=profile.fd_density,
+            )
+            sp.set_sim(0.0, profile.profile_time_s)
+        m = self.obs.metrics
+        m.counter("profile.runs").inc()
+        m.counter("profile.time_s").inc(profile.profile_time_s)
+        m.histogram("profile.td_density").observe(profile.td_density)
+        m.histogram("profile.fd_density").observe(profile.fd_density)
+        self.profiles[loop.id] = profile
+        return profile

@@ -22,6 +22,7 @@ from ..faults.resilience import (
     snapshot_arrays,
 )
 from ..ir.interpreter import ArrayStorage, Counts
+from ..obs.tracer import PHASE_SCHEDULE
 from ..profiler.report import DependencyProfile
 from ..runtime.clock import LANE_CPU, LANE_DMA, LANE_GPU, Timeline
 from ..runtime.result import ExecutionResult
@@ -64,12 +65,31 @@ class TaskSharingScheduler:
         tl = timeline if timeline is not None else Timeline()
         faults = self.ctx.faults
         mark = faults.recorder.mark()
+        obs = self.ctx.obs
 
-        profile, mode = self._plan(loop, indices, scalar_env, storage, tl)
-        coalescing = profile.coalescing if profile else loop.static_coalescing
+        with obs.tracer.span(
+            f"share:{loop.id}", PHASE_SCHEDULE,
+            loop=loop.id, iterations=len(indices),
+        ) as sp:
+            profile, mode = self._plan(loop, indices, scalar_env, storage, tl)
+            coalescing = (
+                profile.coalescing if profile else loop.static_coalescing
+            )
 
-        result, label = self._run_ladder(
-            mode, loop, indices, scalar_env, storage, tl, profile, coalescing
+            result, label = self._run_ladder(
+                mode, loop, indices, scalar_env, storage, tl, profile,
+                coalescing,
+            )
+            sp.annotate(mode=label)
+            sp.set_sim(0.0, result.sim_time_s)
+        m = obs.metrics
+        m.counter("scheduler.sharing.dispatches").inc()
+        m.gauge("scheduler.boundary").set(self.ctx.boundary())
+        m.counter("scheduler.gpu_iterations").inc(
+            result.detail.get("gpu_iterations", 0)
+        )
+        m.counter("scheduler.cpu_iterations").inc(
+            result.detail.get("cpu_iterations", 0)
         )
         result.mode = label
         result.detail["profile"] = profile
@@ -246,9 +266,14 @@ class TaskSharingScheduler:
                 alloc = mem.allocations[move.array]
             else:
                 nbytes = move.nbytes(scalar_env, arr)
-                b_in += faults.charge_transfer(
+                refreshed = faults.charge_transfer(
                     SITE_TRANSFER_H2D, nbytes * alloc.stale_fraction
                 )
+                b_in += refreshed
+                if refreshed:
+                    m = self.ctx.obs.metrics
+                    m.counter("transfer.h2d.bytes").inc(refreshed)
+                    m.counter("transfer.h2d.count").inc()
                 alloc.valid = True
             alloc.stale_fraction = 0.0
         for move in loop.data_plan.create:
@@ -262,6 +287,14 @@ class TaskSharingScheduler:
                 mem.alloc(move.array, arr.shape, arr.dtype)
             b_out += move.nbytes(scalar_env, arr)
         return b_in, b_out
+
+    def _count_d2h(self, nbytes: float) -> None:
+        """Device->host bytes leave through charge_transfer here (not
+        DeviceMemory.copyout), so mirror them into the metrics."""
+        if nbytes:
+            m = self.ctx.obs.metrics
+            m.counter("transfer.d2h.bytes").inc(nbytes)
+            m.counter("transfer.d2h.count").inc()
 
     def _cpu_wrote(self, loop: TranslatedLoop, fraction: float) -> None:
         """The CPU side wrote ``fraction`` of the loop's output arrays:
@@ -331,6 +364,7 @@ class TaskSharingScheduler:
                 out_bytes = self.ctx.faults.charge_transfer(
                     SITE_TRANSFER_D2H, b_out * frac_gpu
                 )
+                self._count_d2h(out_bytes)
                 tl.schedule(
                     LANE_DMA,
                     self.ctx.cost.transfer_time(out_bytes, asynchronous=True),
@@ -366,6 +400,7 @@ class TaskSharingScheduler:
             out_bytes = self.ctx.faults.charge_transfer(
                 SITE_TRANSFER_D2H, b_out * frac_gpu
             )
+            self._count_d2h(out_bytes)
             tl.schedule(
                 LANE_DMA,
                 self.ctx.cost.transfer_time(out_bytes, asynchronous=False),
@@ -417,7 +452,10 @@ class TaskSharingScheduler:
         )
         tl.schedule(LANE_GPU, 0.0, after=[dma_in])
 
-        engine = GpuTlsEngine(self.ctx.device, self.ctx.cpu, self.ctx.config.tls)
+        engine = GpuTlsEngine(
+            self.ctx.device, self.ctx.cpu, self.ctx.config.tls,
+            obs=self.ctx.obs,
+        )
         tls = engine.execute(
             loop.fn,
             indices,
@@ -429,6 +467,7 @@ class TaskSharingScheduler:
             timeline=tl,
         )
         out_bytes = self.ctx.faults.charge_transfer(SITE_TRANSFER_D2H, b_out)
+        self._count_d2h(out_bytes)
         tl.schedule(
             LANE_DMA,
             self.ctx.cost.transfer_time(out_bytes, asynchronous=True),
@@ -547,6 +586,7 @@ class TaskSharingScheduler:
         out_bytes = self.ctx.faults.charge_transfer(
             SITE_TRANSFER_D2H, b_out * frac_gpu
         )
+        self._count_d2h(out_bytes)
         tl.schedule(
             LANE_DMA,
             self.ctx.cost.transfer_time(out_bytes, asynchronous=True),

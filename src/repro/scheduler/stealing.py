@@ -25,9 +25,10 @@ from ..faults.resilience import (
     snapshot_arrays,
 )
 from ..ir.interpreter import ArrayStorage
+from ..obs.tracer import PHASE_SCHEDULE
 from ..pdg.graph import ProgramDependenceGraph
 from ..pdg.toposort import JobPool
-from ..runtime.clock import Timeline
+from ..runtime.clock import LANE_CPU, LANE_GPU, Timeline
 from ..runtime.result import ExecutionResult
 from ..tls.engine import GpuTlsEngine
 from ..translate.translator import TranslatedLoop
@@ -227,10 +228,15 @@ class TaskStealingScheduler:
         if not tasks:
             raise SchedulerError("empty task set")
         mark = self.ctx.faults.recorder.mark()
+        obs = self.ctx.obs
+        sp = obs.tracer.span(
+            "steal", PHASE_SCHEDULE, tasks=len(tasks),
+        )
         pdg = self.build_task_pdg(tasks, storage, scalar_env)
         pool = JobPool(pdg)
         by_id = {t.id: t for t in tasks}
         stats = StealingStats()
+        tl = Timeline()
 
         t_cpu = 0.0
         t_gpu = 0.0
@@ -280,17 +286,32 @@ class TaskStealingScheduler:
                 stats.placements.append(
                     Placement(task.id, worker, start, duration, stolen)
                 )
+                tl.schedule(
+                    LANE_GPU if worker == "gpu" else LANE_CPU,
+                    duration,
+                    not_before=start,
+                    label=task.id + ("*" if stolen else ""),
+                )
 
             # batch barrier
             t_cpu = t_gpu = max(t_cpu, t_gpu) + BATCH_SYNC_OVERHEAD_S
             pool.mark_done(batch_ids)
 
         makespan = max(t_cpu, t_gpu)
+        sp.annotate(batches=stats.batches, steals=stats.steals)
+        sp.set_sim(0.0, makespan)
+        sp.close()
+        m = obs.metrics
+        m.counter("scheduler.stealing.dispatches").inc()
+        m.counter("scheduler.stealing.batches").inc(stats.batches)
+        m.counter("scheduler.stealing.steals").inc(stats.steals)
+        m.counter("scheduler.stealing.tasks").inc(len(stats.placements))
         return ExecutionResult(
             arrays=storage.arrays,
             sim_time_s=makespan,
             counts=total,
             mode="stealing",
+            timeline=tl,
             detail={"stats": stats},
             resilience=(
                 self.ctx.faults.recorder.report(since=mark)
@@ -449,7 +470,10 @@ class TaskStealingScheduler:
         coalescing = profile.coalescing if profile else loop.static_coalescing
 
         if dd == "low":
-            engine = GpuTlsEngine(self.ctx.device, self.ctx.cpu, self.ctx.config.tls)
+            engine = GpuTlsEngine(
+                self.ctx.device, self.ctx.cpu, self.ctx.config.tls,
+                obs=self.ctx.obs,
+            )
             tls = engine.execute(
                 loop.fn, indices, scalar_env, storage,
                 profile=profile, coalescing=coalescing,
@@ -480,6 +504,10 @@ class TaskStealingScheduler:
             SITE_TRANSFER_D2H,
             loop.data_plan.total_out_bytes(scalar_env, storage.arrays) * frac,
         )
+        if out_bytes:
+            m = self.ctx.obs.metrics
+            m.counter("transfer.d2h.bytes").inc(out_bytes)
+            m.counter("transfer.d2h.count").inc()
         time_s += self.ctx.cost.transfer_time(out_bytes, asynchronous=True)
         for move in loop.data_plan.copyout:
             mem.mark_written(move.array)

@@ -24,6 +24,7 @@ from ..faults.resilience import is_recoverable_fault
 from ..gpusim.device import GpuDevice
 from ..ir.instructions import IRFunction
 from ..ir.interpreter import ArrayStorage, Counts
+from ..obs.metrics import NULL_INSTRUMENTATION, Instrumentation
 from ..profiler.report import DependencyProfile
 from ..runtime.clock import LANE_CPU, LANE_GPU, Timeline
 from .buffers import metadata_entries
@@ -86,10 +87,12 @@ class GpuTlsEngine:
         device: GpuDevice,
         cpu: CpuExecutor,
         config: Optional[TlsConfig] = None,
+        obs: Optional[Instrumentation] = None,
     ):
         self.device = device
         self.cpu = cpu
         self.config = config or TlsConfig()
+        self.obs = obs or NULL_INSTRUMENTATION
 
     def execute(
         self,
@@ -246,9 +249,22 @@ class GpuTlsEngine:
             tl.schedule(LANE_GPU, 0.0, not_before=tl.barrier([LANE_CPU]))
             pos += take
 
+        self._record_stats(stats)
         return TlsResult(
             counts=total,
             sim_time_s=tl.makespan,
             stats=stats,
             timeline=tl,
         )
+
+    def _record_stats(self, stats: TlsStats) -> None:
+        m = self.obs.metrics
+        m.counter("tls.runs").inc()
+        m.counter("tls.subloops").inc(stats.subloops)
+        m.counter("tls.violations").inc(stats.violations)
+        m.counter("tls.relaunches").inc(stats.relaunches)
+        m.counter("tls.cpu_handoffs").inc(stats.cpu_handoffs)
+        m.counter("tls.cpu_iterations").inc(stats.cpu_iterations)
+        m.counter("tls.committed_iterations").inc(stats.committed_iterations)
+        m.counter("tls.squashed_iterations").inc(stats.squashed_iterations)
+        m.counter("tls.cells_committed").inc(stats.cells_committed)

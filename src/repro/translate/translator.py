@@ -22,6 +22,8 @@ from ..ir.lower import lower_loop_body
 from ..lang import ast_nodes as A
 from ..lang.annotations import Annotation
 from ..lang.parser import parse_program
+from ..obs.metrics import NULL_INSTRUMENTATION, Instrumentation
+from ..obs.tracer import PHASE_ANALYZE, PHASE_PARSE, PHASE_TRANSLATE
 from .codegen_cuda import generate_cuda_kernel
 from .codegen_java import generate_java_threads
 from .datamove import DataPlan, build_data_plan
@@ -97,11 +99,21 @@ class TranslationUnit:
 class Translator:
     """Static analysis + lowering + code generation for a source class."""
 
-    def __init__(self, cpu_threads: int = 16):
+    def __init__(
+        self,
+        cpu_threads: int = 16,
+        obs: Optional[Instrumentation] = None,
+    ):
         self.cpu_threads = cpu_threads
+        self.obs = obs or NULL_INSTRUMENTATION
 
     def translate_source(self, source: str) -> TranslationUnit:
-        return self.translate(parse_program(source))
+        with self.obs.tracer.span(
+            "parse", PHASE_PARSE, chars=len(source)
+        ) as sp:
+            cls = parse_program(source)
+            sp.annotate(cls=cls.name, methods=len(cls.methods))
+        return self.translate(cls)
 
     def translate(self, cls: A.ClassDecl) -> TranslationUnit:
         unit = TranslationUnit(cls)
@@ -113,13 +125,37 @@ class Translator:
                 mt.loops.append(self._translate_loop(method, loop, ordinal))
             if mt.loops:
                 unit.methods[method.name] = mt
+        self.obs.metrics.counter("translate.loops").inc(len(unit.all_loops))
         return unit
 
     def _translate_loop(
         self, method: A.Method, loop: A.For, ordinal: int
     ) -> TranslatedLoop:
-        analysis = analyze_loop(method, loop)
         loop_id = f"{method.name}#{ordinal}"
+        with self.obs.tracer.span(
+            f"analyze:{loop_id}", PHASE_ANALYZE, loop=loop_id
+        ) as sp:
+            analysis = analyze_loop(method, loop)
+            sp.annotate(
+                status=analysis.status.name,
+                accesses=len(analysis.accesses),
+            )
+        with self.obs.tracer.span(
+            f"translate:{loop_id}", PHASE_TRANSLATE, loop=loop_id
+        ) as tr_span:
+            return self._lower_and_generate(
+                method, loop, ordinal, loop_id, analysis, tr_span
+            )
+
+    def _lower_and_generate(
+        self,
+        method: A.Method,
+        loop: A.For,
+        ordinal: int,
+        loop_id: str,
+        analysis: LoopAnalysis,
+        tr_span,
+    ) -> TranslatedLoop:
         self._validate_private_clause(loop_id, loop.annotation, analysis)
         plan = build_data_plan(loop.annotation, analysis)
 
@@ -147,6 +183,11 @@ class Translator:
         )
         java = generate_java_threads(loop_id, analysis, self.cpu_threads)
 
+        tr_span.annotate(
+            cpu_only=fn is None,
+            cuda_lines=cuda.count("\n"),
+            java_lines=java.count("\n"),
+        )
         return TranslatedLoop(
             id=loop_id,
             method=method.name,

@@ -66,7 +66,7 @@ class Workload:
             raise WorkloadError(f"{self.name}: no input generator")
         return self.make_inputs(n=n, seed=seed, **overrides)
 
-    def make_context(self, paper_scale: bool = True):
+    def make_context(self, paper_scale: bool = True, obs=None):
         """Execution context with this workload's calibration applied."""
         from dataclasses import replace
 
@@ -84,7 +84,7 @@ class Workload:
             config.byte_scale = self.byte_scale
             config.iter_scale = self.iter_scale
             config.link_scale = self.link_scale
-        return ExecutionContext(platform, config)
+        return ExecutionContext(platform, config, obs=obs)
 
     def run(
         self,

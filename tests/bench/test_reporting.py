@@ -87,6 +87,26 @@ class TestRendering:
         text = render_sweep([SweepPoint("1024", 10.0, 5.0)])
         assert "2.00x" in text
 
+    def test_render_sweep_zero_stealing_time(self):
+        # regression: a degenerate 0 ms stealing point must not divide
+        text = render_sweep([SweepPoint("1024", 10.0, 0.0)])
+        assert "inf" in text
+
+    def test_render_sweep_both_zero(self):
+        text = render_sweep([SweepPoint("1024", 0.0, 0.0)])
+        assert "n/a" in text
+
+    def test_render_phases(self):
+        from repro.bench.harness import PhaseRow
+        from repro.bench.reporting import render_phases
+
+        rows = [
+            PhaseRow("japonica:run#0", "A", 1.5, 10.0, 3.0, 2.0, 12.0),
+        ]
+        text = render_phases(rows)
+        assert "japonica:run#0" in text
+        assert "10.000" in text and "12.000" in text
+
     def test_render_headline(self):
         text = render_headline(Headline(9.0, 2.0, 2.5))
         assert "9.00x" in text and "10.00x" in text

@@ -84,6 +84,19 @@ class TestErrors:
         with pytest.raises(AnnotationError):
             parse("acc")
 
+    def test_acc_glued_to_directive_rejected(self):
+        # 'accparallel' must not parse as 'acc' + 'parallel'
+        with pytest.raises(AnnotationError):
+            parse("accparallel")
+
+    def test_acc_glued_to_known_clause_rejected(self):
+        with pytest.raises(AnnotationError):
+            parse("acccopyin(a)")
+
+    def test_acc_followed_by_tab_accepted(self):
+        ann = parse("acc\tparallel")
+        assert ann.parallel
+
     def test_unknown_clause(self):
         with pytest.raises(AnnotationError):
             parse("acc parallel gather(a)")

@@ -153,6 +153,15 @@ class TestComments:
         toks = tokenize("/* uses acc parallel */ x")
         assert toks[0].kind is TokKind.IDENT
 
+    def test_acc_prefix_word_is_plain_comment(self):
+        # 'accparallel' is not the 'acc' sentinel word
+        toks = tokenize("/* accparallel */ x")
+        assert toks[0].kind is TokKind.IDENT
+
+    def test_acc_followed_by_tab_is_annotation(self):
+        toks = tokenize("/* acc\tparallel */ for")
+        assert toks[0].kind is TokKind.ANNOTATION
+
     def test_unterminated_block_comment(self):
         with pytest.raises(LexError):
             tokenize("/* never closed")

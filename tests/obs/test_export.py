@@ -1,0 +1,130 @@
+"""Exporter unit tests: Chrome trace events and metrics documents."""
+
+import json
+
+from repro.obs.export import (
+    METRICS_SCHEMA,
+    TRACE_SCHEMA,
+    chrome_trace,
+    metrics_document,
+    span_events,
+    timeline_events,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.runtime.clock import LANE_CPU, LANE_DMA, LANE_GPU, Timeline
+
+
+def _sample_tracer():
+    tr = Tracer()
+    with tr.span("parse", "parse"):
+        pass
+    with tr.span("dispatch:run#0", "execute", strategy="japonica") as sp:
+        sp.set_sim(0.0, 0.25)
+    tr.span("left-open")
+    return tr
+
+
+def _sample_timeline():
+    tl = Timeline()
+    dma = tl.schedule(LANE_DMA, 1.0, label="h2d")
+    tl.schedule(LANE_GPU, 2.0, after=[dma], label="kernel")
+    tl.schedule(LANE_CPU, 0.5, label="cpu-chunk")
+    return tl
+
+
+class TestSpanEvents:
+    def test_complete_events_on_tick_clock(self):
+        events = span_events(_sample_tracer().spans)
+        assert [e["name"] for e in events] == ["parse", "dispatch:run#0"]
+        for e in events:
+            assert e["ph"] == "X"
+            assert e["pid"] == 1
+            assert e["dur"] == e["dur"]  # present
+        assert events[0]["ts"] < events[1]["ts"]
+
+    def test_open_spans_skipped(self):
+        events = span_events(_sample_tracer().spans)
+        assert all(e["name"] != "left-open" for e in events)
+
+    def test_sim_interval_in_args(self):
+        events = span_events(_sample_tracer().spans)
+        args = events[1]["args"]
+        assert args["sim_start_ms"] == 0.0
+        assert args["sim_end_ms"] == 250.0
+        assert args["sim_dur_ms"] == 250.0
+        assert args["strategy"] == "japonica"
+
+
+class TestTimelineEvents:
+    def test_lane_threads_and_microseconds(self):
+        events = timeline_events(_sample_timeline(), pid=2)
+        metas = [e for e in events if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in metas} == {"cpu", "dma", "gpu"}
+        xs = [e for e in events if e["ph"] == "X"]
+        kernel = next(e for e in xs if e["name"] == "kernel")
+        assert kernel["ts"] == 1e6  # starts when the transfer ends
+        assert kernel["dur"] == 2e6
+        assert all(e["pid"] == 2 for e in events)
+
+    def test_lane_tids_deterministic(self):
+        a = timeline_events(_sample_timeline(), pid=2)
+        b = timeline_events(_sample_timeline(), pid=2)
+        assert a == b
+
+
+class TestChromeTrace:
+    def test_document_layout(self):
+        doc = chrome_trace(
+            _sample_tracer().spans,
+            [("japonica:run#0", _sample_timeline())],
+            metadata={"workload": "VectorAdd"},
+        )
+        assert doc["otherData"]["schema"] == TRACE_SCHEMA
+        assert doc["otherData"]["workload"] == "VectorAdd"
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert pids == {1, 2}  # pipeline + one timeline process
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names == {"pipeline", "japonica:run#0"}
+
+    def test_multiple_timelines_get_distinct_pids(self):
+        doc = chrome_trace(
+            (), [("a", _sample_timeline()), ("b", _sample_timeline())]
+        )
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert pids == {1, 2, 3}
+
+    def test_written_file_is_stable_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(
+            str(path), _sample_tracer().spans,
+            [("t", _sample_timeline())],
+        )
+        first = path.read_bytes()
+        write_chrome_trace(
+            str(path), _sample_tracer().spans,
+            [("t", _sample_timeline())],
+        )
+        assert path.read_bytes() == first
+        json.loads(first)  # valid JSON
+
+
+class TestMetricsDocument:
+    def test_document_and_file(self, tmp_path):
+        m = MetricsRegistry()
+        m.counter("gpu.launches").inc(3)
+        m.gauge("scheduler.boundary").set(0.75)
+        doc = metrics_document(m, extra={"workload": "X"})
+        assert doc["schema"] == METRICS_SCHEMA
+        assert doc["workload"] == "X"
+        assert doc["counters"]["gpu.launches"] == 3.0
+        path = tmp_path / "metrics.json"
+        write_metrics_json(str(path), m)
+        loaded = json.loads(path.read_text())
+        assert loaded["gauges"]["scheduler.boundary"] == 0.75

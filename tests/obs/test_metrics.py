@@ -1,0 +1,129 @@
+"""Metrics registry unit tests: instruments, dumps, the null path."""
+
+from repro.obs.metrics import (
+    Instrumentation,
+    MetricsRegistry,
+    NULL_INSTRUMENTATION,
+    NULL_METRICS,
+    record_resilience,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        m = MetricsRegistry()
+        m.counter("x").inc()
+        m.counter("x").inc(2.5)
+        assert m.counter("x").value == 3.5
+
+    def test_counter_identity_per_name(self):
+        m = MetricsRegistry()
+        assert m.counter("a") is m.counter("a")
+        assert m.counter("a") is not m.counter("b")
+
+    def test_gauge_keeps_last_value(self):
+        m = MetricsRegistry()
+        g = m.gauge("boundary")
+        g.set(0.3)
+        g.set(0.9)
+        assert g.value == 0.9
+        assert g.written
+
+    def test_histogram_summary(self):
+        m = MetricsRegistry()
+        h = m.histogram("div")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.min == 1.0 and h.max == 3.0
+        assert h.mean == 2.0
+
+
+class TestToDict:
+    def test_sorted_and_complete(self):
+        m = MetricsRegistry()
+        m.counter("b").inc()
+        m.counter("a").inc(2)
+        m.gauge("g").set(1.5)
+        m.histogram("h").observe(4.0)
+        d = m.to_dict()
+        assert list(d["counters"]) == ["a", "b"]
+        assert d["gauges"] == {"g": 1.5}
+        assert d["histograms"]["h"]["count"] == 1
+        assert d["histograms"]["h"]["mean"] == 4.0
+
+    def test_unwritten_gauge_omitted(self):
+        m = MetricsRegistry()
+        m.gauge("silent")
+        assert m.to_dict()["gauges"] == {}
+
+    def test_empty_histogram_bounds_are_zero(self):
+        m = MetricsRegistry()
+        m.histogram("h")
+        d = m.to_dict()["histograms"]["h"]
+        assert d["min"] == 0.0 and d["max"] == 0.0 and d["count"] == 0
+
+
+class TestNullRegistry:
+    def test_null_instruments_shared_and_inert(self):
+        c = NULL_METRICS.counter("x")
+        assert c is NULL_METRICS.counter("y")
+        assert c is NULL_METRICS.gauge("z")
+        assert c is NULL_METRICS.histogram("w")
+        c.inc(100)
+        c.set(5)
+        c.observe(7)
+        assert c.value == 0.0
+        assert NULL_METRICS.to_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_null_instrumentation_is_disabled_singleton(self):
+        assert not NULL_INSTRUMENTATION.enabled
+        assert Instrumentation.disabled() is NULL_INSTRUMENTATION
+
+    def test_recording_instrumentation_is_fresh(self):
+        a = Instrumentation.recording()
+        b = Instrumentation.recording()
+        assert a.enabled and b.enabled
+        assert a.metrics is not b.metrics
+        assert a.tracer is not b.tracer
+
+
+class TestResilienceBridge:
+    def test_report_counters(self):
+        from repro.faults.resilience import (
+            KIND_DEGRADE,
+            KIND_FAULT,
+            KIND_RECOVERY,
+            RecoveryEvent,
+            ResilienceReport,
+        )
+
+        report = ResilienceReport(
+            events=[
+                RecoveryEvent(kind=KIND_FAULT, site="gpu.launch", action=""),
+                RecoveryEvent(
+                    kind=KIND_RECOVERY, site="gpu.launch",
+                    action="relaunch", penalty_s=0.25,
+                ),
+                RecoveryEvent(
+                    kind=KIND_DEGRADE, site="cpu.worker",
+                    action="cpu-mt->cpu-seq",
+                ),
+            ]
+        )
+        m = MetricsRegistry()
+        record_resilience(m, report)
+        d = m.to_dict()["counters"]
+        assert d["faults.injected"] == 1.0
+        assert d["faults.recoveries"] == 1.0
+        assert d["faults.degradations"] == 1.0
+        assert d["faults.penalty_s"] == 0.25
+        assert d["faults.injected.gpu.launch"] == 1.0
+
+    def test_none_report_is_noop(self):
+        m = MetricsRegistry()
+        record_resilience(m, None)
+        assert m.to_dict()["counters"] == {}

@@ -1,0 +1,104 @@
+"""Tracer unit tests: spans, nesting, the logical clock, the null path."""
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    PHASE_PARSE,
+    PHASE_SCHEDULE,
+    Tracer,
+)
+
+
+class TestSpans:
+    def test_span_records_name_and_category(self):
+        tr = Tracer()
+        with tr.span("parse", PHASE_PARSE):
+            pass
+        (sp,) = tr.spans
+        assert sp.name == "parse"
+        assert sp.category == PHASE_PARSE
+        assert not sp.open
+
+    def test_category_defaults_to_name(self):
+        tr = Tracer()
+        with tr.span("thing"):
+            pass
+        assert tr.spans[0].category == "thing"
+
+    def test_ticks_are_monotone(self):
+        tr = Tracer()
+        with tr.span("a"):
+            pass
+        with tr.span("b"):
+            pass
+        a, b = tr.spans
+        assert a.tick_start < a.tick_end < b.tick_start < b.tick_end
+
+    def test_nesting_sets_parent(self):
+        tr = Tracer()
+        with tr.span("outer") as outer:
+            with tr.span("inner"):
+                pass
+        outer_sp, inner_sp = tr.spans
+        assert outer_sp.parent_id is None
+        assert inner_sp.parent_id == outer_sp.id
+
+    def test_annotate_and_attrs(self):
+        tr = Tracer()
+        with tr.span("s", PHASE_SCHEDULE, loop="run#0") as sp:
+            sp.annotate(mode="A", iterations=64)
+        assert tr.spans[0].attrs == {
+            "loop": "run#0", "mode": "A", "iterations": 64,
+        }
+
+    def test_set_sim_interval(self):
+        tr = Tracer()
+        with tr.span("s") as sp:
+            sp.set_sim(0.0, 1.5)
+        assert tr.spans[0].sim_start_s == 0.0
+        assert tr.spans[0].sim_end_s == 1.5
+
+    def test_explicit_close(self):
+        tr = Tracer()
+        sp = tr.span("s")
+        assert tr.spans[0].open
+        sp.close()
+        assert not tr.spans[0].open
+        sp.close()  # idempotent
+        assert len(tr.finished_spans()) == 1
+
+    def test_exception_still_closes_span(self):
+        tr = Tracer()
+        try:
+            with tr.span("dies"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert not tr.spans[0].open
+
+    def test_out_of_order_close_tolerated(self):
+        tr = Tracer()
+        outer = tr.span("outer")
+        inner = tr.span("inner")
+        outer.close()  # closes before its child
+        inner.close()
+        assert all(not s.open for s in tr.spans)
+
+    def test_finished_excludes_open(self):
+        tr = Tracer()
+        tr.span("open-span")
+        with tr.span("done"):
+            pass
+        assert [s.name for s in tr.finished_spans()] == ["done"]
+
+
+class TestNullTracer:
+    def test_null_span_is_shared_and_inert(self):
+        a = NULL_TRACER.span("x")
+        b = NULL_TRACER.span("y", PHASE_PARSE, k=1)
+        assert a is b  # one shared handle, zero allocation
+        with a as handle:
+            handle.annotate(anything=1)
+            handle.set_sim(0.0, 1.0)
+        a.close()
+        assert NULL_TRACER.finished_spans() == ()
+        assert not NULL_TRACER.enabled

@@ -1,0 +1,109 @@
+"""Hypothesis property tests of Timeline invariants.
+
+The Timeline is the repository's single source of simulated time, so its
+invariants are load-bearing for every scheduler result:
+
+* events on one lane never overlap (a lane is one serial resource);
+* event ids are monotone in scheduling order;
+* the incrementally maintained ``makespan``/``lane_busy`` agree with a
+  full event scan (the O(1) fast path vs its oracle);
+* ``barrier`` over any lane subset equals the latest end time recorded
+  on those lanes.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.clock import LANE_CPU, LANE_DMA, LANE_GPU, Timeline
+
+LANES = (LANE_GPU, LANE_DMA, LANE_CPU)
+
+#: One scheduling operation: (lane, duration, not_before, depend-on-last).
+ops = st.tuples(
+    st.sampled_from(LANES),
+    st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+    st.booleans(),
+)
+
+
+def replay(op_list):
+    """Apply an op list; returns the timeline."""
+    tl = Timeline()
+    last = None
+    for lane, duration, not_before, after_last in op_list:
+        deps = [last] if (after_last and last is not None) else []
+        last = tl.schedule(
+            lane, duration, after=deps, not_before=not_before
+        )
+    return tl
+
+
+@given(st.lists(ops, max_size=40))
+@settings(max_examples=200)
+def test_per_lane_events_never_overlap(op_list):
+    tl = replay(op_list)
+    for lane in LANES:
+        events = tl.lane_events(lane)
+        for prev, cur in zip(events, events[1:]):
+            assert prev.end <= cur.start
+
+
+@given(st.lists(ops, max_size=40))
+def test_event_ids_monotone(op_list):
+    tl = replay(op_list)
+    ids = [e.id for e in tl.events]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == len(ids)
+
+
+@given(st.lists(ops, max_size=40))
+@settings(max_examples=200)
+def test_incremental_makespan_matches_scan(op_list):
+    tl = replay(op_list)
+    assert tl.makespan == tl.scan_makespan()
+
+
+@given(st.lists(ops, max_size=40))
+@settings(max_examples=200)
+def test_incremental_lane_busy_matches_scan(op_list):
+    tl = replay(op_list)
+    for lane in LANES:
+        assert tl.lane_busy(lane) == tl.scan_lane_busy(lane)
+
+
+@given(st.lists(ops, max_size=40))
+def test_makespan_is_max_event_end(op_list):
+    tl = replay(op_list)
+    if tl.events:
+        assert tl.makespan == max(e.end for e in tl.events)
+    else:
+        assert tl.makespan == 0.0
+
+
+@given(st.lists(ops, max_size=40), st.sets(st.sampled_from(LANES)))
+def test_barrier_agrees_with_lane_free_times(op_list, subset):
+    tl = replay(op_list)
+
+    def lane_free(lane):
+        events = tl.lane_events(lane)
+        return events[-1].end if events else 0.0
+
+    assert tl.barrier(subset) == max(
+        (lane_free(lane) for lane in subset), default=0.0
+    )
+    assert tl.barrier() == max(
+        (lane_free(lane) for lane in LANES), default=0.0
+    )
+
+
+@given(st.lists(ops, max_size=40))
+def test_makespan_never_decreases(op_list):
+    tl = Timeline()
+    last = None
+    prev_makespan = 0.0
+    for lane, duration, not_before, after_last in op_list:
+        deps = [last] if (after_last and last is not None) else []
+        last = tl.schedule(lane, duration, after=deps, not_before=not_before)
+        assert tl.makespan >= prev_makespan
+        assert tl.makespan >= last.end - 1e-12
+        prev_makespan = tl.makespan
