@@ -1,0 +1,216 @@
+"""Host-performance harness: wall-clock of the host-side pipeline.
+
+Measures the two things the host-performance plane optimizes and writes
+them to ``BENCH_HOSTPERF.json`` so the perf trajectory has data:
+
+1. **profiling-phase speedup** — wall-clock of ``profile_loop`` over a
+   large straight-line kernel (VectorAdd-shaped, default 256Ki
+   iterations, full-window sample) through the columnar/vectorized fast
+   path vs. the scalar SE interpreter oracle;
+2. **cold vs. warm artifact cache** — wall-clock of compile and run for
+   a runtime-profiling workload with a shared on-disk cache: the warm
+   pass must hit the cache for both the translation unit and the
+   dependency profile.
+
+Run standalone (the CI ``perf-smoke`` job uses ``--n 32768``)::
+
+    PYTHONPATH=src python benchmarks/bench_host_perf.py \
+        --out BENCH_HOSTPERF.json
+
+``--check BASELINE`` compares the measured warm-cache wall-clock against
+a committed baseline and exits nonzero on a >``--tolerance``x
+regression, normalized by the cold-run ratio so a slower CI machine does
+not trip the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+SCHEMA = "repro.hostperf/v1"
+
+VECADD_SRC = """
+class Vec {
+  static void run(double[] a, double[] b, double[] c, int n) {
+    /* acc parallel copyin(a[0:n-1], b[0:n-1]) copyout(c[0:n-1]) */
+    for (int i = 0; i < n; i++) {
+      c[i] = a[i] * 2.0 + b[i];
+    }
+  }
+}
+"""
+
+CACHE_WORKLOAD = "Guass-Seidel"  # DOACROSS: profiles at runtime
+
+
+def measure_profiling(n: int) -> dict:
+    """Profile a straight-line kernel through both paths; wall-clock each."""
+    import numpy as np
+
+    from repro.api import Japonica
+    from repro.ir.interpreter import ArrayStorage
+    from repro.profiler.trace import profile_loop
+    from repro.scheduler.context import ExecutionContext
+
+    program = Japonica().compile(VECADD_SRC)
+    fn = program.unit.methods["run"].loops[0].fn
+    rng = np.random.default_rng(42)
+
+    def storage():
+        return ArrayStorage({
+            "a": rng.standard_normal(n),
+            "b": rng.standard_normal(n),
+            "c": np.zeros(n),
+        })
+
+    env = {"n": n}
+    out = {}
+    for label, columnar in (("columnar", True), ("scalar", False)):
+        ctx = ExecutionContext()
+        ctx.device.columnar_profiling = columnar
+        stg = storage()
+        t0 = time.perf_counter()
+        run = profile_loop(
+            ctx.device, fn, range(n), env, stg, max_sample=n
+        )
+        out[f"{label}_s"] = time.perf_counter() - t0
+        out[f"{label}_profile_time_s"] = run.profile.profile_time_s
+    out["speedup"] = out["scalar_s"] / out["columnar_s"]
+    return out
+
+
+def _timed_pass(workload, cache_dir: str) -> dict:
+    """One compile+run pass against the shared on-disk artifact cache."""
+    from repro.api import Japonica
+    from repro.cache import ArtifactCache
+
+    cache = ArtifactCache(cache_dir=cache_dir)
+    japonica = Japonica(cache=cache)
+    t0 = time.perf_counter()
+    program = japonica.compile(workload.source)
+    compile_s = time.perf_counter() - t0
+
+    ctx = workload.make_context(cache=cache)
+    binds = workload.bindings()
+    t0 = time.perf_counter()
+    result = program.run(workload.method, strategy="japonica", context=ctx,
+                         **binds)
+    run_s = time.perf_counter() - t0
+    return {
+        "compile_s": compile_s,
+        "run_s": run_s,
+        "total_s": compile_s + run_s,
+        "sim_time_s": result.sim_time_s,
+        "cache_hits": cache.hits,
+        "cache_misses": cache.misses,
+    }
+
+
+def measure_cache() -> dict:
+    """Cold then warm pipeline pass sharing one on-disk cache."""
+    from repro.workloads import get
+
+    workload = get(CACHE_WORKLOAD)
+    with tempfile.TemporaryDirectory() as d:
+        cold = _timed_pass(workload, d)
+        warm = _timed_pass(workload, d)  # fresh cache object, same dir
+    return {"workload": CACHE_WORKLOAD, "cold": cold, "warm": warm}
+
+
+def check_against(report: dict, baseline_path: str, tolerance: float) -> int:
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    base_cold = baseline["cache"]["cold"]["total_s"]
+    base_warm = baseline["cache"]["warm"]["total_s"]
+    cold = report["cache"]["cold"]["total_s"]
+    warm = report["cache"]["warm"]["total_s"]
+    # normalize by the cold-pass ratio: a uniformly slower machine scales
+    # both passes, only a warm-specific regression should trip the gate
+    machine = cold / base_cold if base_cold > 0 else 1.0
+    allowed = base_warm * tolerance * machine
+    print(f"warm-cache check: measured {warm:.3f}s, "
+          f"allowed {allowed:.3f}s "
+          f"(baseline {base_warm:.3f}s x {tolerance:g} "
+          f"x machine ratio {machine:.2f})")
+    if warm > allowed:
+        print("FAIL: warm-cache wall-clock regressed", file=sys.stderr)
+        return 1
+    warm_hits = report["cache"]["warm"]["cache_hits"]
+    if warm_hits < 2:
+        print(f"FAIL: warm pass hit the cache only {warm_hits} times "
+              f"(expected unit + profile)", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=256 * 1024,
+                        help="iterations of the straight-line profiling "
+                             "kernel (default 256Ki)")
+    parser.add_argument("--out", default="BENCH_HOSTPERF.json",
+                        help="output JSON path")
+    parser.add_argument("--check", metavar="BASELINE", default=None,
+                        help="compare against a baseline JSON and fail on "
+                             "a warm-cache regression")
+    parser.add_argument("--tolerance", type=float, default=2.0,
+                        help="allowed warm-cache slowdown vs baseline")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless the columnar profiling speedup "
+                             "reaches this factor (default: 5 when n is "
+                             "the full 256Ki size, off otherwise)")
+    args = parser.parse_args(argv)
+
+    print(f"profiling phase: straight-line kernel, n={args.n} ...")
+    profiling = measure_profiling(args.n)
+    print(f"  scalar   {profiling['scalar_s']:8.3f}s")
+    print(f"  columnar {profiling['columnar_s']:8.3f}s")
+    print(f"  speedup  {profiling['speedup']:8.1f}x")
+
+    print(f"artifact cache: {CACHE_WORKLOAD} cold vs warm ...")
+    cache = measure_cache()
+    for label in ("cold", "warm"):
+        row = cache[label]
+        print(f"  {label:4s} compile {row['compile_s']:6.3f}s  "
+              f"run {row['run_s']:6.3f}s  "
+              f"cache {row['cache_hits']} hits / "
+              f"{row['cache_misses']} misses")
+
+    report = {
+        "schema": SCHEMA,
+        "n": args.n,
+        "profiling": profiling,
+        "cache": cache,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"report written to {args.out}")
+
+    min_speedup = args.min_speedup
+    if min_speedup is None and args.n >= 256 * 1024:
+        min_speedup = 5.0
+    if min_speedup is not None and profiling["speedup"] < min_speedup:
+        print(f"FAIL: profiling speedup {profiling['speedup']:.1f}x "
+              f"< required {min_speedup:g}x", file=sys.stderr)
+        return 1
+    if cache["warm"]["cache_misses"] != 0:
+        print("FAIL: warm pass missed the cache", file=sys.stderr)
+        return 1
+    if args.check:
+        return check_against(report, args.check, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,6 +38,7 @@ from typing import Optional
 
 import numpy as np
 
+from .cache.artifacts import ArtifactCache, unit_key
 from .errors import JaponicaError
 from .faults.resilience import ResilienceReport
 from .faults.schedule import FaultSchedule
@@ -117,11 +118,13 @@ class CompiledProgram:
         platform: Optional[Platform] = None,
         config: Optional[JaponicaConfig] = None,
         obs: Optional[Instrumentation] = None,
+        cache: Optional[ArtifactCache] = None,
     ):
         self.unit = unit
         self.platform = platform
         self.config = config
         self.obs = obs or NULL_INSTRUMENTATION
+        self.cache = cache
 
     # -- introspection ----------------------------------------------------
 
@@ -183,7 +186,7 @@ class CompiledProgram:
         decl = mt.method
         storage, scalars = self._bind(decl, bindings)
         ctx = context or ExecutionContext(
-            self.platform, self.config, obs=self.obs
+            self.platform, self.config, obs=self.obs, cache=self.cache
         )
         ctx.reset_device()
         if faults is not None:
@@ -328,21 +331,41 @@ class Japonica:
         config: Optional[JaponicaConfig] = None,
         cpu_threads: int = 16,
         obs: Optional[Instrumentation] = None,
+        cache: Optional[ArtifactCache] = None,
     ):
         self.platform = platform
         self.config = config
         self.obs = obs or NULL_INSTRUMENTATION
+        self.cache = cache
+        self._cpu_threads = cpu_threads
         self.translator = Translator(cpu_threads=cpu_threads, obs=self.obs)
 
     def compile(self, source: str) -> CompiledProgram:
-        """Translate annotated Java source into a runnable program."""
-        unit = self.translator.translate_source(source)
+        """Translate annotated Java source into a runnable program.
+
+        With a ``cache``, the parse→analyze→translate result is memoized
+        by source content: an unchanged source skips the front end
+        entirely on the second compile.
+        """
+        unit = None
+        key = None
+        if self.cache is not None:
+            key = unit_key(source, self._cpu_threads)
+            unit = self.cache.get(key, "unit", obs=self.obs)
+        if unit is None:
+            unit = self.translator.translate_source(source)
+            if key is not None:
+                self.cache.put(key, unit)
         if not unit.methods:
             raise JaponicaError("no annotated loops found in the source")
-        return CompiledProgram(unit, self.platform, self.config, obs=self.obs)
+        return CompiledProgram(
+            unit, self.platform, self.config, obs=self.obs, cache=self.cache
+        )
 
     def compile_class(self, cls: ClassDecl) -> CompiledProgram:
         unit = self.translator.translate(cls)
         if not unit.methods:
             raise JaponicaError("no annotated loops found in the class")
-        return CompiledProgram(unit, self.platform, self.config, obs=self.obs)
+        return CompiledProgram(
+            unit, self.platform, self.config, obs=self.obs, cache=self.cache
+        )

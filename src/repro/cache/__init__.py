@@ -1,0 +1,5 @@
+"""Content-keyed compile/profile artifact cache (see :mod:`artifacts`)."""
+
+from .artifacts import CACHE_SCHEMA, ArtifactCache, profile_key, unit_key
+
+__all__ = ["ArtifactCache", "CACHE_SCHEMA", "profile_key", "unit_key"]

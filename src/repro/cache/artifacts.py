@@ -1,0 +1,183 @@
+"""Content-keyed artifact cache for compile and profile results.
+
+The pipeline's two expensive host-side phases — parse→analyze→translate
+and dependency profiling — are pure functions of their inputs, so their
+outputs memoize by content:
+
+* **translation units** key on ``(schema, cpu_threads, source sha256)``;
+* **dependency profiles** key on ``(schema, kernel fingerprint, warp
+  size, platform signature, sampled indices, scalar env, array contents)``
+  — array *contents* matter because irregular kernels (BFS, CFD) compute
+  addresses from loaded values.
+
+Two layers: an in-process LRU (always on) and an optional on-disk pickle
+layer (``cache_dir``) that survives across processes — the TornadoVM
+lesson that persisted compile/profile artifacts are what make a
+managed-runtime GPU pipeline production-viable.  Lookups report
+``cache.hit`` / ``cache.miss`` counters through the observability plane
+when an :class:`Instrumentation` is supplied.
+
+Correctness notes: profile lookups must be *bypassed* while fault
+injection is on (profiling launches consume fault-schedule probes — the
+caller guards this); memory-layer hits return a deep copy so one run's
+consumer can never mutate another run's artifact; disk entries that fail
+to read or unpickle are treated as misses.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from typing import Optional, Sequence
+
+import numpy as np
+
+#: Bump to invalidate every previously persisted artifact.
+CACHE_SCHEMA = 1
+
+
+class ArtifactCache:
+    """Two-layer (memory + optional disk) content-keyed artifact store."""
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        max_memory_entries: int = 256,
+        enabled: bool = True,
+    ):
+        self.cache_dir = cache_dir
+        self.max_memory_entries = max_memory_entries
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self._mem: OrderedDict[str, object] = OrderedDict()
+        if cache_dir is not None:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    # -- generic get/put --------------------------------------------------
+
+    def get(self, key: str, kind: str, obs=None, copy_value: bool = False):
+        """Look up ``key``; returns the artifact or None.
+
+        ``kind`` labels the metrics (``cache.hit.profile`` etc.).  With
+        ``copy_value`` a memory-layer hit returns a deep copy (disk hits
+        are fresh unpickles already).
+        """
+        if not self.enabled:
+            return None
+        value = self._mem.get(key)
+        if value is not None:
+            self._mem.move_to_end(key)
+            self._record(True, kind, obs)
+            return copy.deepcopy(value) if copy_value else value
+        value = self._disk_get(key)
+        if value is not None:
+            self._mem_put(key, value)
+            self._record(True, kind, obs)
+            return value
+        self._record(False, kind, obs)
+        return None
+
+    def put(self, key: str, value: object) -> None:
+        if not self.enabled:
+            return
+        self._mem_put(key, value)
+        self._disk_put(key, value)
+
+    def _record(self, hit: bool, kind: str, obs) -> None:
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        if obs is not None:
+            word = "hit" if hit else "miss"
+            obs.metrics.counter(f"cache.{word}").inc()
+            obs.metrics.counter(f"cache.{word}.{kind}").inc()
+
+    # -- layers -----------------------------------------------------------
+
+    def _mem_put(self, key: str, value: object) -> None:
+        self._mem[key] = value
+        self._mem.move_to_end(key)
+        while len(self._mem) > self.max_memory_entries:
+            self._mem.popitem(last=False)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"{key}.pkl")
+
+    def _disk_get(self, key: str):
+        if self.cache_dir is None:
+            return None
+        try:
+            with open(self._path(key), "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None  # missing or corrupt entry: a miss, never an error
+
+    def _disk_put(self, key: str, value: object) -> None:
+        if self.cache_dir is None:
+            return
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self._path(key))  # atomic publish
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except (OSError, pickle.PicklingError, TypeError, AttributeError):
+            pass  # disk layer is best-effort; the memory layer still has it
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "memory_entries": len(self._mem)}
+
+
+# ---------------------------------------------------------------------------
+# Key derivation
+# ---------------------------------------------------------------------------
+
+
+def unit_key(source: str, cpu_threads: int) -> str:
+    """Cache key of a translation unit (parse→analyze→translate output)."""
+    h = hashlib.sha256()
+    h.update(f"unit/{CACHE_SCHEMA}/{cpu_threads}\n".encode())
+    h.update(source.encode())
+    return "unit-" + h.hexdigest()
+
+
+def profile_key(
+    fn,
+    sample_indices: Sequence[int],
+    scalar_env: dict[str, object],
+    storage,
+    warp_size: int,
+    platform_sig: str,
+) -> str:
+    """Cache key of a dependency profile.
+
+    ``fn`` is the kernel IRFunction (content-fingerprinted), ``storage``
+    the bound :class:`ArrayStorage` whose array contents feed the
+    sampled address streams.
+    """
+    h = hashlib.sha256()
+    h.update(f"profile/{CACHE_SCHEMA}/{fn.fingerprint()}/{warp_size}\n".encode())
+    h.update(platform_sig.encode())
+    h.update(b"\nindices\n")
+    h.update(np.asarray(sample_indices, dtype=np.int64).tobytes())
+    h.update(b"\nscalars\n")
+    for name in sorted(scalar_env):
+        h.update(f"{name}={scalar_env[name]!r};".encode())
+    for name in sorted(storage.arrays):
+        arr = storage.arrays[name]
+        h.update(
+            f"\narray {name} {arr.dtype.str} {arr.shape}\n".encode()
+        )
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return "profile-" + h.hexdigest()

@@ -69,6 +69,15 @@ def _cmd_run(args) -> int:
     binds = workload.bindings(n=args.n, seed=args.seed)
     reference = workload.reference(binds) if args.verify else None
 
+    # content-keyed artifact cache: in-memory within this process (so a
+    # multi-strategy run front-ends once), plus an on-disk layer with
+    # --cache-dir so a repeated invocation skips compile and profiling
+    cache = None
+    if args.cache:
+        from .cache import ArtifactCache
+
+        cache = ArtifactCache(cache_dir=args.cache_dir)
+
     # --trace / --metrics turn on the observability plane.  The traced
     # path compiles once with a recording Instrumentation (parse/analyze/
     # translate spans) and gives every strategy a fresh context — sharing
@@ -82,7 +91,7 @@ def _cmd_run(args) -> int:
         from .obs import Instrumentation
 
         obs = Instrumentation.recording()
-        program = Japonica(obs=obs).compile(workload.source)
+        program = Japonica(obs=obs, cache=cache).compile(workload.source)
 
     print(f"== {workload.name} ({workload.description}) ==")
     times = {}
@@ -96,7 +105,7 @@ def _cmd_run(args) -> int:
                 workload.method,
                 strategy=strategy,
                 scheme=args.scheme or workload.scheme,
-                context=workload.make_context(obs=obs),
+                context=workload.make_context(obs=obs, cache=cache),
                 faults=args.faults, fault_seed=args.fault_seed,
                 **binds,
             )
@@ -107,10 +116,13 @@ def _cmd_run(args) -> int:
                 if res.timeline is not None:
                     timelines.append((f"{strategy}:{lid}", res.timeline))
         else:
+            japonica = Japonica(cache=cache) if cache is not None else None
             result = workload.run(
                 strategy=strategy, n=args.n, seed=args.seed,
+                japonica=japonica,
                 scheme=args.scheme,
                 faults=args.faults, fault_seed=args.fault_seed,
+                cache=cache,
             )
         times[strategy] = result.sim_time_s
         modes = ",".join(sorted({r.mode for _, r in result.loop_results}))
@@ -154,6 +166,10 @@ def _cmd_run(args) -> int:
             args.metrics, obs.metrics, extra={"workload": workload.name}
         )
         print(f"metrics written to {args.metrics}")
+    if cache is not None and args.cache_dir:
+        s = cache.stats()
+        print(f"cache: {s['hits']} hits, {s['misses']} misses "
+              f"({args.cache_dir})")
     return 0
 
 
@@ -252,6 +268,15 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--scheme", choices=("sharing", "stealing"), default=None,
         help="override the workload's japonica scheduling scheme",
+    )
+    run_p.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persist compile/profile artifacts to DIR; a repeated run "
+             "with unchanged inputs skips the front end and profiling",
+    )
+    run_p.add_argument(
+        "--no-cache", dest="cache", action="store_false", default=True,
+        help="disable the in-process compile/profile artifact cache",
     )
     run_p.add_argument(
         "--trace", metavar="FILE", default=None,

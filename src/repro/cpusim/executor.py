@@ -57,17 +57,19 @@ class CpuExecutor:
         self.cost = cost
         self.faults = faults
         self.obs = obs or NULL_INSTRUMENTATION
-        self._compiled: dict[int, CompiledKernel] = {}
-        self._vectorized: dict[int, VectorizedKernel] = {}
+        self._compiled: dict[str, CompiledKernel] = {}
+        self._vectorized: dict[str, VectorizedKernel] = {}
 
+    # kernel caches are keyed by content fingerprint, not id(fn): a GC'd
+    # IRFunction whose id() is reused must never alias another kernel
     def _kernel(self, fn: IRFunction) -> CompiledKernel:
-        key = id(fn)
+        key = fn.fingerprint()
         if key not in self._compiled:
             self._compiled[key] = CompiledKernel(fn)
         return self._compiled[key]
 
     def _vector_kernel(self, fn: IRFunction) -> VectorizedKernel:
-        key = id(fn)
+        key = fn.fingerprint()
         if key not in self._vectorized:
             self._vectorized[key] = VectorizedKernel(fn)
         return self._vectorized[key]

@@ -22,7 +22,7 @@ to the three device-side execution styles in the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -44,6 +44,8 @@ from ..ir.interpreter import (
     SpeculativeBackend,
     TracingBackend,
 )
+from ..ir.columnar import ColumnarLanes
+from ..ir.specvec import VectorizedSpecKernel
 from ..ir.vectorizer import VectorizedKernel, can_vectorize
 from ..obs.metrics import NULL_INSTRUMENTATION, Instrumentation
 from ..runtime.costmodel import CostModel
@@ -62,8 +64,9 @@ class LaunchResult:
     warps: list[Warp]
     #: lock-step SIMD divergence penalty measured for this launch
     divergence: float = 1.0
-    #: per-iteration speculative state (buffered mode only)
-    lanes: dict[int, LaneSpecState] = field(default_factory=dict)
+    #: per-iteration speculative state (buffered mode only); either a
+    #: plain dict or a :class:`ColumnarLanes` view (same Mapping protocol)
+    lanes: Mapping[int, LaneSpecState] = field(default_factory=dict)
     #: per-iteration address traces (tracing mode only)
     traces: dict[int, list] = field(default_factory=dict)
     vectorized: bool = False
@@ -84,22 +87,35 @@ class GpuDevice:
         self.faults = faults
         self.obs = obs or NULL_INSTRUMENTATION
         self.memory = DeviceMemory(faults=faults, obs=self.obs)
-        self._compiled: dict[int, CompiledKernel] = {}
-        self._vectorized: dict[int, VectorizedKernel] = {}
+        self._compiled: dict[str, CompiledKernel] = {}
+        self._vectorized: dict[str, VectorizedKernel] = {}
+        self._specvec: dict[str, VectorizedSpecKernel] = {}
+        #: columnar fast path for buffered launches; tests/benches flip
+        #: this off to exercise the scalar oracle end to end
+        self.columnar_profiling: bool = True
 
     # -- kernel caches ---------------------------------------------------
+    # keyed by content fingerprint, not id(fn): a GC'd IRFunction whose
+    # id() is reused must never alias another kernel's compiled code, and
+    # content-equal clones (e.g. rename_privatized copies) share kernels
 
     def _kernel(self, fn: IRFunction) -> CompiledKernel:
-        key = id(fn)
+        key = fn.fingerprint()
         if key not in self._compiled:
             self._compiled[key] = CompiledKernel(fn)
         return self._compiled[key]
 
     def _vector_kernel(self, fn: IRFunction) -> VectorizedKernel:
-        key = id(fn)
+        key = fn.fingerprint()
         if key not in self._vectorized:
             self._vectorized[key] = VectorizedKernel(fn)
         return self._vectorized[key]
+
+    def _spec_kernel(self, fn: IRFunction) -> VectorizedSpecKernel:
+        key = fn.fingerprint()
+        if key not in self._specvec:
+            self._specvec[key] = VectorizedSpecKernel(fn)
+        return self._specvec[key]
 
     # -- launches -------------------------------------------------------
 
@@ -135,6 +151,11 @@ class GpuDevice:
                 block_size=block_size, penalty_s=penalty_s,
             )
         if mode == "buffered":
+            if self.columnar_profiling and can_vectorize(fn) and indices:
+                return self._launch_buffered_vectorized(
+                    fn, indices, scalar_env, storage, warps, coalescing,
+                    elem_bytes, check_allocations, block_size, penalty_s,
+                )
             backend = SpeculativeBackend(storage)
         elif mode == "tracing":
             backend = TracingBackend(storage)
@@ -158,12 +179,50 @@ class GpuDevice:
         )
         result = LaunchResult(counts, sim_time, len(indices), warps, divergence=div)
         if mode == "buffered":
-            result.lanes = backend.lanes
+            result.lanes = (
+                ColumnarLanes.from_states(backend.lanes, indices)
+                if self.columnar_profiling
+                else backend.lanes
+            )
         else:
             result.traces = backend.traces
         if check_allocations:
             self._mark_writes(fn)
         self._record_launch(mode, len(indices), div, sim_time, False)
+        return result
+
+    def _launch_buffered_vectorized(
+        self,
+        fn: IRFunction,
+        indices: list[int],
+        scalar_env: dict[str, object],
+        storage: ArrayStorage,
+        warps: list[Warp],
+        coalescing: float,
+        elem_bytes: float,
+        check_allocations: bool,
+        block_size: Optional[int],
+        penalty_s: float,
+    ) -> LaunchResult:
+        """Speculative (SE-phase) launch of a straight-line kernel, all
+        lanes at once.  Straight-line bodies have uniform per-lane work,
+        so the measured divergence factor is exactly 1."""
+        counts, lanes = self._spec_kernel(fn).run_buffered(
+            storage, scalar_env, np.asarray(indices, dtype=np.int64)
+        )
+        div = self._block_padding(block_size)
+        sim_time = penalty_s + self.cost.gpu_kernel_time(
+            counts, len(indices), coalescing=coalescing,
+            elem_bytes=elem_bytes, divergence=div,
+        )
+        result = LaunchResult(
+            counts, sim_time, len(indices), warps, divergence=div,
+            vectorized=True,
+        )
+        result.lanes = lanes
+        if check_allocations:
+            self._mark_writes(fn)
+        self._record_launch("buffered", len(indices), div, sim_time, True)
         return result
 
     def _launch_direct(
@@ -316,7 +375,7 @@ class GpuDevice:
 
     def commit_lanes(
         self,
-        lanes: dict[int, LaneSpecState],
+        lanes: Mapping[int, LaneSpecState],
         storage: ArrayStorage,
         iterations: Sequence[int],
     ) -> int:
@@ -326,6 +385,9 @@ class GpuDevice:
         last-writer-wins match sequential semantics for overlapping writes
         (the privatization copy-back rule).
         """
+        if isinstance(lanes, ColumnarLanes):
+            cells, _nbytes = lanes.commit(storage, sorted(iterations))
+            return cells
         written = 0
         for i in sorted(iterations):
             state = lanes.get(i)

@@ -1,0 +1,340 @@
+"""Columnar speculative-access logs (the profiling fast path).
+
+A buffered launch over ``n`` lanes produces, per lane, a write buffer
+plus read/write logs.  The scalar representation — one
+:class:`LaneSpecState` with Python ``AccessRecord`` lists per lane — is
+what the interpreter naturally emits, but every analysis over it
+(density, coalescing, stride compression, dependency checking, commit)
+then crawls Python objects.  :class:`ColumnarLanes` stores the same
+information as NumPy columns:
+
+* ``order``/``present`` — iteration id per lane *position* and whether
+  the lane ran;
+* read/write columns ``(pos, op, array_id, flat)`` sorted by
+  ``(pos, op)`` — i.e. grouped per lane in log order;
+* per-array buffer columns ``(pos, flat, value)`` with one row per
+  final buffered cell, sorted by ``(pos, flat)``.
+
+It also implements the ``Mapping[int, LaneSpecState]`` protocol so every
+scalar consumer keeps working unchanged: logs built by the scalar
+backend keep their original states (``from_states``), logs built by the
+vectorized SE kernel materialize states on demand.
+
+Invariant relied upon by the columnar analyses: within a lane the log
+lists are op-ascending (both backends append with a monotonically
+increasing op counter).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .interpreter import AccessRecord, ArrayStorage, LaneSpecState
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _as_order_array(iteration_order) -> np.ndarray:
+    if isinstance(iteration_order, np.ndarray):
+        return iteration_order.astype(np.int64, copy=False)
+    return np.fromiter(iteration_order, dtype=np.int64)
+
+
+class ColumnarLanes(Mapping):
+    """Columnar per-lane speculative state of one buffered launch."""
+
+    def __init__(
+        self,
+        order: np.ndarray,
+        present: np.ndarray,
+        names: list[str],
+        reads: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        writes: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        buffers: Optional[dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]]],
+        op_total: Optional[int] = None,
+        states: Optional[Mapping[int, LaneSpecState]] = None,
+    ):
+        self.order = order
+        self.present = present
+        self.names = names
+        self.r_pos, self.r_op, self.r_arr, self.r_flat = reads
+        self.w_pos, self.w_op, self.w_arr, self.w_flat = writes
+        #: array_id -> (pos, flat, value) final buffered cells, unique per
+        #: (pos, flat), sorted by (pos, flat); None when only scalar
+        #: states carry the buffers (``from_states`` construction)
+        self.buffers = buffers
+        self._op_total = op_total
+        self._states = dict(states) if states is not None else None
+        self._pos_of: Optional[dict[int, int]] = None
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_states(
+        cls,
+        states: Mapping[int, LaneSpecState],
+        iteration_order: Sequence[int],
+    ) -> "ColumnarLanes":
+        """Wrap scalar backend output (log lists must be op-ascending)."""
+        order = _as_order_array(iteration_order)
+        n = len(order)
+        present = np.zeros(n, dtype=bool)
+        names: list[str] = []
+        aid: dict[str, int] = {}
+        r_cols: tuple[list, list, list, list] = ([], [], [], [])
+        w_cols: tuple[list, list, list, list] = ([], [], [], [])
+        for p in range(n):
+            state = states.get(int(order[p]))
+            if state is None:
+                continue
+            present[p] = True
+            for rec in state.reads:
+                a = aid.get(rec.array)
+                if a is None:
+                    a = aid[rec.array] = len(names)
+                    names.append(rec.array)
+                r_cols[0].append(p)
+                r_cols[1].append(rec.op)
+                r_cols[2].append(a)
+                r_cols[3].append(rec.flat)
+            for rec in state.writes:
+                a = aid.get(rec.array)
+                if a is None:
+                    a = aid[rec.array] = len(names)
+                    names.append(rec.array)
+                w_cols[0].append(p)
+                w_cols[1].append(rec.op)
+                w_cols[2].append(a)
+                w_cols[3].append(rec.flat)
+
+        def cols(raw):
+            return tuple(np.array(c, dtype=np.int64) for c in raw)
+
+        # the scan is position-major and each lane's list op-ascending,
+        # so the columns are already (pos, op)-sorted
+        return cls(
+            order, present, names, cols(r_cols), cols(w_cols),
+            buffers=None, states=states,
+        )
+
+    # -- Mapping protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        if self._states is not None:
+            return len(self._states)
+        return int(self.present.sum())
+
+    def __iter__(self) -> Iterator[int]:
+        if self._states is not None:
+            return iter(self._states)
+        return (int(it) for it in self.order[self.present])
+
+    def __getitem__(self, iteration: int) -> LaneSpecState:
+        if self._states is not None:
+            return self._states[iteration]
+        pos = self._position_of(iteration)
+        if pos is None:
+            raise KeyError(iteration)
+        return self._materialize(pos)
+
+    def _position_of(self, iteration: int) -> Optional[int]:
+        if self._pos_of is None:
+            self._pos_of = {
+                int(it): p
+                for p, it in enumerate(self.order)
+                if self.present[p]
+            }
+        return self._pos_of.get(iteration)
+
+    def _materialize(self, pos: int) -> LaneSpecState:
+        names = self.names
+        lo, hi = np.searchsorted(self.r_pos, [pos, pos + 1])
+        reads = [
+            AccessRecord(int(o), "R", names[a], int(f))
+            for o, a, f in zip(
+                self.r_op[lo:hi], self.r_arr[lo:hi], self.r_flat[lo:hi]
+            )
+        ]
+        lo, hi = np.searchsorted(self.w_pos, [pos, pos + 1])
+        writes = [
+            AccessRecord(int(o), "W", names[a], int(f))
+            for o, a, f in zip(
+                self.w_op[lo:hi], self.w_arr[lo:hi], self.w_flat[lo:hi]
+            )
+        ]
+        buffer: dict[tuple[str, int], object] = {}
+        if self.buffers:
+            for a_id, (b_pos, b_flat, b_val) in self.buffers.items():
+                lo, hi = np.searchsorted(b_pos, [pos, pos + 1])
+                name = names[a_id]
+                for f, v in zip(b_flat[lo:hi], b_val[lo:hi]):
+                    buffer[(name, int(f))] = v.item()
+        return LaneSpecState(
+            buffer=buffer, reads=reads, writes=writes,
+            op=int(self._op_total or 0),
+        )
+
+    # -- fast-path queries ------------------------------------------------
+
+    def matches_order(self, iteration_order) -> bool:
+        """True when ``iteration_order`` equals the launch's lane order."""
+        seq = _as_order_array(iteration_order)
+        return seq.shape == self.order.shape and bool(
+            np.array_equal(self.order, seq)
+        )
+
+    @property
+    def n_positions(self) -> int:
+        return len(self.order)
+
+    @property
+    def n_present(self) -> int:
+        return int(self.present.sum())
+
+    def logged_accesses(self) -> int:
+        """Total logged reads + writes (the DD analysis input volume)."""
+        return len(self.r_pos) + len(self.w_pos)
+
+    def _wanted_mask(self, iterations) -> np.ndarray:
+        wanted = np.unique(np.fromiter(iterations, dtype=np.int64))
+        lane_wanted = np.isin(self.order, wanted)
+        return lane_wanted & self.present
+
+    def metadata_entries(self, iterations=None) -> int:
+        if iterations is None:
+            return self.logged_accesses()
+        mask = self._wanted_mask(iterations)
+        return int(mask[self.r_pos].sum() + mask[self.w_pos].sum())
+
+    def buffered_cells(self) -> int:
+        if self._states is not None:
+            return sum(len(s.buffer) for s in self._states.values())
+        assert self.buffers is not None
+        return sum(len(b_pos) for b_pos, _f, _v in self.buffers.values())
+
+    def buffered_bytes(self, storage: ArrayStorage, iterations=None) -> int:
+        if self._states is not None:
+            total = 0
+            wanted = None if iterations is None else set(iterations)
+            for it, state in self._states.items():
+                if wanted is not None and it not in wanted:
+                    continue
+                for (name, _flat) in state.buffer:
+                    total += storage.arrays[name].dtype.itemsize
+            return total
+        assert self.buffers is not None
+        mask = None if iterations is None else self._wanted_mask(iterations)
+        total = 0
+        for a_id, (b_pos, _f, _v) in self.buffers.items():
+            rows = len(b_pos) if mask is None else int(mask[b_pos].sum())
+            total += rows * storage.arrays[self.names[a_id]].dtype.itemsize
+        return total
+
+    # -- commit -----------------------------------------------------------
+
+    def commit(
+        self, storage: ArrayStorage, iterations: Sequence[int]
+    ) -> tuple[int, int]:
+        """Apply buffers of ``iterations`` in the given sequential order.
+
+        Returns ``(cells_written, bytes_written)``; the last lane (in the
+        given order) to buffer a cell wins, matching the scalar commit.
+        """
+        if self._states is not None:
+            cells = 0
+            nbytes = 0
+            for it in iterations:
+                state = self._states.get(it)
+                if state is None:
+                    continue
+                for (name, flat), value in state.buffer.items():
+                    storage.write_flat(name, flat, value)
+                    cells += 1
+                    nbytes += storage.arrays[name].dtype.itemsize
+            return cells, nbytes
+        assert self.buffers is not None
+        commit = np.fromiter(iterations, dtype=np.int64)
+        if len(commit) == 0 or not self.buffers:
+            return 0, 0
+        # rank of each lane position in the commit sequence (-1 = skip)
+        rank_of_pos = np.full(len(self.order), -1, dtype=np.int64)
+        o_sort = np.argsort(self.order, kind="stable")
+        idx = np.searchsorted(self.order[o_sort], commit)
+        ok = idx < len(o_sort)
+        cand = o_sort[idx[ok]]
+        hit = (self.order[cand] == commit[ok]) & self.present[cand]
+        rank_of_pos[cand[hit]] = np.nonzero(ok)[0][hit]
+        cells = 0
+        nbytes = 0
+        for a_id, (b_pos, b_flat, b_val) in self.buffers.items():
+            rank = rank_of_pos[b_pos]
+            sel = rank >= 0
+            rows = int(sel.sum())
+            if rows == 0:
+                continue
+            f, r, v = b_flat[sel], rank[sel], b_val[sel]
+            s = np.lexsort((r, f))
+            f, v = f[s], v[s]
+            last = np.ones(len(f), dtype=bool)
+            last[:-1] = f[:-1] != f[1:]
+            arr = storage.arrays[self.names[a_id]]
+            arr.flat[f[last]] = v[last]
+            cells += rows
+            nbytes += rows * arr.dtype.itemsize
+        return cells, nbytes
+
+
+# ---------------------------------------------------------------------------
+# Shared column kit for the vectorized analyses
+# ---------------------------------------------------------------------------
+
+
+def cell_keys(col: ColumnarLanes) -> tuple[np.ndarray, np.ndarray, int]:
+    """Encode (array, flat) cells as single int64 keys for both logs.
+
+    Returns ``(read_keys, write_keys, M)`` with ``key = array_id * M +
+    flat``; ``key // M`` recovers the array id.
+    """
+    m = 0
+    if len(col.r_flat):
+        m = max(m, int(col.r_flat.max()))
+    if len(col.w_flat):
+        m = max(m, int(col.w_flat.max()))
+    m += 1
+    return col.r_arr * m + col.r_flat, col.w_arr * m + col.w_flat, m
+
+
+def dedup_first(
+    pos: np.ndarray, op: np.ndarray, key: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """First occurrence per (lane position, cell key), in scan order.
+
+    The scalar analyses consider each cell once per iteration, keeping
+    the first log entry; rows come in (pos, op)-sorted and leave the
+    same way.
+    """
+    if len(pos) == 0:
+        return pos, op, key
+    s = np.lexsort((op, key, pos))
+    p, o, k = pos[s], op[s], key[s]
+    first = np.ones(len(p), dtype=bool)
+    first[1:] = (p[1:] != p[:-1]) | (k[1:] != k[:-1])
+    p, o, k = p[first], o[first], k[first]
+    s2 = np.lexsort((o, p))
+    return p[s2], o[s2], k[s2]
+
+
+def first_seen_ranks(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Rank cells by first appearance in a scan-ordered key column.
+
+    Returns ``(uniq_sorted, rank)``: for the sorted unique keys, the
+    order in which each was first seen — the insertion order of the
+    scalar analysis' per-cell dicts.  Look up a key's rank with
+    ``rank[np.searchsorted(uniq_sorted, key)]``.
+    """
+    uniq, first_idx = np.unique(keys, return_index=True)
+    rank = np.empty(len(uniq), dtype=np.int64)
+    rank[np.argsort(first_idx, kind="stable")] = np.arange(len(uniq))
+    return uniq, rank

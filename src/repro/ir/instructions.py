@@ -14,6 +14,7 @@ mask their count.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
@@ -282,6 +283,22 @@ class IRFunction:
         """True when the body is a single block (vectorizable fast path)."""
         return len(self.blocks) == 1
 
+    def fingerprint(self) -> str:
+        """Stable content identity: ``name:<sha256 prefix>``.
+
+        Used as the kernel-cache key instead of ``id(fn)`` — two
+        IRFunctions with the same fingerprint compile to interchangeable
+        kernels, and a GC'd function can never alias a live one.  Cached
+        on the instance; IRFunctions are not mutated after lowering.
+        """
+        fp = self.__dict__.get("_fingerprint")
+        if fp is None:
+            digest = hashlib.sha256(
+                ir_fingerprint(self).encode()
+            ).hexdigest()[:16]
+            fp = self.__dict__["_fingerprint"] = f"{self.name}:{digest}"
+        return fp
+
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         scalars = ", ".join(f"{s.type.value} {s.name}" for s in self.scalars)
         arrays = ", ".join(
@@ -289,6 +306,42 @@ class IRFunction:
         )
         head = f"kernel {self.name}(index={self.index}; {scalars}; {arrays})"
         return head + "\n" + "\n".join(str(b) for b in self.blocks)
+
+
+def ir_fingerprint(fn: IRFunction) -> str:
+    """Canonical serialization of an IRFunction's content.
+
+    Unlike ``str(fn)`` this includes register ids and types everywhere
+    (two distinct registers sharing a source name print identically),
+    so equal serializations imply behaviourally identical kernels.
+    """
+
+    def reg(r: Optional[Reg]) -> str:
+        return "_" if r is None else f"r{r.id}:{r.type.value}"
+
+    def regs(rs: Sequence[Reg]) -> str:
+        return ",".join(reg(r) for r in rs)
+
+    parts = [
+        f"fn {fn.name} nregs={fn.num_regs} index={reg(fn.index)}",
+        "scalars " + ",".join(
+            f"{s.name}:{s.type.value}:{reg(fn.scalar_regs.get(s.name))}"
+            for s in fn.scalars
+        ),
+        "arrays " + ",".join(
+            f"{a.name}:{a.elem.value}:{a.dims}" for a in fn.arrays
+        ),
+    ]
+    for blk in fn.blocks:
+        parts.append(f"block {blk.name}")
+        for i in blk.instrs:
+            parts.append(
+                f"{i.op.value} dst={reg(i.dst)} a={reg(i.a)} b={reg(i.b)} "
+                f"binop={i.binop} value={i.value!r} array={i.array} "
+                f"idx=[{regs(i.idx)}] args=[{regs(i.args)}] "
+                f"intr={i.intrinsic} tgt={i.target} else={i.else_target}"
+            )
+    return "\n".join(parts)
 
 
 def stored_arrays(fn: IRFunction) -> set[str]:

@@ -79,6 +79,18 @@ class Counts:
             instructions=raw[C_TOTAL],
         )
 
+    def add_to_raw(self, raw: list[int]) -> None:
+        """Accumulate into a raw counter list (hot-loop alternative to
+        ``__add__``, which allocates a dataclass per step)."""
+        raw[C_INT] += self.int_ops
+        raw[C_FLOAT] += self.float_ops
+        raw[C_SPECIAL] += self.special_ops
+        raw[C_LOAD] += self.loads
+        raw[C_STORE] += self.stores
+        raw[C_BRANCH] += self.branches
+        raw[C_INTRINSIC] += self.intrinsics
+        raw[C_TOTAL] += self.instructions
+
     def __add__(self, other: "Counts") -> "Counts":
         return Counts(
             self.int_ops + other.int_ops,

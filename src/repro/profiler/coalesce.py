@@ -13,6 +13,9 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Mapping, Sequence
 
+import numpy as np
+
+from ..ir.columnar import ColumnarLanes
 from ..ir.interpreter import LaneSpecState
 
 
@@ -28,6 +31,47 @@ def estimate_coalescing(
     same op slot, same array) whose flat-address delta is 0 (broadcast)
     or ±1 (unit stride).  Kernels with no comparable pairs default to 1.0.
     """
+    if isinstance(lanes, ColumnarLanes) and lanes.matches_order(
+        iteration_order
+    ):
+        return _estimate_columnar(lanes, warp_size, floor)
+    return estimate_coalescing_scalar(
+        lanes, iteration_order, warp_size, floor
+    )
+
+
+def _estimate_columnar(
+    col: ColumnarLanes, warp_size: int, floor: float
+) -> float:
+    """Vectorized twin: group (warp, op, array) slots by sorting, then
+    count unit-position neighbours with |flat delta| <= 1."""
+    pos = np.concatenate([col.r_pos, col.w_pos])
+    op = np.concatenate([col.r_op, col.w_op])
+    arr = np.concatenate([col.r_arr, col.w_arr])
+    flat = np.concatenate([col.r_flat, col.w_flat])
+    if len(pos) < 2:
+        return 1.0
+    warp = pos // warp_size
+    s = np.lexsort((pos, arr, op, warp))
+    pos, op, arr, flat, warp = pos[s], op[s], arr[s], flat[s], warp[s]
+    same_slot = (
+        (warp[1:] == warp[:-1]) & (op[1:] == op[:-1]) & (arr[1:] == arr[:-1])
+    )
+    adjacent = same_slot & (pos[1:] == pos[:-1] + 1)
+    total = int(adjacent.sum())
+    if total == 0:
+        return 1.0
+    good = int((adjacent & (np.abs(flat[1:] - flat[:-1]) <= 1)).sum())
+    return max(floor, good / total)
+
+
+def estimate_coalescing_scalar(
+    lanes: Mapping[int, LaneSpecState],
+    iteration_order: Sequence[int],
+    warp_size: int = 32,
+    floor: float = 0.1,
+) -> float:
+    """Reference (per-record) implementation (the cross-check oracle)."""
     # (warp, op, array) -> {lane_position: flat}
     slots: dict[tuple[int, int, str], dict[int, int]] = defaultdict(dict)
     for pos, it in enumerate(iteration_order):

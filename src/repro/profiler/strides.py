@@ -175,6 +175,48 @@ def compression_ratio(lanes, sample: int = 512) -> float:
     ``lanes`` maps iteration -> LaneSpecState (the profiler's SE logs).
     1.0 = nothing gained (fully irregular); large = strided accesses.
     """
+    from ..ir.columnar import ColumnarLanes
+
+    if isinstance(lanes, ColumnarLanes):
+        return _compression_ratio_columnar(lanes, sample)
+    return compression_ratio_scalar(lanes, sample)
+
+
+def _compression_ratio_columnar(col, sample: int) -> float:
+    """Columnar twin: per-lane log slices come straight off the sorted
+    (pos, op) columns, already in log order."""
+    import numpy as np
+
+    if col._states is not None:
+        # wrapped scalar logs: sample in dict (insertion) order exactly
+        # like the oracle — the record lists are already materialized
+        return compression_ratio_scalar(col._states, sample)
+    raw = 0
+    compressed = 0
+    lanes_pos = np.nonzero(col.present)[0][:sample]
+    r_lo = np.searchsorted(col.r_pos, lanes_pos)
+    r_hi = np.searchsorted(col.r_pos, lanes_pos + 1)
+    w_lo = np.searchsorted(col.w_pos, lanes_pos)
+    w_hi = np.searchsorted(col.w_pos, lanes_pos + 1)
+    for k in range(len(lanes_pos)):
+        ra = col.r_arr[r_lo[k]:r_hi[k]]
+        rf = col.r_flat[r_lo[k]:r_hi[k]]
+        wa = col.w_arr[w_lo[k]:w_hi[k]]
+        wf = col.w_flat[w_lo[k]:w_hi[k]]
+        for a in np.unique(np.concatenate([ra, wa])):
+            reads = rf[ra == a]
+            writes = wf[wa == a]
+            raw += len(reads) + len(writes)
+            compressed += compress_lane(
+                reads.tolist(), writes.tolist()
+            ).entries
+    if compressed == 0:
+        return 1.0
+    return raw / compressed
+
+
+def compression_ratio_scalar(lanes, sample: int = 512) -> float:
+    """Reference (per-record) implementation (the cross-check oracle)."""
     raw = 0
     compressed = 0
     for k, (_it, state) in enumerate(lanes.items()):

@@ -49,8 +49,18 @@ def profile_loop(
     the stationary patterns the benchmarks exhibit); densities are
     computed over the sampled window.
     """
-    indices = list(indices)
-    sample = indices if max_sample is None else indices[: max(1, max_sample)]
+    # slice lazily: ranges (the common case) slice without materializing
+    # the full index sequence, so a 256Ki-iteration loop profiled with a
+    # 2Ki sample never allocates 256Ki ints
+    if max_sample is not None:
+        try:
+            sample = indices[: max(1, max_sample)]
+        except TypeError:  # a Sequence without slice support
+            sample = list(indices)[: max(1, max_sample)]
+    elif isinstance(indices, (list, tuple, range)):
+        sample = indices
+    else:
+        sample = list(indices)
     wsize = warp_size if warp_size is not None else device.spec.warp_size
 
     launch = device.launch(
@@ -67,9 +77,15 @@ def profile_loop(
 
     profile.compression_ratio = compression_ratio(launch.lanes)
 
-    logged = sum(
-        len(state.reads) + len(state.writes) for state in launch.lanes.values()
-    )
+    from ..ir.columnar import ColumnarLanes
+
+    if isinstance(launch.lanes, ColumnarLanes):
+        logged = launch.lanes.logged_accesses()
+    else:
+        logged = sum(
+            len(state.reads) + len(state.writes)
+            for state in launch.lanes.values()
+        )
     profile.profile_time_s = (
         launch.sim_time_s * INSTRUMENTATION_FACTOR
         + logged * ANALYSIS_COST_PER_ACCESS

@@ -21,7 +21,7 @@ from ..faults.resilience import (
     restore_arrays,
     snapshot_arrays,
 )
-from ..ir.interpreter import ArrayStorage, Counts
+from ..ir.interpreter import N_COUNTERS, ArrayStorage, Counts
 from ..obs.tracer import PHASE_SCHEDULE
 from ..profiler.report import DependencyProfile
 from ..runtime.clock import LANE_CPU, LANE_DMA, LANE_GPU, Timeline
@@ -327,7 +327,7 @@ class TaskSharingScheduler:
         b_in, b_out = self._register_device_data(loop, storage, scalar_env)
         frac_gpu = len(gpu_idx) / max(1, len(indices))
 
-        total = Counts()
+        raw = [0] * N_COUNTERS  # hot loop: accumulate raw, fold at the end
         nchunks = max(1, min(cfg.sharing_chunks, len(gpu_idx)))
         chunks = [c for c in block_partition(gpu_idx, nchunks) if c]
 
@@ -353,7 +353,7 @@ class TaskSharingScheduler:
                 )
                 if buffered:
                     self.ctx.device.commit_lanes(launch.lanes, storage, chunk)
-                total = total + launch.counts
+                launch.counts.add_to_raw(raw)
                 kernel_events.append(
                     tl.schedule(
                         LANE_GPU, launch.sim_time_s, after=[dma],
@@ -392,7 +392,7 @@ class TaskSharingScheduler:
                 )
                 if buffered:
                     self.ctx.device.commit_lanes(launch.lanes, storage, chunk)
-                total = total + launch.counts
+                launch.counts.add_to_raw(raw)
                 last = tl.schedule(
                     LANE_GPU, launch.sim_time_s, after=[last],
                     label=f"kernel#{k}",
@@ -418,14 +418,14 @@ class TaskSharingScheduler:
                 threads=cfg.cpu_threads,
                 elem_bytes=loop.elem_bytes,
             )
-            total = total + cpu_run.counts
+            cpu_run.counts.add_to_raw(raw)
             tl.schedule(LANE_CPU, cpu_run.sim_time_s, label="cpu-mt")
             self._cpu_wrote(loop, 1.0 - frac_gpu)
 
         return ExecutionResult(
             arrays=storage.arrays,
             sim_time_s=tl.makespan,
-            counts=total,
+            counts=Counts.from_raw(raw),
             timeline=tl,
             detail={
                 "gpu_iterations": len(gpu_idx),

@@ -240,9 +240,9 @@ class TaskStealingScheduler:
 
         t_cpu = 0.0
         t_gpu = 0.0
-        from ..ir.interpreter import Counts
+        from ..ir.interpreter import N_COUNTERS, Counts
 
-        total = Counts()
+        raw = [0] * N_COUNTERS  # hot loop: accumulate raw, fold at the end
 
         while pool:
             batch_ids = pool.get_tasks()
@@ -276,7 +276,7 @@ class TaskStealingScheduler:
                 duration, counts = self._run_on(
                     worker, task, storage, scalar_env, dd_of[task.id]
                 )
-                total = total + counts
+                counts.add_to_raw(raw)
                 if worker == "gpu":
                     t_gpu = start + duration
                 else:
@@ -309,7 +309,7 @@ class TaskStealingScheduler:
         return ExecutionResult(
             arrays=storage.arrays,
             sim_time_s=makespan,
-            counts=total,
+            counts=Counts.from_raw(raw),
             mode="stealing",
             timeline=tl,
             detail={"stats": stats},

@@ -9,6 +9,10 @@ from ..ir.interpreter import ArrayStorage, LaneSpecState
 
 def buffered_cells(lanes: Mapping[int, LaneSpecState]) -> int:
     """Total buffered cells across lanes (commit-volume metric)."""
+    from ..ir.columnar import ColumnarLanes
+
+    if isinstance(lanes, ColumnarLanes):
+        return lanes.buffered_cells()
     return sum(len(state.buffer) for state in lanes.values())
 
 
@@ -18,6 +22,10 @@ def buffered_bytes(
     iterations: Sequence[int] | None = None,
 ) -> int:
     """Bytes the commit phase must move for the given iterations."""
+    from ..ir.columnar import ColumnarLanes
+
+    if isinstance(lanes, ColumnarLanes):
+        return lanes.buffered_bytes(storage, iterations)
     total = 0
     wanted = None if iterations is None else set(iterations)
     for it, state in lanes.items():
@@ -33,6 +41,10 @@ def metadata_entries(
     iterations: Sequence[int] | None = None,
 ) -> int:
     """Logged accesses the dependency-checking phase must scan."""
+    from ..ir.columnar import ColumnarLanes
+
+    if isinstance(lanes, ColumnarLanes):
+        return lanes.metadata_entries(iterations)
     total = 0
     wanted = None if iterations is None else set(iterations)
     for it, state in lanes.items():

@@ -25,6 +25,10 @@ def commit_iterations(
 
     Returns ``(cells_written, bytes_written)``.
     """
+    from ..ir.columnar import ColumnarLanes
+
+    if isinstance(lanes, ColumnarLanes):
+        return lanes.commit(storage, iterations)
     cells = 0
     nbytes = 0
     for it in iterations:

@@ -14,6 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
+import numpy as np
+
+from ..ir.columnar import ColumnarLanes, cell_keys, dedup_first
 from ..ir.interpreter import LaneSpecState
 
 
@@ -53,6 +56,52 @@ def check_subloop(
     ``order`` is the sequential iteration order of the sub-loop (the
     launch's index list).
     """
+    if isinstance(lanes, ColumnarLanes) and lanes.matches_order(order):
+        return _check_columnar(lanes)
+    return check_subloop_scalar(lanes, order)
+
+
+def _check_columnar(col: ColumnarLanes) -> DcResult:
+    """Vectorized RAW check: latest strictly-earlier writer per deduped
+    read via one searchsorted over (cell, position)-sorted writes, then
+    the first violating read per iteration (logs are (pos, op)-sorted,
+    and a cell's violation status is op-independent, so first-occurrence
+    dedup preserves which read reports the violation)."""
+    result = DcResult()
+    r_keys, w_keys, m = cell_keys(col)
+    rp, _ro, rk = dedup_first(col.r_pos, col.r_op, r_keys)
+    if len(rp) == 0 or len(col.w_pos) == 0:
+        return result
+    ws_ord = np.lexsort((col.w_pos, w_keys))
+    Wk, Wp = w_keys[ws_ord], col.w_pos[ws_ord]
+    n = col.n_positions
+    idx = np.searchsorted(Wk * (n + 1) + Wp, rk * (n + 1) + rp, side="left")
+    cand = np.maximum(idx - 1, 0)
+    valid = (idx > 0) & (Wk[cand] == rk)
+    if not valid.any():
+        return result
+    vp, vk, vsrc = rp[valid], rk[valid], Wp[cand][valid]
+    first = np.ones(len(vp), dtype=bool)
+    first[1:] = vp[1:] != vp[:-1]
+    order_arr = col.order
+    for p, k, src in zip(vp[first], vk[first], vsrc[first]):
+        result.violations.append(
+            Violation(
+                int(order_arr[p]),
+                int(order_arr[src]),
+                col.names[int(k) // m],
+                int(k) % m,
+            )
+        )
+    result.first_violation_pos = int(vp[0])
+    return result
+
+
+def check_subloop_scalar(
+    lanes: Mapping[int, LaneSpecState],
+    order: Sequence[int],
+) -> DcResult:
+    """Reference (per-record) implementation (the cross-check oracle)."""
     pos = {it: p for p, it in enumerate(order)}
     # cell -> earliest writer position (the first write wins for "is there
     # an earlier writer" queries against readers)

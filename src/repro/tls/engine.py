@@ -23,7 +23,7 @@ from ..errors import RuntimeFaultError, SpeculationError
 from ..faults.resilience import is_recoverable_fault
 from ..gpusim.device import GpuDevice
 from ..ir.instructions import IRFunction
-from ..ir.interpreter import ArrayStorage, Counts
+from ..ir.interpreter import N_COUNTERS, ArrayStorage, Counts
 from ..obs.metrics import NULL_INSTRUMENTATION, Instrumentation
 from ..profiler.report import DependencyProfile
 from ..runtime.clock import LANE_CPU, LANE_GPU, Timeline
@@ -111,7 +111,7 @@ class GpuTlsEngine:
         sub_size = max(warp_size, self.config.warps_per_subloop * warp_size)
         tl = timeline if timeline is not None else Timeline()
         stats = TlsStats()
-        total = Counts()
+        raw = [0] * N_COUNTERS  # hot loop: accumulate raw, fold at the end
 
         pos = 0
         n = len(indices)
@@ -150,7 +150,7 @@ class GpuTlsEngine:
                     label=f"shrink@{pos}",
                 )
                 continue
-            total = total + se.counts
+            se.counts.add_to_raw(raw)
             stats.subloops += 1
             tl.schedule(LANE_GPU, se.kernel_time_s, label=f"SE@{pos}")
 
@@ -239,7 +239,7 @@ class GpuTlsEngine:
             cpu_run = self.cpu.run_serial(
                 fn, storage, scalar_env, handoff, elem_bytes=elem_bytes
             )
-            total = total + cpu_run.counts
+            cpu_run.counts.add_to_raw(raw)
             stats.cpu_handoffs += 1
             stats.cpu_iterations += len(handoff)
             stats.committed_iterations += len(handoff)
@@ -251,7 +251,7 @@ class GpuTlsEngine:
 
         self._record_stats(stats)
         return TlsResult(
-            counts=total,
+            counts=Counts.from_raw(raw),
             sim_time_s=tl.makespan,
             stats=stats,
             timeline=tl,

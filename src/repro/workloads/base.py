@@ -66,7 +66,7 @@ class Workload:
             raise WorkloadError(f"{self.name}: no input generator")
         return self.make_inputs(n=n, seed=seed, **overrides)
 
-    def make_context(self, paper_scale: bool = True, obs=None):
+    def make_context(self, paper_scale: bool = True, obs=None, cache=None):
         """Execution context with this workload's calibration applied."""
         from dataclasses import replace
 
@@ -84,7 +84,7 @@ class Workload:
             config.byte_scale = self.byte_scale
             config.iter_scale = self.iter_scale
             config.link_scale = self.link_scale
-        return ExecutionContext(platform, config, obs=obs)
+        return ExecutionContext(platform, config, obs=obs, cache=cache)
 
     def run(
         self,
@@ -97,6 +97,7 @@ class Workload:
         paper_scale: bool = True,
         faults=None,
         fault_seed: int = 0,
+        cache=None,
         **overrides,
     ) -> ProgramResult:
         """Execute under a strategy.
@@ -109,7 +110,11 @@ class Workload:
         """
         program = self.compile(japonica)
         binds = self.bindings(n=n, seed=seed, **overrides)
-        ctx = context if context is not None else self.make_context(paper_scale)
+        ctx = (
+            context
+            if context is not None
+            else self.make_context(paper_scale, cache=cache)
+        )
         return program.run(
             self.method,
             strategy=strategy,

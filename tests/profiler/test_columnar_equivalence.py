@@ -1,0 +1,250 @@
+"""Columnar fast path vs. scalar oracle: observational identity.
+
+The host-performance plane replaces the scalar SE interpreter + scalar
+analysis passes with vectorized address-stream generation and NumPy
+group/sort analysis.  The hard contract is that the fast path is
+*observationally identical*: for any straight-line kernel, profiling
+through the columnar path must produce a ``DependencyProfile`` equal to
+the scalar oracle field for field, the TLS dependence check must find
+the same violations, and committing the speculative buffers must leave
+memory bit-identical.
+
+The suite drives randomized parametrized kernels (hypothesis) through
+both paths side by side.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import ArrayStorage
+from repro.ir.columnar import ColumnarLanes
+from repro.profiler.coalesce import (
+    estimate_coalescing,
+    estimate_coalescing_scalar,
+)
+from repro.profiler.density import analyze_lanes, analyze_lanes_scalar
+from repro.profiler.strides import compression_ratio, compression_ratio_scalar
+from repro.profiler.trace import profile_loop
+from repro.scheduler.context import ExecutionContext
+from repro.tls.depcheck import check_subloop, check_subloop_scalar
+
+from ..conftest import lowered
+
+# ---------------------------------------------------------------------------
+# Randomized straight-line kernel templates.  Strides/offsets are drawn
+# by hypothesis; modular addressing keeps every access in bounds while
+# letting collisions produce RAW/WAR/WAW patterns across iterations.
+# ---------------------------------------------------------------------------
+
+RAW_CHAIN = """
+class T {{ static void f(double[] a, double[] b, int n) {{
+  /* acc parallel */
+  for (int i = 0; i < n; i++) {{
+    a[(i * {s} + {o}) % n] = a[(i * {t} + {p}) % n] + b[i];
+  }}
+}} }}
+"""
+
+SCATTER_WAW = """
+class T {{ static void f(double[] c, double[] b, int n, int m) {{
+  /* acc parallel */
+  for (int i = 0; i < n; i++) {{
+    c[(i * {s} + {o}) % m] = b[i] * 2.0 + c[(i + {p}) % m];
+  }}
+}} }}
+"""
+
+GATHER = """
+class T {{ static void f(double[] v, int[] idx, double[] out, int n) {{
+  /* acc parallel */
+  for (int i = 0; i < n; i++) {{
+    out[(i + {o}) % n] = v[idx[i]] + v[(i + {p}) % n];
+  }}
+}} }}
+"""
+
+SCRATCH_REUSE = """
+class T {{ static void f(double[] t, double[] b, double[] d, int n) {{
+  /* acc parallel */
+  for (int i = 0; i < n; i++) {{
+    t[i % {m}] = b[i];
+    t[i % {m}] = t[i % {m}] + 1.0;
+    d[i] = t[i % {m}] * 0.5;
+  }}
+}} }}
+"""
+
+INT_MIX = """
+class T {{ static void f(int[] x, int[] y, int n) {{
+  /* acc parallel */
+  for (int i = 0; i < n; i++) {{
+    int w = x[(i * {s} + {o}) % n] * 1103515245 + 12345;
+    y[(i * {t}) % n] = (w ^ (w >>> {k})) % 1000 + y[i % n];
+  }}
+}} }}
+"""
+
+
+def _make_case(template_id, n, s, o, t, p, k, m, seed):
+    rng = np.random.default_rng(seed)
+    if template_id == 0:
+        src = RAW_CHAIN.format(s=s, o=o, t=t, p=p)
+        arrays = {"a": rng.standard_normal(n), "b": rng.standard_normal(n)}
+        env = {"n": n}
+    elif template_id == 1:
+        mm = max(1, min(m, n))
+        src = SCATTER_WAW.format(s=s, o=o, p=p)
+        arrays = {"c": rng.standard_normal(mm), "b": rng.standard_normal(n)}
+        env = {"n": n, "m": mm}
+    elif template_id == 2:
+        src = GATHER.format(o=o, p=p)
+        arrays = {
+            "v": rng.standard_normal(n),
+            "idx": rng.integers(0, n, n, dtype=np.int32),
+            "out": np.zeros(n),
+        }
+        env = {"n": n}
+    elif template_id == 3:
+        mm = max(1, min(m, 8))
+        src = SCRATCH_REUSE.format(m=mm)
+        arrays = {
+            "t": rng.standard_normal(mm),
+            "b": rng.standard_normal(n),
+            "d": np.zeros(n),
+        }
+        env = {"n": n}
+    else:
+        src = INT_MIX.format(s=s, o=o, t=t, k=1 + k % 30)
+        arrays = {
+            "x": rng.integers(-(2**31), 2**31, n, dtype=np.int32),
+            "y": rng.integers(-1000, 1000, n, dtype=np.int32),
+        }
+        env = {"n": n}
+    return src, arrays, env
+
+
+def _both_launches(src, arrays, env, n):
+    """Launch the kernel buffered through both paths; return launches."""
+    _, fn = lowered(src)
+    indices = list(range(n))
+
+    ctx_fast = ExecutionContext()
+    ctx_slow = ExecutionContext()
+    ctx_slow.device.columnar_profiling = False
+
+    st_fast = ArrayStorage({k: v.copy() for k, v in arrays.items()})
+    st_slow = ArrayStorage({k: v.copy() for k, v in arrays.items()})
+    fast = ctx_fast.device.launch(
+        fn, indices, env, st_fast, mode="buffered", check_allocations=False
+    )
+    slow = ctx_slow.device.launch(
+        fn, indices, env, st_slow, mode="buffered", check_allocations=False
+    )
+    return fn, indices, fast, st_fast, slow, st_slow
+
+
+def assert_profiles_equal(p_fast, p_slow):
+    d_fast = dataclasses.asdict(p_fast)
+    d_slow = dataclasses.asdict(p_slow)
+    for field in d_slow:
+        assert d_fast[field] == d_slow[field], (
+            f"profile field {field!r}: {d_fast[field]!r} != {d_slow[field]!r}"
+        )
+
+
+def assert_equivalent(src, arrays, env, n):
+    fn, indices, fast, st_fast, slow, st_slow = _both_launches(
+        src, arrays, env, n
+    )
+    if n > 0:
+        assert isinstance(fast.lanes, ColumnarLanes), "fast path not taken"
+    assert fast.counts == slow.counts
+    assert fast.sim_time_s == slow.sim_time_s
+
+    # analysis passes: columnar vs. explicitly-scalar oracle
+    p_fast = analyze_lanes(fast.lanes, indices, warp_size=32)
+    p_slow = analyze_lanes_scalar(slow.lanes, indices, warp_size=32)
+    p_fast.coalescing = estimate_coalescing(fast.lanes, indices, 32)
+    p_slow.coalescing = estimate_coalescing_scalar(slow.lanes, indices, 32)
+    p_fast.compression_ratio = compression_ratio(fast.lanes)
+    p_slow.compression_ratio = compression_ratio_scalar(slow.lanes)
+    assert_profiles_equal(p_fast, p_slow)
+
+    # TLS dependence check
+    c_fast = check_subloop(fast.lanes, indices)
+    c_slow = check_subloop_scalar(slow.lanes, indices)
+    assert c_fast.violations == c_slow.violations
+    assert c_fast.first_violation_pos == c_slow.first_violation_pos
+
+    # committing the buffers leaves memory bit-identical
+    from repro.tls.commit import commit_iterations
+
+    cells_f, bytes_f = commit_iterations(fast.lanes, st_fast, indices)
+    cells_s, bytes_s = commit_iterations(slow.lanes, st_slow, indices)
+    assert (cells_f, bytes_f) == (cells_s, bytes_s)
+    for name in arrays:
+        assert np.array_equal(
+            st_fast.arrays[name], st_slow.arrays[name], equal_nan=True
+        ), name
+
+    # buffer-volume metrics the TLS engine charges
+    from repro.tls.buffers import buffered_bytes, buffered_cells, metadata_entries
+
+    assert buffered_cells(fast.lanes) == buffered_cells(slow.lanes)
+    assert buffered_bytes(fast.lanes, st_fast) == buffered_bytes(
+        slow.lanes, st_slow
+    )
+    assert metadata_entries(fast.lanes) == metadata_entries(slow.lanes)
+
+
+class TestPropertyEquivalence:
+    @given(
+        template_id=st.integers(0, 4),
+        n=st.integers(1, 96),
+        s=st.integers(0, 7),
+        o=st.integers(0, 5),
+        t=st.integers(0, 7),
+        p=st.integers(0, 5),
+        k=st.integers(0, 29),
+        m=st.integers(1, 9),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_kernels(self, template_id, n, s, o, t, p, k, m, seed):
+        src, arrays, env = _make_case(template_id, n, s, o, t, p, k, m, seed)
+        assert_equivalent(src, arrays, env, n)
+
+    def test_dense_collisions(self):
+        # every iteration hits the same two cells: maximal TD/FD density
+        src, arrays, env = _make_case(1, 64, 0, 0, 0, 0, 0, 2, 11)
+        assert_equivalent(src, arrays, env, 64)
+
+    def test_single_iteration(self):
+        src, arrays, env = _make_case(0, 1, 1, 0, 1, 0, 0, 1, 3)
+        assert_equivalent(src, arrays, env, 1)
+
+
+class TestProfileLoopEndToEnd:
+    def test_profile_loop_equal_profiles(self):
+        src, arrays, env = _make_case(0, 80, 2, 1, 3, 0, 0, 1, 21)
+        _, fn = lowered(src)
+        ctx_fast = ExecutionContext()
+        ctx_slow = ExecutionContext()
+        ctx_slow.device.columnar_profiling = False
+        run_fast = profile_loop(
+            ctx_fast.device, fn, range(80), env,
+            ArrayStorage({k: v.copy() for k, v in arrays.items()}),
+            max_sample=64,
+        )
+        run_slow = profile_loop(
+            ctx_slow.device, fn, range(80), env,
+            ArrayStorage({k: v.copy() for k, v in arrays.items()}),
+            max_sample=64,
+        )
+        assert run_fast.sampled_iterations == run_slow.sampled_iterations
+        assert_profiles_equal(run_fast.profile, run_slow.profile)
+        assert run_fast.profile.profile_time_s == run_slow.profile.profile_time_s
