@@ -10,7 +10,11 @@ them to ``BENCH_HOSTPERF.json`` so the perf trajectory has data:
 2. **cold vs. warm artifact cache** — wall-clock of compile and run for
    a runtime-profiling workload with a shared on-disk cache: the warm
    pass must hit the cache for both the translation unit and the
-   dependency profile.
+   dependency profile;
+3. **multi-device scaling** — simulated makespan of saturated DOALL
+   workloads at pool sizes 1/2/4: sharding across more devices must
+   improve the makespan monotonically (and never change results — the
+   identity suite covers that part).
 
 Run standalone (the CI ``perf-smoke`` job uses ``--n 32768``)::
 
@@ -36,7 +40,11 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 )
 
-SCHEMA = "repro.hostperf/v1"
+SCHEMA = "repro.hostperf/v2"
+
+#: Saturated DOALL workloads whose makespan must improve with pool size.
+MULTIDEVICE_WORKLOADS = ("VectorAdd", "BFS", "MVT")
+DEVICE_COUNTS = (1, 2, 4)
 
 VECADD_SRC = """
 class Vec {
@@ -126,6 +134,28 @@ def measure_cache() -> dict:
     return {"workload": CACHE_WORKLOAD, "cold": cold, "warm": warm}
 
 
+def measure_multidevice() -> dict:
+    """Simulated makespan of DOALL workloads across pool sizes."""
+    from repro.workloads import get
+
+    out = {}
+    for name in MULTIDEVICE_WORKLOADS:
+        w = get(name)
+        times = {}
+        for devices in DEVICE_COUNTS:
+            result = w.run("japonica", devices=devices)
+            times[str(devices)] = result.sim_time_s
+        ordered = [times[str(d)] for d in DEVICE_COUNTS]
+        out[name] = {
+            "sim_time_s": times,
+            "monotone": all(
+                a > b for a, b in zip(ordered, ordered[1:])
+            ),
+            "speedup_at_max": ordered[0] / ordered[-1],
+        }
+    return out
+
+
 def check_against(report: dict, baseline_path: str, tolerance: float) -> int:
     with open(baseline_path) as fh:
         baseline = json.load(fh)
@@ -186,11 +216,25 @@ def main(argv=None) -> int:
               f"cache {row['cache_hits']} hits / "
               f"{row['cache_misses']} misses")
 
+    print("multi-device scaling: DOALL makespan at pool sizes "
+          + "/".join(str(d) for d in DEVICE_COUNTS) + " ...")
+    multidevice = measure_multidevice()
+    for name, row in multidevice.items():
+        times = "  ".join(
+            f"d={d} {row['sim_time_s'][str(d)] * 1e3:8.3f}ms"
+            for d in DEVICE_COUNTS
+        )
+        flag = "" if row["monotone"] else "  NOT MONOTONE"
+        print(f"  {name:10s} {times}  "
+              f"({row['speedup_at_max']:.2f}x at {DEVICE_COUNTS[-1]} "
+              f"devices){flag}")
+
     report = {
         "schema": SCHEMA,
         "n": args.n,
         "profiling": profiling,
         "cache": cache,
+        "multidevice": multidevice,
     }
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
@@ -206,6 +250,11 @@ def main(argv=None) -> int:
         return 1
     if cache["warm"]["cache_misses"] != 0:
         print("FAIL: warm pass missed the cache", file=sys.stderr)
+        return 1
+    bad = [n for n, row in multidevice.items() if not row["monotone"]]
+    if bad:
+        print(f"FAIL: makespan not monotone with device count for "
+              f"{', '.join(bad)}", file=sys.stderr)
         return 1
     if args.check:
         return check_against(report, args.check, args.tolerance)

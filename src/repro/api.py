@@ -152,6 +152,7 @@ class CompiledProgram:
         context: Optional[ExecutionContext] = None,
         faults: Optional[object] = None,
         fault_seed: int = 0,
+        devices: Optional[int] = None,
         **bindings,
     ) -> ProgramResult:
         """Execute a method under a strategy.
@@ -167,6 +168,11 @@ class CompiledProgram:
         bit-identical to a fault-free run or raises a typed
         :class:`UnrecoverableFaultError`; what the resilience layer did
         is attached as ``result.resilience``.
+
+        ``devices`` sizes the simulated GPU pool for this run (DOALL /
+        profiled-clean loops shard across it); results stay bit-identical
+        to the single-device run.  It cannot be combined with an explicit
+        ``context`` (size the context's config instead).
         """
         if strategy not in STRATEGIES:
             raise JaponicaError(
@@ -185,8 +191,20 @@ class CompiledProgram:
         mt = self.unit.methods[method]
         decl = mt.method
         storage, scalars = self._bind(decl, bindings)
+        if context is not None and devices is not None:
+            raise JaponicaError(
+                "pass devices= through the context's JaponicaConfig when "
+                "supplying an explicit context"
+            )
+        config = self.config
+        if devices is not None:
+            if devices < 1:
+                raise JaponicaError(f"devices must be >= 1, got {devices}")
+            from dataclasses import replace as _replace
+
+            config = _replace(config or JaponicaConfig(), devices=devices)
         ctx = context or ExecutionContext(
-            self.platform, self.config, obs=self.obs, cache=self.cache
+            self.platform, config, obs=self.obs, cache=self.cache
         )
         ctx.reset_device()
         if faults is not None:

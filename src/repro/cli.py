@@ -65,6 +65,9 @@ def _cmd_run(args) -> int:
     except KeyError as exc:
         print(exc, file=sys.stderr)
         return EXIT_USAGE
+    if args.devices < 1:
+        print(f"--devices must be >= 1, got {args.devices}", file=sys.stderr)
+        return EXIT_USAGE
     strategies = args.strategies.split(",") if args.strategies else ["japonica"]
     binds = workload.bindings(n=args.n, seed=args.seed)
     reference = workload.reference(binds) if args.verify else None
@@ -105,7 +108,9 @@ def _cmd_run(args) -> int:
                 workload.method,
                 strategy=strategy,
                 scheme=args.scheme or workload.scheme,
-                context=workload.make_context(obs=obs, cache=cache),
+                context=workload.make_context(
+                    obs=obs, cache=cache, devices=args.devices
+                ),
                 faults=args.faults, fault_seed=args.fault_seed,
                 **binds,
             )
@@ -122,7 +127,7 @@ def _cmd_run(args) -> int:
                 japonica=japonica,
                 scheme=args.scheme,
                 faults=args.faults, fault_seed=args.fault_seed,
-                cache=cache,
+                cache=cache, devices=args.devices,
             )
         times[strategy] = result.sim_time_s
         modes = ",".join(sorted({r.mode for _, r in result.loop_results}))
@@ -268,6 +273,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--scheme", choices=("sharing", "stealing"), default=None,
         help="override the workload's japonica scheduling scheme",
+    )
+    run_p.add_argument(
+        "--devices", type=int, default=1, metavar="N",
+        help="size of the simulated GPU pool; DOALL loops shard across "
+             "the devices (results stay bit-identical to --devices 1)",
     )
     run_p.add_argument(
         "--cache-dir", metavar="DIR", default=None,

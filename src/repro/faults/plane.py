@@ -45,6 +45,8 @@ class FaultDirective:
     #: deterministic parameter in [0, 1) (e.g. where in a chunk a worker
     #: dies)
     fraction: float = 0.0
+    #: pool device that issued the probe (None = no device context)
+    device: Optional[int] = None
 
 
 class FaultPlane:
@@ -63,13 +65,21 @@ class FaultPlane:
         """How many times ``site`` has been probed."""
         return self._probe_counts.get(site, 0)
 
-    def probe(self, site: str) -> Optional[FaultDirective]:
-        """One probe of ``site``; returns a directive when a fault fires."""
+    def probe(
+        self, site: str, device: Optional[int] = None
+    ) -> Optional[FaultDirective]:
+        """One probe of ``site``; returns a directive when a fault fires.
+
+        ``device`` identifies the pool device issuing the probe (when
+        any) so device-targeted rules can single it out.  Probe indices
+        stay global per site — the deterministic draws of untargeted
+        rules are therefore unchanged by device threading.
+        """
         if self.schedule is None:
             return None
         n = self._probe_counts.get(site, 0) + 1
         self._probe_counts[site] = n
-        fraction = self.schedule.decide(site, n)
+        fraction = self.schedule.decide(site, n, device)
         if fraction is None:
             return None
         directive = FaultDirective(
@@ -77,6 +87,7 @@ class FaultPlane:
             seq=len(self.injected) + 1,
             probe_index=n,
             fraction=fraction,
+            device=device,
         )
         self.injected.append(directive)
         return directive

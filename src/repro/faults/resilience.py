@@ -167,18 +167,19 @@ class FaultRuntime:
 
     # -- probing -----------------------------------------------------------
 
-    def probe(self, site: str):
+    def probe(self, site: str, device: Optional[int] = None):
         """Probe a site; record the fault event when one fires.
 
         The fault event is recorded *here*, co-located with the
         injection, so the report accounts every directive the plane ever
         issued no matter which layer handles (or mishandles) it.
         """
-        directive = self.plane.probe(site)
+        directive = self.plane.probe(site, device)
         if directive is not None:
+            where = "" if device is None else f" d{device}"
             self.recorder.record(
                 KIND_FAULT, site, "inject",
-                detail=f"probe#{directive.probe_index}",
+                detail=f"probe#{directive.probe_index}{where}",
             )
         return directive
 
@@ -200,7 +201,9 @@ class FaultRuntime:
 
     # -- shared recovery primitives ---------------------------------------
 
-    def charge_transfer(self, site: str, nbytes: float) -> float:
+    def charge_transfer(
+        self, site: str, nbytes: float, device: Optional[int] = None
+    ) -> float:
         """Byte cost of one transfer under injection, with re-issue.
 
         Returns the total bytes to charge (the nominal amount plus one
@@ -211,7 +214,7 @@ class FaultRuntime:
             return nbytes
         total = float(nbytes)
         retries = 0
-        while self.probe(site) is not None:
+        while self.probe(site, device) is not None:
             if retries >= self.policy.max_retries:
                 raise TransferError(
                     f"transfer at {site} failed after {retries + 1} attempts",

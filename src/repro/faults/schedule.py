@@ -10,13 +10,18 @@ faults, which is what makes chaos failures reproducible.
 CLI spec grammar (comma-separated entries)::
 
     SPEC  := ENTRY ("," ENTRY)*
-    ENTRY := SITE ":" RATE          probabilistic, e.g.  gpu.launch:0.01
-           | SITE "@" N ("+" N)*    explicit 1-based probe indices,
+    ENTRY := TARGET ":" RATE        probabilistic, e.g.  gpu.launch:0.01
+           | TARGET "@" N ("+" N)*  explicit 1-based probe indices,
                                     e.g.  transfer.h2d@2+5
+    TARGET := SITE ["#" DEVICE]     e.g.  gpu.hang#1 targets device 1
 
 ``SITE`` may be a full site name or a family prefix (``gpu`` covers
 ``gpu.launch``, ``gpu.hang`` and ``gpu.memory``; ``transfer`` covers
-both directions).
+both directions).  A ``#k`` suffix restricts the rule to probes from
+GPU device ``k`` of the device pool; without it the rule covers every
+device.  Draws are keyed by ``(seed, site, probe_index)`` only, so
+adding device targeting never perturbs the decisions of untargeted
+rules.
 """
 
 from __future__ import annotations
@@ -30,13 +35,21 @@ from ..errors import JaponicaError
 
 @dataclass(frozen=True)
 class SiteRule:
-    """One injection rule: where and how often to fault."""
+    """One injection rule: where and how often to fault.
+
+    ``device`` restricts the rule to probes issued by one GPU device of
+    the pool (``None`` = any device, including probes with no device
+    context at all).
+    """
 
     site: str
     rate: float = 0.0
     at: frozenset[int] = frozenset()
+    device: int | None = None
 
-    def matches(self, site: str) -> bool:
+    def matches(self, site: str, device: int | None = None) -> bool:
+        if self.device is not None and device != self.device:
+            return False
         return site == self.site or site.startswith(self.site + ".")
 
 
@@ -50,15 +63,18 @@ class FaultSchedule:
     def __bool__(self) -> bool:
         return any(r.rate > 0 or r.at for r in self.rules)
 
-    def decide(self, site: str, probe_index: int) -> float | None:
+    def decide(
+        self, site: str, probe_index: int, device: int | None = None
+    ) -> float | None:
         """Should probe number ``probe_index`` (1-based) of ``site`` fault?
 
         Returns ``None`` for no fault, else a deterministic fraction in
         [0, 1) that parameterizes the fault (e.g. how far into a chunk a
-        worker dies).
+        worker dies).  ``device`` is the pool device issuing the probe
+        (when any); device-targeted rules only fire for their device.
         """
         for rule in self.rules:
-            if not rule.matches(site):
+            if not rule.matches(site, device):
                 continue
             if probe_index in rule.at:
                 return self._fraction(site, probe_index)
@@ -98,13 +114,31 @@ class FaultSchedule:
                 )
             return site
 
+        def split_target(target: str, entry: str) -> tuple[str, int | None]:
+            """``site#dev`` -> (site, device); bare sites get device None."""
+            site, sep, dev_text = target.partition("#")
+            if not sep:
+                return check_site(site.strip()), None
+            try:
+                device = int(dev_text)
+            except ValueError:
+                raise JaponicaError(
+                    f"bad fault spec entry {entry!r}: device must be an "
+                    f"integer like 'gpu.hang#1'"
+                ) from None
+            if device < 0:
+                raise JaponicaError(
+                    f"bad fault spec entry {entry!r}: device ids are >= 0"
+                )
+            return check_site(site.strip()), device
+
         rules: list[SiteRule] = []
         for entry in spec.split(","):
             entry = entry.strip()
             if not entry:
                 continue
             if "@" in entry:
-                site, _, points = entry.partition("@")
+                target, _, points = entry.partition("@")
                 try:
                     at = frozenset(int(p) for p in points.split("+"))
                 except ValueError:
@@ -117,9 +151,10 @@ class FaultSchedule:
                         f"bad fault spec entry {entry!r}: probe indices "
                         f"are 1-based"
                     )
-                rules.append(SiteRule(check_site(site.strip()), at=at))
+                site, device = split_target(target, entry)
+                rules.append(SiteRule(site, at=at, device=device))
             elif ":" in entry:
-                site, _, rate_text = entry.partition(":")
+                target, _, rate_text = entry.partition(":")
                 try:
                     rate = float(rate_text)
                 except ValueError:
@@ -132,7 +167,8 @@ class FaultSchedule:
                         f"bad fault spec entry {entry!r}: rate must be "
                         f"in [0, 1]"
                     )
-                rules.append(SiteRule(check_site(site.strip()), rate=rate))
+                site, device = split_target(target, entry)
+                rules.append(SiteRule(site, rate=rate, device=device))
             else:
                 raise JaponicaError(
                     f"bad fault spec entry {entry!r}: expected 'site:rate' "

@@ -81,12 +81,16 @@ class GpuDevice:
         cost: CostModel,
         faults: Optional[FaultRuntime] = None,
         obs: Optional[Instrumentation] = None,
+        device_id: int = 0,
     ):
         self.spec = spec
         self.cost = cost
         self.faults = faults
         self.obs = obs or NULL_INSTRUMENTATION
-        self.memory = DeviceMemory(faults=faults, obs=self.obs)
+        self.device_id = device_id
+        self.memory = DeviceMemory(
+            faults=faults, obs=self.obs, device_id=device_id
+        )
         self._compiled: dict[str, CompiledKernel] = {}
         self._vectorized: dict[str, VectorizedKernel] = {}
         self._specvec: dict[str, VectorizedSpecKernel] = {}
@@ -276,6 +280,7 @@ class GpuDevice:
         m = self.obs.metrics
         m.counter("gpu.launches").inc()
         m.counter(f"gpu.launches.{mode}").inc()
+        m.counter(f"gpu.launches.d{self.device_id}").inc()
         m.counter("gpu.threads").inc(n)
         m.counter("gpu.kernel_s").inc(sim_time)
         m.histogram("gpu.divergence").observe(div)
@@ -310,14 +315,14 @@ class GpuDevice:
             try:
                 if check_allocations:
                     self._check_allocations(fn)
-                if faults.probe(SITE_GPU_LAUNCH) is not None:
+                if faults.probe(SITE_GPU_LAUNCH, self.device_id) is not None:
                     raise LaunchFault(
                         "injected kernel launch failure",
                         site=SITE_GPU_LAUNCH,
                         at_s=faults.recorder.clock_s,
                         injected=True,
                     )
-                if faults.probe(SITE_GPU_HANG) is not None:
+                if faults.probe(SITE_GPU_HANG, self.device_id) is not None:
                     raise WatchdogTimeout(
                         "injected kernel hang",
                         site=SITE_GPU_HANG,

@@ -66,12 +66,14 @@ class DeviceMemory:
         capacity_bytes: int = 3 * 1024**3,
         faults: Optional[FaultRuntime] = None,
         obs: Optional[Instrumentation] = None,
+        device_id: int = 0,
     ):
         self.capacity_bytes = capacity_bytes
         self.allocations: dict[str, DeviceAllocation] = {}
         self.stats = TransferStats()
         self.faults = faults
         self.obs = obs or NULL_INSTRUMENTATION
+        self.device_id = device_id
 
     def _faults_on(self) -> bool:
         return self.faults is not None and self.faults.enabled
@@ -109,7 +111,9 @@ class DeviceMemory:
                 f"kernel accesses array {name!r} which was never allocated "
                 f"on the device (missing copyin/create clause?)"
             )
-        if self._faults_on() and self.faults.probe(SITE_GPU_MEMORY) is not None:
+        if self._faults_on() and (
+            self.faults.probe(SITE_GPU_MEMORY, self.device_id) is not None
+        ):
             # injected table corruption: the entry is no longer trusted
             # until a re-validation transfer refreshes it
             allocation.valid = False
@@ -147,7 +151,9 @@ class DeviceMemory:
             allocation = self.alloc(name, shape, dtype)
         moved = allocation.nbytes if nbytes is None else nbytes
         if self._faults_on():
-            moved = self.faults.charge_transfer(SITE_TRANSFER_H2D, moved)
+            moved = self.faults.charge_transfer(
+                SITE_TRANSFER_H2D, moved, self.device_id
+            )
         allocation.valid = True
         self.stats.h2d_bytes += moved
         self.stats.h2d_count += 1
@@ -161,7 +167,9 @@ class DeviceMemory:
         allocation = self.require(name, for_read=False)
         moved = allocation.nbytes if nbytes is None else nbytes
         if self._faults_on():
-            moved = self.faults.charge_transfer(SITE_TRANSFER_D2H, moved)
+            moved = self.faults.charge_transfer(
+                SITE_TRANSFER_D2H, moved, self.device_id
+            )
         self.stats.d2h_bytes += moved
         self.stats.d2h_count += 1
         m = self.obs.metrics

@@ -20,6 +20,17 @@ LANE_DMA = "dma"
 LANE_CPU = "cpu"
 
 
+def gpu_lane(device_id: int) -> str:
+    """Compute lane of pool device ``k`` (device 0 keeps the classic
+    ``gpu`` name so single-device timelines are unchanged)."""
+    return LANE_GPU if device_id == 0 else f"{LANE_GPU}{device_id}"
+
+
+def dma_lane(device_id: int) -> str:
+    """DMA lane of pool device ``k`` (each device owns a copy engine)."""
+    return LANE_DMA if device_id == 0 else f"{LANE_DMA}{device_id}"
+
+
 @dataclass(frozen=True)
 class Event:
     """A completed scheduling decision: [start, end) on a lane."""

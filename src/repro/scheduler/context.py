@@ -9,6 +9,7 @@ from ..cache.artifacts import ArtifactCache, profile_key
 from ..cpusim.executor import CpuExecutor
 from ..faults.resilience import FaultRuntime
 from ..gpusim.device import GpuDevice
+from ..gpusim.pool import DevicePool
 from ..ir.interpreter import ArrayStorage
 from ..obs.metrics import NULL_INSTRUMENTATION, Instrumentation
 from ..obs.tracer import PHASE_PROFILE
@@ -46,6 +47,8 @@ class JaponicaConfig:
     byte_scale: float = 1.0
     iter_scale: float = 1.0
     link_scale: float = 1.0
+    #: simulated GPUs in the device pool (1 = the seed single-GPU path)
+    devices: int = 1
 
 
 class ExecutionContext:
@@ -81,6 +84,16 @@ class ExecutionContext:
         self.device = GpuDevice(
             self.platform.gpu, self.cost, faults=self.faults, obs=self.obs
         )
+        # the pool wraps the primary device; pool size 1 adds no devices
+        # and no behaviour, so the seed single-GPU path is untouched
+        self.pool = DevicePool(
+            self.device,
+            self.cost,
+            self.platform,
+            size=max(1, self.config.devices),
+            faults=self.faults,
+            obs=self.obs,
+        )
         self.cpu = CpuExecutor(
             self.platform.cpu, self.cost, faults=self.faults, obs=self.obs
         )
@@ -88,21 +101,37 @@ class ExecutionContext:
         # optional cross-context artifact cache (content-keyed); the
         # per-loop-id dict above stays the first-level cache within a run
         self.cache = cache
+        # pool topology is part of the signature only beyond one device,
+        # so seed-era cache entries stay valid for single-GPU runs
+        pool_sig = self.pool.signature() if self.pool.size > 1 else None
         self._platform_sig = repr((
             self.platform,
             self.config.work_scale,
             self.config.byte_scale,
             self.config.iter_scale,
             self.config.link_scale,
-        ))
+        ) + ((pool_sig,) if pool_sig is not None else ()))
+
+    @property
+    def scheduler_seed(self) -> int:
+        """Seed for deterministic scheduler tie-breaks.
+
+        Follows the installed fault schedule's seed so a chaos failure
+        replayed with the same ``--fault-seed`` reproduces the identical
+        placement decisions.
+        """
+        schedule = self.faults.plane.schedule
+        return schedule.seed if schedule is not None else 0
 
     def reset_device(self) -> None:
-        """Fresh device memory (new application run)."""
-        self.device.memory.free_all()
+        """Fresh device memory pool-wide (new application run)."""
+        self.pool.reset_memory()
 
     def boundary(self) -> float:
         if self.config.boundary_override is not None:
             return self.config.boundary_override
+        if self.pool.size > 1:
+            return self.pool.sharing_boundary()
         return self.platform.sharing_boundary()
 
     def ensure_profile(

@@ -66,6 +66,18 @@ def decide_mode(
     return ExecMode.D_PRIME
 
 
+def shardable(mode: ExecMode) -> bool:
+    """True when a mode's GPU side may be sharded across a device pool.
+
+    Only the independent modes qualify: A (static DOALL) and D' (profiled
+    clean).  The speculative (B) and privatized (D) modes keep their
+    dependency machinery — TLS sub-loops, PE(V) commit order — on a
+    single device, as cross-device conflict detection would need the
+    inter-GPU coherence the paper's runtime does not have.
+    """
+    return mode in (ExecMode.A, ExecMode.D_PRIME)
+
+
 #: Degradation-ladder rungs below the native modes.
 RUNG_CPU_MT = "cpu-mt"    # all iterations on the CPU thread pool
 RUNG_CPU_SEQ = "cpu-seq"  # sequential CPU: the always-correct last resort

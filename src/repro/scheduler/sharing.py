@@ -229,12 +229,13 @@ class TaskSharingScheduler:
 
     def _invalidate_device(self, names) -> None:
         """After a rollback the host is authoritative again: any device
-        copy of a rolled-back array is fully stale."""
-        mem = self.ctx.device.memory
-        for name in names:
-            alloc = mem.allocations.get(name)
-            if alloc is not None:
-                alloc.stale_fraction = 1.0
+        copy of a rolled-back array (on any pool device) is fully stale."""
+        for dev in self.ctx.pool.devices:
+            mem = dev.memory
+            for name in names:
+                alloc = mem.allocations.get(name)
+                if alloc is not None:
+                    alloc.stale_fraction = 1.0
 
     # -- transfer helpers -------------------------------------------------
 
@@ -298,16 +299,17 @@ class TaskSharingScheduler:
 
     def _cpu_wrote(self, loop: TranslatedLoop, fraction: float) -> None:
         """The CPU side wrote ``fraction`` of the loop's output arrays:
-        that share of any device copy is now stale."""
+        that share of any device copy (on any pool device) is now stale."""
         if fraction <= 0:
             return
-        mem = self.ctx.device.memory
-        for name in loop.analysis.arrays_written():
-            alloc = mem.allocations.get(name)
-            if alloc is not None:
-                alloc.stale_fraction = min(
-                    1.0, alloc.stale_fraction + fraction
-                )
+        for dev in self.ctx.pool.devices:
+            mem = dev.memory
+            for name in loop.analysis.arrays_written():
+                alloc = mem.allocations.get(name)
+                if alloc is not None:
+                    alloc.stale_fraction = min(
+                        1.0, alloc.stale_fraction + fraction
+                    )
 
     # -- mode implementations ----------------------------------------------
 
@@ -322,6 +324,13 @@ class TaskSharingScheduler:
         buffered: bool = False,
     ) -> ExecutionResult:
         """DOALL (A) and profiled-clean (D'): PE on GPU + MT on CPU."""
+        if self.ctx.pool.size > 1:
+            from .sharding import run_sharded_mode_a
+
+            return run_sharded_mode_a(
+                self, loop, indices, scalar_env, storage, tl, coalescing,
+                buffered=buffered,
+            )
         cfg = self.ctx.config
         gpu_idx, cpu_idx = split_at_boundary(indices, self.ctx.boundary())
         b_in, b_out = self._register_device_data(loop, storage, scalar_env)

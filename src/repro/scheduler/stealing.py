@@ -28,12 +28,13 @@ from ..ir.interpreter import ArrayStorage
 from ..obs.tracer import PHASE_SCHEDULE
 from ..pdg.graph import ProgramDependenceGraph
 from ..pdg.toposort import JobPool
-from ..runtime.clock import LANE_CPU, LANE_GPU, Timeline
+from ..runtime.clock import LANE_CPU, Timeline, gpu_lane
 from ..runtime.result import ExecutionResult
 from ..tls.engine import GpuTlsEngine
 from ..translate.translator import TranslatedLoop
 from .context import ExecutionContext
 from .queues import WorkerQueue
+from .sharding import seeded_pick
 from .task import Task
 
 #: Modelled per-batch synchronization overhead (barrier + dispatch).
@@ -122,6 +123,12 @@ class Placement:
     start_s: float
     duration_s: float
     stolen: bool = False
+    #: pool device the task was placed on (meaningful when worker='gpu')
+    device: int = 0
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
 
 
 @dataclass
@@ -143,6 +150,8 @@ class TaskStealingScheduler:
 
     def __init__(self, ctx: ExecutionContext):
         self.ctx = ctx
+        #: array sections per task id, filled by :meth:`build_task_pdg`
+        self._sections: dict[str, dict] = {}
 
     # -- PDG over tasks ---------------------------------------------------
 
@@ -180,6 +189,9 @@ class TaskStealingScheduler:
                 if kinds:
                     pdg.add_edge(a.id, b.id, "+".join(kinds))
         pdg.check_acyclic()
+        # kept for the cross-device steal guard: a steal must not place a
+        # task whose sections conflict with a concurrently running task
+        self._sections = sections
         return pdg
 
     # -- distribution rules -----------------------------------------------
@@ -217,6 +229,67 @@ class TaskStealingScheduler:
     def _cpu_obligatory(dd: str) -> bool:
         return dd == "high"
 
+    # -- pool workers ------------------------------------------------------
+    # Worker names: 'gpu' is pool device 0 (the seed single-GPU worker),
+    # 'gpu1'..'gpuN' the extra pool devices, 'cpu' the thread pool.
+
+    @staticmethod
+    def _worker_name(device_id: int) -> str:
+        return "gpu" if device_id == 0 else f"gpu{device_id}"
+
+    @staticmethod
+    def _worker_device(worker: str) -> Optional[int]:
+        if worker == "cpu":
+            return None
+        return 0 if worker == "gpu" else int(worker[3:])
+
+    @staticmethod
+    def _rank(worker: str) -> int:
+        """Tie order on equal clocks: gpu0 < gpu1 < ... < cpu (reproduces
+        the seed rule 'gpu wins ties' at pool size 1)."""
+        if worker == "cpu":
+            return 1 << 30
+        return 0 if worker == "gpu" else int(worker[3:])
+
+    def _may_run(self, worker: str, dd: str) -> bool:
+        """Placement legality: TLS ('low') sub-loops stay on device 0 or
+        the CPU; the CPU may run anything."""
+        dev = self._worker_device(worker)
+        if dev is None:
+            return True
+        return dd != "low" or dev == 0
+
+    def _steal_safe(
+        self,
+        task: Task,
+        worker: str,
+        times: dict[str, float],
+        placed: list[Placement],
+    ) -> bool:
+        """A steal may not place a task whose array sections conflict
+        with a task still running on another worker.
+
+        Batches are PDG antichains (conflicting tasks never share a
+        batch), so this guard should never fire — it is the enforced
+        form of that invariant, and the property suite checks it.
+        """
+        now = times[worker]
+        mine = self._sections.get(task.id)
+        if mine is None:
+            return True
+        for p in placed:
+            if p.end_s <= now:
+                continue
+            p_name = (
+                "cpu" if p.worker == "cpu" else self._worker_name(p.device)
+            )
+            if p_name == worker:
+                continue
+            other = self._sections.get(p.task_id)
+            if other is not None and _section_conflicts(mine, other):
+                return False
+        return True
+
     # -- the scheduling loop ------------------------------------------------
 
     def execute(
@@ -237,9 +310,11 @@ class TaskStealingScheduler:
         by_id = {t.id: t for t in tasks}
         stats = StealingStats()
         tl = Timeline()
+        dpool = self.ctx.pool
 
-        t_cpu = 0.0
-        t_gpu = 0.0
+        times: dict[str, float] = {"cpu": 0.0}
+        for k in dpool.alive_ids():
+            times[self._worker_name(k)] = 0.0
         from ..ir.interpreter import N_COUNTERS, Counts
 
         raw = [0] * N_COUNTERS  # hot loop: accumulate raw, fold at the end
@@ -247,57 +322,79 @@ class TaskStealingScheduler:
         while pool:
             batch_ids = pool.get_tasks()
             stats.batches += 1
-            gpu_q = WorkerQueue("gpu")
-            cpu_q = WorkerQueue("cpu")
+            gpu_workers = [
+                self._worker_name(k) for k in dpool.alive_ids()
+            ]
+            queues = {w: WorkerQueue(w) for w in gpu_workers + ["cpu"]}
             dd_of: dict[str, str] = {}
             for tid in batch_ids:
                 task = by_id[tid]
                 dd = self._dd_class(task, storage, scalar_env)
                 dd_of[tid] = dd
-                if self._cpu_obligatory(dd) or dd == "low":
-                    cpu_q.push(task)
+                if self._cpu_obligatory(dd) or dd == "low" or not gpu_workers:
+                    queues["cpu"].push(task)
                 else:  # 'zero' obligatory GPU, 'doall' suited to GPU
-                    gpu_q.push(task)
+                    w = self._pick_gpu_queue(
+                        queues, gpu_workers, stats.batches, tid
+                    )
+                    queues[w].push(task)
 
             # Algorithm 1 lines 7-10: prime an empty queue by stealing
-            self._prime_empty_queue(gpu_q, cpu_q, dd_of)
+            self._prime_empty_queues(queues, gpu_workers, dd_of)
 
             # run the batch with dynamic stealing
-            while gpu_q or cpu_q:
-                worker = "gpu" if t_gpu <= t_cpu else "cpu"
-                task, stolen = self._next_task(worker, gpu_q, cpu_q, dd_of)
+            placed: list[Placement] = []
+            while any(queues.values()):
+                # a device killed mid-batch drops out; its queue rehomes
+                gpu_workers = self._drop_dead_workers(
+                    queues, gpu_workers, dd_of
+                )
+                order = sorted(
+                    ["cpu"] + gpu_workers,
+                    key=lambda w: (times[w], self._rank(w)),
+                )
+                task, stolen, worker = None, False, ""
+                for w in order:
+                    task, stolen = self._next_task(
+                        w, queues, gpu_workers, dd_of, times, placed
+                    )
+                    if task is not None:
+                        worker = w
+                        break
                 if task is None:
-                    # nothing this worker may run; let the other worker go
-                    worker = "cpu" if worker == "gpu" else "gpu"
-                    task, stolen = self._next_task(worker, gpu_q, cpu_q, dd_of)
-                    if task is None:
-                        raise SchedulerError("no runnable task in batch")
-                start = t_gpu if worker == "gpu" else t_cpu
+                    raise SchedulerError("no runnable task in batch")
+                start = times[worker]
                 duration, counts = self._run_on(
                     worker, task, storage, scalar_env, dd_of[task.id]
                 )
                 counts.add_to_raw(raw)
-                if worker == "gpu":
-                    t_gpu = start + duration
-                else:
-                    t_cpu = start + duration
+                times[worker] = start + duration
                 if stolen:
                     stats.steals += 1
-                stats.placements.append(
-                    Placement(task.id, worker, start, duration, stolen)
+                dev = self._worker_device(worker)
+                placement = Placement(
+                    task.id,
+                    "cpu" if dev is None else "gpu",
+                    start,
+                    duration,
+                    stolen,
+                    device=dev if dev is not None else 0,
                 )
+                placed.append(placement)
+                stats.placements.append(placement)
                 tl.schedule(
-                    LANE_GPU if worker == "gpu" else LANE_CPU,
+                    LANE_CPU if dev is None else gpu_lane(dev),
                     duration,
                     not_before=start,
                     label=task.id + ("*" if stolen else ""),
                 )
 
             # batch barrier
-            t_cpu = t_gpu = max(t_cpu, t_gpu) + BATCH_SYNC_OVERHEAD_S
+            barrier = max(times.values()) + BATCH_SYNC_OVERHEAD_S
+            times = {w: barrier for w in times}
             pool.mark_done(batch_ids)
 
-        makespan = max(t_cpu, t_gpu)
+        makespan = max(times.values())
         sp.annotate(batches=stats.batches, steals=stats.steals)
         sp.set_sim(0.0, makespan)
         sp.close()
@@ -320,39 +417,144 @@ class TaskStealingScheduler:
             ),
         )
 
-    def _prime_empty_queue(self, gpu_q, cpu_q, dd_of) -> None:
-        if not gpu_q and cpu_q:
-            task = cpu_q.steal_only_if(
+    def _pick_gpu_queue(
+        self,
+        queues: dict[str, WorkerQueue],
+        gpu_workers: list[str],
+        batch_no: int,
+        task_id: str,
+    ) -> str:
+        """Least-loaded device queue; equal-length ties break through the
+        scheduler seed so placements replay under ``--fault-seed``."""
+        shortest = min(len(queues[w]) for w in gpu_workers)
+        ties = [w for w in gpu_workers if len(queues[w]) == shortest]
+        if len(ties) == 1:
+            return ties[0]
+        return ties[
+            seeded_pick(
+                self.ctx.scheduler_seed, ("dist", batch_no, task_id),
+                len(ties),
+            )
+        ]
+
+    def _prime_empty_queues(
+        self,
+        queues: dict[str, WorkerQueue],
+        gpu_workers: list[str],
+        dd_of: dict[str, str],
+    ) -> None:
+        if gpu_workers and not any(queues[w] for w in gpu_workers):
+            # prime the first device's queue (device 0 when alive, which
+            # is the only device that may take a TLS task)
+            w0 = gpu_workers[0]
+            task = queues["cpu"].steal_only_if(
                 lambda t: not self._cpu_obligatory(dd_of[t.id])
+                and self._may_run(w0, dd_of[t.id])
             )
             if task is not None:
-                gpu_q.push(task)
-        if not cpu_q and gpu_q:
+                queues[w0].push(task)
+        if not queues["cpu"] and any(queues[w] for w in gpu_workers):
             # the CPU can run anything; prefer tasks not pinned to the GPU
-            task = gpu_q.steal(
+            victim = max(gpu_workers, key=lambda w: len(queues[w]))
+            task = queues[victim].steal(
                 lambda t: not self._gpu_obligatory(dd_of[t.id])
             )
             if task is not None:
-                cpu_q.push(task)
+                queues["cpu"].push(task)
 
     def _next_task(
-        self, worker: str, gpu_q: WorkerQueue, cpu_q: WorkerQueue, dd_of
+        self,
+        worker: str,
+        queues: dict[str, WorkerQueue],
+        gpu_workers: list[str],
+        dd_of: dict[str, str],
+        times: dict[str, float],
+        placed: list[Placement],
     ) -> tuple[Optional[Task], bool]:
-        own, other = (gpu_q, cpu_q) if worker == "gpu" else (cpu_q, gpu_q)
+        own = queues[worker]
         task = own.pop()
         if task is not None:
             return task, False
-        if worker == "gpu":
-            # the GPU steals parallel-friendly tasks only
-            stolen = other.steal_only_if(
-                lambda t: not self._cpu_obligatory(dd_of[t.id])
+        dev = self._worker_device(worker)
+        if dev is None:
+            # the CPU can run anything; prefer the tasks suited to it,
+            # raiding the fullest device queue first
+            victims = sorted(
+                (w for w in gpu_workers if queues[w]),
+                key=lambda w: (-len(queues[w]), self._rank(w)),
             )
-        else:
-            # the CPU can run anything; prefer the tasks suited to it
-            stolen = other.steal(
-                lambda t: dd_of[t.id] in ("low", "high")
+            for w in victims:
+                stolen = queues[w].steal_only_if(
+                    lambda t: dd_of[t.id] in ("low", "high")
+                    and self._steal_safe(t, worker, times, placed)
+                )
+                if stolen is not None:
+                    return stolen, True
+            for w in victims:
+                stolen = queues[w].steal_only_if(
+                    lambda t: self._steal_safe(t, worker, times, placed)
+                )
+                if stolen is not None:
+                    return stolen, True
+            return None, False
+        # a GPU device steals parallel-friendly tasks only: from its
+        # sibling devices first (cross-device steal), then from the CPU
+        def allowed(t: Task) -> bool:
+            return (
+                not self._cpu_obligatory(dd_of[t.id])
+                and self._may_run(worker, dd_of[t.id])
+                and self._steal_safe(t, worker, times, placed)
             )
+
+        victims = sorted(
+            (w for w in gpu_workers if w != worker and queues[w]),
+            key=lambda w: (-len(queues[w]), self._rank(w)),
+        )
+        for w in victims:
+            stolen = queues[w].steal_only_if(allowed)
+            if stolen is not None:
+                return stolen, True
+        stolen = queues["cpu"].steal_only_if(allowed)
         return stolen, stolen is not None
+
+    def _drop_dead_workers(
+        self,
+        queues: dict[str, WorkerQueue],
+        gpu_workers: list[str],
+        dd_of: dict[str, str],
+    ) -> list[str]:
+        """Remove mid-batch casualties; rehome their queued tasks.
+
+        A device the fault plane killed (see :meth:`_run_on`) stops being
+        schedulable immediately; tasks still sitting in its queue move to
+        the least-loaded surviving device (or the CPU when none remain,
+        or for TLS tasks, which only device 0 may take).
+        """
+        alive = [
+            w
+            for w in gpu_workers
+            if self.ctx.pool.is_alive(self._worker_device(w))
+        ]
+        if len(alive) == len(gpu_workers):
+            return gpu_workers
+        for w in gpu_workers:
+            if w in alive:
+                continue
+            while True:
+                task = queues[w].pop()
+                if task is None:
+                    break
+                dd = dd_of[task.id]
+                homes = [w2 for w2 in alive if self._may_run(w2, dd)]
+                if homes:
+                    tgt = min(
+                        homes,
+                        key=lambda w2: (len(queues[w2]), self._rank(w2)),
+                    )
+                    queues[tgt].push(task)
+                else:
+                    queues["cpu"].push(task)
+        return alive
 
     # -- per-worker execution -----------------------------------------------
 
@@ -378,7 +580,7 @@ class TaskStealingScheduler:
         if not faults.enabled:
             return self._run_on_raw(worker, task, storage, scalar_env, dd)
         plans = [(worker, dd)]
-        if worker == "gpu":
+        if worker != "cpu":
             plans.append(("cpu", dd))
         if plans[-1] != ("cpu", "high"):
             plans.append(("cpu", "high"))  # forces the serial CPU path
@@ -392,10 +594,17 @@ class TaskStealingScheduler:
                 if not is_recoverable_fault(err):
                     raise
                 restore_arrays(storage, snapshot)
-                for name in written:
-                    alloc = self.ctx.device.memory.allocations.get(name)
-                    if alloc is not None:
-                        alloc.valid = False
+                for dev in self.ctx.pool.devices:
+                    for name in written:
+                        alloc = dev.memory.allocations.get(name)
+                        if alloc is not None:
+                            alloc.valid = False
+                dev_id = self._worker_device(w)
+                if dev_id is not None and self.ctx.pool.size > 1:
+                    # a pool device that exhausted its retry budget is
+                    # dead for the rest of the run; its queued tasks
+                    # rehome at the next scheduling step
+                    self.ctx.pool.mark_dead(dev_id)
                 last_err = err
                 if pos + 1 < len(plans):
                     nxt = plans[pos + 1]
@@ -439,16 +648,20 @@ class TaskStealingScheduler:
                     threads=self.ctx.config.cpu_threads,
                     elem_bytes=loop.elem_bytes,
                 )
-            # a CPU write invalidates any device copy of the array
-            for name in loop.analysis.arrays_written():
-                alloc = self.ctx.device.memory.allocations.get(name)
-                if alloc is not None:
-                    alloc.valid = False
+            # a CPU write invalidates every pool device's copy of the array
+            for dev in self.ctx.pool.devices:
+                for name in loop.analysis.arrays_written():
+                    alloc = dev.memory.allocations.get(name)
+                    if alloc is not None:
+                        alloc.valid = False
             return run.sim_time_s, run.counts
 
-        # GPU worker
+        # GPU worker: the pool device behind this worker name
+        dev_id = self._worker_device(worker)
+        device = self.ctx.pool.device(dev_id)
+        cost = self.ctx.pool.cost_of(dev_id)
         time_s = 0.0
-        mem = self.ctx.device.memory
+        mem = device.memory
         for move in loop.data_plan.copyin:
             arr = storage.arrays[move.array]
             alloc = mem.allocations.get(move.array)
@@ -456,7 +669,7 @@ class TaskStealingScheduler:
                 nbytes = move.nbytes(scalar_env, arr)
                 # copyin's return already includes fault re-issues
                 moved = mem.copyin(move.array, arr.shape, arr.dtype, nbytes)
-                time_s += self.ctx.cost.transfer_time(moved, asynchronous=True)
+                time_s += cost.transfer_time(moved, asynchronous=True)
         for move in loop.data_plan.create:
             arr = storage.arrays[move.array]
             if move.array not in mem.allocations:
@@ -485,14 +698,14 @@ class TaskStealingScheduler:
             from ..tls.privatize import run_privatized
 
             priv = run_privatized(
-                self.ctx.device, loop.fn, indices, scalar_env, storage,
+                device, loop.fn, indices, scalar_env, storage,
                 coalescing=coalescing, elem_bytes=loop.elem_bytes,
                 profile=profile,
             )
             time_s += priv.sim_time_s
             counts = priv.counts
         else:
-            launch = self.ctx.device.launch(
+            launch = device.launch(
                 loop.fn, indices, scalar_env, storage,
                 mode="direct", coalescing=coalescing,
                 elem_bytes=loop.elem_bytes,
@@ -503,12 +716,13 @@ class TaskStealingScheduler:
         out_bytes = self.ctx.faults.charge_transfer(
             SITE_TRANSFER_D2H,
             loop.data_plan.total_out_bytes(scalar_env, storage.arrays) * frac,
+            dev_id,
         )
         if out_bytes:
             m = self.ctx.obs.metrics
             m.counter("transfer.d2h.bytes").inc(out_bytes)
             m.counter("transfer.d2h.count").inc()
-        time_s += self.ctx.cost.transfer_time(out_bytes, asynchronous=True)
+        time_s += cost.transfer_time(out_bytes, asynchronous=True)
         for move in loop.data_plan.copyout:
             mem.mark_written(move.array)
         return time_s, counts

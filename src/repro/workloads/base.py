@@ -66,7 +66,9 @@ class Workload:
             raise WorkloadError(f"{self.name}: no input generator")
         return self.make_inputs(n=n, seed=seed, **overrides)
 
-    def make_context(self, paper_scale: bool = True, obs=None, cache=None):
+    def make_context(
+        self, paper_scale: bool = True, obs=None, cache=None, devices: int = 1
+    ):
         """Execution context with this workload's calibration applied."""
         from dataclasses import replace
 
@@ -78,7 +80,7 @@ class Workload:
             platform = platform.with_(
                 cpu=replace(platform.cpu, java_efficiency=self.java_efficiency)
             )
-        config = JaponicaConfig()
+        config = JaponicaConfig(devices=devices)
         if paper_scale:
             config.work_scale = self.work_scale
             config.byte_scale = self.byte_scale
@@ -98,6 +100,7 @@ class Workload:
         faults=None,
         fault_seed: int = 0,
         cache=None,
+        devices: int = 1,
         **overrides,
     ) -> ProgramResult:
         """Execute under a strategy.
@@ -113,7 +116,7 @@ class Workload:
         ctx = (
             context
             if context is not None
-            else self.make_context(paper_scale, cache=cache)
+            else self.make_context(paper_scale, cache=cache, devices=devices)
         )
         return program.run(
             self.method,

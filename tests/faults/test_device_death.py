@@ -1,0 +1,155 @@
+"""Chaos tests for the device pool: killing devices mid-run must drain
+their shards to survivors (or the CPU) without changing any result.
+
+``gpu.launch``/``gpu.hang`` faults fire strictly before the device's
+lanes execute, so a dead device leaves no partial writes and its shard
+can safely re-run elsewhere — the identity oracle holds under every
+drain path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import JaponicaError
+from repro.faults.plane import SITE_GPU_HANG, SITE_GPU_LAUNCH
+from repro.faults.schedule import FaultSchedule
+from repro.workloads import get
+
+
+def _degrade_actions(result):
+    actions = []
+    for _, res in result.loop_results:
+        if res.resilience is None:
+            continue
+        actions.extend(
+            e.action for e in res.resilience.events if e.kind == "degrade"
+        )
+    return actions
+
+
+class TestDeviceTargetGrammar:
+    def test_parse_device_suffix(self):
+        sched = FaultSchedule.parse("gpu.hang#1:1.0")
+        (rule,) = sched.rules
+        assert rule.site == SITE_GPU_HANG
+        assert rule.device == 1
+        assert rule.rate == 1.0
+
+    def test_parse_device_suffix_exact_probes(self):
+        sched = FaultSchedule.parse("gpu.launch#2@1+3")
+        (rule,) = sched.rules
+        assert rule.device == 2
+        assert rule.at == frozenset({1, 3})
+
+    def test_targeted_rule_only_fires_for_its_device(self):
+        sched = FaultSchedule.parse("gpu.hang#1:1.0")
+        assert sched.decide(SITE_GPU_HANG, 1, device=0) is None
+        assert sched.decide(SITE_GPU_HANG, 1, device=None) is None
+        assert sched.decide(SITE_GPU_HANG, 1, device=1) is not None
+
+    def test_untargeted_rule_covers_every_device(self):
+        sched = FaultSchedule.parse("gpu.hang:1.0")
+        for device in (None, 0, 1, 7):
+            assert sched.decide(SITE_GPU_HANG, 1, device=device) is not None
+
+    def test_device_draws_keyed_by_site_only(self):
+        """Adding a device target never perturbs untargeted decisions:
+        the draw for (site, probe_index) is device-independent."""
+        plain = FaultSchedule.parse("gpu.launch:0.3", seed=7)
+        mixed = FaultSchedule.parse("gpu.launch:0.3,gpu.hang#1:1.0", seed=7)
+        for i in range(1, 200):
+            assert plain.decide(SITE_GPU_LAUNCH, i) == mixed.decide(
+                SITE_GPU_LAUNCH, i
+            )
+
+    def test_bad_device_specs_rejected(self):
+        with pytest.raises(JaponicaError):
+            FaultSchedule.parse("gpu.hang#x:0.5")
+        with pytest.raises(JaponicaError):
+            FaultSchedule.parse("gpu.hang#-1:0.5")
+
+
+class TestDeviceDeathDrain:
+    @pytest.mark.parametrize("workload", ["VectorAdd", "MVT"], ids=str)
+    def test_dead_device_drains_to_survivors(self, workload):
+        w = get(workload)
+        clean = w.run("japonica", devices=2)
+
+        ctx = w.make_context(devices=2)
+        faulty = w.run(
+            "japonica", context=ctx, faults="gpu.hang#1:1.0", fault_seed=3
+        )
+
+        # identity oracle: the drain changed nothing functional
+        assert clean.scalars == faulty.scalars
+        for name, arr in clean.arrays.items():
+            assert np.array_equal(
+                faulty.arrays[name], arr, equal_nan=True
+            ), name
+
+        actions = _degrade_actions(faulty)
+        assert any(a == "gpu1->drain" for a in actions), actions
+        assert not ctx.pool.is_alive(1)
+        assert ctx.pool.is_alive(0)
+        # survivors took strictly longer than the fault-free pool
+        assert faulty.sim_time_s > clean.sim_time_s
+
+    def test_all_devices_dead_drains_to_cpu(self):
+        w = get("VectorAdd")
+        clean = w.run("japonica", devices=2)
+        ctx = w.make_context(devices=2)
+        faulty = w.run(
+            "japonica", context=ctx, faults="gpu.launch:1.0", fault_seed=1
+        )
+        for name, arr in clean.arrays.items():
+            assert np.array_equal(
+                faulty.arrays[name], arr, equal_nan=True
+            ), name
+        actions = _degrade_actions(faulty)
+        assert "pool->cpu-mt" in actions, actions
+        assert ctx.pool.alive_ids() == []
+
+    def test_pool_dead_before_dispatch_degrades_cleanly(self):
+        """A multi-loop run whose pool died in an earlier dispatch must
+        route later loops entirely to the CPU, not crash (regression:
+        partition_weighted was called with zero alive devices)."""
+        w = get("MVT")  # two DOALL loops
+        clean = w.run("japonica", devices=2)
+        faulty = w.run(
+            "japonica", devices=2, faults="gpu.launch:1.0", fault_seed=1
+        )
+        for name, arr in clean.arrays.items():
+            assert np.array_equal(
+                faulty.arrays[name], arr, equal_nan=True
+            ), name
+
+    def test_pool_revives_between_dispatches(self):
+        """reset_memory (called per run) revives dead devices."""
+        w = get("VectorAdd")
+        ctx = w.make_context(devices=2)
+        w.run("japonica", context=ctx, faults="gpu.hang#1:1.0")
+        assert not ctx.pool.is_alive(1)
+        ctx.pool.reset_memory()
+        assert ctx.pool.alive_ids() == [0, 1]
+
+    def test_drain_replays_under_same_seed(self):
+        """Chaos placements replay bit-for-bit with the same fault seed."""
+        runs = []
+        for _ in range(2):
+            r = get("BFS").run(
+                "japonica", devices=4,
+                faults="gpu.hang#2:1.0", fault_seed=11,
+            )
+            runs.append(
+                (
+                    r.sim_time_s,
+                    tuple(
+                        (lid, res.mode, res.sim_time_s)
+                        for lid, res in r.loop_results
+                    ),
+                    tuple(_degrade_actions(r)),
+                )
+            )
+        assert runs[0] == runs[1]

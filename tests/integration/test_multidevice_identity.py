@@ -1,0 +1,90 @@
+"""Multi-GPU differential oracle: sharding must be invisible.
+
+The device pool only changes *where* iterations run and how simulated
+time accrues — never what is computed.  For every Table-II workload,
+the full japonica strategy at ``devices`` 2 and 4 must produce array
+results bit-identical to the seed single-device path, the same scalar
+outputs, and field-for-field equal dependency profiles (profiling always
+happens on device 0, so the scheduler sees identical evidence).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.workloads import ALL_WORKLOADS
+
+DEVICE_COUNTS = (2, 4)
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+def test_multidevice_identity(workload):
+    ctx_one = workload.make_context(devices=1)
+    r_one = workload.run("japonica", context=ctx_one)
+
+    for devices in DEVICE_COUNTS:
+        ctx_n = workload.make_context(devices=devices)
+        assert ctx_n.pool.size == devices
+        r_n = workload.run("japonica", context=ctx_n)
+
+        assert r_one.scalars == r_n.scalars, devices
+        for name, arr in r_one.arrays.items():
+            assert np.array_equal(
+                r_n.arrays[name], arr, equal_nan=True
+            ), (devices, name)
+
+        # identical dependency evidence: same loops profiled, every
+        # profile equal field for field
+        assert set(ctx_one.profiles) == set(ctx_n.profiles), devices
+        for loop_id, p_one in ctx_one.profiles.items():
+            d_one = dataclasses.asdict(p_one)
+            d_n = dataclasses.asdict(ctx_n.profiles[loop_id])
+            assert d_one == d_n, (devices, loop_id)
+
+        # same per-loop modes (TLS/privatized routing must not change)
+        assert [
+            (lid, res.mode) for lid, res in r_one.loop_results
+        ] == [(lid, res.mode) for lid, res in r_n.loop_results], devices
+
+
+@pytest.mark.parametrize(
+    "name", ["VectorAdd", "MVT", "BFS"], ids=str
+)
+def test_doall_makespan_improves_with_devices(name):
+    """Saturated DOALL workloads get faster as the pool grows."""
+    from repro.workloads import get
+
+    w = get(name)
+    times = [w.run("japonica", devices=d).sim_time_s for d in (1, 2, 4)]
+    assert times[0] > times[1] > times[2], times
+
+
+def test_devices_kwarg_on_program_run():
+    """CompiledProgram.run(devices=N) builds an N-device context."""
+    from repro.workloads import get
+
+    w = get("VectorAdd")
+    program = w.compile()
+    binds = w.bindings()
+    r1 = program.run(w.method, strategy="japonica", scheme=w.scheme, **binds)
+    r2 = program.run(
+        w.method, strategy="japonica", scheme=w.scheme, devices=2, **binds
+    )
+    for name, arr in r1.arrays.items():
+        assert np.array_equal(r2.arrays[name], arr, equal_nan=True), name
+
+
+def test_devices_kwarg_rejects_explicit_context():
+    from repro.errors import JaponicaError
+    from repro.workloads import get
+
+    w = get("VectorAdd")
+    program = w.compile()
+    binds = w.bindings()
+    with pytest.raises(JaponicaError):
+        program.run(
+            w.method, context=w.make_context(), devices=2, **binds
+        )

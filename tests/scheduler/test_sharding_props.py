@@ -1,0 +1,223 @@
+"""Property suite for sharded multi-device scheduling.
+
+Hypothesis locks down the algebraic invariants the multi-device
+identity oracle depends on: weighted partitions lose and duplicate
+nothing, seeded tie-breaks are pure functions of their inputs, stolen
+placements never overlap a section-conflicting task, and per-device
+timeline lanes reconcile with the global makespan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import ArrayStorage
+from repro.runtime.clock import dma_lane, gpu_lane
+from repro.scheduler.context import ExecutionContext, JaponicaConfig
+from repro.scheduler.sharding import partition_weighted, seeded_pick
+from repro.scheduler.stealing import (
+    TaskStealingScheduler,
+    _section_conflicts,
+)
+from repro.scheduler.task import Task
+from repro.translate.translator import Translator
+
+# -- partition_weighted ----------------------------------------------------
+
+weights_st = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=8,
+)
+
+
+@settings(max_examples=200)
+@given(n=st.integers(min_value=0, max_value=5000), weights=weights_st)
+def test_partition_is_exact(n, weights):
+    items = list(range(n))
+    shards = partition_weighted(items, weights)
+    assert len(shards) == len(weights)
+    # exact partition: concatenation reproduces the input (order, no
+    # loss, no duplication) and every shard is contiguous
+    flat = [i for shard in shards for i in shard]
+    assert flat == items
+    for shard in shards:
+        if shard:
+            assert shard == list(range(shard[0], shard[-1] + 1))
+
+
+@settings(max_examples=200)
+@given(
+    n=st.integers(min_value=1, max_value=5000),
+    weights=st.lists(
+        st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=8,
+    ),
+)
+def test_partition_proportionality(n, weights):
+    """Each shard's size is within one rounding step of its fair share."""
+    shards = partition_weighted(list(range(n)), weights)
+    total = sum(weights)
+    for shard, w in zip(shards, weights):
+        assert abs(len(shard) - n * w / total) <= 1.0 + 1e-9
+
+
+def test_partition_rejects_bad_weights():
+    with pytest.raises(ValueError):
+        partition_weighted([1, 2], [])
+    with pytest.raises(ValueError):
+        partition_weighted([1, 2], [1.0, -0.5])
+
+
+def test_partition_zero_total_degenerates_to_first_shard():
+    shards = partition_weighted([1, 2, 3], [0.0, 0.0])
+    assert shards == [[1, 2, 3], []]
+
+
+# -- seeded_pick -----------------------------------------------------------
+
+key_st = st.tuples(
+    st.text(max_size=10), st.integers(min_value=-1000, max_value=1000)
+)
+
+
+@settings(max_examples=200)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32),
+    key=key_st,
+    n=st.integers(min_value=1, max_value=64),
+)
+def test_seeded_pick_in_range_and_deterministic(seed, key, n):
+    v = seeded_pick(seed, key, n)
+    assert 0 <= v < n
+    assert v == seeded_pick(seed, key, n)
+
+
+@settings(max_examples=200)
+@given(seed=st.integers(min_value=0, max_value=2**32), key=key_st)
+def test_seeded_pick_trivial_n(seed, key):
+    assert seeded_pick(seed, key, 1) == 0
+    assert seeded_pick(seed, key, 0) == 0
+
+
+def test_seeded_pick_varies_with_seed():
+    picks = {seeded_pick(s, ("drain", "L0", 0), 16) for s in range(64)}
+    assert len(picks) > 1
+
+
+# -- stealing across devices ----------------------------------------------
+
+MULTI_LOOP_SRC = """
+class T {
+  static void run(double[] a, double[] b, double[] c, double[] d, int n) {
+    /* acc parallel scheme(stealing) */
+    for (int i = 0; i < n / 2; i++) { b[i] = a[i] * 2.0; }
+    /* acc parallel */
+    for (int i = n / 2; i < n; i++) { b[i] = a[i] * 2.0; }
+    /* acc parallel */
+    for (int i = 0; i < n; i++) { c[i] = a[i] + 1.0; }
+    /* acc parallel */
+    for (int i = 0; i < n; i++) { d[i] = a[i] - 1.0; }
+    /* acc parallel */
+    for (int i = 0; i < n; i++) { c[i] = c[i] + b[i]; }
+  }
+}
+"""
+
+
+def _steal_setup(devices, n=512):
+    ctx = ExecutionContext(config=JaponicaConfig(devices=devices))
+    unit = Translator().translate_source(MULTI_LOOP_SRC)
+    tasks = [Task(tl) for tl in unit.all_loops]
+    rng = np.random.default_rng(0)
+    storage = ArrayStorage(
+        {
+            "a": rng.standard_normal(n),
+            "b": np.zeros(n),
+            "c": np.zeros(n),
+            "d": np.zeros(n),
+        }
+    )
+    return ctx, TaskStealingScheduler(ctx), tasks, storage, {"n": n}
+
+
+@pytest.mark.parametrize("devices", [2, 4])
+def test_concurrent_placements_never_conflict(devices):
+    """No two time-overlapping placements on different workers may have
+    intersecting array sections (the cross-device steal guard)."""
+    ctx, sched, tasks, storage, env = _steal_setup(devices)
+    res = sched.execute(tasks, storage, env)
+    placements = res.detail["stats"].placements
+    assert placements
+    # multi-device pools actually get used
+    assert {p.device for p in placements if p.worker == "gpu"} - {0}
+    for i, p in enumerate(placements):
+        for q in placements[i + 1 :]:
+            same_worker = (p.worker, p.device) == (q.worker, q.device)
+            overlap = p.start_s < q.end_s and q.start_s < p.end_s
+            if same_worker or not overlap:
+                continue
+            a = sched._sections.get(p.task_id)
+            b = sched._sections.get(q.task_id)
+            assert not (a and b and _section_conflicts(a, b)), (
+                p.task_id,
+                q.task_id,
+            )
+
+
+@pytest.mark.parametrize("devices", [1, 2, 4])
+def test_stealing_functional_identity(devices):
+    ctx, sched, tasks, storage, env = _steal_setup(devices)
+    a = storage.arrays["a"].copy()
+    sched.execute(tasks, storage, env)
+    assert np.array_equal(storage.arrays["b"], a * 2.0)
+    assert np.array_equal(storage.arrays["c"], a + 1.0 + a * 2.0)
+    assert np.array_equal(storage.arrays["d"], a - 1.0)
+
+
+@pytest.mark.parametrize("devices", [2, 4])
+def test_seeded_tiebreaks_reproducible(devices):
+    """Same scheduler seed, same task set -> identical placements."""
+    runs = []
+    for _ in range(2):
+        ctx, sched, tasks, storage, env = _steal_setup(devices)
+        res = sched.execute(tasks, storage, env)
+        runs.append(
+            [
+                (p.task_id, p.worker, p.device, p.start_s, p.duration_s)
+                for p in res.detail["stats"].placements
+            ]
+        )
+    assert runs[0] == runs[1]
+
+
+# -- per-device timelines reconcile ---------------------------------------
+
+
+@pytest.mark.parametrize("devices", [2, 4])
+def test_per_device_lanes_reconcile(devices):
+    """Incremental makespan/lane-busy equal the full-scan oracles and the
+    sharded dispatch actually populates every device's private lanes."""
+    from repro.workloads import get
+
+    w = get("VectorAdd")
+    ctx = w.make_context(devices=devices)
+    result = w.run("japonica", context=ctx)
+    checked = 0
+    for _, res in result.loop_results:
+        tl = res.timeline
+        if tl is None:
+            continue
+        assert tl.makespan == tl.scan_makespan()
+        lanes = {e.lane for e in tl.events}
+        for k in range(devices):
+            for lane in (gpu_lane(k), dma_lane(k)):
+                assert tl.lane_busy(lane) == tl.scan_lane_busy(lane)
+            if gpu_lane(k) in lanes:
+                checked += 1
+        # every event ends no later than the recorded makespan
+        assert all(e.end <= tl.makespan + 1e-12 for e in tl.events)
+    assert checked >= devices  # all pool devices computed something
