@@ -14,7 +14,11 @@ them to ``BENCH_HOSTPERF.json`` so the perf trajectory has data:
 3. **multi-device scaling** — simulated makespan of saturated DOALL
    workloads at pool sizes 1/2/4: sharding across more devices must
    improve the makespan monotonically (and never change results — the
-   identity suite covers that part).
+   identity suite covers that part);
+4. **insight summaries** — a per-workload trace-insight report (critical
+   path, slack, bottleneck lane) over the full suite, the same numbers
+   ``python -m repro report`` emits, so the perf trajectory records
+   where the simulated time goes, not just how much of it there is.
 
 Run standalone (the CI ``perf-smoke`` job uses ``--n 32768``)::
 
@@ -40,7 +44,7 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 )
 
-SCHEMA = "repro.hostperf/v2"
+SCHEMA = "repro.hostperf/v3"
 
 #: Saturated DOALL workloads whose makespan must improve with pool size.
 MULTIDEVICE_WORKLOADS = ("VectorAdd", "BFS", "MVT")
@@ -156,6 +160,53 @@ def measure_multidevice() -> dict:
     return out
 
 
+def measure_insight() -> dict:
+    """Trace-insight summary per workload: where the simulated time goes.
+
+    Runs the full suite traced and reduces each workload's RunReport
+    section to the numbers worth trending: simulated time, critical-path
+    length and slack, and the bottleneck lane (highest utilization).
+    All quantities are simulated, so this section is deterministic.
+    """
+    from repro.api import Japonica
+    from repro.obs import Instrumentation
+    from repro.obs.insight import analyze_run
+    from repro.workloads import ALL_WORKLOADS
+
+    out = {}
+    for workload in ALL_WORKLOADS:
+        obs = Instrumentation.recording()
+        program = Japonica(obs=obs).compile(workload.source)
+        result = program.run(
+            workload.method, strategy="japonica", scheme=workload.scheme,
+            context=workload.make_context(obs=obs), **workload.bindings(),
+        )
+        timelines = [
+            (f"japonica:{lid}", res.timeline)
+            for lid, res in result.loop_results
+            if res.timeline is not None
+        ]
+        section = analyze_run(
+            timelines, metrics=obs.metrics, tracer=obs.tracer,
+            sim_time_s=result.sim_time_s,
+        )
+        totals = section["totals"]
+        bottleneck = {"lane": "", "utilization": 0.0}
+        for doc in section["timelines"].values():
+            for lane, row in doc["lanes"].items():
+                if row["utilization"] > bottleneck["utilization"]:
+                    bottleneck = {
+                        "lane": lane, "utilization": row["utilization"],
+                    }
+        out[workload.name] = {
+            "sim_time_s": result.sim_time_s,
+            "critical_path_s": totals["critical_path_s"],
+            "slack_s": totals["slack_s"],
+            "bottleneck": bottleneck,
+        }
+    return out
+
+
 def check_against(report: dict, baseline_path: str, tolerance: float) -> int:
     with open(baseline_path) as fh:
         baseline = json.load(fh)
@@ -229,12 +280,24 @@ def main(argv=None) -> int:
               f"({row['speedup_at_max']:.2f}x at {DEVICE_COUNTS[-1]} "
               f"devices){flag}")
 
+    print("trace insight: critical path and bottleneck lane per workload ...")
+    insight = measure_insight()
+    print(f"  {'workload':14s} {'sim':>12s} {'crit-path':>12s} "
+          f"{'slack':>10s}  bottleneck")
+    for name, row in insight.items():
+        b = row["bottleneck"]
+        print(f"  {name:14s} {row['sim_time_s'] * 1e3:10.3f}ms "
+              f"{row['critical_path_s'] * 1e3:10.3f}ms "
+              f"{row['slack_s'] * 1e3:8.3f}ms  "
+              f"{b['lane']} at {b['utilization'] * 100:.1f}%")
+
     report = {
         "schema": SCHEMA,
         "n": args.n,
         "profiling": profiling,
         "cache": cache,
         "multidevice": multidevice,
+        "insight": insight,
     }
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)

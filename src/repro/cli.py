@@ -9,6 +9,11 @@ Commands
     simulated times and execution modes;
 ``table2`` / ``fig3`` / ``fig4`` / ``fig5a`` / ``fig5b`` / ``headline``
     regenerate a table/figure of the paper (paper-vs-ours columns);
+``report [WORKLOAD ...]``
+    run workloads traced and write a trace-insight RunReport (critical
+    paths, per-lane utilization attribution, speculation waterfall) as
+    schema-versioned JSON plus an optional single-file HTML dashboard;
+    ``--diff BASELINE`` turns it into a regression gate;
 ``translate FILE``
     compile an annotated mini-Java file and print the analysis verdicts
     and generated CUDA/Java sources.
@@ -81,11 +86,12 @@ def _cmd_run(args) -> int:
 
         cache = ArtifactCache(cache_dir=args.cache_dir)
 
-    # --trace / --metrics turn on the observability plane.  The traced
-    # path compiles once with a recording Instrumentation (parse/analyze/
-    # translate spans) and gives every strategy a fresh context — sharing
-    # one would share the profile cache and change the simulated times.
-    observing = bool(args.trace or args.metrics)
+    # --trace / --metrics / --report turn on the observability plane.
+    # The traced path compiles once with a recording Instrumentation
+    # (parse/analyze/translate spans) and gives every strategy a fresh
+    # context — sharing one would share the profile cache and change the
+    # simulated times.
+    observing = bool(args.trace or args.metrics or args.report)
     obs = None
     program = None
     timelines: list[tuple[str, object]] = []
@@ -171,10 +177,120 @@ def _cmd_run(args) -> int:
             args.metrics, obs.metrics, extra={"workload": workload.name}
         )
         print(f"metrics written to {args.metrics}")
+    if args.report:
+        from .obs.insight import analyze_run, run_report, write_report_json
+
+        section = analyze_run(
+            timelines, metrics=obs.metrics, tracer=obs.tracer,
+            sim_time_s=sum(times.values()),
+        )
+        write_report_json(
+            args.report,
+            run_report(
+                {workload.name: section},
+                meta={
+                    "devices": args.devices,
+                    "n": args.n,
+                    "seed": args.seed,
+                    "strategies": ",".join(strategies),
+                },
+            ),
+        )
+        print(f"insight report written to {args.report}")
     if cache is not None and args.cache_dir:
         s = cache.stats()
         print(f"cache: {s['hits']} hits, {s['misses']} misses "
               f"({args.cache_dir})")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    """Run workloads traced and emit the trace-insight RunReport."""
+    import json
+
+    from .obs import Instrumentation
+    from .obs.insight import (
+        analyze_run,
+        diff_reports,
+        render_diff,
+        run_report,
+        write_html,
+        write_report_json,
+    )
+    from .workloads import ALL_WORKLOADS, get
+
+    if args.devices < 1:
+        print(f"--devices must be >= 1, got {args.devices}", file=sys.stderr)
+        return EXIT_USAGE
+    strategies = args.strategies.split(",") if args.strategies else ["japonica"]
+    for strategy in strategies:
+        if strategy not in STRATEGIES:
+            print(f"unknown strategy {strategy!r}; choose from {STRATEGIES}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+    names = args.workloads or [w.name for w in ALL_WORKLOADS]
+    sections = {}
+    for name in names:
+        try:
+            workload = get(name)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return EXIT_USAGE
+        obs = Instrumentation.recording()
+        program = Japonica(obs=obs).compile(workload.source)
+        binds = workload.bindings(n=args.n, seed=args.seed)
+        timelines: list[tuple[str, object]] = []
+        sim_total = 0.0
+        for strategy in strategies:
+            result = program.run(
+                workload.method,
+                strategy=strategy,
+                scheme=args.scheme or workload.scheme,
+                context=workload.make_context(obs=obs, devices=args.devices),
+                **binds,
+            )
+            sim_total += result.sim_time_s
+            for lid, res in result.loop_results:
+                if res.timeline is not None:
+                    timelines.append((f"{strategy}:{lid}", res.timeline))
+        section = analyze_run(
+            timelines, metrics=obs.metrics, tracer=obs.tracer,
+            sim_time_s=sim_total,
+        )
+        sections[workload.name] = section
+        t = section["totals"]
+        print(f"{workload.name:14s} sim {sim_total * 1e3:10.3f} ms  "
+              f"critical-path {t['critical_path_s'] * 1e3:10.3f} ms  "
+              f"slack {t['slack_s'] * 1e3:10.3f} ms")
+
+    meta = {
+        "devices": args.devices,
+        "n": args.n,
+        "seed": args.seed,
+        "strategies": ",".join(strategies),
+    }
+    if args.scheme:
+        meta["scheme"] = args.scheme
+    report = run_report(sections, meta)
+    write_report_json(args.out, report)
+    print(f"insight report written to {args.out}")
+    if args.html:
+        write_html(args.html, report)
+        print(f"dashboard written to {args.html}")
+    if args.diff:
+        try:
+            with open(args.diff) as fh:
+                baseline = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read baseline {args.diff}: {exc}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        diff = diff_reports(baseline, report, threshold=args.threshold)
+        print(render_diff(diff))
+        if diff["verdict"] != "ok":
+            print(f"FAIL: {len(diff['regressions'])} regression(s) beyond "
+                  f"{args.threshold:g}x vs {args.diff}", file=sys.stderr)
+            return EXIT_ERROR
     return 0
 
 
@@ -297,7 +413,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", metavar="FILE", default=None,
         help="write runtime metrics (counters/gauges/histograms) as JSON",
     )
+    run_p.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="write a trace-insight RunReport (critical path, per-lane "
+             "utilization attribution, speculation waterfall) as JSON",
+    )
     run_p.set_defaults(fn=_cmd_run)
+
+    rep_p = sub.add_parser(
+        "report",
+        help="run workloads traced and write a trace-insight RunReport",
+    )
+    rep_p.add_argument(
+        "workloads", nargs="*", metavar="WORKLOAD",
+        help="workloads to analyze (default: the whole Table-II suite)",
+    )
+    rep_p.add_argument(
+        "--strategies", default="japonica",
+        help="comma-separated subset of " + ",".join(STRATEGIES),
+    )
+    rep_p.add_argument("--n", type=int, default=1, help="problem multiplier")
+    rep_p.add_argument("--seed", type=int, default=0)
+    rep_p.add_argument(
+        "--scheme", choices=("sharing", "stealing"), default=None,
+        help="override every workload's japonica scheduling scheme",
+    )
+    rep_p.add_argument(
+        "--devices", type=int, default=1, metavar="N",
+        help="size of the simulated GPU pool",
+    )
+    rep_p.add_argument(
+        "--out", metavar="FILE", default="RUN_REPORT.json",
+        help="output JSON path (default RUN_REPORT.json)",
+    )
+    rep_p.add_argument(
+        "--html", metavar="FILE", default=None,
+        help="also write a self-contained single-file HTML dashboard",
+    )
+    rep_p.add_argument(
+        "--diff", metavar="BASELINE", default=None,
+        help="diff against a baseline RunReport and exit nonzero on a "
+             "critical-path/makespan regression beyond --threshold",
+    )
+    rep_p.add_argument(
+        "--threshold", type=float, default=2.0,
+        help="relative regression threshold for --diff (default 2.0)",
+    )
+    rep_p.set_defaults(fn=_cmd_report)
 
     for which in ("table2", "fig3", "fig4", "fig5a", "fig5b", "headline"):
         fig_p = sub.add_parser(

@@ -1,8 +1,10 @@
 """Observability plane: pipeline tracing, metrics, deterministic exports.
 
 See :mod:`repro.obs.tracer` (spans), :mod:`repro.obs.metrics`
-(counters/gauges/histograms + the :class:`Instrumentation` bundle) and
-:mod:`repro.obs.export` (Chrome trace-event and metrics JSON).
+(counters/gauges/histograms + the :class:`Instrumentation` bundle),
+:mod:`repro.obs.export` (Chrome trace-event and metrics JSON) and
+:mod:`repro.obs.insight` (RunReport: critical paths, utilization
+attribution, regression diffing).
 """
 
 from .export import (
@@ -14,6 +16,17 @@ from .export import (
     timeline_events,
     write_chrome_trace,
     write_metrics_json,
+)
+from .insight import (
+    INSIGHT_SCHEMA,
+    analyze_run,
+    critical_path,
+    diff_reports,
+    lane_attribution,
+    render_html,
+    run_report,
+    write_html,
+    write_report_json,
 )
 from .metrics import (
     Counter,
@@ -43,6 +56,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "INSIGHT_SCHEMA",
     "Instrumentation",
     "METRICS_SCHEMA",
     "MetricsRegistry",
@@ -60,11 +74,19 @@ __all__ = [
     "Span",
     "TRACE_SCHEMA",
     "Tracer",
+    "analyze_run",
     "chrome_trace",
+    "critical_path",
+    "diff_reports",
+    "lane_attribution",
     "metrics_document",
     "record_resilience",
+    "render_html",
+    "run_report",
     "span_events",
     "timeline_events",
     "write_chrome_trace",
+    "write_html",
     "write_metrics_json",
+    "write_report_json",
 ]

@@ -19,9 +19,12 @@ from __future__ import annotations
 import json
 from typing import Iterable, Optional, Sequence
 
-#: Schema tags written into the exports.
+from ..runtime.clock import natural_lane_key
+
+#: Schema tags written into the exports.  Metrics moved to v2 when
+#: histograms grew log-spaced bucket counts and p50/p95/p99 estimates.
 TRACE_SCHEMA = "repro.trace/v1"
-METRICS_SCHEMA = "repro.metrics/v1"
+METRICS_SCHEMA = "repro.metrics/v2"
 
 _PIPELINE_PID = 1
 
@@ -67,8 +70,12 @@ def span_events(spans: Iterable) -> list[dict]:
 
 
 def timeline_events(timeline, pid: int) -> list[dict]:
-    """One simulated :class:`Timeline` -> per-lane 'X' events (sim us)."""
-    lanes = sorted({e.lane for e in timeline.events})
+    """One simulated :class:`Timeline` -> per-lane 'X' events (sim us).
+
+    ``tid`` assignment follows natural lane order (numeric suffix aware),
+    so ``gpu2`` keeps a lower tid than ``gpu10`` on large device pools.
+    """
+    lanes = sorted({e.lane for e in timeline.events}, key=natural_lane_key)
     tid_of = {lane: tid for tid, lane in enumerate(lanes)}
     events = [_meta(pid, lane, tid) for lane, tid in tid_of.items()]
     for e in timeline.events:

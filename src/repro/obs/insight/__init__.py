@@ -1,0 +1,61 @@
+"""Trace-insight subsystem: deterministic analysis of recorded traces.
+
+Consumes the observability plane's raw products (``Tracer`` spans,
+``Timeline`` objects, the ``MetricsRegistry``) and produces a structured
+**RunReport**: critical-path extraction, per-lane idle/stall bucket
+attribution, speculation waterfall, steal-efficiency summary, plus a
+run-to-run ``diff`` engine with relative-threshold regression verdicts
+and a self-contained HTML dashboard.  See DESIGN.md §5.5.
+"""
+
+from .attribution import (
+    BUCKETS,
+    classify_event,
+    lane_attribution,
+    overlap_stats,
+)
+from .critical_path import CriticalPath, critical_path
+from .diff import (
+    DIFF_SCHEMA,
+    VERDICT_IMPROVEMENT,
+    VERDICT_OK,
+    VERDICT_REGRESSION,
+    diff_reports,
+    render_diff,
+)
+from .html import render_html, write_html
+from .report import (
+    INSIGHT_SCHEMA,
+    analyze_run,
+    analyze_timeline,
+    phase_summary,
+    run_report,
+    speculation_waterfall,
+    steal_summary,
+    write_report_json,
+)
+
+__all__ = [
+    "BUCKETS",
+    "CriticalPath",
+    "DIFF_SCHEMA",
+    "INSIGHT_SCHEMA",
+    "VERDICT_IMPROVEMENT",
+    "VERDICT_OK",
+    "VERDICT_REGRESSION",
+    "analyze_run",
+    "analyze_timeline",
+    "classify_event",
+    "critical_path",
+    "diff_reports",
+    "lane_attribution",
+    "overlap_stats",
+    "phase_summary",
+    "render_diff",
+    "render_html",
+    "run_report",
+    "speculation_waterfall",
+    "steal_summary",
+    "write_html",
+    "write_report_json",
+]

@@ -1,0 +1,127 @@
+"""Per-lane time attribution: where did every simulated second go?
+
+Each lane's ``[0, makespan]`` interval partitions into busy events plus
+idle gaps; every busy event lands in exactly one bucket, classified from
+the conventions the schedulers and the TLS engine stamp into event
+labels (see the bucket constants).  ``idle`` is computed as the
+difference against the makespan, so the per-lane bucket sum equals the
+makespan by construction (within one ULP of float subtraction) — the
+acceptance suite asserts this for every workload timeline.
+"""
+
+from __future__ import annotations
+
+from ...runtime.clock import natural_lane_key
+
+#: Attribution buckets, in report order.
+BUCKET_COMPUTE = "compute"
+BUCKET_DMA = "dma"
+BUCKET_STEAL = "steal"
+BUCKET_SPEC_ABORT = "speculation_abort"
+BUCKET_FAULT = "fault_recovery"
+BUCKET_IDLE = "idle"
+
+BUCKETS = (
+    BUCKET_COMPUTE,
+    BUCKET_DMA,
+    BUCKET_STEAL,
+    BUCKET_SPEC_ABORT,
+    BUCKET_FAULT,
+    BUCKET_IDLE,
+)
+
+#: Label prefixes written by the TLS engine for work caused by a
+#: mis-speculation (partial commit, relaunch round-trips, CPU handoff).
+_SPEC_ABORT_PREFIXES = (
+    "commit-prefix@",
+    "relaunch-xfer@",
+    "handoff-xfer@",
+    "cpu-seq@",
+)
+
+
+def classify_event(event) -> str:
+    """Bucket of one timeline event (never ``idle``).
+
+    Order matters: fault-recovery drains can land on DMA lanes and
+    stolen tasks run on compute lanes, so the more specific label
+    conventions win over the lane name.
+    """
+    label = event.label
+    if "drain" in label or label.startswith("shrink@"):
+        return BUCKET_FAULT
+    if label.startswith(_SPEC_ABORT_PREFIXES):
+        return BUCKET_SPEC_ABORT
+    if label.endswith("*"):  # stealing scheduler marks stolen tasks
+        return BUCKET_STEAL
+    if event.lane.startswith("dma"):
+        return BUCKET_DMA
+    return BUCKET_COMPUTE
+
+
+def lane_attribution(timeline) -> dict[str, dict[str, float]]:
+    """Per-lane bucket seconds; each lane's buckets sum to the makespan."""
+    makespan = timeline.makespan
+    per_lane: dict[str, dict[str, float]] = {}
+    for e in timeline.events:
+        buckets = per_lane.get(e.lane)
+        if buckets is None:
+            buckets = per_lane[e.lane] = {b: 0.0 for b in BUCKETS}
+        buckets[classify_event(e)] += e.duration
+    for buckets in per_lane.values():
+        busy = (
+            buckets[BUCKET_COMPUTE]
+            + buckets[BUCKET_DMA]
+            + buckets[BUCKET_STEAL]
+            + buckets[BUCKET_SPEC_ABORT]
+            + buckets[BUCKET_FAULT]
+        )
+        buckets[BUCKET_IDLE] = max(0.0, makespan - busy)
+    return {
+        lane: per_lane[lane]
+        for lane in sorted(per_lane, key=natural_lane_key)
+    }
+
+
+def overlap_stats(timeline) -> dict:
+    """Lane-concurrency summary via a boundary sweep.
+
+    ``overlap_s`` is the total time with >= 2 lanes simultaneously busy;
+    ``avg_parallelism`` integrates the number of busy lanes over the
+    makespan (so 1.0 means fully serial, N means all N lanes saturated).
+    """
+    makespan = timeline.makespan
+    if makespan <= 0.0:
+        return {
+            "overlap_s": 0.0,
+            "overlap_ratio": 0.0,
+            "avg_parallelism": 0.0,
+            "max_parallelism": 0,
+        }
+    deltas = []
+    for e in timeline.events:
+        if e.duration > 0:
+            deltas.append((e.start, 1))
+            deltas.append((e.end, -1))
+    deltas.sort(key=lambda d: (d[0], d[1]))  # close before open on ties
+    overlap = 0.0
+    busy_integral = 0.0
+    active = 0
+    peak = 0
+    prev = 0.0
+    for t, d in deltas:
+        if t > prev:
+            width = t - prev
+            busy_integral += active * width
+            if active >= 2:
+                overlap += width
+            prev = t
+        active += d
+        if active > peak:
+            peak = active
+    return {
+        "overlap_s": overlap,
+        "overlap_ratio": overlap / makespan,
+        "avg_parallelism": busy_integral / makespan,
+        "max_parallelism": peak,
+    }

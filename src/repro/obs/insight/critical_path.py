@@ -1,0 +1,98 @@
+"""Critical-path extraction over discrete-event timelines.
+
+The :class:`~repro.runtime.clock.Timeline` records completed events but
+not the dependency edges that produced them, so the critical path is
+defined structurally: the **maximum-weight chain** of pairwise
+non-overlapping events (``a.end <= b.start`` orders ``a`` before ``b``).
+Two properties follow directly and the property suite locks them down:
+
+* every lane's own events form such a chain (a lane never overlaps
+  itself), so the critical-path length is **>= the busiest lane's busy
+  time** — exactly, not within a tolerance, because the dynamic program
+  folds durations in the same order the lane accumulator does;
+* chain events are disjoint sub-intervals of ``[0, makespan]``, so the
+  length is **<= the makespan** (up to float-summation ULPs).
+
+The gap between the two is the *coordination slack*: time the critical
+chain spent waiting on lane availability, barriers, or ``not_before``
+constraints rather than computing.
+
+The extraction is O(n log n) (sort + prefix-max over ends) and fully
+deterministic: ties break on ``(end, start, natural lane order, id)``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from ...runtime.clock import natural_lane_key
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The maximum-weight chain of one timeline."""
+
+    #: sum of the chain events' durations (seconds)
+    length_s: float
+    #: makespan minus length: wait time on the critical chain
+    slack_s: float
+    #: the chain, in time order (tuple of Timeline Events)
+    events: tuple
+    #: per-lane share of the chain's busy time
+    lane_contrib_s: dict
+
+
+def critical_path(timeline) -> CriticalPath:
+    """Extract the maximum-weight chain of ``timeline``'s events."""
+    events = sorted(
+        timeline.events,
+        key=lambda e: (e.end, e.start, natural_lane_key(e.lane), e.id),
+    )
+    if not events:
+        return CriticalPath(0.0, 0.0, (), {})
+
+    # DP over events in end order: value[i] is the best chain ending at
+    # events[i]; the predecessor may be any already-processed event whose
+    # end is <= events[i].start (exact equality included: contiguous
+    # dependency chains meet end-to-start in the discrete-event model).
+    ends: list[float] = []
+    value: list[float] = []
+    parent: list[int] = []
+    # best_prefix[i] = (chain value, position) maximal among events[:i+1];
+    # on equal values the earlier position wins, keeping ties stable.
+    best_prefix: list[tuple[float, int]] = []
+    for pos, e in enumerate(events):
+        j = bisect_right(ends, e.start)
+        if j > 0:
+            pv, pidx = best_prefix[j - 1]
+            value.append(pv + e.duration)
+            parent.append(pidx)
+        else:
+            value.append(e.duration)
+            parent.append(-1)
+        ends.append(e.end)
+        if best_prefix and best_prefix[-1][0] >= value[pos]:
+            best_prefix.append(best_prefix[-1])
+        else:
+            best_prefix.append((value[pos], pos))
+
+    length, pos = best_prefix[-1]
+    chain = []
+    while pos >= 0:
+        chain.append(events[pos])
+        pos = parent[pos]
+    chain.reverse()
+    contrib: dict[str, float] = {}
+    for e in chain:
+        contrib[e.lane] = contrib.get(e.lane, 0.0) + e.duration
+    contrib = {
+        lane: contrib[lane]
+        for lane in sorted(contrib, key=natural_lane_key)
+    }
+    return CriticalPath(
+        length_s=length,
+        slack_s=timeline.makespan - length,
+        events=tuple(chain),
+        lane_contrib_s=contrib,
+    )

@@ -1,0 +1,141 @@
+"""Run-to-run regression diffing of RunReport documents.
+
+``diff_reports(base, new)`` walks the workload sections both reports
+share and compares the simulated quantities that matter for the paper's
+scheduling claims: per-timeline makespan and critical-path length, and
+the per-workload simulated time.  Verdicts are relative with an absolute
+floor (sub-nanosecond timelines never trip the gate):
+
+* ``ratio > threshold``       -> ``regression``
+* ``ratio < 1 / threshold``   -> ``improvement``
+* otherwise                   -> ``ok``
+
+Workloads or timelines present on only one side report ``added`` /
+``removed`` and do not fail the gate; any ``regression`` entry does.
+"""
+
+from __future__ import annotations
+
+DIFF_SCHEMA = "repro.insight.diff/v1"
+
+#: Quantities below this (seconds) are compared as equal — relative
+#: ratios on denormal-scale timings are noise, not signal.
+ABS_FLOOR_S = 1e-9
+
+VERDICT_OK = "ok"
+VERDICT_REGRESSION = "regression"
+VERDICT_IMPROVEMENT = "improvement"
+
+
+def _entry(base: float, new: float, threshold: float) -> dict:
+    if base <= ABS_FLOOR_S and new <= ABS_FLOOR_S:
+        ratio, verdict = 1.0, VERDICT_OK
+    elif base <= ABS_FLOOR_S:
+        ratio, verdict = float("inf"), VERDICT_REGRESSION
+    else:
+        ratio = new / base
+        if ratio > threshold:
+            verdict = VERDICT_REGRESSION
+        elif ratio < 1.0 / threshold:
+            verdict = VERDICT_IMPROVEMENT
+        else:
+            verdict = VERDICT_OK
+    return {"base_s": base, "new_s": new, "ratio": ratio, "verdict": verdict}
+
+
+def _diff_timeline(base: dict, new: dict, threshold: float) -> dict:
+    return {
+        "makespan": _entry(
+            base["makespan_s"], new["makespan_s"], threshold
+        ),
+        "critical_path": _entry(
+            base["critical_path"]["length_s"],
+            new["critical_path"]["length_s"],
+            threshold,
+        ),
+    }
+
+
+def diff_reports(base: dict, new: dict, threshold: float = 2.0) -> dict:
+    """Compare two RunReport documents; see the module docstring."""
+    if threshold <= 1.0:
+        raise ValueError(f"threshold must be > 1, got {threshold}")
+    base_w = base.get("workloads", {})
+    new_w = new.get("workloads", {})
+    workloads: dict[str, dict] = {}
+    regressions: list[str] = []
+    for name in sorted(set(base_w) | set(new_w)):
+        if name not in new_w:
+            workloads[name] = {"status": "removed"}
+            continue
+        if name not in base_w:
+            workloads[name] = {"status": "added"}
+            continue
+        b, n = base_w[name], new_w[name]
+        row: dict = {"status": "compared", "timelines": {}}
+        if "sim_time_s" in b and "sim_time_s" in n:
+            row["sim_time"] = _entry(
+                b["sim_time_s"], n["sim_time_s"], threshold
+            )
+            if row["sim_time"]["verdict"] == VERDICT_REGRESSION:
+                regressions.append(
+                    f"{name}: sim_time {row['sim_time']['ratio']:.2f}x"
+                )
+        b_tl, n_tl = b.get("timelines", {}), n.get("timelines", {})
+        for tl_name in sorted(set(b_tl) | set(n_tl)):
+            if tl_name not in n_tl:
+                row["timelines"][tl_name] = {"status": "removed"}
+                continue
+            if tl_name not in b_tl:
+                row["timelines"][tl_name] = {"status": "added"}
+                continue
+            d = _diff_timeline(b_tl[tl_name], n_tl[tl_name], threshold)
+            d["status"] = "compared"
+            row["timelines"][tl_name] = d
+            for metric in ("critical_path", "makespan"):
+                if d[metric]["verdict"] == VERDICT_REGRESSION:
+                    regressions.append(
+                        f"{name}/{tl_name}: {metric} "
+                        f"{d[metric]['ratio']:.2f}x"
+                    )
+        workloads[name] = row
+    return {
+        "schema": DIFF_SCHEMA,
+        "threshold": threshold,
+        "workloads": workloads,
+        "regressions": regressions,
+        "verdict": VERDICT_REGRESSION if regressions else VERDICT_OK,
+    }
+
+
+def render_diff(diff: dict) -> str:
+    """Terminal summary of a diff document."""
+    lines = [
+        f"insight diff (threshold {diff['threshold']:g}x): "
+        f"{diff['verdict']}"
+    ]
+    for name, row in diff["workloads"].items():
+        if row.get("status") != "compared":
+            lines.append(f"  {name}: {row.get('status')}")
+            continue
+        st = row.get("sim_time")
+        if st is not None:
+            lines.append(
+                f"  {name}: sim_time {st['base_s'] * 1e3:.3f} -> "
+                f"{st['new_s'] * 1e3:.3f} ms "
+                f"({st['ratio']:.2f}x, {st['verdict']})"
+            )
+        for tl_name, d in row["timelines"].items():
+            if d.get("status") != "compared":
+                lines.append(f"    {tl_name}: {d.get('status')}")
+                continue
+            cp = d["critical_path"]
+            lines.append(
+                f"    {tl_name}: critical-path {cp['ratio']:.2f}x "
+                f"({cp['verdict']}), makespan "
+                f"{d['makespan']['ratio']:.2f}x "
+                f"({d['makespan']['verdict']})"
+            )
+    for r in diff["regressions"]:
+        lines.append(f"  REGRESSION {r}")
+    return "\n".join(lines)

@@ -1,0 +1,192 @@
+"""Self-contained HTML dashboard for a RunReport.
+
+One file, no external assets (inline CSS only, no JavaScript, no
+timestamps), rendered purely from the report dictionary with fixed
+number formatting — so the bytes are deterministic: the same report
+always produces the same dashboard, and CI can archive or diff them.
+"""
+
+from __future__ import annotations
+
+from html import escape
+
+from .attribution import BUCKETS
+
+_CSS = """
+body { font: 14px/1.45 -apple-system, 'Segoe UI', sans-serif;
+       margin: 2em auto; max-width: 72em; color: #1a1a2e; }
+h1 { font-size: 1.5em; } h2 { font-size: 1.2em; margin-top: 1.6em; }
+table { border-collapse: collapse; margin: 0.6em 0; }
+th, td { border: 1px solid #c8c8d4; padding: 0.25em 0.6em;
+         text-align: right; }
+th { background: #eef0f6; } td.l, th.l { text-align: left; }
+.bar { display: inline-block; height: 0.8em; background: #4a6fa5;
+       vertical-align: middle; }
+.bar.idle { background: #d4d7e0; }
+.meta { color: #555a6e; font-size: 0.92em; }
+.verdict-ok { color: #2a7d4f; } .verdict-bad { color: #b03030; }
+summary { cursor: pointer; color: #4a6fa5; margin: 0.4em 0; }
+"""
+
+
+def _ms(x: float) -> str:
+    return f"{x * 1e3:.6f}"
+
+
+def _pct(x: float) -> str:
+    return f"{x * 100:.1f}%"
+
+
+def _bar(fraction: float, width_px: int = 160) -> str:
+    w = max(0, min(width_px, int(round(fraction * width_px))))
+    return (
+        f'<span class="bar" style="width:{w}px"></span>'
+        f'<span class="bar idle" style="width:{width_px - w}px"></span>'
+    )
+
+
+def _lane_table(tl_doc: dict) -> list[str]:
+    head = "".join(
+        f"<th>{escape(b)} ms</th>" for b in BUCKETS
+    )
+    out = [
+        "<table>",
+        f'<tr><th class="l">lane</th><th>busy ms</th>'
+        f"<th>utilization</th>{head}</tr>",
+    ]
+    for lane, row in tl_doc["lanes"].items():
+        cells = "".join(
+            f"<td>{_ms(row['buckets'][b])}</td>" for b in BUCKETS
+        )
+        out.append(
+            f'<tr><td class="l">{escape(lane)}</td>'
+            f"<td>{_ms(row['busy_s'])}</td>"
+            f"<td>{_bar(row['utilization'])} "
+            f"{_pct(row['utilization'])}</td>{cells}</tr>"
+        )
+    out.append("</table>")
+    return out
+
+
+def _path_table(cp: dict) -> list[str]:
+    out = [
+        "<details><summary>critical-path events "
+        f"({cp['n_events']} on the chain)</summary>",
+        "<table>",
+        '<tr><th>#</th><th class="l">lane</th><th class="l">label</th>'
+        "<th>start ms</th><th>duration ms</th></tr>",
+    ]
+    for k, e in enumerate(cp["events"]):
+        out.append(
+            f'<tr><td>{k}</td><td class="l">{escape(e["lane"])}</td>'
+            f'<td class="l">{escape(e["label"])}</td>'
+            f"<td>{_ms(e['start_s'])}</td><td>{_ms(e['dur_s'])}</td></tr>"
+        )
+    if cp.get("events_truncated"):
+        out.append(
+            f'<tr><td colspan="5" class="l">... '
+            f"{cp['events_truncated']} more</td></tr>"
+        )
+    out.append("</table></details>")
+    return out
+
+
+def _spec_table(spec: dict) -> list[str]:
+    iters = spec["iterations"]
+    rows = (
+        ("sub-loops attempted", spec["subloops_attempted"]),
+        ("sub-loops clean", spec["subloops_clean"]),
+        ("violations", spec["violations"]),
+        ("relaunches", spec["relaunches"]),
+        ("CPU handoffs", spec["cpu_handoffs"]),
+        ("sub-loop shrinks", spec["shrinks"]),
+        ("iterations committed", iters["committed"]),
+        ("iterations squashed", iters["squashed"]),
+        ("iterations on CPU", iters["cpu"]),
+    )
+    out = ["<table>", '<tr><th class="l">speculation</th><th>n</th></tr>']
+    for label, v in rows:
+        out.append(
+            f'<tr><td class="l">{escape(label)}</td><td>{v:g}</td></tr>'
+        )
+    out.append("</table>")
+    return out
+
+
+def _steal_table(steal: dict) -> list[str]:
+    rows = (
+        ("dispatches", f"{steal['dispatches']:g}"),
+        ("batches", f"{steal['batches']:g}"),
+        ("tasks", f"{steal['tasks']:g}"),
+        ("steals", f"{steal['steals']:g}"),
+        ("steal ratio", _pct(steal["steal_ratio"])),
+        ("stolen busy ms", _ms(steal["stolen_busy_s"])),
+    )
+    out = ["<table>", '<tr><th class="l">stealing</th><th>value</th></tr>']
+    for label, v in rows:
+        out.append(
+            f'<tr><td class="l">{escape(label)}</td><td>{v}</td></tr>'
+        )
+    out.append("</table>")
+    return out
+
+
+def render_html(report: dict) -> str:
+    """Render a RunReport document as a single-file dashboard."""
+    meta = report.get("meta", {})
+    totals = report.get("totals", {})
+    out = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        "<title>Japonica RunReport</title>",
+        f"<style>{_CSS}</style></head><body>",
+        "<h1>Japonica RunReport</h1>",
+        f'<p class="meta">schema {escape(str(report.get("schema", "")))}'
+        + "".join(
+            f" &middot; {escape(str(k))}={escape(str(meta[k]))}"
+            for k in sorted(meta)
+        )
+        + "</p>",
+        f'<p class="meta">{totals.get("workloads", 0)} workloads &middot; '
+        f"total makespan {_ms(totals.get('makespan_s', 0.0))} ms &middot; "
+        f"total critical path "
+        f"{_ms(totals.get('critical_path_s', 0.0))} ms</p>",
+    ]
+    for name, section in report.get("workloads", {}).items():
+        out.append(f"<h2>{escape(name)}</h2>")
+        t = section["totals"]
+        sim = section.get("sim_time_s")
+        out.append(
+            '<p class="meta">'
+            + (f"sim time {_ms(sim)} ms &middot; " if sim is not None else "")
+            + f"makespan {_ms(t['makespan_s'])} ms &middot; "
+            f"critical path {_ms(t['critical_path_s'])} ms &middot; "
+            f"slack {_ms(t['slack_s'])} ms</p>"
+        )
+        for tl_name, tl_doc in section["timelines"].items():
+            cp = tl_doc["critical_path"]
+            ov = tl_doc["overlap"]
+            out.append(
+                f"<h3>{escape(tl_name)}</h3>"
+                f'<p class="meta">makespan {_ms(tl_doc["makespan_s"])} ms '
+                f"&middot; critical path {_ms(cp['length_s'])} ms "
+                f"&middot; slack {_ms(cp['slack_s'])} ms "
+                f"&middot; overlap {_pct(ov['overlap_ratio'])} "
+                f"&middot; avg parallelism "
+                f"{ov['avg_parallelism']:.2f}</p>"
+            )
+            out.extend(_lane_table(tl_doc))
+            out.extend(_path_table(cp))
+        spec = section.get("speculation")
+        if spec and spec["subloops_attempted"]:
+            out.extend(_spec_table(spec))
+        steal = section.get("stealing")
+        if steal and steal["tasks"]:
+            out.extend(_steal_table(steal))
+    out.append("</body></html>")
+    return "\n".join(out) + "\n"
+
+
+def write_html(path: str, report: dict) -> None:
+    with open(path, "w") as fh:
+        fh.write(render_html(report))

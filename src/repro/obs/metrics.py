@@ -14,7 +14,16 @@ one attribute lookup and one call, and no state is retained.
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_left
 from dataclasses import dataclass, field
+
+#: Log-spaced histogram bucket upper bounds ("le" convention).  Powers of
+#: two are exact binary floats, so bucket assignment is identical on every
+#: platform — fully deterministic, no sampling.  The range covers roughly
+#: 1e-12 .. 1e12; smaller values land in the first bucket, larger ones in
+#: the overflow bucket past the last bound.
+BUCKET_BOUNDS: tuple = tuple(2.0 ** k for k in range(-40, 41))
 
 
 class Counter:
@@ -46,9 +55,14 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary: count / sum / min / max of observations."""
+    """Streaming summary plus fixed log-spaced bucket counts.
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    Every observation increments exactly one bucket (no reservoir, no
+    sampling), so percentile estimates are deterministic and two runs of
+    the same program produce identical dumps.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
 
     def __init__(self, name: str):
         self.name = name
@@ -56,6 +70,9 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        #: per-bucket observation counts; buckets[i] holds values
+        #: <= BUCKET_BOUNDS[i], the trailing slot is the overflow bucket
+        self.buckets = [0] * (len(BUCKET_BOUNDS) + 1)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -65,10 +82,45 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        self.buckets[bisect_left(BUCKET_BOUNDS, value)] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Percentile estimate from the bucket counts.
+
+        Returns the upper bound of the bucket holding the ``q``-th
+        observation, clamped to the observed ``[min, max]`` so the
+        estimate never leaves the data range.  Deterministic: repeat
+        runs yield bit-identical values.
+        """
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        cum = 0
+        for idx, n in enumerate(self.buckets):
+            cum += n
+            if cum >= rank:
+                bound = (
+                    BUCKET_BOUNDS[idx]
+                    if idx < len(BUCKET_BOUNDS)
+                    else self.max
+                )
+                return min(max(bound, self.min), self.max)
+        return self.max
+
+    def bucket_pairs(self) -> list:
+        """Non-empty buckets as ``[le, count]`` pairs (ascending ``le``;
+        the overflow bucket exports ``le`` as the string ``"+Inf"``)."""
+        out = []
+        for idx, n in enumerate(self.buckets):
+            if not n:
+                continue
+            le = BUCKET_BOUNDS[idx] if idx < len(BUCKET_BOUNDS) else "+Inf"
+            out.append([le, n])
+        return out
 
 
 class _NullInstrument:
@@ -89,6 +141,12 @@ class _NullInstrument:
 
     def observe(self, value: float) -> None:
         pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def bucket_pairs(self) -> list:
+        return []
 
 
 _NULL_INSTRUMENT = _NullInstrument()
@@ -140,6 +198,12 @@ class MetricsRegistry:
                     "min": h.min if h.count else 0.0,
                     "max": h.max if h.count else 0.0,
                     "mean": h.mean,
+                    "p50": h.quantile(0.50),
+                    "p95": h.quantile(0.95),
+                    "p99": h.quantile(0.99),
+                    # [le, count] pairs: a list survives sort_keys dumps
+                    # with the ascending bound order intact
+                    "buckets": h.bucket_pairs(),
                 }
                 for name, h in sorted(self._histograms.items())
             },

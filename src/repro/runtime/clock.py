@@ -11,6 +11,7 @@ CPU/GPU sides finishing at different times.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
@@ -18,6 +19,22 @@ from typing import Iterable, Optional
 LANE_GPU = "gpu"
 LANE_DMA = "dma"
 LANE_CPU = "cpu"
+
+_LANE_SUFFIX = re.compile(r"^(.*?)(\d+)$")
+
+
+def natural_lane_key(lane: str) -> tuple[str, int]:
+    """Sort key ordering lanes by base name, then numeric suffix.
+
+    Lexicographic ordering puts ``gpu10`` before ``gpu2`` on large device
+    pools; this key splits the trailing device number off so lanes order
+    ``cpu, dma, dma1, ..., gpu, gpu2, gpu10``.  Device 0's bare ``gpu`` /
+    ``dma`` lanes sort ahead of every numbered sibling.
+    """
+    m = _LANE_SUFFIX.match(lane)
+    if m:
+        return (m.group(1), int(m.group(2)))
+    return (lane, -1)
 
 
 def gpu_lane(device_id: int) -> str:
@@ -124,3 +141,7 @@ class Timeline:
 
     def lane_events(self, lane: str) -> list[Event]:
         return [e for e in self.events if e.lane == lane]
+
+    def lanes(self) -> list[str]:
+        """Lanes with at least one event, in natural order (gpu2 < gpu10)."""
+        return sorted({e.lane for e in self.events}, key=natural_lane_key)

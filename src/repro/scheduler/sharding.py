@@ -395,6 +395,15 @@ def run_sharded_mode_a(
         m.counter(f"scheduler.shard.iterations.d{k}").inc(n_iter)
     if outcome.drained:
         m.counter("scheduler.shard.drained").inc(outcome.drained)
+    if attempt:
+        # drain rounds run under fault recovery; the insight plane's
+        # bucket attribution keys off the "-drainN" event labels and this
+        # counter reconciles the two views
+        m.counter("scheduler.shard.drain_batches").inc(attempt)
+    if outcome.drained_to_cpu:
+        m.counter("scheduler.shard.drained_to_cpu").inc(
+            outcome.drained_to_cpu
+        )
 
     return ExecutionResult(
         arrays=storage.arrays,

@@ -136,6 +136,8 @@ class StealingStats:
     placements: list[Placement] = field(default_factory=list)
     steals: int = 0
     batches: int = 0
+    #: simulated busy time of stolen tasks (steal-efficiency reports)
+    steal_time_s: float = 0.0
 
     def share(self, worker: str) -> float:
         """Fraction of tasks executed by a worker."""
@@ -371,6 +373,7 @@ class TaskStealingScheduler:
                 times[worker] = start + duration
                 if stolen:
                     stats.steals += 1
+                    stats.steal_time_s += duration
                 dev = self._worker_device(worker)
                 placement = Placement(
                     task.id,
@@ -395,7 +398,11 @@ class TaskStealingScheduler:
             pool.mark_done(batch_ids)
 
         makespan = max(times.values())
-        sp.annotate(batches=stats.batches, steals=stats.steals)
+        sp.annotate(
+            batches=stats.batches,
+            steals=stats.steals,
+            steal_time_s=stats.steal_time_s,
+        )
         sp.set_sim(0.0, makespan)
         sp.close()
         m = obs.metrics
@@ -403,6 +410,7 @@ class TaskStealingScheduler:
         m.counter("scheduler.stealing.batches").inc(stats.batches)
         m.counter("scheduler.stealing.steals").inc(stats.steals)
         m.counter("scheduler.stealing.tasks").inc(len(stats.placements))
+        m.counter("scheduler.stealing.steal_time_s").inc(stats.steal_time_s)
         return ExecutionResult(
             arrays=storage.arrays,
             sim_time_s=makespan,

@@ -1,5 +1,7 @@
 """CLI tests."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -47,6 +49,94 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestReportCommand:
+    def test_writes_json_and_html(self, tmp_path, capsys):
+        out = tmp_path / "r.json"
+        html = tmp_path / "r.html"
+        rc = main([
+            "report", "VectorAdd", "--out", str(out), "--html", str(html),
+        ])
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "VectorAdd" in stdout
+        report = json.loads(out.read_text())
+        assert report["schema"] == "repro.insight/v1"
+        assert "VectorAdd" in report["workloads"]
+        section = report["workloads"]["VectorAdd"]
+        (doc,) = section["timelines"].values()
+        assert doc["critical_path"]["length_s"] > 0
+        assert set(doc["lanes"]) >= {"cpu", "dma", "gpu"}
+        page = html.read_text()
+        assert page.startswith("<!DOCTYPE html>")
+        assert "VectorAdd" in page
+
+    def test_report_is_deterministic(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        for out in (a, b):
+            assert main(["report", "VectorAdd", "--out", str(out)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_unknown_workload_or_strategy_is_usage_error(self, tmp_path):
+        out = tmp_path / "r.json"
+        assert main(["report", "NotAThing", "--out", str(out)]) == 2
+        assert main([
+            "report", "VectorAdd", "--strategies", "warp9",
+            "--out", str(out),
+        ]) == 2
+
+    def test_diff_gate_pass_and_fail(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        assert main(["report", "VectorAdd", "--out", str(base)]) == 0
+
+        # identical baseline -> exit 0
+        out = tmp_path / "new.json"
+        rc = main([
+            "report", "VectorAdd", "--out", str(out),
+            "--diff", str(base),
+        ])
+        assert rc == 0
+        assert "insight diff (threshold 2x): ok" in capsys.readouterr().out
+
+        # tampered baseline simulating a 3x slowdown -> exit 1
+        doc = json.loads(base.read_text())
+        for section in doc["workloads"].values():
+            section["sim_time_s"] /= 3.0
+            for tl in section["timelines"].values():
+                tl["makespan_s"] /= 3.0
+                tl["critical_path"]["length_s"] /= 3.0
+        tampered = tmp_path / "tampered.json"
+        tampered.write_text(json.dumps(doc))
+        rc = main([
+            "report", "VectorAdd", "--out", str(out),
+            "--diff", str(tampered), "--threshold", "2.0",
+        ])
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_diff_missing_baseline_is_usage_error(self, tmp_path):
+        out = tmp_path / "r.json"
+        rc = main([
+            "report", "VectorAdd", "--out", str(out),
+            "--diff", str(tmp_path / "absent.json"),
+        ])
+        assert rc == 2
+
+    def test_run_report_flag(self, tmp_path):
+        out = tmp_path / "run_report.json"
+        rc = main([
+            "run", "VectorAdd", "--strategies", "japonica",
+            "--no-verify", "--report", str(out),
+        ])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == "repro.insight/v1"
+        assert "VectorAdd" in report["workloads"]
+        # run --report records per-run metrics alongside the timelines
+        section = report["workloads"]["VectorAdd"]
+        assert "metrics" in section
 
 
 def test_cli_fig_bars_flag_parses():

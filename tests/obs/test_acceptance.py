@@ -143,7 +143,7 @@ class TestCliSurface:
         doc = json.loads(trace.read_text())
         assert doc["otherData"]["schema"] == "repro.trace/v1"
         mdoc = json.loads(metrics.read_text())
-        assert mdoc["schema"] == "repro.metrics/v1"
+        assert mdoc["schema"] == "repro.metrics/v2"
         assert mdoc["counters"]["scheduler.sharing.dispatches"] == 1.0
 
     def test_trace_is_deterministic(self, tmp_path):
@@ -158,3 +158,52 @@ class TestCliSurface:
             ])
             assert rc == 0
         assert a.read_bytes() == b.read_bytes()
+
+
+class TestReportAcceptance:
+    """ISSUE criteria for the insight report: byte-identical across
+    repeated runs at --devices 1 and --devices 4, critical path bounded
+    by [max lane busy, makespan], bucket attribution sums to makespan."""
+
+    def _report(self, tmp_path, devices, tag):
+        from repro.cli import main
+
+        out = tmp_path / f"r{devices}{tag}.json"
+        rc = main([
+            "report", "VectorAdd", "Crypt",
+            "--devices", str(devices), "--out", str(out),
+        ])
+        assert rc == 0
+        return out.read_bytes()
+
+    def test_byte_identical_across_runs_and_devices(self, tmp_path):
+        import math
+
+        for devices in (1, 4):
+            a = self._report(tmp_path, devices, "a")
+            b = self._report(tmp_path, devices, "b")
+            assert a == b, f"devices={devices} report not deterministic"
+            report = json.loads(a)
+            assert report["schema"] == "repro.insight/v1"
+            assert report["meta"]["devices"] == devices
+            for wname, section in report["workloads"].items():
+                for tname, doc in section["timelines"].items():
+                    mk = doc["makespan_s"]
+                    cp = doc["critical_path"]["length_s"]
+                    max_busy = max(
+                        lane["busy_s"] for lane in doc["lanes"].values()
+                    )
+                    ulp = math.ulp(mk or 1.0)
+                    assert cp <= mk + 8 * ulp, (wname, tname)
+                    assert cp >= max_busy, (wname, tname)
+                    for lname, lane in doc["lanes"].items():
+                        total = sum(lane["buckets"].values())
+                        assert abs(total - mk) <= ulp, (wname, tname, lname)
+
+    def test_devices_4_report_has_device_lanes(self, tmp_path):
+        report = json.loads(self._report(tmp_path, 4, "c"))
+        lanes = set()
+        for section in report["workloads"].values():
+            for doc in section["timelines"].values():
+                lanes |= set(doc["lanes"])
+        assert {"gpu1", "gpu2", "gpu3", "dma1", "dma2", "dma3"} <= lanes

@@ -75,6 +75,88 @@ class TestTimelineEvents:
         assert a == b
 
 
+class TestNaturalLaneOrder:
+    def test_numeric_suffixes_sort_numerically(self):
+        tl = Timeline()
+        # insertion order deliberately scrambled, 13 lanes
+        for k in (10, 2, 0, 11, 1, 9, 3, 12, 7):
+            tl.schedule(f"gpu{k}", 0.1, label=f"k{k}")
+        tl.schedule("gpu", 0.1, label="k")
+        for k in (10, 2, 1):
+            tl.schedule(f"dma{k}", 0.1, label=f"x{k}")
+        events = timeline_events(tl, pid=1)
+        metas = [e for e in events if e["ph"] == "M"]
+        names = [m["args"]["name"] for m in metas]
+        assert names == [
+            "dma1", "dma2", "dma10",
+            "gpu", "gpu0", "gpu1", "gpu2", "gpu3",
+            "gpu7", "gpu9", "gpu10", "gpu11", "gpu12",
+        ]
+        # tids follow that order and are contiguous
+        assert [m["tid"] for m in metas] == list(range(13))
+
+    def test_timeline_lanes_accessor_uses_natural_order(self):
+        tl = Timeline()
+        for lane in ("gpu10", "gpu2", "cpu", "dma3", "gpu"):
+            tl.schedule(lane, 0.5)
+        assert tl.lanes() == ["cpu", "dma3", "gpu", "gpu2", "gpu10"]
+
+
+class TestMultiDeviceRoundTrip:
+    """chrome_trace must round-trip a --devices 4 run: every device lane
+    appears exactly once, with stable pid/tid, and the event counts
+    reconcile with ``Timeline.events``."""
+
+    def _run_timeline(self):
+        from repro.workloads.registry import get
+
+        result = get("VectorAdd").run("japonica", devices=4)
+        (_, res), = result.loop_results
+        return res.timeline
+
+    def test_every_device_lane_exactly_once(self):
+        tl = self._run_timeline()
+        doc = chrome_trace((), [("japonica:run#0", tl)])
+        metas = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        names = [m["args"]["name"] for m in metas]
+        assert len(names) == len(set(names))  # no duplicated lane threads
+        lanes = {e.lane for e in tl.events}
+        assert set(names) == lanes
+        for k in range(1, 4):
+            assert f"gpu{k}" in names and f"dma{k}" in names
+        assert "gpu" in names and "dma" in names  # device 0 lanes
+
+    def test_pid_tid_mapping_stable(self):
+        tl = self._run_timeline()
+        a = chrome_trace((), [("t", tl)])["traceEvents"]
+        b = chrome_trace((), [("t", tl)])["traceEvents"]
+        assert a == b
+        key = {}
+        for e in a:
+            if e["ph"] == "M" and e["name"] == "thread_name":
+                key[e["args"]["name"]] = (e["pid"], e["tid"])
+        assert len({v for v in key.values()}) == len(key)
+
+    def test_event_counts_reconcile(self):
+        tl = self._run_timeline()
+        doc = chrome_trace((), [("t", tl)])
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == len(tl.events)
+        # per-lane counts match too, via the tid mapping
+        tid_of = {
+            e["args"]["name"]: e["tid"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        for lane in {e.lane for e in tl.events}:
+            want = sum(1 for e in tl.events if e.lane == lane)
+            got = sum(1 for e in xs if e["tid"] == tid_of[lane])
+            assert got == want, lane
+
+
 class TestChromeTrace:
     def test_document_layout(self):
         doc = chrome_trace(

@@ -1,0 +1,82 @@
+"""Property tests for the insight invariants promised by the report schema.
+
+For any timeline: ``max lane busy <= critical path <= makespan`` (the
+lower bound exactly, the upper within float-summation slop), and each
+lane's bucket attribution sums back to the makespan within 1 ULP.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.insight import critical_path, lane_attribution
+from repro.runtime.clock import Timeline
+
+_LANES = ["cpu", "gpu", "gpu0", "gpu1", "dma0", "dma1"]
+_LABELS = ["kernel#0", "h2d#0", "run#1*", "shrink@0", "commit-prefix@8", "x-drain0"]
+
+_DURATIONS = st.floats(
+    min_value=1e-9, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def timelines(draw):
+    tl = Timeline()
+    n = draw(st.integers(min_value=0, max_value=40))
+    scheduled = []
+    for _ in range(n):
+        lane = draw(st.sampled_from(_LANES))
+        dur = draw(_DURATIONS)
+        label = draw(st.sampled_from(_LABELS))
+        not_before = draw(
+            st.one_of(st.just(0.0), st.floats(min_value=0.0, max_value=100.0))
+        )
+        deps = []
+        if scheduled and draw(st.booleans()):
+            deps = [draw(st.sampled_from(scheduled))]
+        ev = tl.schedule(
+            lane, dur, after=deps, label=label, not_before=not_before
+        )
+        scheduled.append(ev)
+    return tl
+
+
+@given(timelines())
+@settings(max_examples=60, deadline=None)
+def test_critical_path_bounds(tl):
+    cp = critical_path(tl)
+    mk = tl.makespan
+    # chain events are disjoint sub-intervals of [0, makespan]; folding
+    # their durations can drift by a few ULPs of the total
+    assert cp.length_s <= mk + 8 * math.ulp(mk or 1.0)
+    # per-lane event sequences are feasible chains folded in the same
+    # order as the lane-busy accumulator, so the lower bound is exact
+    if tl.events:
+        assert cp.length_s >= max(tl.lane_busy(l) for l in tl.lanes())
+    # chain is genuinely non-overlapping, in order
+    for a, b in zip(cp.events, cp.events[1:]):
+        assert a.end <= b.start
+    assert cp.slack_s >= 0.0
+
+
+@given(timelines())
+@settings(max_examples=60, deadline=None)
+def test_attribution_sums_to_makespan(tl):
+    mk = tl.makespan
+    lanes = lane_attribution(tl)
+    assert set(lanes) == set(tl.lanes())
+    for lane, buckets in lanes.items():
+        total = sum(buckets.values())
+        assert abs(total - mk) <= math.ulp(mk or 1.0)
+        assert all(v >= 0.0 for v in buckets.values())
+
+
+@given(timelines())
+@settings(max_examples=30, deadline=None)
+def test_critical_path_is_deterministic(tl):
+    a = critical_path(tl)
+    b = critical_path(tl)
+    assert a.length_s == b.length_s
+    assert [e.id for e in a.events] == [e.id for e in b.events]
+    assert a.lane_contrib_s == b.lane_contrib_s

@@ -39,6 +39,52 @@ class TestInstruments:
         assert h.min == 1.0 and h.max == 3.0
         assert h.mean == 2.0
 
+    def test_histogram_buckets_are_log_spaced_counts(self):
+        m = MetricsRegistry()
+        h = m.histogram("lat")
+        for v in (0.75, 1.0, 1.5, 3.0, 1000.0):
+            h.observe(v)
+        pairs = h.bucket_pairs()
+        assert pairs == [
+            [1.0, 2],     # 0.75 and 1.0 (bounds are inclusive upper edges)
+            [2.0, 1],     # 1.5
+            [4.0, 1],     # 3.0
+            [1024.0, 1],  # 1000.0
+        ]
+        assert sum(c for _, c in pairs) == h.count
+
+    def test_histogram_overflow_bucket(self):
+        m = MetricsRegistry()
+        h = m.histogram("big")
+        h.observe(2.0**41)  # beyond the largest bound (2**40)
+        assert h.bucket_pairs() == [["+Inf", 1]]
+
+    def test_histogram_quantiles(self):
+        m = MetricsRegistry()
+        h = m.histogram("q")
+        for _ in range(99):
+            h.observe(1.0)
+        h.observe(100.0)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(0.95) == 1.0
+        # p99 rank is 99 -> still in the 1.0 bucket
+        assert h.quantile(0.99) == 1.0
+        # p100 lands in the 100.0 bucket, clamped to the observed max
+        assert h.quantile(1.0) == 100.0
+
+    def test_quantile_clamped_to_observed_range(self):
+        m = MetricsRegistry()
+        h = m.histogram("c")
+        h.observe(3.0)  # bucket upper bound is 4.0
+        assert h.quantile(0.99) == 3.0  # clamped to max, not 4.0
+        assert h.quantile(0.0) == 3.0
+
+    def test_empty_histogram_quantile_zero(self):
+        m = MetricsRegistry()
+        h = m.histogram("e")
+        assert h.quantile(0.5) == 0.0
+        assert h.bucket_pairs() == []
+
 
 class TestToDict:
     def test_sorted_and_complete(self):
@@ -52,6 +98,17 @@ class TestToDict:
         assert d["gauges"] == {"g": 1.5}
         assert d["histograms"]["h"]["count"] == 1
         assert d["histograms"]["h"]["mean"] == 4.0
+
+    def test_histogram_dict_has_quantiles_and_buckets(self):
+        m = MetricsRegistry()
+        h = m.histogram("h")
+        for v in (1.0, 2.0, 8.0):
+            h.observe(v)
+        d = m.to_dict()["histograms"]["h"]
+        assert d["p50"] == 2.0
+        assert d["p95"] == 8.0
+        assert d["p99"] == 8.0
+        assert d["buckets"] == [[1.0, 1], [2.0, 1], [8.0, 1]]
 
     def test_unwritten_gauge_omitted(self):
         m = MetricsRegistry()
