@@ -248,6 +248,7 @@ class CompiledProgram:
             tl = by_node.get(id(loop_node))
             if tl is None:
                 raise JaponicaError("annotated loop missing from translation")
+            ctx.check_deadline(f"execute:{tl.id}")
             env = loop_env()
             if strategy == "japonica" and use_scheme == "stealing":
                 run_loops = [tl]

@@ -22,6 +22,15 @@ injection is on (profiling launches consume fault-schedule probes — the
 caller guards this); memory-layer hits return a deep copy so one run's
 consumer can never mutate another run's artifact; disk entries that fail
 to read or unpickle are treated as misses.
+
+Crash safety (the serve plane shares one directory across worker
+processes, any of which may be killed mid-write): writes go to a private
+temp file, are fsync'd, then atomically renamed into place, so a reader
+can never observe a torn entry; a corrupt entry (e.g. from a pre-fsync
+power cut) is *quarantined* — renamed aside to ``*.corrupt`` and counted
+— instead of raised or endlessly re-read, so one bad file can never
+poison cross-tenant hits.  All in-process state is behind a lock so the
+serve plane's worker threads can share one cache object.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
 from collections import OrderedDict
 from typing import Optional, Sequence
 
@@ -54,7 +64,9 @@ class ArtifactCache:
         self.enabled = enabled
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
         self._mem: OrderedDict[str, object] = OrderedDict()
+        self._lock = threading.Lock()
         if cache_dir is not None:
             os.makedirs(cache_dir, exist_ok=True)
 
@@ -69,23 +81,27 @@ class ArtifactCache:
         """
         if not self.enabled:
             return None
-        value = self._mem.get(key)
+        with self._lock:
+            value = self._mem.get(key)
+            if value is not None:
+                self._mem.move_to_end(key)
+                self._record(True, kind, obs)
+                return copy.deepcopy(value) if copy_value else value
+        value = self._disk_get(key, obs)
         if value is not None:
-            self._mem.move_to_end(key)
-            self._record(True, kind, obs)
-            return copy.deepcopy(value) if copy_value else value
-        value = self._disk_get(key)
-        if value is not None:
-            self._mem_put(key, value)
-            self._record(True, kind, obs)
+            with self._lock:
+                self._mem_put(key, value)
+                self._record(True, kind, obs)
             return value
-        self._record(False, kind, obs)
+        with self._lock:
+            self._record(False, kind, obs)
         return None
 
     def put(self, key: str, value: object) -> None:
         if not self.enabled:
             return
-        self._mem_put(key, value)
+        with self._lock:
+            self._mem_put(key, value)
         self._disk_put(key, value)
 
     def _record(self, hit: bool, kind: str, obs) -> None:
@@ -109,15 +125,35 @@ class ArtifactCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.cache_dir, f"{key}.pkl")
 
-    def _disk_get(self, key: str):
+    def _disk_get(self, key: str, obs=None):
         if self.cache_dir is None:
             return None
         try:
             with open(self._path(key), "rb") as fh:
                 return pickle.load(fh)
+        except FileNotFoundError:
+            return None  # plain miss
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
-            return None  # missing or corrupt entry: a miss, never an error
+                ImportError, IndexError, ValueError):
+            # corrupt entry (e.g. a worker was killed mid-write on a
+            # filesystem without atomic rename durability): quarantine it
+            # so it is never re-read, and report a miss — never an error
+            self._quarantine(key, obs)
+            return None
+
+    def _quarantine(self, key: str, obs=None) -> None:
+        path = self._path(key)
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:
+            try:  # rename failed (permissions?): drop it instead
+                os.unlink(path)
+            except OSError:
+                pass
+        with self._lock:
+            self.quarantined += 1
+        if obs is not None:
+            obs.metrics.counter("cache.quarantined").inc()
 
     def _disk_put(self, key: str, value: object) -> None:
         if self.cache_dir is None:
@@ -127,6 +163,8 @@ class ArtifactCache:
             try:
                 with os.fdopen(fd, "wb") as fh:
                     pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                    fh.flush()
+                    os.fsync(fh.fileno())  # durable before the rename
                 os.replace(tmp, self._path(key))  # atomic publish
             except BaseException:
                 os.unlink(tmp)
@@ -136,6 +174,7 @@ class ArtifactCache:
 
     def stats(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
+                "quarantined": self.quarantined,
                 "memory_entries": len(self._mem)}
 
 

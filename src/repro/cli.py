@@ -73,6 +73,16 @@ def _cmd_run(args) -> int:
     if args.devices < 1:
         print(f"--devices must be >= 1, got {args.devices}", file=sys.stderr)
         return EXIT_USAGE
+    if args.faults:
+        # validate the schedule grammar before any work: a typo'd spec
+        # must be a pointed usage error, never a mid-run traceback
+        from .faults.schedule import FaultSchedule
+
+        try:
+            FaultSchedule.parse(args.faults, seed=args.fault_seed)
+        except JaponicaError as exc:
+            print(f"bad --faults spec: {exc}", file=sys.stderr)
+            return EXIT_USAGE
     strategies = args.strategies.split(",") if args.strategies else ["japonica"]
     binds = workload.bindings(n=args.n, seed=args.seed)
     reference = workload.reference(binds) if args.verify else None
@@ -327,6 +337,59 @@ def _cmd_figure(which):
     return run
 
 
+def _cmd_serve(args) -> int:
+    """Run the long-lived compilation service until interrupted."""
+    import asyncio
+
+    from .serve import CompilationService, ServeConfig, ServeServer
+
+    if args.faults:
+        from .faults.schedule import FaultSchedule
+
+        try:
+            FaultSchedule.parse(args.faults, seed=args.fault_seed)
+        except JaponicaError as exc:
+            print(f"bad --faults spec: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+    try:
+        config = ServeConfig(
+            workers=args.workers,
+            backend=args.backend,
+            cache_dir=args.cache_dir,
+            max_queue=args.max_queue,
+            quota_rate=args.rate,
+            quota_burst=args.burst,
+            default_deadline_s=args.deadline,
+            faults=args.faults,
+            fault_seed=args.fault_seed,
+        )
+        server = ServeServer(
+            CompilationService(config), host=args.host, port=args.port
+        )
+    except JaponicaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    async def run() -> None:
+        await server.start()
+        print(f"repro serve on http://{server.host}:{server.port} "
+              f"({args.workers} {args.backend} workers, "
+              f"queue {args.max_queue})")
+        print("POST /v1/jobs | GET /healthz | GET /v1/stats  (Ctrl-C stops)")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nserve: stopped")
+    return 0
+
+
 def _cmd_translate(args) -> int:
     try:
         source = open(args.file).read()
@@ -470,6 +533,36 @@ def build_parser() -> argparse.ArgumentParser:
             help="render as ASCII bars instead of a table",
         )
         fig_p.set_defaults(fn=_cmd_figure(which))
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the compilation service (admission control, deadlines, "
+             "circuit breakers, load-shedding degradation)",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8642,
+                     help="listen port (0 = ephemeral; default 8642)")
+    srv.add_argument("--workers", type=int, default=2,
+                     help="worker pool size (default 2)")
+    srv.add_argument("--backend", choices=("thread", "process"),
+                     default="thread",
+                     help="worker backend (default thread)")
+    srv.add_argument("--max-queue", type=int, default=32,
+                     help="bounded job queue capacity (default 32)")
+    srv.add_argument("--rate", type=float, default=50.0,
+                     help="default per-tenant admission rate, jobs/s")
+    srv.add_argument("--burst", type=float, default=16.0,
+                     help="default per-tenant burst allowance")
+    srv.add_argument("--deadline", type=float, default=30.0,
+                     help="default per-job wall-clock budget, seconds")
+    srv.add_argument("--cache-dir", metavar="DIR", default=None,
+                     help="shared on-disk artifact cache directory")
+    srv.add_argument("--faults", default=None, metavar="SPEC",
+                     help="serve-level chaos schedule, e.g. "
+                          "'serve.worker:0.05' kills a worker before 5%% "
+                          "of dispatches")
+    srv.add_argument("--fault-seed", type=int, default=0)
+    srv.set_defaults(fn=_cmd_serve)
 
     tr = sub.add_parser("translate", help="translate an annotated Java file")
     tr.add_argument("file")

@@ -185,13 +185,16 @@ class CpuExecutor:
                         at_s=faults.recorder.clock_s,
                         retries=retries + 1,
                     )
-                backoff = policy.backoff(retries)
+                backoff = faults.backoff_for(SITE_CPU_WORKER, retries)
                 extra_s += backoff
                 faults.recovered(
                     SITE_CPU_WORKER, "worker-restart",
                     penalty_s=backoff, retries=retries + 1,
                     detail=f"completed={err.completed}/{len(indices)}",
                 )
+                m = self.obs.metrics
+                m.counter("resilience.retry.attempts").inc()
+                m.counter("resilience.backoff_s").inc(backoff)
                 retries += 1
 
     def _execute_once(

@@ -121,3 +121,32 @@ class UnrecoverableFaultError(RuntimeFaultError):
     This is the *only* way a fault schedule may surface to the caller:
     either a run commits bit-identical results or it raises this error.
     """
+
+
+class DeadlineExceeded(JaponicaError):
+    """A request's wall-clock budget ran out at a pipeline phase boundary.
+
+    Raised by :meth:`ExecutionContext.check_deadline` *before* a phase
+    starts, never mid-phase, so a cancelled run leaves no partial writes
+    behind: array state is exactly what the last completed phase left.
+    """
+
+    def __init__(self, message: str = "", phase: str = "",
+                 budget_s: float = 0.0, overrun_s: float = 0.0):
+        super().__init__(message)
+        self.phase = phase
+        self.budget_s = budget_s
+        self.overrun_s = overrun_s
+
+
+class WorkerDied(JaponicaError):
+    """A serve-pool worker died before acknowledging its job.
+
+    The job itself is pure (results travel in-band), so the service may
+    retry it on another worker without risking duplicated side effects;
+    the ledger still enforces at-most-one settlement per job id.
+    """
+
+    def __init__(self, message: str = "", worker: str = ""):
+        super().__init__(message)
+        self.worker = worker

@@ -22,6 +22,7 @@ SITE_GPU_MEMORY = "gpu.memory"      #: allocation-table entry corrupted
 SITE_TRANSFER_H2D = "transfer.h2d"  #: host->device transfer error
 SITE_TRANSFER_D2H = "transfer.d2h"  #: device->host transfer error
 SITE_CPU_WORKER = "cpu.worker"      #: CPU worker dies mid-chunk
+SITE_SERVE_WORKER = "serve.worker"  #: serve-pool worker dies before ack
 
 SITES = (
     SITE_GPU_LAUNCH,
@@ -30,6 +31,7 @@ SITES = (
     SITE_TRANSFER_H2D,
     SITE_TRANSFER_D2H,
     SITE_CPU_WORKER,
+    SITE_SERVE_WORKER,
 )
 
 

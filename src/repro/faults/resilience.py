@@ -23,6 +23,7 @@ the chaos suite.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
@@ -47,11 +48,34 @@ class ResiliencePolicy:
     #: first backoff window (simulated seconds); doubles per retry
     backoff_base_s: float = 2e-5
     backoff_factor: float = 2.0
+    #: jitter fraction applied to each backoff window: the window is
+    #: scaled by a factor in [1-jitter, 1+jitter), drawn deterministically
+    #: from the fault-schedule seed so replays stay bit-identical
+    jitter: float = 0.25
     #: how long the watchdog waits before killing a hung kernel
     watchdog_timeout_s: float = 5e-4
 
     def backoff(self, attempt: int) -> float:
+        """Un-jittered exponential backoff window for ``attempt``."""
         return self.backoff_base_s * self.backoff_factor**attempt
+
+    def jittered_backoff(
+        self, attempt: int, seed: int, *key: object
+    ) -> float:
+        """Backoff with seeded jitter: deterministic in (seed, key).
+
+        The draw is keyed off the fault-schedule seed (plus a caller key,
+        typically the fault site) so two runs with the same ``--fault-seed``
+        charge identical backoff while distinct sites decorrelate.
+        """
+        base = self.backoff(attempt)
+        if self.jitter <= 0:
+            return base
+        digest = hashlib.sha256(
+            repr((seed, "backoff", attempt) + key).encode()
+        ).digest()
+        u = int.from_bytes(digest[:8], "big") / 2**64
+        return base * (1.0 + self.jitter * (2.0 * u - 1.0))
 
 
 @dataclass(frozen=True)
@@ -198,6 +222,18 @@ class FaultRuntime:
 
     def degraded(self, site: str, action: str, detail: str = "") -> None:
         self.recorder.record(KIND_DEGRADE, site, action, detail=detail)
+
+    def backoff_for(self, site: str, attempt: int) -> float:
+        """Seeded-jitter backoff window for retry ``attempt`` at ``site``.
+
+        Keyed off the installed fault schedule's seed so a chaos run
+        replayed with the same ``--fault-seed`` charges identical
+        backoff; with no schedule installed the seed degenerates to 0
+        and the windows are still deterministic.
+        """
+        schedule = self.plane.schedule
+        seed = schedule.seed if schedule is not None else 0
+        return self.policy.jittered_backoff(attempt, seed, site)
 
     # -- shared recovery primitives ---------------------------------------
 

@@ -352,11 +352,14 @@ class GpuDevice:
                         at_s=faults.recorder.clock_s,
                         retries=retries + 1,
                     )
-                backoff = policy.backoff(retries)
+                backoff = faults.backoff_for(err.site, retries)
                 penalty += backoff
                 faults.recovered(
                     err.site, action, penalty_s=backoff, retries=retries + 1,
                 )
+                m = self.obs.metrics
+                m.counter("resilience.retry.attempts").inc()
+                m.counter("resilience.backoff_s").inc(backoff)
                 retries += 1
 
     # -- helpers -----------------------------------------------------------

@@ -1,0 +1,75 @@
+"""Wall-clock deadlines threaded through the pipeline.
+
+A :class:`Deadline` is a budget against a monotonic wall clock, created
+once per request (the serve plane stamps it at admission) and carried on
+the :class:`~repro.scheduler.context.ExecutionContext`.  Pipeline phases
+call :meth:`Deadline.check` at their *boundaries* — before profiling,
+before each loop dispatch — so cancellation is always clean: an expired
+request raises :class:`~repro.errors.DeadlineExceeded` before the next
+phase starts, and array state is exactly what the last completed phase
+left.
+
+The clock is injectable so tests drive expiry deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from ..errors import DeadlineExceeded
+
+
+class Deadline:
+    """A wall-clock budget with phase-boundary checks."""
+
+    __slots__ = ("budget_s", "started_at", "expires_at", "_clock")
+
+    def __init__(
+        self,
+        budget_s: float,
+        clock: Callable[[], float] = time.monotonic,
+        started_at: Optional[float] = None,
+    ):
+        if budget_s <= 0:
+            raise ValueError(f"deadline budget must be > 0, got {budget_s}")
+        self._clock = clock
+        self.budget_s = float(budget_s)
+        self.started_at = clock() if started_at is None else started_at
+        self.expires_at = self.started_at + self.budget_s
+
+    @classmethod
+    def after(
+        cls, budget_s: float, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        return cls(budget_s, clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds left; negative once expired."""
+        return self.expires_at - self._clock()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, phase: str) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget ran out.
+
+        Called at phase boundaries only; ``phase`` names the phase that
+        was *about* to start (it never ran).
+        """
+        left = self.remaining()
+        if left <= 0.0:
+            raise DeadlineExceeded(
+                f"deadline of {self.budget_s * 1e3:.0f}ms exceeded "
+                f"{-left * 1e3:.0f}ms before phase {phase!r}",
+                phase=phase,
+                budget_s=self.budget_s,
+                overrun_s=-left,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Deadline(budget={self.budget_s:.3f}s, "
+            f"remaining={self.remaining():.3f}s)"
+        )

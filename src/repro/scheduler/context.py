@@ -16,6 +16,7 @@ from ..obs.tracer import PHASE_PROFILE
 from ..profiler.report import DEFAULT_DD_THRESHOLD, DependencyProfile
 from ..profiler.trace import profile_loop
 from ..runtime.costmodel import CostModel
+from ..runtime.deadline import Deadline
 from ..runtime.platform import Platform, paper_platform
 from ..tls.engine import TlsConfig
 from ..translate.translator import TranslatedLoop
@@ -98,6 +99,9 @@ class ExecutionContext:
             self.platform.cpu, self.cost, faults=self.faults, obs=self.obs
         )
         self.profiles: dict[str, DependencyProfile] = {}
+        # optional wall-clock budget of the current request (serve plane);
+        # checked at phase boundaries so cancellation is always clean
+        self.deadline: Optional[Deadline] = None
         # optional cross-context artifact cache (content-keyed); the
         # per-loop-id dict above stays the first-level cache within a run
         self.cache = cache
@@ -127,6 +131,11 @@ class ExecutionContext:
         """Fresh device memory pool-wide (new application run)."""
         self.pool.reset_memory()
 
+    def check_deadline(self, phase: str) -> None:
+        """Enforce the request deadline at a phase boundary (if any)."""
+        if self.deadline is not None:
+            self.deadline.check(phase)
+
     def boundary(self) -> float:
         if self.config.boundary_override is not None:
             return self.config.boundary_override
@@ -144,6 +153,7 @@ class ExecutionContext:
         """Profile the loop on the GPU (once), caching the result."""
         if loop.id in self.profiles:
             return self.profiles[loop.id]
+        self.check_deadline(f"profile:{loop.id}")
         if loop.fn is None:
             raise ValueError(f"loop {loop.id} cannot run on the GPU")
         # second-level content-keyed cache across contexts/processes.

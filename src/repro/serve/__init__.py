@@ -1,0 +1,73 @@
+"""Compilation service: a long-lived, multi-tenant front end.
+
+``repro serve`` wraps the Japonica pipeline in an asyncio service that
+accepts compile/run jobs over a local HTTP socket and executes them on a
+pool of workers holding pooled, reusable :class:`ExecutionContext`\\ s.
+Robustness is the headline:
+
+* **admission control** — per-tenant token buckets and a bounded queue;
+  overload is answered with *reject-plus-retry-after*, never unbounded
+  buffering (:mod:`repro.serve.admission`);
+* **deadlines** — a wall-clock budget stamped at admission and threaded
+  through the :class:`ExecutionContext`, cancelling cleanly at pipeline
+  phase boundaries (:mod:`repro.runtime.deadline`);
+* **retries** — seeded-jitter exponential backoff around transient
+  worker deaths, deterministic under a ``--fault-seed``;
+* **circuit breakers** — per-tenant, tripping on consecutive failures
+  and half-opening on a timer (:mod:`repro.serve.breaker`);
+* **degradation ladder** — under load the service first drops report
+  generation, then serves cache-only answers, then sheds the
+  lowest-priority tenants (:mod:`repro.serve.degrade`).
+
+The PR-3 content-keyed artifact cache is shared across tenants (it keys
+on source hash + platform signature, so cross-tenant hits are safe) and
+PR-5 RunReport sections stream back as results.
+"""
+
+from .admission import AdmissionController, TenantQuota, TokenBucket
+from .breaker import BreakerBoard, CircuitBreaker
+from .degrade import (
+    LEVEL_CACHE_ONLY,
+    LEVEL_DROP_REPORT,
+    LEVEL_FULL,
+    LEVEL_SHED_LOW,
+    DegradationLadder,
+)
+from .jobs import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    JobLedger,
+    JobResult,
+    JobSpec,
+)
+from .client import ServeClient
+from .pool import WorkerPool
+from .server import ServeServer
+from .service import CompilationService, ServeConfig
+from .worker import WorkerRuntime
+
+__all__ = [
+    "AdmissionController",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "CompilationService",
+    "DegradationLadder",
+    "JobLedger",
+    "JobResult",
+    "JobSpec",
+    "LEVEL_CACHE_ONLY",
+    "LEVEL_DROP_REPORT",
+    "LEVEL_FULL",
+    "LEVEL_SHED_LOW",
+    "PRIORITY_HIGH",
+    "PRIORITY_LOW",
+    "PRIORITY_NORMAL",
+    "ServeClient",
+    "ServeConfig",
+    "ServeServer",
+    "TenantQuota",
+    "TokenBucket",
+    "WorkerPool",
+    "WorkerRuntime",
+]

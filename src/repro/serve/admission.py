@@ -1,0 +1,152 @@
+"""Admission control: token buckets, per-tenant quotas, bounded queue.
+
+The service never buffers without bound.  Every request passes two
+gates before it may enter the dispatch queue:
+
+1. a **per-tenant token bucket** (rate + burst; unknown tenants get the
+   default quota) — the multi-tenant fairness gate;
+2. the **bounded queue** — a global backpressure gate sized to what the
+   worker pool can drain.
+
+A refused request is answered immediately with a ``retry_after_s`` hint
+(time until the tenant's bucket refills, or a queue-drain estimate), so
+well-behaved clients back off instead of hammering.  The clock is
+injectable: tests drive refill deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+#: Refusal reasons.
+REASON_QUOTA = "quota"          #: tenant token bucket empty
+REASON_QUEUE_FULL = "queue_full"  #: bounded queue at capacity
+
+
+@dataclass
+class TenantQuota:
+    """Sustained rate (tokens/s) and burst capacity for one tenant."""
+
+    rate: float = 10.0
+    burst: float = 8.0
+
+
+class TokenBucket:
+    """Classic token bucket against an injectable monotonic clock."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0 or burst <= 0:
+            raise ValueError("token bucket needs rate > 0 and burst > 0")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._stamp)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._stamp = now
+
+    def try_take(self, amount: float = 1.0) -> bool:
+        now = self._clock()
+        self._refill(now)
+        if self._tokens >= amount:
+            self._tokens -= amount
+            return True
+        return False
+
+    def retry_after(self, amount: float = 1.0) -> float:
+        """Seconds until ``amount`` tokens will be available."""
+        now = self._clock()
+        self._refill(now)
+        deficit = amount - self._tokens
+        return max(0.0, deficit / self.rate)
+
+    @property
+    def tokens(self) -> float:
+        self._refill(self._clock())
+        return self._tokens
+
+
+@dataclass
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    reason: str = ""
+    retry_after_s: float = 0.0
+
+
+class AdmissionController:
+    """Per-tenant token buckets in front of a bounded queue."""
+
+    def __init__(
+        self,
+        default_quota: Optional[TenantQuota] = None,
+        tenant_quotas: Optional[dict[str, TenantQuota]] = None,
+        max_queue: int = 64,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.default_quota = default_quota or TenantQuota()
+        self.tenant_quotas = dict(tenant_quotas or {})
+        self.max_queue = max_queue
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self.admitted = 0
+        self.rejected: dict[str, int] = {REASON_QUOTA: 0, REASON_QUEUE_FULL: 0}
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        b = self._buckets.get(tenant)
+        if b is None:
+            q = self.tenant_quotas.get(tenant, self.default_quota)
+            b = TokenBucket(q.rate, q.burst, clock=self._clock)
+            self._buckets[tenant] = b
+        return b
+
+    def admit(self, tenant: str, queue_depth: int) -> AdmissionDecision:
+        """Admit or refuse one request from ``tenant``.
+
+        Order matters: the queue gate runs first (no token is burned on
+        a request the queue cannot hold), then the tenant bucket.
+        """
+        if queue_depth >= self.max_queue:
+            self.rejected[REASON_QUEUE_FULL] += 1
+            # drain estimate: assume the slowest tenant rate clears the
+            # backlog; clients with jitter will spread their retries
+            slowest = min(
+                [self.default_quota.rate]
+                + [q.rate for q in self.tenant_quotas.values()]
+            )
+            return AdmissionDecision(
+                False,
+                reason=REASON_QUEUE_FULL,
+                retry_after_s=max(0.05, queue_depth / max(slowest, 1e-9) / 4),
+            )
+        bucket = self.bucket(tenant)
+        if not bucket.try_take():
+            self.rejected[REASON_QUOTA] += 1
+            return AdmissionDecision(
+                False, reason=REASON_QUOTA,
+                retry_after_s=max(1e-3, bucket.retry_after()),
+            )
+        self.admitted += 1
+        return AdmissionDecision(True)
+
+    def stats(self) -> dict:
+        return {
+            "admitted": self.admitted,
+            "rejected_quota": self.rejected[REASON_QUOTA],
+            "rejected_queue_full": self.rejected[REASON_QUEUE_FULL],
+            "tenants": sorted(self._buckets),
+            "max_queue": self.max_queue,
+        }

@@ -1,0 +1,145 @@
+"""Per-tenant circuit breakers.
+
+A tenant whose jobs keep failing (bad source, poisoned fault spec, a
+workload that always exhausts its retries) must not keep burning worker
+slots that healthy tenants need.  Each tenant gets a classic three-state
+breaker:
+
+* **closed** — requests flow; ``failure_threshold`` *consecutive*
+  failures trip it open;
+* **open** — requests are refused instantly with a retry-after hint;
+  after ``recovery_time_s`` the breaker half-opens;
+* **half-open** — up to ``half_open_max`` probe requests pass through;
+  one success closes the breaker, one failure re-opens it (and restarts
+  the recovery timer).
+
+The clock is injectable so tests drive the timer deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """One tenant's breaker."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        recovery_time_s: float = 5.0,
+        half_open_max: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.recovery_time_s = recovery_time_s
+        self.half_open_max = max(1, half_open_max)
+        self._clock = clock
+        self.state = STATE_CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.half_open_inflight = 0
+        self.trips = 0
+        self.recoveries = 0
+
+    def _maybe_half_open(self, now: float) -> None:
+        if (
+            self.state == STATE_OPEN
+            and now - self.opened_at >= self.recovery_time_s
+        ):
+            self.state = STATE_HALF_OPEN
+            self.half_open_inflight = 0
+
+    def allow(self) -> bool:
+        """May a request from this tenant proceed right now?"""
+        now = self._clock()
+        self._maybe_half_open(now)
+        if self.state == STATE_CLOSED:
+            return True
+        if self.state == STATE_HALF_OPEN:
+            if self.half_open_inflight < self.half_open_max:
+                self.half_open_inflight += 1
+                return True
+            return False
+        return False
+
+    def retry_after(self) -> float:
+        """Seconds until the breaker will half-open (0 if not open)."""
+        if self.state != STATE_OPEN:
+            return 0.0
+        return max(
+            0.0, self.recovery_time_s - (self._clock() - self.opened_at)
+        )
+
+    def record_success(self) -> None:
+        if self.state == STATE_HALF_OPEN:
+            self.recoveries += 1
+        self.state = STATE_CLOSED
+        self.consecutive_failures = 0
+        self.half_open_inflight = 0
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == STATE_HALF_OPEN or (
+            self.state == STATE_CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self.state = STATE_OPEN
+            self.opened_at = self._clock()
+            self.half_open_inflight = 0
+            self.trips += 1
+
+
+class BreakerBoard:
+    """Lazily-created breaker per tenant, sharing one configuration."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        recovery_time_s: float = 5.0,
+        half_open_max: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.failure_threshold = failure_threshold
+        self.recovery_time_s = recovery_time_s
+        self.half_open_max = half_open_max
+        self._clock = clock
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker(self, tenant: str) -> CircuitBreaker:
+        b = self._breakers.get(tenant)
+        if b is None:
+            b = CircuitBreaker(
+                self.failure_threshold,
+                self.recovery_time_s,
+                self.half_open_max,
+                clock=self._clock,
+            )
+            self._breakers[tenant] = b
+        return b
+
+    @property
+    def trips(self) -> int:
+        return sum(b.trips for b in self._breakers.values())
+
+    @property
+    def recoveries(self) -> int:
+        return sum(b.recoveries for b in self._breakers.values())
+
+    def stats(self) -> dict:
+        return {
+            tenant: {
+                "state": b.state,
+                "consecutive_failures": b.consecutive_failures,
+                "trips": b.trips,
+                "recoveries": b.recoveries,
+            }
+            for tenant, b in sorted(self._breakers.items())
+        }

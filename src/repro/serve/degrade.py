@@ -1,0 +1,92 @@
+"""Load-shedding degradation ladder.
+
+Mirrors the PR-1 scheduler ladders (GPU → CPU-MT → serial): instead of
+failing outright under overload, the service gives up features in a
+fixed, documented order.  Levels are cumulative:
+
+* ``LEVEL_FULL`` (0) — everything on;
+* ``LEVEL_DROP_REPORT`` (1) — PR-5 insight/HTML report generation is
+  dropped from results (the most expensive optional work goes first);
+* ``LEVEL_CACHE_ONLY`` (2) — only requests whose answer is already in
+  the completed-results cache are served; fresh work is shed;
+* ``LEVEL_SHED_LOW`` (3) — lowest-priority tenants are shed outright,
+  even before the cache lookup.
+
+The ladder is driven by queue pressure (depth / capacity) with
+hysteresis: escalation thresholds are higher than the corresponding
+relaxation thresholds, so the level cannot flap on every enqueue/
+dequeue pair.
+"""
+
+from __future__ import annotations
+
+LEVEL_FULL = 0
+LEVEL_DROP_REPORT = 1
+LEVEL_CACHE_ONLY = 2
+LEVEL_SHED_LOW = 3
+
+LEVEL_NAMES = {
+    LEVEL_FULL: "full",
+    LEVEL_DROP_REPORT: "drop_report",
+    LEVEL_CACHE_ONLY: "cache_only",
+    LEVEL_SHED_LOW: "shed_low_priority",
+}
+
+#: (escalate_at, relax_below) load fractions per level transition.
+DEFAULT_THRESHOLDS = (
+    (0.50, 0.35),  # FULL        <-> DROP_REPORT
+    (0.75, 0.55),  # DROP_REPORT <-> CACHE_ONLY
+    (0.90, 0.70),  # CACHE_ONLY  <-> SHED_LOW
+)
+
+
+class DegradationLadder:
+    """Hysteretic mapping from queue pressure to a degradation level."""
+
+    def __init__(self, thresholds=DEFAULT_THRESHOLDS):
+        if len(thresholds) != 3:
+            raise ValueError("ladder needs exactly 3 threshold pairs")
+        for up, down in thresholds:
+            if not 0.0 <= down <= up <= 1.0:
+                raise ValueError(
+                    f"bad threshold pair ({up}, {down}): need "
+                    f"0 <= relax <= escalate <= 1"
+                )
+        self.thresholds = tuple(thresholds)
+        self.level = LEVEL_FULL
+        #: how many times each level was entered (escalations only)
+        self.escalations = [0, 0, 0]
+
+    def observe(self, load: float) -> int:
+        """Update the level from the current load fraction; returns it."""
+        load = max(0.0, float(load))
+        # escalate as far as the load justifies
+        while self.level < LEVEL_SHED_LOW:
+            up, _ = self.thresholds[self.level]
+            if load >= up:
+                self.level += 1
+                self.escalations[self.level - 1] += 1
+            else:
+                break
+        # relax one rung at a time, only once below the lower threshold
+        while self.level > LEVEL_FULL:
+            _, down = self.thresholds[self.level - 1]
+            if load < down:
+                self.level -= 1
+            else:
+                break
+        return self.level
+
+    @property
+    def name(self) -> str:
+        return LEVEL_NAMES[self.level]
+
+    def stats(self) -> dict:
+        return {
+            "level": self.level,
+            "name": self.name,
+            "escalations": {
+                LEVEL_NAMES[i + 1]: n
+                for i, n in enumerate(self.escalations)
+            },
+        }

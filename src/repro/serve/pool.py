@@ -1,0 +1,304 @@
+"""Worker pool: thread or process workers around :class:`WorkerRuntime`.
+
+Two backends share one contract — ``await pool.run(job, ...)`` returns a
+terminal :class:`JobResult` or raises :class:`WorkerDied`:
+
+* ``thread`` (default) — a thread pool in-process; each thread owns a
+  :class:`WorkerRuntime` and all threads share one thread-safe
+  :class:`ArtifactCache`.  Deterministic and cheap: the backend used by
+  the test and bench planes.
+* ``process`` — real child processes (fork where available), each with
+  its own runtime; the artifact cache is shared through the crash-safe
+  on-disk layer (``cache_dir``).  A worker killed mid-job is detected by
+  liveness polling, replaced, and the job surfaces as
+  :class:`WorkerDied` for the service to retry.
+
+Worker-death injection (site ``serve.worker``) is decided *in the event
+loop* before dispatch, keyed to the pool's fault schedule by the global
+dispatch index — so a chaos run replayed with the same ``--fault-seed``
+kills the same jobs' workers regardless of thread/process timing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import signal
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+from ..cache.artifacts import ArtifactCache
+from ..errors import JaponicaError, WorkerDied
+from ..faults.plane import SITE_SERVE_WORKER
+from ..faults.resilience import FaultRuntime
+from ..runtime.deadline import Deadline
+from .jobs import JobResult, JobSpec
+from .worker import WorkerRuntime
+
+BACKENDS = ("thread", "process")
+
+#: Liveness poll interval while waiting on a process worker (seconds).
+_POLL_S = 0.02
+
+
+def _process_worker_main(conn, cache_dir: Optional[str]) -> None:
+    """Child-process loop: recv (job, level, deadline) -> send result."""
+    runtime = WorkerRuntime(cache_dir=cache_dir)
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if msg is None:
+            break
+        job_doc, degrade_level, deadline_remaining_s = msg
+        try:
+            out = runtime.execute_dict(
+                job_doc, degrade_level, deadline_remaining_s
+            )
+        except BaseException as exc:  # the loop itself must never die
+            out = JobResult(
+                job_doc.get("job_id", ""), job_doc.get("tenant", ""),
+                "failed", kind=job_doc.get("kind", "run"),
+                error=f"worker loop: {exc!r}",
+            ).to_dict()
+            out["cache_delta"] = {"hits": 0, "misses": 0}
+        try:
+            conn.send(out)
+        except (BrokenPipeError, OSError):
+            break
+
+
+class _ProcWorker:
+    """Handle on one child process + its pipe."""
+
+    def __init__(self, mp_ctx, cache_dir: Optional[str], name: str):
+        parent, child = mp_ctx.Pipe()
+        self.conn = parent
+        self.name = name
+        self.process = mp_ctx.Process(
+            target=_process_worker_main, args=(child, cache_dir),
+            name=name, daemon=True,
+        )
+        self.process.start()
+        child.close()
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        if self.process.pid is not None and self.alive():
+            os.kill(self.process.pid, signal.SIGKILL)
+        self.process.join(timeout=5.0)
+
+    def shutdown(self) -> None:
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=2.0)
+        if self.alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(timeout=2.0)
+        self.conn.close()
+
+
+class WorkerPool:
+    """N workers executing jobs on pooled runtimes."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        backend: str = "thread",
+        cache_dir: Optional[str] = None,
+        faults: Optional[FaultRuntime] = None,
+    ):
+        if workers < 1:
+            raise JaponicaError(f"pool needs >= 1 worker, got {workers}")
+        if backend not in BACKENDS:
+            raise JaponicaError(
+                f"unknown pool backend {backend!r}; expected one of {BACKENDS}"
+            )
+        self.workers = workers
+        self.backend = backend
+        self.cache_dir = cache_dir
+        #: fault runtime probed at ``serve.worker`` per dispatch
+        self.faults = faults or FaultRuntime()
+        self.worker_deaths = 0
+        self.workers_spawned = 0
+        # thread backend state
+        self.cache = ArtifactCache(cache_dir=cache_dir)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._runtimes: dict[int, WorkerRuntime] = {}
+        self._runtimes_lock = threading.Lock()
+        # process backend state
+        self._mp_ctx = None
+        self._free: Optional[asyncio.Queue] = None
+        self._procs: list[_ProcWorker] = []
+        self._started = False
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._started:
+            return
+        if self.backend == "thread":
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-serve",
+            )
+        else:
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+            self._mp_ctx = multiprocessing.get_context(method)
+            self._free = asyncio.Queue()
+            for _ in range(self.workers):
+                self._free.put_nowait(self._spawn())
+        self._started = True
+
+    def _spawn(self) -> _ProcWorker:
+        self.workers_spawned += 1
+        return _ProcWorker(
+            self._mp_ctx, self.cache_dir, f"serve-w{self.workers_spawned}"
+        )
+
+    async def stop(self) -> None:
+        if not self._started:
+            return
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        for w in self._procs:
+            w.shutdown()
+        self._procs = []
+        if self._free is not None:
+            while not self._free.empty():
+                self._free.get_nowait().shutdown()
+            self._free = None
+        self._started = False
+
+    # -- dispatch ---------------------------------------------------------
+
+    async def run(
+        self,
+        job: JobSpec,
+        degrade_level: int = 0,
+        deadline: Optional[Deadline] = None,
+    ) -> JobResult:
+        """Execute ``job``; raises :class:`WorkerDied` on a lost worker."""
+        if not self._started:
+            await self.start()
+        # decide worker death here, in the event loop, so the injection
+        # sequence is a pure function of (seed, dispatch index)
+        directive = (
+            self.faults.probe(SITE_SERVE_WORKER)
+            if self.faults.enabled
+            else None
+        )
+        if self.backend == "thread":
+            return await self._run_thread(job, degrade_level, deadline,
+                                          die=directive is not None)
+        return await self._run_process(job, degrade_level, deadline,
+                                       die=directive is not None)
+
+    # -- thread backend ---------------------------------------------------
+
+    def _thread_runtime(self) -> WorkerRuntime:
+        ident = threading.get_ident()
+        with self._runtimes_lock:
+            runtime = self._runtimes.get(ident)
+            if runtime is None:
+                runtime = WorkerRuntime(cache=self.cache)
+                self._runtimes[ident] = runtime
+        return runtime
+
+    async def _run_thread(
+        self, job: JobSpec, degrade_level: int,
+        deadline: Optional[Deadline], die: bool,
+    ) -> JobResult:
+        if die:
+            # the worker dies before acknowledging: its in-memory pools
+            # are lost (one runtime dropped), the job is never acked
+            self.worker_deaths += 1
+            with self._runtimes_lock:
+                if self._runtimes:
+                    self._runtimes.pop(next(iter(self._runtimes)))
+            raise WorkerDied(
+                f"injected worker death before job {job.job_id}",
+                worker="thread",
+            )
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor,
+            lambda: self._thread_runtime().execute(
+                job, degrade_level, deadline
+            ),
+        )
+
+    # -- process backend --------------------------------------------------
+
+    @staticmethod
+    def _exchange(w: _ProcWorker, payload) -> dict:
+        """Blocking send/recv with liveness polling (executor thread)."""
+        try:
+            w.conn.send(payload)
+        except (BrokenPipeError, OSError):
+            raise WorkerDied(f"worker {w.name} died before send",
+                             worker=w.name) from None
+        while True:
+            try:
+                if w.conn.poll(_POLL_S):
+                    return w.conn.recv()
+            except (EOFError, OSError):
+                raise WorkerDied(f"worker {w.name} died mid-job",
+                                 worker=w.name) from None
+            if not w.alive():
+                raise WorkerDied(f"worker {w.name} died mid-job",
+                                 worker=w.name)
+
+    async def _run_process(
+        self, job: JobSpec, degrade_level: int,
+        deadline: Optional[Deadline], die: bool,
+    ) -> JobResult:
+        w: _ProcWorker = await self._free.get()
+        replaced = False
+        try:
+            if die:
+                w.kill()  # real SIGKILL: the dispatch below must recover
+            remaining = deadline.remaining() if deadline is not None else None
+            loop = asyncio.get_running_loop()
+            payload = (job.to_dict(), degrade_level, remaining)
+            try:
+                doc = await loop.run_in_executor(
+                    None, self._exchange, w, payload
+                )
+            except WorkerDied:
+                self.worker_deaths += 1
+                replaced = True
+                try:
+                    w.conn.close()
+                except OSError:
+                    pass
+                w.process.join(timeout=1.0)
+                self._free.put_nowait(self._spawn())
+                raise
+            cache_delta = doc.pop("cache_delta", {"hits": 0, "misses": 0})
+            result = JobResult.from_dict(doc)
+            result.__dict__["cache_delta"] = cache_delta
+            return result
+        finally:
+            if not replaced:
+                self._free.put_nowait(w)
+
+    def stats(self) -> dict:
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "worker_deaths": self.worker_deaths,
+            "workers_spawned": self.workers_spawned,
+            "cache": self.cache.stats() if self.backend == "thread" else None,
+        }

@@ -1,0 +1,191 @@
+"""Minimal asyncio HTTP/1.1 front end over :class:`CompilationService`.
+
+Deliberately stdlib-only (``asyncio.start_server`` + hand-rolled
+HTTP/1.1): the service is a local control plane, not a public web
+server.  One connection carries one request (``Connection: close``).
+
+Routes
+------
+* ``POST /v1/jobs`` — submit a :class:`JobSpec` as JSON; the terminal
+  :class:`JobResult` comes back with a load-aware status code:
+
+  ========================  ====  =========================
+  job status                HTTP  extra header
+  ========================  ====  =========================
+  ``ok``                    200
+  malformed spec            400
+  ``rejected``              429   ``Retry-After``
+  ``shed``/``breaker_open``  503   ``Retry-After``
+  ``deadline``              504
+  ``failed``                500
+  ========================  ====  =========================
+
+* ``GET /healthz`` — liveness + current degradation level.
+* ``GET /v1/stats`` — full :meth:`CompilationService.stats` document.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from ..errors import JaponicaError
+from .jobs import (
+    STATUS_BREAKER_OPEN,
+    STATUS_DEADLINE,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_SHED,
+    JobSpec,
+)
+from .service import CompilationService, ServeConfig
+
+#: JobResult.status -> HTTP status code.
+STATUS_CODES = {
+    STATUS_OK: 200,
+    STATUS_REJECTED: 429,
+    STATUS_SHED: 503,
+    STATUS_BREAKER_OPEN: 503,
+    STATUS_DEADLINE: 504,
+}
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+}
+
+#: Submission bodies above this are refused (anti-footgun, not security).
+MAX_BODY = 1 << 20
+
+
+class ServeServer:
+    """The ``repro serve`` listener."""
+
+    def __init__(
+        self,
+        service: Optional[CompilationService] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service or CompilationService(ServeConfig())
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        # resolve port 0 to the bound port
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    # -- one request per connection ---------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload, headers = await self._dispatch(reader)
+        except Exception as exc:  # the listener must never die
+            status, headers = 500, {}
+            payload = {"error": f"{type(exc).__name__}: {exc}"}
+        try:
+            self._write_response(writer, status, payload, headers)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, reader) -> tuple:
+        request = await reader.readline()
+        parts = request.decode("latin-1").split()
+        if len(parts) < 2:
+            return 400, {"error": "malformed request line"}, {}
+        method, path = parts[0].upper(), parts[1]
+
+        # headers: only Content-Length matters to us
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    return 400, {"error": "bad Content-Length"}, {}
+        if length > MAX_BODY:
+            return 413, {"error": f"body over {MAX_BODY} bytes"}, {}
+        body = await reader.readexactly(length) if length else b""
+
+        if method == "GET" and path == "/healthz":
+            return 200, {
+                "status": "ok",
+                "degrade_level": self.service.ladder.level,
+                "degrade_mode": self.service.ladder.name,
+                "queue_depth": self.service._queue.qsize(),
+            }, {}
+        if method == "GET" and path == "/v1/stats":
+            return 200, self.service.stats(), {}
+        if path == "/v1/jobs":
+            if method != "POST":
+                return 405, {"error": "use POST /v1/jobs"}, {}
+            return await self._submit(body)
+        return 404, {"error": f"no route {method} {path}"}, {}
+
+    async def _submit(self, body: bytes) -> tuple:
+        try:
+            doc = json.loads(body.decode("utf-8") or "null")
+        except (ValueError, UnicodeDecodeError) as exc:
+            return 400, {"error": f"bad JSON body: {exc}"}, {}
+        try:
+            job = JobSpec.from_dict(doc)
+            result = await self.service.submit(job)
+        except JaponicaError as exc:
+            # malformed spec (including a bad --faults grammar): pointed
+            # message, 400, never a traceback
+            return 400, {"error": str(exc)}, {}
+        status = STATUS_CODES.get(result.status, 500)
+        headers = {}
+        if result.retry_after_s is not None and status in (429, 503):
+            headers["Retry-After"] = f"{max(result.retry_after_s, 0.001):.3f}"
+        return status, result.to_dict(), headers
+
+    @staticmethod
+    def _write_response(writer, status: int, payload: dict,
+                        headers: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        head = [
+            f"HTTP/1.1 {status} {reason}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        head.extend(f"{k}: {v}" for k, v in headers.items())
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(body)

@@ -1,0 +1,368 @@
+"""The compilation service: admission → deadline → breaker → shedding.
+
+:class:`CompilationService` is the transport-independent core — the HTTP
+layer (:mod:`repro.serve.server`) is a thin adapter over
+:meth:`CompilationService.submit`.  One submission flows through the
+gates in a fixed order:
+
+1. **validate** — malformed specs (including bad ``faults`` grammar)
+   are refused with a pointed message, never a mid-run traceback;
+2. **circuit breaker** — a tenant with too many consecutive failures is
+   refused instantly until the breaker half-opens;
+3. **degradation ladder** — under queue pressure the service drops
+   report generation, then serves cache-only answers, then sheds
+   lowest-priority jobs outright;
+4. **admission control** — per-tenant token bucket + bounded queue;
+   refusals carry a ``retry_after_s`` hint;
+5. **dispatch** — a deadline is stamped, the job enters the priority
+   queue, and a dispatcher drives it through the worker pool with
+   seeded-jitter retries around worker deaths.
+
+Every admitted job settles in the :class:`JobLedger` exactly once; the
+chaos suite reconciles that invariant after killing workers mid-run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import JaponicaError, WorkerDied
+from ..faults.resilience import FaultRuntime, ResiliencePolicy
+from ..faults.schedule import FaultSchedule
+from ..obs.metrics import MetricsRegistry
+from ..runtime.deadline import Deadline
+from .admission import AdmissionController, TenantQuota
+from .breaker import BreakerBoard
+from .degrade import (
+    LEVEL_CACHE_ONLY,
+    LEVEL_SHED_LOW,
+    DEFAULT_THRESHOLDS,
+    DegradationLadder,
+)
+from .jobs import (
+    PRIORITY_LOW,
+    STATUS_BREAKER_OPEN,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_SHED,
+    JobLedger,
+    JobResult,
+    JobSpec,
+)
+from .pool import WorkerPool
+
+
+@dataclass
+class ServeConfig:
+    """Tuning knobs of the compilation service."""
+
+    #: worker pool
+    workers: int = 2
+    backend: str = "thread"  # "thread" | "process"
+    cache_dir: Optional[str] = None
+    #: admission control
+    max_queue: int = 32
+    quota_rate: float = 50.0      #: default tokens/s per tenant
+    quota_burst: float = 16.0     #: default burst per tenant
+    tenant_quotas: dict[str, TenantQuota] = field(default_factory=dict)
+    #: deadlines
+    default_deadline_s: float = 30.0
+    #: circuit breaker
+    breaker_failures: int = 3
+    breaker_recovery_s: float = 2.0
+    breaker_half_open_max: int = 1
+    #: worker-death retries (real seconds, seeded-jitter exponential)
+    max_retries: int = 3
+    retry_base_s: float = 0.002
+    retry_cap_s: float = 0.25
+    #: degradation ladder thresholds ((escalate, relax) per rung)
+    thresholds: tuple = DEFAULT_THRESHOLDS
+    #: serve-level fault schedule (``serve.worker`` site) for chaos runs
+    faults: Optional[str] = None
+    fault_seed: int = 0
+    #: completed-results cache (the cache-only degradation rung)
+    results_cache_entries: int = 256
+
+
+class CompilationService:
+    """Long-lived multi-tenant front end over the Japonica pipeline."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.config = config or ServeConfig()
+        self.clock = clock
+        self.metrics = MetricsRegistry()
+        cfg = self.config
+        self.admission = AdmissionController(
+            default_quota=TenantQuota(cfg.quota_rate, cfg.quota_burst),
+            tenant_quotas=cfg.tenant_quotas,
+            max_queue=cfg.max_queue,
+            clock=clock,
+        )
+        self.breakers = BreakerBoard(
+            failure_threshold=cfg.breaker_failures,
+            recovery_time_s=cfg.breaker_recovery_s,
+            half_open_max=cfg.breaker_half_open_max,
+            clock=clock,
+        )
+        self.ladder = DegradationLadder(cfg.thresholds)
+        self.faults = FaultRuntime(policy=ResiliencePolicy(
+            max_retries=cfg.max_retries,
+            backoff_base_s=cfg.retry_base_s,
+        ))
+        if cfg.faults:
+            self.faults.install(
+                FaultSchedule.parse(cfg.faults, seed=cfg.fault_seed)
+            )
+        self.pool = WorkerPool(
+            workers=cfg.workers,
+            backend=cfg.backend,
+            cache_dir=cfg.cache_dir,
+            faults=self.faults,
+        )
+        self.ledger = JobLedger()
+        self._queue: asyncio.PriorityQueue = asyncio.PriorityQueue()
+        self._qseq = itertools.count()
+        self._dispatchers: list[asyncio.Task] = []
+        self._results_cache: OrderedDict[str, dict] = OrderedDict()
+        self._started = False
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._started:
+            return
+        await self.pool.start()
+        self._dispatchers = [
+            asyncio.create_task(self._dispatch_loop(), name=f"dispatch-{i}")
+            for i in range(self.config.workers)
+        ]
+        self._started = True
+
+    async def stop(self, drain: bool = True) -> None:
+        if not self._started:
+            return
+        if drain:
+            await self._queue.join()
+        for task in self._dispatchers:
+            task.cancel()
+        for task in self._dispatchers:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._dispatchers = []
+        await self.pool.stop()
+        self._started = False
+
+    # -- submission path --------------------------------------------------
+
+    def _load(self) -> float:
+        return self._queue.qsize() / self.config.max_queue
+
+    def _refuse(self, job: JobSpec, status: str, retry_after_s: float,
+                error: str) -> JobResult:
+        self.ledger.refuse(job, status)
+        self.metrics.counter(f"serve.{status}").inc()
+        return JobResult(
+            job.job_id, job.tenant, status, kind=job.kind,
+            retry_after_s=retry_after_s or None, error=error,
+        )
+
+    def _cached_answer(self, job: JobSpec) -> Optional[JobResult]:
+        doc = self._results_cache.get(job.result_key())
+        if doc is None:
+            return None
+        self._results_cache.move_to_end(job.result_key())
+        result = JobResult.from_dict(dict(doc))
+        result.job_id = job.job_id
+        result.tenant = job.tenant
+        result.served_from_cache = True
+        result.degrade_level = self.ladder.level
+        return result
+
+    def _store_answer(self, job: JobSpec, result: JobResult) -> None:
+        if result.status != STATUS_OK:
+            return
+        self._results_cache[job.result_key()] = result.to_dict()
+        self._results_cache.move_to_end(job.result_key())
+        while len(self._results_cache) > self.config.results_cache_entries:
+            self._results_cache.popitem(last=False)
+
+    async def submit(self, job: JobSpec) -> JobResult:
+        """Drive one job through every gate to a terminal result.
+
+        Raises :class:`JaponicaError` only for *malformed* specs (the
+        HTTP layer maps that to 400); every load-dependent refusal is a
+        terminal :class:`JobResult`, so callers can always distinguish
+        "you sent garbage" from "come back later".
+        """
+        if not self._started:
+            await self.start()
+        job.validate()
+
+        # 2. circuit breaker
+        breaker = self.breakers.breaker(job.tenant)
+        if not breaker.allow():
+            self.metrics.counter("serve.breaker.refused").inc()
+            return self._refuse(
+                job, STATUS_BREAKER_OPEN,
+                retry_after_s=max(breaker.retry_after(), 1e-3),
+                error=f"circuit breaker open for tenant {job.tenant!r}",
+            )
+
+        # 3. degradation ladder (cumulative rungs)
+        level = self.ladder.observe(self._load())
+        self.metrics.gauge("serve.degrade.level").set(level)
+        if level >= LEVEL_SHED_LOW and job.priority >= PRIORITY_LOW:
+            self.metrics.counter("serve.shed.priority").inc()
+            return self._refuse(
+                job, STATUS_SHED, retry_after_s=0.1,
+                error="shedding lowest-priority jobs under overload",
+            )
+        if level >= LEVEL_CACHE_ONLY:
+            cached = self._cached_answer(job)
+            if cached is not None:
+                self.metrics.counter("serve.cache_only.hit").inc()
+                self.ledger.refuse(job, STATUS_OK)
+                return cached
+            self.metrics.counter("serve.shed.cache_only").inc()
+            return self._refuse(
+                job, STATUS_SHED, retry_after_s=0.1,
+                error="cache-only mode under overload and no cached answer",
+            )
+
+        # 4. admission control
+        decision = self.admission.admit(job.tenant, self._queue.qsize())
+        if not decision.admitted:
+            self.metrics.counter(
+                f"serve.rejected.{decision.reason}"
+            ).inc()
+            return self._refuse(
+                job, STATUS_REJECTED,
+                retry_after_s=decision.retry_after_s,
+                error=f"admission refused ({decision.reason})",
+            )
+
+        # 5. admitted: stamp the deadline, queue, await settlement
+        self.metrics.counter("serve.admitted").inc()
+        self.ledger.admit(job)
+        budget_s = (
+            job.deadline_ms / 1e3
+            if job.deadline_ms is not None
+            else self.config.default_deadline_s
+        )
+        deadline = Deadline(budget_s, clock=self.clock)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait(
+            (job.priority, next(self._qseq), job, future, deadline)
+        )
+        self.metrics.gauge("serve.queue_depth").set(self._queue.qsize())
+        return await future
+
+    # -- dispatch path ----------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            _prio, _seq, job, future, deadline = await self._queue.get()
+            try:
+                level = self.ladder.observe(self._load())
+                result = await self._execute(job, level, deadline)
+                breaker = self.breakers.breaker(job.tenant)
+                trips_before = breaker.trips
+                if result.status == STATUS_OK:
+                    breaker.record_success()
+                elif result.status == STATUS_FAILED:
+                    breaker.record_failure()
+                    if breaker.trips > trips_before:
+                        self.metrics.counter("serve.breaker.trips").inc()
+                self._store_answer(job, result)
+                self.ledger.settle(job.job_id, result.status)
+                self.metrics.counter(f"serve.{result.status}").inc()
+                self.metrics.histogram("serve.wall_ms").observe(
+                    result.wall_ms
+                )
+                if not future.done():
+                    future.set_result(result)
+            except Exception as exc:  # dispatcher must never die
+                if not future.done():
+                    future.set_exception(exc)
+            finally:
+                self._queue.task_done()
+
+    async def _execute(
+        self, job: JobSpec, level: int, deadline: Deadline
+    ) -> JobResult:
+        """Run with seeded-jitter retries around transient worker deaths."""
+        policy = self.faults.policy
+        seed = self.config.fault_seed
+        attempt = 0
+        while True:
+            try:
+                result = await self.pool.run(job, level, deadline)
+                result.attempts = attempt + 1
+                self._account_cache(result)
+                return result
+            except WorkerDied as exc:
+                self.metrics.counter("serve.worker.deaths").inc()
+                if attempt >= policy.max_retries:
+                    return JobResult(
+                        job.job_id, job.tenant, STATUS_FAILED, kind=job.kind,
+                        attempts=attempt + 1,
+                        error=f"worker died {attempt + 1} times: {exc}",
+                    )
+                backoff = min(
+                    policy.jittered_backoff(
+                        attempt, seed, "serve.retry", job.job_id
+                    ),
+                    self.config.retry_cap_s,
+                )
+                self.metrics.counter("serve.retry.attempts").inc()
+                self.metrics.counter("serve.retry.backoff_s").inc(backoff)
+                await asyncio.sleep(backoff)
+                attempt += 1
+
+    def _account_cache(self, result: JobResult) -> None:
+        delta = result.__dict__.get("cache_delta")
+        if delta:
+            self.metrics.counter("serve.cache.hits").inc(delta["hits"])
+            self.metrics.counter("serve.cache.misses").inc(delta["misses"])
+
+    # -- introspection ----------------------------------------------------
+
+    def cache_hit_rate(self) -> float:
+        hits = self.metrics.counter("serve.cache.hits").value
+        misses = self.metrics.counter("serve.cache.misses").value
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        counts = self.ledger.counts()
+        return {
+            "schema": "repro.serve/v1",
+            "queue_depth": self._queue.qsize(),
+            "ledger": {
+                "admitted": len(self.ledger.admitted),
+                "unsettled": len(self.ledger.unsettled()),
+                "duplicate_settlements": self.ledger.duplicate_settlements,
+                "counts": counts,
+            },
+            "admission": self.admission.stats(),
+            "breakers": {
+                "trips": self.breakers.trips,
+                "recoveries": self.breakers.recoveries,
+                "tenants": self.breakers.stats(),
+            },
+            "degradation": self.ladder.stats(),
+            "pool": self.pool.stats(),
+            "cache_hit_rate": self.cache_hit_rate(),
+        }

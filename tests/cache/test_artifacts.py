@@ -81,7 +81,7 @@ class TestLayers:
         assert cache.get("k", "unit") is None
         cache.put("k", {"x": 1})
         assert cache.get("k", "unit") == {"x": 1}
-        assert cache.stats() == {"hits": 1, "misses": 1, "memory_entries": 1}
+        assert cache.stats() == {"hits": 1, "misses": 1, "quarantined": 0, "memory_entries": 1}
 
     def test_copy_value_isolates_consumers(self):
         cache = ArtifactCache()
@@ -104,7 +104,7 @@ class TestLayers:
         cache = ArtifactCache(enabled=False)
         cache.put("k", 1)
         assert cache.get("k", "t") is None
-        assert cache.stats() == {"hits": 0, "misses": 0, "memory_entries": 0}
+        assert cache.stats() == {"hits": 0, "misses": 0, "quarantined": 0, "memory_entries": 0}
 
     def test_disk_layer_survives_process(self, tmp_path):
         d = str(tmp_path / "cache")
@@ -168,7 +168,7 @@ class TestEndToEnd:
         Japonica(cache=cache).compile(SRC)
         Japonica(cache=cache).compile(SRC_EDITED)
         assert cache.stats() == {
-            "hits": 0, "misses": 2, "memory_entries": 2,
+            "hits": 0, "misses": 2, "quarantined": 0, "memory_entries": 2,
         }
 
     def test_warm_run_is_identical_and_skips_profiling(self, tmp_path):
@@ -216,5 +216,5 @@ class TestEndToEnd:
         # must not look up or store under an active fault schedule (a hit
         # would skip the profiling launch's fault-probe draws)
         assert cache.stats() == {
-            "hits": 0, "misses": 1, "memory_entries": 1,
+            "hits": 0, "misses": 1, "quarantined": 0, "memory_entries": 1,
         }

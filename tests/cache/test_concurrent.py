@@ -1,0 +1,69 @@
+"""Concurrent cache access from separate processes: no torn entries.
+
+Satellite of the serve plane: worker processes share one ``cache_dir``,
+and any of them may be writing the same content key at the same moment
+(two tenants compiling the same source).  The atomic tmp+fsync+rename
+publish means a reader must only ever see a complete entry — the last
+full write wins, nothing is torn, and no temp droppings accumulate.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.cache import ArtifactCache
+
+KEYS = 16
+OPS = 150
+
+
+def hammer(cache_dir: str, worker: int, failures) -> None:
+    """One process: interleaved put/get over a shared key space."""
+    cache = ArtifactCache(cache_dir=cache_dir, max_memory_entries=4)
+    for i in range(OPS):
+        key = f"shared-{i % KEYS}"
+        # distinct-but-valid payloads per writer: a torn mix of two
+        # writers' bytes would not unpickle and would be quarantined
+        cache.put(key, {"worker": worker, "i": i, "pad": "x" * 4096})
+        got = cache.get(f"shared-{(i * 7) % KEYS}", "unit")
+        if got is not None and set(got) != {"worker", "i", "pad"}:
+            failures.put(f"malformed entry via worker {worker}: {got!r}")
+    if cache.quarantined:
+        failures.put(
+            f"worker {worker} saw {cache.quarantined} torn entr(ies)"
+        )
+
+
+@pytest.mark.timeout_s(120)
+def test_two_processes_share_one_cache_dir_without_tearing(tmp_path):
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("needs fork start method")
+    ctx = multiprocessing.get_context("fork")
+    failures = ctx.Queue()
+    procs = [
+        ctx.Process(target=hammer, args=(str(tmp_path), w, failures))
+        for w in range(2)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=90)
+        assert p.exitcode == 0
+    assert failures.empty(), failures.get()
+
+    files = sorted(os.listdir(tmp_path))
+    # exactly one file per key: no duplicates, no temp files, no
+    # quarantined corpses
+    assert files == sorted(f"shared-{k}.pkl" for k in range(KEYS))
+
+    # every surviving entry is complete and attributable to one writer
+    reader = ArtifactCache(cache_dir=str(tmp_path))
+    for k in range(KEYS):
+        value = reader.get(f"shared-{k}", "unit")
+        assert value is not None
+        assert value["worker"] in (0, 1)
+        assert len(value["pad"]) == 4096
+    assert reader.quarantined == 0

@@ -1,0 +1,92 @@
+"""Disk-layer crash safety: atomic publish, quarantine-on-corrupt."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+from repro.cache import ArtifactCache
+
+
+def disk_files(d, suffix=""):
+    return sorted(f for f in os.listdir(d) if f.endswith(suffix))
+
+
+class TestAtomicPublish:
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        cache = ArtifactCache(cache_dir=str(tmp_path))
+        for i in range(10):
+            cache.put(f"k{i}", {"payload": list(range(i))})
+        assert disk_files(tmp_path, ".tmp") == []
+        assert len(disk_files(tmp_path, ".pkl")) == 10
+
+    def test_fresh_process_reads_published_entries(self, tmp_path):
+        ArtifactCache(cache_dir=str(tmp_path)).put("k", {"x": 1})
+        again = ArtifactCache(cache_dir=str(tmp_path))
+        assert again.get("k", "unit") == {"x": 1}
+
+
+class TestQuarantine:
+    def _corrupt(self, tmp_path, key, data: bytes):
+        path = tmp_path / f"{key}.pkl"
+        path.write_bytes(data)
+
+    def test_truncated_entry_is_a_miss_not_an_error(self, tmp_path):
+        cache = ArtifactCache(cache_dir=str(tmp_path))
+        cache.put("k", {"big": list(range(1000))})
+        # a worker killed mid-write on a non-atomic filesystem: half a
+        # pickle
+        whole = (tmp_path / "k.pkl").read_bytes()
+        self._corrupt(tmp_path, "k", whole[: len(whole) // 2])
+        fresh = ArtifactCache(cache_dir=str(tmp_path))  # no memory layer
+        assert fresh.get("k", "unit") is None
+        assert fresh.misses == 1
+        assert fresh.quarantined == 1
+
+    def test_corrupt_entry_is_renamed_aside_never_reread(self, tmp_path):
+        cache = ArtifactCache(cache_dir=str(tmp_path))
+        self._corrupt(tmp_path, "bad", b"this is not a pickle")
+        assert cache.get("bad", "unit") is None
+        assert disk_files(tmp_path) == ["bad.pkl.corrupt"]
+        # second lookup is a plain miss: the poison is gone
+        assert cache.get("bad", "unit") is None
+        assert cache.quarantined == 1
+
+    def test_quarantined_key_can_be_rewritten_and_hit(self, tmp_path):
+        cache = ArtifactCache(cache_dir=str(tmp_path))
+        self._corrupt(tmp_path, "k", b"\x80garbage")
+        assert cache.get("k", "unit") is None
+        cache.put("k", {"fixed": True})
+        fresh = ArtifactCache(cache_dir=str(tmp_path))
+        assert fresh.get("k", "unit") == {"fixed": True}
+        assert fresh.hits == 1
+
+    def test_unpicklable_class_reference_is_quarantined(self, tmp_path):
+        # a valid pickle whose class no longer exists (schema drift after
+        # an upgrade) must quarantine, not crash the service
+        cache = ArtifactCache(cache_dir=str(tmp_path))
+        payload = pickle.dumps({"x": 1})
+        payload = payload.replace(b"x", b"y")  # still a loadable pickle
+        self._corrupt(
+            tmp_path, "k",
+            b"\x80\x04\x95\x0e\x00\x00\x00\x00\x00\x00\x00\x8c\x08"
+            b"no.module\x94\x8c\x03Cls\x94\x93\x94.",
+        )
+        assert cache.get("k", "unit") is None
+        assert cache.quarantined == 1
+
+    def test_quarantine_reports_through_metrics(self, tmp_path):
+        from repro.obs import Instrumentation
+
+        cache = ArtifactCache(cache_dir=str(tmp_path))
+        obs = Instrumentation.recording()
+        self._corrupt(tmp_path, "k", b"junk")
+        cache.get("k", "unit", obs=obs)
+        assert obs.metrics.counter("cache.quarantined").value == 1
+        assert obs.metrics.counter("cache.miss").value == 1
+
+    def test_stats_include_quarantined(self, tmp_path):
+        cache = ArtifactCache(cache_dir=str(tmp_path))
+        self._corrupt(tmp_path, "k", b"junk")
+        cache.get("k", "unit")
+        assert cache.stats()["quarantined"] == 1

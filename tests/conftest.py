@@ -2,12 +2,57 @@
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
+
 import numpy as np
 import pytest
 
 from repro.analysis import analyze_loop
 from repro.ir import ArrayStorage, lower_loop_body
 from repro.lang import annotated_loops, parse_program
+
+#: Global per-test wall-clock budget (seconds).  A hung test — a worker
+#: process that never dies, a socket that never answers — fails with a
+#: pointed error instead of wedging the whole suite.  SIGALRM-based, so
+#: it needs no third-party plugin; override per test with
+#: ``@pytest.mark.timeout_s(N)``.
+TEST_TIMEOUT_S = int(os.environ.get("REPRO_TEST_TIMEOUT_S", "180"))
+
+_ALARM_USABLE = (
+    hasattr(signal, "SIGALRM")
+    and threading.current_thread() is threading.main_thread()
+)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout_s(seconds): override the global per-test timeout",
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if not _ALARM_USABLE:
+        yield
+        return
+    marker = item.get_closest_marker("timeout_s")
+    budget = int(marker.args[0]) if marker and marker.args else TEST_TIMEOUT_S
+
+    def on_alarm(signum, frame):
+        pytest.fail(
+            f"test exceeded the {budget}s wall-clock budget", pytrace=False
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(budget)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def first_loop(source: str, method: str | None = None):

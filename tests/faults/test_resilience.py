@@ -92,9 +92,10 @@ class TestDeviceRetry:
         res = device.launch(fn, range(64), {"n": 64}, storage, mode="direct")
         assert np.array_equal(storage.arrays["b"],
                               np.arange(64, dtype=np.float64) + 1.0)
-        # the retry backoff is charged on top of the clean kernel time
+        # the (seeded-jitter) retry backoff is charged on top of the
+        # clean kernel time
         assert res.sim_time_s == pytest.approx(
-            clean.sim_time_s + faults.policy.backoff(0)
+            clean.sim_time_s + faults.backoff_for("gpu.launch", 0)
         )
         report = faults.recorder.report()
         assert report.faults_seen == 1
@@ -117,7 +118,7 @@ class TestDeviceRetry:
         assert res.sim_time_s == pytest.approx(
             clean.sim_time_s
             + faults.policy.watchdog_timeout_s
-            + faults.policy.backoff(0)
+            + faults.backoff_for("gpu.hang", 0)
         )
         assert faults.recorder.report().events[1].action == "watchdog-kill"
 

@@ -1,0 +1,119 @@
+"""Admission control: token buckets, quotas, bounded queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.admission import (
+    REASON_QUEUE_FULL,
+    REASON_QUOTA,
+    AdmissionController,
+    TenantQuota,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        b = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert [b.try_take() for _ in range(4)] == [True, True, True, False]
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        b = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        b.try_take(2.0)
+        assert not b.try_take()
+        clock.advance(0.5)  # refills 1 token
+        assert b.try_take()
+        assert not b.try_take()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        b = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+        clock.advance(60.0)
+        assert b.tokens == pytest.approx(2.0)
+
+    def test_retry_after_is_deficit_over_rate(self):
+        clock = FakeClock()
+        b = TokenBucket(rate=4.0, burst=1.0, clock=clock)
+        b.try_take()
+        assert b.retry_after() == pytest.approx(0.25)
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+class TestAdmissionController:
+    def make(self, clock, **kw):
+        kw.setdefault("default_quota", TenantQuota(rate=1.0, burst=2.0))
+        kw.setdefault("max_queue", 4)
+        return AdmissionController(clock=clock, **kw)
+
+    def test_admits_within_burst_then_rejects_quota(self):
+        ctl = self.make(FakeClock())
+        assert ctl.admit("a", 0).admitted
+        assert ctl.admit("a", 0).admitted
+        decision = ctl.admit("a", 0)
+        assert not decision.admitted
+        assert decision.reason == REASON_QUOTA
+        assert decision.retry_after_s > 0
+
+    def test_tenants_have_independent_buckets(self):
+        ctl = self.make(FakeClock())
+        for _ in range(2):
+            assert ctl.admit("a", 0).admitted
+        assert not ctl.admit("a", 0).admitted
+        assert ctl.admit("b", 0).admitted  # b's bucket untouched
+
+    def test_per_tenant_quota_override(self):
+        ctl = self.make(
+            FakeClock(),
+            tenant_quotas={"vip": TenantQuota(rate=10.0, burst=5.0)},
+        )
+        for _ in range(5):
+            assert ctl.admit("vip", 0).admitted
+        assert not ctl.admit("vip", 0).admitted
+
+    def test_queue_full_rejects_before_burning_tokens(self):
+        clock = FakeClock()
+        ctl = self.make(clock)
+        decision = ctl.admit("a", queue_depth=4)
+        assert not decision.admitted
+        assert decision.reason == REASON_QUEUE_FULL
+        assert decision.retry_after_s > 0
+        # the tenant's bucket was not charged
+        assert ctl.bucket("a").tokens == pytest.approx(2.0)
+
+    def test_quota_recovers_after_waiting(self):
+        clock = FakeClock()
+        ctl = self.make(clock)
+        ctl.admit("a", 0), ctl.admit("a", 0)
+        refused = ctl.admit("a", 0)
+        clock.advance(refused.retry_after_s + 1e-9)
+        assert ctl.admit("a", 0).admitted
+
+    def test_stats_counts(self):
+        ctl = self.make(FakeClock())
+        ctl.admit("a", 0)
+        ctl.admit("a", 0)
+        ctl.admit("a", 0)        # quota reject
+        ctl.admit("b", 4)        # queue reject
+        s = ctl.stats()
+        assert s["admitted"] == 2
+        assert s["rejected_quota"] == 1
+        assert s["rejected_queue_full"] == 1

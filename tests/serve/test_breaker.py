@@ -1,0 +1,116 @@
+"""Per-tenant circuit breakers: trip, refuse, half-open, recover."""
+
+from __future__ import annotations
+
+from repro.serve.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BreakerBoard,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def make(clock, threshold=3, recovery=5.0, half_open_max=1):
+    return CircuitBreaker(
+        failure_threshold=threshold, recovery_time_s=recovery,
+        half_open_max=half_open_max, clock=clock,
+    )
+
+
+class TestCircuitBreaker:
+    def test_trips_on_consecutive_failures_only(self):
+        b = make(FakeClock())
+        b.record_failure()
+        b.record_failure()
+        b.record_success()  # resets the streak
+        b.record_failure()
+        b.record_failure()
+        assert b.state == STATE_CLOSED
+        b.record_failure()
+        assert b.state == STATE_OPEN
+        assert b.trips == 1
+
+    def test_open_refuses_until_recovery_time(self):
+        clock = FakeClock()
+        b = make(clock, recovery=5.0)
+        for _ in range(3):
+            b.record_failure()
+        assert not b.allow()
+        assert 0 < b.retry_after() <= 5.0
+        clock.advance(4.9)
+        assert not b.allow()
+        clock.advance(0.2)
+        assert b.allow()  # half-open probe
+        assert b.state == STATE_HALF_OPEN
+
+    def test_half_open_limits_probes(self):
+        clock = FakeClock()
+        b = make(clock, recovery=1.0, half_open_max=1)
+        for _ in range(3):
+            b.record_failure()
+        clock.advance(1.1)
+        assert b.allow()
+        assert not b.allow()  # only one probe in flight
+
+    def test_half_open_success_closes_and_counts_recovery(self):
+        clock = FakeClock()
+        b = make(clock, recovery=1.0)
+        for _ in range(3):
+            b.record_failure()
+        clock.advance(1.1)
+        assert b.allow()
+        b.record_success()
+        assert b.state == STATE_CLOSED
+        assert b.recoveries == 1
+        assert b.allow()
+
+    def test_half_open_failure_reopens_and_restarts_timer(self):
+        clock = FakeClock()
+        b = make(clock, recovery=1.0)
+        for _ in range(3):
+            b.record_failure()
+        clock.advance(1.1)
+        assert b.allow()
+        b.record_failure()
+        assert b.state == STATE_OPEN
+        assert b.trips == 2
+        assert not b.allow()
+        clock.advance(1.1)
+        assert b.allow()  # timer restarted from the re-open
+
+
+class TestBreakerBoard:
+    def test_tenants_are_isolated(self):
+        clock = FakeClock()
+        board = BreakerBoard(failure_threshold=2, clock=clock)
+        for _ in range(2):
+            board.breaker("bad").record_failure()
+        assert not board.breaker("bad").allow()
+        assert board.breaker("good").allow()
+
+    def test_aggregate_counters(self):
+        clock = FakeClock()
+        board = BreakerBoard(
+            failure_threshold=1, recovery_time_s=1.0, clock=clock
+        )
+        board.breaker("a").record_failure()
+        board.breaker("b").record_failure()
+        clock.advance(1.1)
+        assert board.breaker("a").allow()
+        board.breaker("a").record_success()
+        assert board.trips == 2
+        assert board.recoveries == 1
+        assert board.stats()["a"]["state"] == STATE_CLOSED
+        assert board.stats()["b"]["state"] == STATE_OPEN

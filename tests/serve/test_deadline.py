@@ -1,0 +1,112 @@
+"""Deadlines: the budget object, context propagation, seeded jitter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Japonica
+from repro.errors import DeadlineExceeded
+from repro.faults.resilience import FaultRuntime, ResiliencePolicy
+from repro.runtime.deadline import Deadline
+from repro.workloads import get
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 100.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestDeadline:
+    def test_fresh_deadline_passes_checks(self):
+        clock = FakeClock()
+        d = Deadline(1.0, clock=clock)
+        d.check("compile")
+        assert d.remaining() == pytest.approx(1.0)
+        assert not d.expired
+
+    def test_expires_exactly_at_budget(self):
+        clock = FakeClock()
+        d = Deadline(1.0, clock=clock)
+        clock.advance(0.999)
+        d.check("execute")
+        clock.advance(0.002)
+        assert d.expired
+        with pytest.raises(DeadlineExceeded) as err:
+            d.check("execute:L1")
+        assert err.value.phase == "execute:L1"
+        assert err.value.budget_s == pytest.approx(1.0)
+        assert err.value.overrun_s > 0
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+
+
+class TestContextPropagation:
+    def test_expired_deadline_cancels_before_execution(self):
+        workload = get("VectorAdd")
+        program = Japonica().compile(workload.source)
+        clock = FakeClock()
+        ctx = workload.make_context()
+        ctx.deadline = Deadline(0.5, clock=clock)
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceeded) as err:
+            program.run(
+                workload.method, strategy="japonica", context=ctx,
+                **workload.bindings(),
+            )
+        # the cancel fired at a phase boundary, before the phase ran
+        assert err.value.phase.split(":")[0] in ("profile", "execute")
+
+    def test_no_deadline_means_no_checks(self):
+        workload = get("VectorAdd")
+        program = Japonica().compile(workload.source)
+        ctx = workload.make_context()
+        assert ctx.deadline is None
+        result = program.run(
+            workload.method, strategy="japonica", context=ctx,
+            **workload.bindings(),
+        )
+        assert result.sim_time_s > 0
+
+
+class TestSeededJitterBackoff:
+    def test_jitter_is_deterministic_per_seed(self):
+        p = ResiliencePolicy(jitter=0.25)
+        a = [p.jittered_backoff(i, 7, "gpu.launch") for i in range(4)]
+        b = [p.jittered_backoff(i, 7, "gpu.launch") for i in range(4)]
+        assert a == b
+
+    def test_different_seeds_or_sites_jitter_differently(self):
+        p = ResiliencePolicy(jitter=0.25)
+        assert p.jittered_backoff(0, 7, "gpu.launch") != (
+            p.jittered_backoff(0, 8, "gpu.launch")
+        )
+        assert p.jittered_backoff(0, 7, "gpu.launch") != (
+            p.jittered_backoff(0, 7, "cpu.worker")
+        )
+
+    def test_jitter_stays_within_the_band(self):
+        p = ResiliencePolicy(jitter=0.25)
+        for attempt in range(6):
+            base = p.backoff(attempt)
+            got = p.jittered_backoff(attempt, 3, "site")
+            assert 0.75 * base <= got <= 1.25 * base
+
+    def test_zero_jitter_is_exact_exponential(self):
+        p = ResiliencePolicy(jitter=0.0)
+        assert p.jittered_backoff(2, 99, "x") == p.backoff(2)
+
+    def test_runtime_backoff_keys_off_schedule_seed(self):
+        from repro.faults.schedule import FaultSchedule
+
+        rt = FaultRuntime()
+        rt.install(FaultSchedule.parse("gpu.launch:0.5", seed=11))
+        expected = rt.policy.jittered_backoff(0, 11, "gpu.launch")
+        assert rt.backoff_for("gpu.launch", 0) == expected

@@ -1,0 +1,67 @@
+"""Degradation ladder: escalation order and hysteresis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.degrade import (
+    LEVEL_CACHE_ONLY,
+    LEVEL_DROP_REPORT,
+    LEVEL_FULL,
+    LEVEL_SHED_LOW,
+    DegradationLadder,
+)
+
+
+def test_escalates_in_documented_order():
+    ladder = DegradationLadder()
+    assert ladder.observe(0.0) == LEVEL_FULL
+    assert ladder.observe(0.55) == LEVEL_DROP_REPORT
+    assert ladder.observe(0.80) == LEVEL_CACHE_ONLY
+    assert ladder.observe(0.95) == LEVEL_SHED_LOW
+
+
+def test_jumps_multiple_rungs_on_a_load_spike():
+    ladder = DegradationLadder()
+    assert ladder.observe(1.0) == LEVEL_SHED_LOW
+    assert ladder.escalations == [1, 1, 1]
+
+
+def test_hysteresis_blocks_flapping():
+    ladder = DegradationLadder()
+    ladder.observe(0.60)  # -> DROP_REPORT (escalate at 0.50)
+    # load dips just below the escalation threshold but above the
+    # relaxation threshold (0.35): the level must hold
+    assert ladder.observe(0.45) == LEVEL_DROP_REPORT
+    assert ladder.observe(0.40) == LEVEL_DROP_REPORT
+    # only once below 0.35 does it relax
+    assert ladder.observe(0.30) == LEVEL_FULL
+
+
+def test_relaxes_all_the_way_down_when_idle():
+    ladder = DegradationLadder()
+    ladder.observe(1.0)
+    assert ladder.observe(0.0) == LEVEL_FULL
+
+
+def test_escalation_counters_accumulate():
+    ladder = DegradationLadder()
+    for _ in range(3):
+        ladder.observe(0.60)
+        ladder.observe(0.0)
+    assert ladder.escalations == [3, 0, 0]
+
+
+def test_names():
+    ladder = DegradationLadder()
+    assert ladder.name == "full"
+    ladder.observe(1.0)
+    assert ladder.name == "shed_low_priority"
+    assert ladder.stats()["escalations"]["cache_only"] == 1
+
+
+def test_rejects_malformed_thresholds():
+    with pytest.raises(ValueError):
+        DegradationLadder(((0.5, 0.6), (0.7, 0.5), (0.9, 0.7)))  # down > up
+    with pytest.raises(ValueError):
+        DegradationLadder(((0.5, 0.3),))  # wrong arity

@@ -1,0 +1,122 @@
+"""Job model: validation, wire format, exactly-once ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import JaponicaError
+from repro.serve.jobs import (
+    STATUS_OK,
+    STATUS_SHED,
+    JobLedger,
+    JobResult,
+    JobSpec,
+)
+
+
+class TestJobSpecValidation:
+    def test_minimal_run_job_passes(self):
+        JobSpec(tenant="t", workload="GEMM").validate()
+
+    def test_minimal_compile_job_passes(self):
+        JobSpec(tenant="t", kind="compile", source="class A {}").validate()
+
+    @pytest.mark.parametrize("patch,msg", [
+        ({"tenant": ""}, "tenant"),
+        ({"kind": "dance"}, "kind"),
+        ({"workload": None}, "workload"),
+        ({"priority": 9}, "priority"),
+        ({"devices": 0}, "devices"),
+        ({"deadline_ms": -5.0}, "deadline_ms"),
+    ])
+    def test_malformed_specs_are_pointed_errors(self, patch, msg):
+        doc = {"tenant": "t", "kind": "run", "workload": "GEMM"}
+        doc.update(patch)
+        with pytest.raises(JaponicaError, match=msg):
+            JobSpec(**doc).validate()
+
+    def test_bad_faults_grammar_is_rejected_up_front(self):
+        job = JobSpec(tenant="t", workload="GEMM", faults="bogus.site:0.5")
+        with pytest.raises(JaponicaError, match="unknown fault site"):
+            job.validate()
+
+    def test_known_faults_grammar_passes(self):
+        JobSpec(tenant="t", workload="GEMM", faults="gpu.launch:0.1").validate()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(JaponicaError, match="unknown job fields"):
+            JobSpec.from_dict({"tenant": "t", "workload": "GEMM", "hat": 1})
+
+    def test_round_trips_through_dict(self):
+        job = JobSpec(tenant="t", workload="MVT", n=2, seed=7, priority=2)
+        again = JobSpec.from_dict(job.to_dict())
+        assert again == job
+
+    def test_job_ids_are_unique(self):
+        a, b = JobSpec(tenant="t", workload="GEMM"), JobSpec(
+            tenant="t", workload="GEMM"
+        )
+        assert a.job_id != b.job_id
+
+
+class TestResultKey:
+    def test_same_shape_same_key_across_tenants(self):
+        a = JobSpec(tenant="a", workload="GEMM", n=2, seed=1)
+        b = JobSpec(tenant="b", workload="GEMM", n=2, seed=1)
+        assert a.result_key() == b.result_key()
+
+    def test_different_parameters_differ(self):
+        base = dict(tenant="t", workload="GEMM")
+        k0 = JobSpec(**base).result_key()
+        assert JobSpec(**base, n=2).result_key() != k0
+        assert JobSpec(**base, strategy="gpu").result_key() != k0
+
+    def test_compile_key_is_content_hash(self):
+        a = JobSpec(tenant="a", kind="compile", source="class A {}")
+        b = JobSpec(tenant="b", kind="compile", source="class A {}")
+        c = JobSpec(tenant="a", kind="compile", source="class B {}")
+        assert a.result_key() == b.result_key()
+        assert a.result_key() != c.result_key()
+
+
+class TestJobLedger:
+    def test_settles_exactly_once(self):
+        ledger = JobLedger()
+        job = JobSpec(tenant="t", workload="GEMM")
+        ledger.admit(job)
+        assert ledger.unsettled() == [job.job_id]
+        ledger.settle(job.job_id, STATUS_OK)
+        assert ledger.unsettled() == []
+        with pytest.raises(JaponicaError, match="settled twice"):
+            ledger.settle(job.job_id, STATUS_OK)
+        assert ledger.duplicate_settlements == 1
+
+    def test_rejects_double_admission_and_unknown_settlement(self):
+        ledger = JobLedger()
+        job = JobSpec(tenant="t", workload="GEMM")
+        ledger.admit(job)
+        with pytest.raises(JaponicaError, match="admitted twice"):
+            ledger.admit(job)
+        with pytest.raises(JaponicaError, match="without admission"):
+            ledger.settle("nope", STATUS_OK)
+
+    def test_rejects_non_terminal_status(self):
+        ledger = JobLedger()
+        job = JobSpec(tenant="t", workload="GEMM")
+        ledger.admit(job)
+        with pytest.raises(JaponicaError, match="not a terminal status"):
+            ledger.settle(job.job_id, "running")
+
+    def test_counts_cover_refusals_and_settlements(self):
+        ledger = JobLedger()
+        a = JobSpec(tenant="t", workload="GEMM")
+        b = JobSpec(tenant="t", workload="GEMM")
+        ledger.admit(a)
+        ledger.settle(a.job_id, STATUS_OK)
+        ledger.refuse(b, STATUS_SHED)
+        assert ledger.counts() == {STATUS_OK: 1, STATUS_SHED: 1}
+
+
+def test_job_result_round_trips():
+    r = JobResult("j1", "t", STATUS_OK, modes=["A"], wall_ms=1.5)
+    assert JobResult.from_dict(r.to_dict()) == r

@@ -1,0 +1,153 @@
+"""Worker pool + worker runtime: pooled contexts, both backends, death."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import JaponicaError, WorkerDied
+from repro.faults.resilience import FaultRuntime
+from repro.faults.schedule import FaultSchedule
+from repro.serve.jobs import STATUS_FAILED, STATUS_OK, JobSpec
+from repro.serve.pool import WorkerPool
+from repro.serve.worker import WorkerRuntime
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+class TestWorkerRuntime:
+    def test_run_job_executes(self):
+        rt = WorkerRuntime()
+        result = rt.execute(JobSpec(tenant="t", workload="VectorAdd"))
+        assert result.status == STATUS_OK
+        assert result.sim_time_ms > 0
+        assert result.modes
+
+    def test_repeat_request_reuses_pooled_context(self):
+        rt = WorkerRuntime()
+        job = {"tenant": "t", "workload": "VectorAdd", "n": 1, "seed": 0}
+        r1 = rt.execute(JobSpec(**job))
+        r2 = rt.execute(JobSpec(**job))
+        assert rt.contexts_reused == 1
+        # pooled profile cache must not change the simulated answer
+        assert r2.sim_time_ms == pytest.approx(r1.sim_time_ms)
+
+    def test_different_parameters_get_fresh_contexts(self):
+        rt = WorkerRuntime()
+        rt.execute(JobSpec(tenant="t", workload="VectorAdd", seed=0))
+        rt.execute(JobSpec(tenant="t", workload="VectorAdd", seed=1))
+        assert rt.contexts_reused == 0
+
+    def test_faulted_jobs_never_use_the_pool(self):
+        rt = WorkerRuntime()
+        job = {"tenant": "t", "workload": "VectorAdd", "n": 1, "seed": 0}
+        rt.execute(JobSpec(**job))
+        r = rt.execute(JobSpec(**job, faults="gpu.launch:1.0"))
+        assert rt.contexts_reused == 0
+        assert r.resilience is not None and r.resilience["faults_seen"] > 0
+
+    def test_unknown_workload_fails_cleanly(self):
+        rt = WorkerRuntime()
+        r = rt.execute(JobSpec(tenant="t", workload="NoSuchThing"))
+        assert r.status == STATUS_FAILED
+        assert "NoSuchThing" in r.error
+
+    def test_compile_job_reports_loop_verdicts(self):
+        from repro.workloads import get
+
+        rt = WorkerRuntime()
+        r = rt.execute(JobSpec(
+            tenant="t", kind="compile", source=get("GEMM").source
+        ))
+        assert r.status == STATUS_OK
+        assert r.compile["loops"]
+        assert all("status" in row for row in r.compile["loops"])
+
+    def test_verify_flag_checks_reference(self):
+        rt = WorkerRuntime()
+        r = rt.execute(JobSpec(tenant="t", workload="VectorAdd", verify=True))
+        assert r.status == STATUS_OK
+
+
+class TestWorkerPoolThread:
+    def test_executes_jobs(self):
+        async def go():
+            pool = WorkerPool(workers=2, backend="thread")
+            try:
+                results = await asyncio.gather(*(
+                    pool.run(JobSpec(tenant="t", workload="VectorAdd"))
+                    for _ in range(4)
+                ))
+            finally:
+                await pool.stop()
+            return results
+
+        results = run_async(go())
+        assert all(r.status == STATUS_OK for r in results)
+
+    def test_injected_death_raises_worker_died(self):
+        async def go():
+            faults = FaultRuntime()
+            faults.install(FaultSchedule.parse("serve.worker@1", seed=3))
+            pool = WorkerPool(workers=1, backend="thread", faults=faults)
+            try:
+                with pytest.raises(WorkerDied):
+                    await pool.run(JobSpec(tenant="t", workload="VectorAdd"))
+                # next dispatch (probe index 2) is clean
+                result = await pool.run(
+                    JobSpec(tenant="t", workload="VectorAdd")
+                )
+            finally:
+                await pool.stop()
+            return pool.worker_deaths, result
+
+        deaths, result = run_async(go())
+        assert deaths == 1
+        assert result.status == STATUS_OK
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(JaponicaError):
+            WorkerPool(workers=0)
+        with pytest.raises(JaponicaError):
+            WorkerPool(backend="carrier-pigeon")
+
+
+class TestWorkerPoolProcess:
+    def test_executes_jobs_in_child_processes(self):
+        async def go():
+            pool = WorkerPool(workers=2, backend="process")
+            try:
+                results = await asyncio.gather(*(
+                    pool.run(JobSpec(tenant="t", workload="VectorAdd"))
+                    for _ in range(3)
+                ))
+            finally:
+                await pool.stop()
+            return results
+
+        results = run_async(go())
+        assert all(r.status == STATUS_OK for r in results)
+
+    def test_killed_worker_is_detected_and_replaced(self):
+        async def go():
+            faults = FaultRuntime()
+            faults.install(FaultSchedule.parse("serve.worker@1", seed=3))
+            pool = WorkerPool(workers=1, backend="process", faults=faults)
+            try:
+                with pytest.raises(WorkerDied):
+                    await pool.run(JobSpec(tenant="t", workload="VectorAdd"))
+                # the dead worker was replaced: the pool still serves
+                result = await pool.run(
+                    JobSpec(tenant="t", workload="VectorAdd")
+                )
+            finally:
+                await pool.stop()
+            return pool, result
+
+        pool, result = run_async(go())
+        assert pool.worker_deaths == 1
+        assert pool.workers_spawned == 2  # original + replacement
+        assert result.status == STATUS_OK

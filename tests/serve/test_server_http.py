@@ -1,0 +1,164 @@
+"""HTTP layer: routes, status mapping, Retry-After, malformed input."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.serve import CompilationService, ServeConfig, ServeServer
+from repro.serve.client import ServeClient
+from repro.workloads import get
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    """One server (ephemeral port) shared by the module's tests."""
+    config = ServeConfig(workers=2, quota_rate=500.0, quota_burst=100.0)
+    server = ServeServer(CompilationService(config), port=0)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def run():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(timeout=30)
+    yield server
+    asyncio.run_coroutine_threadsafe(server.stop(), loop).result(timeout=60)
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(timeout=10)
+
+
+@pytest.fixture()
+def client(live_server):
+    return ServeClient(port=live_server.port)
+
+
+def test_healthz(client):
+    doc = client.health()
+    assert doc["status"] == "ok"
+    assert "degrade_mode" in doc
+
+
+def test_run_job_round_trip(client):
+    status, doc = client.submit(
+        {"tenant": "http-t", "kind": "run", "workload": "VectorAdd"}
+    )
+    assert status == 200
+    assert doc["status"] == "ok"
+    assert doc["sim_time_ms"] > 0
+    assert doc["modes"]
+
+
+def test_compile_job_round_trip(client):
+    status, doc = client.submit({
+        "tenant": "http-t", "kind": "compile",
+        "source": get("GEMM").source,
+    })
+    assert status == 200
+    assert doc["compile"]["loops"]
+
+
+def test_bad_json_is_400(live_server, client):
+    import http.client
+
+    conn = http.client.HTTPConnection("127.0.0.1", live_server.port)
+    try:
+        conn.request("POST", "/v1/jobs", body=b"{not json",
+                     headers={"Content-Length": "9"})
+        response = conn.getresponse()
+        doc = json.loads(response.read())
+    finally:
+        conn.close()
+    assert response.status == 400
+    assert "JSON" in doc["error"]
+
+
+def test_malformed_spec_is_400_with_pointed_message(client):
+    status, doc = client.submit({"tenant": "http-t", "kind": "run"})
+    assert status == 400
+    assert "workload" in doc["error"]
+
+
+def test_unknown_field_is_400(client):
+    status, doc = client.submit(
+        {"tenant": "http-t", "workload": "GEMM", "sombrero": True}
+    )
+    assert status == 400
+    assert "sombrero" in doc["error"]
+
+
+def test_bad_faults_spec_is_400_up_front(client):
+    status, doc = client.submit({
+        "tenant": "http-t", "workload": "GEMM", "faults": "gpu.launch:lots",
+    })
+    assert status == 400
+    assert "rate must be a float" in doc["error"]
+
+
+def test_unknown_route_is_404(client):
+    status, doc = client._request("GET", "/v2/nothing")
+    assert status == 404
+
+
+def test_jobs_route_requires_post(client):
+    status, doc = client._request("GET", "/v1/jobs")
+    assert status == 405
+
+
+def test_stats_document(client):
+    client.submit({"tenant": "http-t", "workload": "VectorAdd"})
+    doc = client.stats()
+    assert doc["schema"] == "repro.serve/v1"
+    assert doc["ledger"]["duplicate_settlements"] == 0
+    assert doc["pool"]["backend"] == "thread"
+
+
+def test_quota_rejection_maps_to_429_with_retry_after():
+    """A rate-starved tenant gets 429 + Retry-After, not an error page."""
+    import http.client
+
+    config = ServeConfig(workers=1, quota_rate=0.001, quota_burst=1.0)
+    server = ServeServer(CompilationService(config), port=0)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def run():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(timeout=30)
+    try:
+        client = ServeClient(port=server.port)
+        ok_status, _ = client.submit(
+            {"tenant": "q", "workload": "VectorAdd"}
+        )
+        assert ok_status == 200
+        conn = http.client.HTTPConnection("127.0.0.1", server.port)
+        try:
+            body = json.dumps({"tenant": "q", "workload": "VectorAdd"})
+            conn.request("POST", "/v1/jobs", body=body)
+            response = conn.getresponse()
+            doc = json.loads(response.read())
+            assert response.status == 429
+            assert doc["status"] == "rejected"
+            assert float(response.getheader("Retry-After")) > 0
+        finally:
+            conn.close()
+    finally:
+        asyncio.run_coroutine_threadsafe(server.stop(), loop).result(
+            timeout=60
+        )
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
