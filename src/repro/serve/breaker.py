@@ -78,6 +78,20 @@ class CircuitBreaker:
             0.0, self.recovery_time_s - (self._clock() - self.opened_at)
         )
 
+    def release(self) -> None:
+        """Release a probe slot taken by :meth:`allow` without a verdict.
+
+        A request that passed the breaker can still be refused at a
+        later gate (shed, admission) or settle with a neutral status
+        (``deadline``) that is neither success nor failure.  Those
+        outcomes must hand the half-open probe slot back, otherwise a
+        ``half_open_max=1`` breaker would stay half-open with its one
+        slot leaked — ``allow()`` false, ``retry_after()`` zero —
+        permanently locking the tenant out.
+        """
+        if self.state == STATE_HALF_OPEN and self.half_open_inflight > 0:
+            self.half_open_inflight -= 1
+
     def record_success(self) -> None:
         if self.state == STATE_HALF_OPEN:
             self.recoveries += 1

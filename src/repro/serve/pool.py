@@ -162,9 +162,14 @@ class WorkerPool:
 
     def _spawn(self) -> _ProcWorker:
         self.workers_spawned += 1
-        return _ProcWorker(
+        w = _ProcWorker(
             self._mp_ctx, self.cache_dir, f"serve-w{self.workers_spawned}"
         )
+        # track every live handle: stop() must reach workers that are
+        # checked out of the free queue (a run() in flight), not only
+        # the idle ones
+        self._procs.append(w)
+        return w
 
     async def stop(self) -> None:
         if not self._started:
@@ -176,8 +181,10 @@ class WorkerPool:
             w.shutdown()
         self._procs = []
         if self._free is not None:
+            # free-queue entries are all tracked in _procs and already
+            # shut down above; just drop the references
             while not self._free.empty():
-                self._free.get_nowait().shutdown()
+                self._free.get_nowait()
             self._free = None
         self._started = False
 
@@ -284,6 +291,8 @@ class WorkerPool:
                 except OSError:
                     pass
                 w.process.join(timeout=1.0)
+                if w in self._procs:
+                    self._procs.remove(w)
                 self._free.put_nowait(self._spawn())
                 raise
             cache_delta = doc.pop("cache_delta", {"hits": 0, "misses": 0})

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 from typing import Optional
 
 from ..errors import JaponicaError
@@ -138,6 +139,8 @@ class ServeServer:
                     length = int(value.strip())
                 except ValueError:
                     return 400, {"error": "bad Content-Length"}, {}
+                if length < 0:
+                    return 400, {"error": "bad Content-Length"}, {}
         if length > MAX_BODY:
             return 413, {"error": f"body over {MAX_BODY} bytes"}, {}
         body = await reader.readexactly(length) if length else b""
@@ -172,7 +175,11 @@ class ServeServer:
         status = STATUS_CODES.get(result.status, 500)
         headers = {}
         if result.retry_after_s is not None and status in (429, 503):
-            headers["Retry-After"] = f"{max(result.retry_after_s, 0.001):.3f}"
+            # RFC 9110 Retry-After is integer delta-seconds; the precise
+            # float stays in the body's retry_after_s field
+            headers["Retry-After"] = str(
+                max(1, math.ceil(result.retry_after_s))
+            )
         return status, result.to_dict(), headers
 
     @staticmethod

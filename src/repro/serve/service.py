@@ -220,16 +220,19 @@ class CompilationService:
                 error=f"circuit breaker open for tenant {job.tenant!r}",
             )
 
-        # 3. degradation ladder (cumulative rungs)
+        # 3. degradation ladder (cumulative rungs); any refusal past the
+        # breaker must hand back the half-open probe slot allow() took
         level = self.ladder.observe(self._load())
         self.metrics.gauge("serve.degrade.level").set(level)
         if level >= LEVEL_SHED_LOW and job.priority >= PRIORITY_LOW:
+            breaker.release()
             self.metrics.counter("serve.shed.priority").inc()
             return self._refuse(
                 job, STATUS_SHED, retry_after_s=0.1,
                 error="shedding lowest-priority jobs under overload",
             )
         if level >= LEVEL_CACHE_ONLY:
+            breaker.release()
             cached = self._cached_answer(job)
             if cached is not None:
                 self.metrics.counter("serve.cache_only.hit").inc()
@@ -244,6 +247,7 @@ class CompilationService:
         # 4. admission control
         decision = self.admission.admit(job.tenant, self._queue.qsize())
         if not decision.admitted:
+            breaker.release()
             self.metrics.counter(
                 f"serve.rejected.{decision.reason}"
             ).inc()
@@ -285,6 +289,11 @@ class CompilationService:
                     breaker.record_failure()
                     if breaker.trips > trips_before:
                         self.metrics.counter("serve.breaker.trips").inc()
+                else:
+                    # neutral outcome (e.g. deadline): no verdict on the
+                    # tenant's health, but the half-open probe slot that
+                    # allow() took must be handed back
+                    breaker.release()
                 self._store_answer(job, result)
                 self.ledger.settle(job.job_id, result.status)
                 self.metrics.counter(f"serve.{result.status}").inc()
@@ -294,6 +303,15 @@ class CompilationService:
                 if not future.done():
                     future.set_result(result)
             except Exception as exc:  # dispatcher must never die
+                # the every-admitted-job-settles-exactly-once invariant
+                # holds even for unexpected dispatch errors
+                if self.ledger.admitted.get(job.job_id) is None:
+                    self.breakers.breaker(job.tenant).record_failure()
+                    try:
+                        self.ledger.settle(job.job_id, STATUS_FAILED)
+                    except JaponicaError:  # pragma: no cover - raced settle
+                        pass
+                    self.metrics.counter(f"serve.{STATUS_FAILED}").inc()
                 if not future.done():
                     future.set_exception(exc)
             finally:

@@ -99,6 +99,14 @@ class WorkerRuntime:
                 job.job_id, job.tenant, STATUS_FAILED, kind=job.kind,
                 error=f"{type(exc).__name__}: {exc}",
             )
+        except Exception as exc:
+            # unexpected pipeline error (e.g. a numpy TypeError): the
+            # "never raises" contract still holds — surface it as a
+            # terminal failure so the service settles the job
+            result = JobResult(
+                job.job_id, job.tenant, STATUS_FAILED, kind=job.kind,
+                error=f"unexpected {type(exc).__name__}: {exc}",
+            )
         self.jobs_executed += 1
         result.wall_ms = (time.perf_counter() - t0) * 1e3
         result.degrade_level = degrade_level

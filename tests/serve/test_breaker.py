@@ -76,6 +76,39 @@ class TestCircuitBreaker:
         assert b.recoveries == 1
         assert b.allow()
 
+    def test_release_hands_back_the_half_open_probe_slot(self):
+        # a probe that passed allow() but never reached a success/failure
+        # verdict (shed, rejected, deadline) must not leak its slot —
+        # otherwise a half_open_max=1 breaker wedges half-open forever
+        clock = FakeClock()
+        b = make(clock, recovery=1.0, half_open_max=1)
+        for _ in range(3):
+            b.record_failure()
+        clock.advance(1.1)
+        assert b.allow()
+        assert not b.allow()
+        b.release()
+        assert b.state == STATE_HALF_OPEN
+        assert b.retry_after() == 0.0
+        assert b.allow()  # slot is usable again
+        b.record_success()
+        assert b.state == STATE_CLOSED
+
+    def test_release_is_a_noop_outside_half_open(self):
+        clock = FakeClock()
+        b = make(clock)
+        b.release()  # closed: nothing to hand back
+        assert b.state == STATE_CLOSED and b.half_open_inflight == 0
+        for _ in range(3):
+            b.record_failure()
+        b.release()  # open: inflight already reset
+        assert b.half_open_inflight == 0
+        clock.advance(5.1)
+        assert b.allow()
+        b.record_failure()  # re-opens, resetting inflight to 0
+        b.release()  # late release after the transition must not underflow
+        assert b.half_open_inflight == 0
+
     def test_half_open_failure_reopens_and_restarts_timer(self):
         clock = FakeClock()
         b = make(clock, recovery=1.0)

@@ -151,3 +151,19 @@ class TestWorkerPoolProcess:
         assert pool.worker_deaths == 1
         assert pool.workers_spawned == 2  # original + replacement
         assert result.status == STATUS_OK
+
+    def test_stop_reaches_checked_out_workers(self):
+        # a worker held out of the free queue at stop() time (run() in
+        # flight) must still be shut down, not leaked as a child process
+        async def go():
+            pool = WorkerPool(workers=2, backend="process")
+            await pool.start()
+            held = await pool._free.get()  # simulate an in-flight checkout
+            procs = list(pool._procs)
+            await pool.stop()
+            return held, procs
+
+        held, procs = run_async(go())
+        assert len(procs) == 2
+        assert all(not w.process.is_alive() for w in procs)
+        assert not held.process.is_alive()

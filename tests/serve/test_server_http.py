@@ -81,6 +81,22 @@ def test_bad_json_is_400(live_server, client):
     assert "JSON" in doc["error"]
 
 
+def test_negative_content_length_is_400(live_server, client):
+    import http.client
+
+    conn = http.client.HTTPConnection("127.0.0.1", live_server.port)
+    try:
+        conn.putrequest("POST", "/v1/jobs", skip_accept_encoding=True)
+        conn.putheader("Content-Length", "-5")
+        conn.endheaders()
+        response = conn.getresponse()
+        doc = json.loads(response.read())
+    finally:
+        conn.close()
+    assert response.status == 400
+    assert "Content-Length" in doc["error"]
+
+
 def test_malformed_spec_is_400_with_pointed_message(client):
     status, doc = client.submit({"tenant": "http-t", "kind": "run"})
     assert status == 400
@@ -153,7 +169,11 @@ def test_quota_rejection_maps_to_429_with_retry_after():
             doc = json.loads(response.read())
             assert response.status == 429
             assert doc["status"] == "rejected"
-            assert float(response.getheader("Retry-After")) > 0
+            # RFC 9110: integer delta-seconds in the header, the precise
+            # float in the body
+            retry_after = response.getheader("Retry-After")
+            assert retry_after.isdigit() and int(retry_after) >= 1
+            assert doc["retry_after_s"] > 0
         finally:
             conn.close()
     finally:

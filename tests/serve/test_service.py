@@ -223,6 +223,96 @@ class TestBreakers:
         assert stats["ledger"]["counts"][STATUS_BREAKER_OPEN] == 1
 
 
+class TestHalfOpenProbeRelease:
+    """A probe that passes the breaker but never reaches a success or
+    failure verdict must hand its half-open slot back — otherwise the
+    breaker wedges half-open and locks the tenant out forever."""
+
+    ALWAYS_FAILS = TestBreakers.ALWAYS_FAILS
+
+    @staticmethod
+    def _tripped_config():
+        return ServeConfig(
+            workers=1, breaker_failures=1, breaker_recovery_s=0.05,
+            breaker_half_open_max=1,
+        )
+
+    async def _trip_and_half_open(self, svc):
+        await svc.submit(JobSpec(
+            tenant="bad", workload="VectorAdd", faults=self.ALWAYS_FAILS
+        ))
+        await asyncio.sleep(0.1)  # breaker half-opens
+
+    def test_probe_shed_by_ladder_does_not_wedge_the_breaker(self):
+        async def body(svc):
+            await self._trip_and_half_open(svc)
+            svc.ladder = DegradationLadder(PIN_SHED_LOW)
+            shed = await svc.submit(JobSpec(
+                tenant="bad", workload="VectorAdd", priority=PRIORITY_LOW
+            ))
+            svc.ladder = DegradationLadder()  # pressure is gone
+            probe = await svc.submit(JobSpec(
+                tenant="bad", workload="VectorAdd"
+            ))
+            return shed, probe
+
+        shed, probe = run_service(body, self._tripped_config())
+        assert shed.status == STATUS_SHED
+        assert probe.status == STATUS_OK  # slot was released, not leaked
+
+    def test_probe_rejected_by_admission_does_not_wedge_the_breaker(self):
+        config = self._tripped_config()
+        config.quota_rate = 0.001
+        config.quota_burst = 1.0
+
+        async def body(svc):
+            await self._trip_and_half_open(svc)  # spends the one token
+            rejected = await svc.submit(JobSpec(
+                tenant="bad", workload="VectorAdd"
+            ))
+            svc.admission.bucket("bad")._tokens = 1.0  # quota refilled
+            probe = await svc.submit(JobSpec(
+                tenant="bad", workload="VectorAdd"
+            ))
+            return rejected, probe
+
+        rejected, probe = run_service(body, config)
+        assert rejected.status == STATUS_REJECTED
+        assert probe.status == STATUS_OK
+
+    def test_probe_hitting_deadline_does_not_wedge_the_breaker(self):
+        async def body(svc):
+            await self._trip_and_half_open(svc)
+            timed_out = await svc.submit(JobSpec(
+                tenant="bad", workload="VectorAdd", deadline_ms=0.001
+            ))
+            probe = await svc.submit(JobSpec(
+                tenant="bad", workload="VectorAdd"
+            ))
+            return timed_out, probe
+
+        timed_out, probe = run_service(body, self._tripped_config())
+        assert timed_out.status == STATUS_DEADLINE
+        assert probe.status == STATUS_OK
+
+
+class TestDispatchFaults:
+    def test_unexpected_dispatch_error_still_settles_the_ledger(self):
+        async def body(svc):
+            async def boom(job, level, deadline):
+                raise TypeError("unexpected pipeline explosion")
+
+            svc.pool.run = boom
+            with pytest.raises(TypeError, match="explosion"):
+                await svc.submit(JobSpec(tenant="t", workload="VectorAdd"))
+            return svc.stats()
+
+        stats = run_service(body)
+        assert stats["ledger"]["unsettled"] == 0
+        assert stats["ledger"]["duplicate_settlements"] == 0
+        assert stats["ledger"]["counts"] == {STATUS_FAILED: 1}
+
+
 class TestRetries:
     def test_worker_death_is_retried_to_success(self):
         config = ServeConfig(
