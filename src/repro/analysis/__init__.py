@@ -18,6 +18,15 @@ from .deps import (
     collect_accesses,
     pair_test,
 )
+from .infer import (
+    InferenceReport,
+    LoopProposal,
+    MethodInference,
+    infer_class,
+    infer_method,
+    propose_loop,
+    synthesize_annotation,
+)
 from .loopinfo import LoopInfo, extract_loop_info
 from .symbols import (
     MethodScope,
@@ -30,10 +39,13 @@ __all__ = [
     "Access",
     "CONST_ZERO",
     "DepKind",
+    "InferenceReport",
     "LinForm",
     "LoopAnalysis",
     "LoopInfo",
+    "LoopProposal",
     "LoopStatus",
+    "MethodInference",
     "MethodScope",
     "PairOutcome",
     "PairVerdict",
@@ -48,7 +60,11 @@ __all__ = [
     "eval_invariant",
     "extract_loop_info",
     "forms_key",
+    "infer_class",
+    "infer_method",
     "method_types",
     "outer_scope_at_loop",
     "pair_test",
+    "propose_loop",
+    "synthesize_annotation",
 ]

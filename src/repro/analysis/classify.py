@@ -96,6 +96,7 @@ def analyze_loop(method: A.Method, loop: A.For) -> LoopAnalysis:
     }
     accesses = collect_accesses(loop, info.index, set(temps))
 
+    trip = _const_trip_count(info)
     static_deps: list[StaticDep] = []
     profile_pairs: list[tuple[Access, Access]] = []
     writes = [a for a in accesses if a.kind == "W"]
@@ -115,7 +116,7 @@ def analyze_loop(method: A.Method, loop: A.For) -> LoopAnalysis:
             ):
                 continue
             seen_pairs.add((w.order, other.order))
-            outcome = pair_test(w, other)
+            outcome = pair_test(w, other, trip=trip, step=info.step)
             if outcome.verdict is PairVerdict.DEP:
                 static_deps.extend(outcome.deps)
             elif outcome.verdict is PairVerdict.UNKNOWN:
@@ -143,6 +144,18 @@ def analyze_loop(method: A.Method, loop: A.For) -> LoopAnalysis:
         scalar_live_outs=scalar_live_outs,
         outer_types=dict(scope.types),
     )
+
+
+def _const_trip_count(info: LoopInfo) -> Optional[int]:
+    """Trip count when both loop bounds constant-evaluate, else None.
+
+    Constant bounds let the pairwise tests prune dependence distances
+    the iteration space cannot realize (see :func:`..deps.pair_test`).
+    """
+    try:
+        return info.trip_count({})
+    except AnalysisError:
+        return None
 
 
 def _dedup_deps(deps: list[StaticDep]) -> list[StaticDep]:

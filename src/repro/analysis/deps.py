@@ -197,12 +197,17 @@ def _solve_dim(fw: LinForm, fo: LinForm) -> tuple[str, Optional[int]]:
     return ("unknown", None)
 
 
-def pair_test(w: Access, o: Access) -> PairOutcome:
+def pair_test(
+    w: Access,
+    o: Access,
+    trip: Optional[int] = None,
+    step: int = 1,
+) -> PairOutcome:
     """Dependence test between a write ``w`` and another access ``o``.
 
     The distance convention: a dependence with distance ``d > 0`` means
-    the access ``o`` at iteration ``i + d`` touches the cell ``w`` wrote
-    at iteration ``i``.
+    the access ``o`` at index value ``i + d`` touches the cell ``w``
+    wrote at index value ``i``.
 
     Dimensions that cannot be compressed (inner-loop indices, indirect
     subscripts) are treated as unconstrained, but affine dimensions still
@@ -210,7 +215,17 @@ def pair_test(w: Access, o: Access) -> PairOutcome:
     distance to 0 proves any conflict is intra-iteration — e.g.
     ``C[i][j]`` in a GEMM body cannot carry an outer-loop dependence no
     matter what ``j`` does.
+
+    ``trip`` / ``step``, when the loop bounds constant-evaluate, prune
+    distances the iteration space cannot realize: a pinned distance that
+    is not a multiple of the step, or whose magnitude exceeds the index
+    span ``(trip - 1) * step``, proves the pair independent — without
+    this, ``a[i + 8] = a[i]`` in an 8-iteration loop is misreported as
+    loop-carried and demotes a DOALL loop.
     """
+    if trip is not None and trip <= 1:
+        # at most one iteration runs: nothing to carry a dependence to
+        return PairOutcome(PairVerdict.NO_DEP)
     if len(w.forms) != len(o.forms):
         return PairOutcome(PairVerdict.UNKNOWN)
 
@@ -236,6 +251,13 @@ def pair_test(w: Access, o: Access) -> PairOutcome:
 
     if constrained and distance == 0:
         # conflicts, if any, are within one iteration: not loop-carried
+        return PairOutcome(PairVerdict.NO_DEP)
+    if constrained and step > 1 and distance % step != 0:
+        # the index only ever advances in multiples of the step, so a
+        # distance that is not such a multiple can never be realized
+        return PairOutcome(PairVerdict.NO_DEP)
+    if constrained and trip is not None and abs(distance) > (trip - 1) * step:
+        # the pinned distance exceeds the whole index span of the loop
         return PairOutcome(PairVerdict.NO_DEP)
     if has_unknown:
         return PairOutcome(PairVerdict.UNKNOWN)

@@ -119,12 +119,17 @@ class CompiledProgram:
         config: Optional[JaponicaConfig] = None,
         obs: Optional[Instrumentation] = None,
         cache: Optional[ArtifactCache] = None,
+        inference=None,
     ):
         self.unit = unit
         self.platform = platform
         self.config = config
         self.obs = obs or NULL_INSTRUMENTATION
         self.cache = cache
+        #: annotation-inference report when the program was compiled with
+        #: ``infer_annotations=True`` (see :mod:`repro.analysis.infer`);
+        #: ``None`` for ordinary hand-annotated compiles
+        self.inference = inference
 
     # -- introspection ----------------------------------------------------
 
@@ -291,6 +296,12 @@ class CompiledProgram:
         host_time = ctx.cost.cpu_serial_time(host_cost.as_counts())
         total = host_time + sum(res.sim_time_s for _, res in loop_results)
 
+        if self.inference is not None and ctx.profiles:
+            # the scheduler profiled every uncertain loop it dispatched;
+            # fold the DD verdicts back into the inference proposals
+            # (confirm-or-reject loop of the inference pass)
+            self.inference.absorb_profiles(ctx.profiles)
+
         report = ctx.faults.recorder.report() if ctx.faults.enabled else None
         if report is not None:
             record_resilience(ctx.obs.metrics, report)
@@ -351,34 +362,71 @@ class Japonica:
         cpu_threads: int = 16,
         obs: Optional[Instrumentation] = None,
         cache: Optional[ArtifactCache] = None,
+        infer_annotations: bool = False,
     ):
         self.platform = platform
         self.config = config
         self.obs = obs or NULL_INSTRUMENTATION
         self.cache = cache
         self._cpu_threads = cpu_threads
+        #: infer ``acc`` directives for bare loops at compile time (loops
+        #: that are already annotated are always left untouched)
+        self.infer_annotations = infer_annotations
         self.translator = Translator(cpu_threads=cpu_threads, obs=self.obs)
 
-    def compile(self, source: str) -> CompiledProgram:
+    def compile(self, source: str, infer: Optional[bool] = None) -> CompiledProgram:
         """Translate annotated Java source into a runnable program.
 
         With a ``cache``, the parse→analyze→translate result is memoized
         by source content: an unchanged source skips the front end
         entirely on the second compile.
+
+        ``infer`` overrides the instance's ``infer_annotations`` setting
+        for this compile: with inference on, bare canonical loops get
+        synthesized ``acc`` directives (see :mod:`repro.analysis.infer`)
+        and the result carries a :class:`~repro.analysis.infer.
+        InferenceReport` as ``program.inference``.
         """
+        do_infer = self.infer_annotations if infer is None else infer
         unit = None
+        report = None
         key = None
         if self.cache is not None:
-            key = unit_key(source, self._cpu_threads)
-            unit = self.cache.get(key, "unit", obs=self.obs)
+            key = unit_key(source, self._cpu_threads, infer=do_infer)
+            cached = self.cache.get(key, "unit", obs=self.obs)
+            if cached is not None:
+                unit, report = cached if do_infer else (cached, None)
         if unit is None:
-            unit = self.translator.translate_source(source)
+            if do_infer:
+                from .analysis.infer import infer_class
+                from .lang.parser import parse_program
+                from .obs.tracer import PHASE_PARSE
+
+                with self.obs.tracer.span(
+                    "parse", PHASE_PARSE, chars=len(source)
+                ) as sp:
+                    cls = parse_program(source)
+                    sp.annotate(cls=cls.name, methods=len(cls.methods))
+                report = infer_class(cls)
+                unit = self.translator.translate(cls)
+            else:
+                unit = self.translator.translate_source(source)
             if key is not None:
-                self.cache.put(key, unit)
+                self.cache.put(key, (unit, report) if do_infer else unit)
         if not unit.methods:
+            if do_infer:
+                raise JaponicaError(
+                    "no annotated loops found in the source and "
+                    "annotation inference proposed none"
+                )
             raise JaponicaError("no annotated loops found in the source")
         return CompiledProgram(
-            unit, self.platform, self.config, obs=self.obs, cache=self.cache
+            unit,
+            self.platform,
+            self.config,
+            obs=self.obs,
+            cache=self.cache,
+            inference=report,
         )
 
     def compile_class(self, cls: ClassDecl) -> CompiledProgram:

@@ -183,10 +183,15 @@ class ArtifactCache:
 # ---------------------------------------------------------------------------
 
 
-def unit_key(source: str, cpu_threads: int) -> str:
-    """Cache key of a translation unit (parse→analyze→translate output)."""
+def unit_key(source: str, cpu_threads: int, infer: bool = False) -> str:
+    """Cache key of a translation unit (parse→analyze→translate output).
+
+    ``infer`` marks units compiled with annotation inference: the same
+    source compiled with and without inference produces different units
+    (and an inference report), so the two must never alias in the cache.
+    """
     h = hashlib.sha256()
-    h.update(f"unit/{CACHE_SCHEMA}/{cpu_threads}\n".encode())
+    h.update(f"unit/{CACHE_SCHEMA}/{cpu_threads}/{int(infer)}\n".encode())
     h.update(source.encode())
     return "unit-" + h.hexdigest()
 

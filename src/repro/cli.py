@@ -110,7 +110,9 @@ def _cmd_run(args) -> int:
         from .obs import Instrumentation
 
         obs = Instrumentation.recording()
-        program = Japonica(obs=obs, cache=cache).compile(workload.source)
+        program = Japonica(
+            obs=obs, cache=cache, infer_annotations=args.infer
+        ).compile(workload.source)
 
     print(f"== {workload.name} ({workload.description}) ==")
     times = {}
@@ -137,7 +139,11 @@ def _cmd_run(args) -> int:
                 if res.timeline is not None:
                     timelines.append((f"{strategy}:{lid}", res.timeline))
         else:
-            japonica = Japonica(cache=cache) if cache is not None else None
+            japonica = (
+                Japonica(cache=cache, infer_annotations=args.infer)
+                if cache is not None or args.infer
+                else None
+            )
             result = workload.run(
                 strategy=strategy, n=args.n, seed=args.seed,
                 japonica=japonica,
@@ -390,6 +396,68 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_infer(args) -> int:
+    """Infer ``acc`` directives for bare loops and print the result.
+
+    The per-loop proposal table goes to stderr; the annotated source —
+    re-parseable mini-Java with the synthesized directives in place —
+    goes to stdout, so the output can be piped straight back into
+    ``repro translate``.
+    """
+    from .analysis.infer import infer_class
+    from .lang import fmt_class, parse_program, strip_annotations
+    from .workloads import get
+
+    workload = None
+    try:
+        workload = get(args.target)
+        source = workload.source
+    except KeyError:
+        try:
+            source = open(args.target).read()
+        except OSError as exc:
+            print(
+                f"{args.target!r} is neither a workload name nor a "
+                f"readable file: {exc}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+
+    if args.confirm:
+        if workload is None:
+            print("--confirm needs a workload target (inputs are required "
+                  "to profile)", file=sys.stderr)
+            return EXIT_USAGE
+        # inference from scratch, then one japonica run: the scheduler
+        # routes every uncertain proposal through the DD profiler and the
+        # verdicts land back in the report
+        program = Japonica(infer_annotations=True).compile(
+            workload.stripped_source()
+        )
+        binds = workload.bindings(n=args.n, seed=args.seed)
+        program.run(
+            workload.method,
+            strategy="japonica",
+            scheme=workload.scheme,
+            context=workload.make_context(),
+            **binds,
+        )
+        report = program.inference
+        cls = program.unit.class_decl
+    else:
+        cls = parse_program(source)
+        if args.strip or workload is not None:
+            strip_annotations(cls)
+        report = infer_class(cls)
+
+    for line in report.summary_lines():
+        print(line, file=sys.stderr)
+    if not report.chosen:
+        print("no loop qualified for an acc directive", file=sys.stderr)
+    print(fmt_class(cls))
+    return 0
+
+
 def _cmd_translate(args) -> int:
     try:
         source = open(args.file).read()
@@ -452,6 +520,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--scheme", choices=("sharing", "stealing"), default=None,
         help="override the workload's japonica scheduling scheme",
+    )
+    run_p.add_argument(
+        "--infer", action="store_true",
+        help="infer acc directives for bare loops at compile time "
+             "(hand-annotated loops are left untouched, so annotated "
+             "sources run identically)",
     )
     run_p.add_argument(
         "--devices", type=int, default=1, metavar="N",
@@ -563,6 +637,31 @@ def build_parser() -> argparse.ArgumentParser:
                           "of dispatches")
     srv.add_argument("--fault-seed", type=int, default=0)
     srv.set_defaults(fn=_cmd_serve)
+
+    inf = sub.add_parser(
+        "infer",
+        help="infer acc directives for bare loops and print the "
+             "annotated source (proposal table on stderr)",
+    )
+    inf.add_argument(
+        "target",
+        help="a Table-II workload name (its directives are stripped "
+             "first) or a mini-Java source file",
+    )
+    inf.add_argument(
+        "--strip", action="store_true",
+        help="for file targets: drop existing annotations before "
+             "inferring (workload targets are always stripped)",
+    )
+    inf.add_argument(
+        "--confirm", action="store_true",
+        help="run the inferred program once under japonica so the DD "
+             "profiler confirms or rejects every uncertain proposal "
+             "(workload targets only)",
+    )
+    inf.add_argument("--n", type=int, default=1, help="problem multiplier")
+    inf.add_argument("--seed", type=int, default=0)
+    inf.set_defaults(fn=_cmd_infer)
 
     tr = sub.add_parser("translate", help="translate an annotated Java file")
     tr.add_argument("file")

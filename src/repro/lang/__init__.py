@@ -1,8 +1,23 @@
 """Mini-Java frontend: lexer, parser, AST, and acc annotations."""
 
 from . import ast_nodes
-from .annotations import Annotation, ArraySection, parse_annotation
-from .ast_nodes import ClassDecl, For, Method, annotated_loops, find_loops, walk
+from .annotations import (
+    Annotation,
+    ArraySection,
+    annotation_equal,
+    parse_annotation,
+    section_equal,
+    section_key,
+)
+from .ast_nodes import (
+    ClassDecl,
+    For,
+    Method,
+    annotated_loops,
+    find_loops,
+    strip_annotations,
+    walk,
+)
 from .lexer import Lexer, tokenize
 from .parser import Parser, parse_program
 from .pretty import fmt_class, fmt_expr, fmt_method, fmt_stmt, format_annotation
@@ -20,6 +35,7 @@ __all__ = [
     "TokKind",
     "Token",
     "annotated_loops",
+    "annotation_equal",
     "ast_nodes",
     "find_loops",
     "fmt_class",
@@ -29,6 +45,9 @@ __all__ = [
     "format_annotation",
     "parse_annotation",
     "parse_program",
+    "section_equal",
+    "section_key",
+    "strip_annotations",
     "tokenize",
     "walk",
 ]

@@ -82,6 +82,70 @@ class Annotation:
         return out
 
 
+def _expr_key(expr) -> tuple:
+    """Normalized structural identity of a bound expression.
+
+    Ignores source positions and folds a unary minus on an integer
+    literal into the literal itself (``-5`` pretty-prints as one token
+    but re-parses as ``Unary('-', IntLit(5))``), so that a pretty-printed
+    bound compares equal to the bound it came from.
+    """
+    from . import ast_nodes as A
+
+    if isinstance(expr, (A.IntLit, A.LongLit)):
+        return ("int", expr.value)
+    if isinstance(expr, A.VarRef):
+        return ("var", expr.name)
+    if isinstance(expr, A.Length):
+        return ("len", expr.array.name, expr.axis)
+    if isinstance(expr, A.Unary):
+        inner = _expr_key(expr.operand)
+        if expr.op == "-" and inner[0] == "int":
+            return ("int", -inner[1])
+        return ("unary", expr.op, inner)
+    if isinstance(expr, A.Binary):
+        return ("bin", expr.op, _expr_key(expr.left), _expr_key(expr.right))
+    if isinstance(expr, A.Cast):
+        return ("cast", expr.target.name, _expr_key(expr.operand))
+    return ("other", repr(expr))
+
+
+def section_key(section: ArraySection) -> tuple:
+    """Hashable structural identity of a data-clause section."""
+    return (
+        section.name,
+        None if section.low is None else _expr_key(section.low),
+        None if section.high is None else _expr_key(section.high),
+    )
+
+
+def section_equal(a: ArraySection, b: ArraySection) -> bool:
+    """Structural equality of two sections, ignoring positions."""
+    return section_key(a) == section_key(b)
+
+
+def annotation_equal(a: Annotation, b: Annotation) -> bool:
+    """Structural equality of two directives, ignoring positions.
+
+    This is the round-trip contract: ``parse(format(ann))`` must compare
+    equal to ``ann`` under this predicate (dataclass ``==`` would compare
+    the embedded source positions, which a re-parse cannot reproduce).
+    """
+    return (
+        a.parallel == b.parallel
+        and a.private == b.private
+        and [section_key(s) for s in a.copyin]
+        == [section_key(s) for s in b.copyin]
+        and [section_key(s) for s in a.copyout]
+        == [section_key(s) for s in b.copyout]
+        and [section_key(s) for s in a.create]
+        == [section_key(s) for s in b.create]
+        and a.threads == b.threads
+        and a.scheme == b.scheme
+        and a.scheme_explicit == b.scheme_explicit
+    )
+
+
 def _eval_int(expr, env: Mapping[str, int]) -> int:
     """Evaluate an annotation bound expression to an int."""
     from . import ast_nodes as A
@@ -175,8 +239,15 @@ def parse_annotation(text: str, pos: Pos) -> Annotation:
             )
         name = str(tok.value)
         i += 1
-        if name in seen and name != "private":
-            raise AnnotationError(f"duplicate clause {name!r} in acc directive")
+        # list-valued clauses may repeat: their operands merge (below).
+        # Scalar-valued clauses (threads, scheme) and the bare 'parallel'
+        # keyword must appear at most once — repeating them would either
+        # silently last-write-win or be a user typo, so it is an error
+        # that names the loop position.
+        if name in seen and name not in ("private", "copyin", "copyout", "create"):
+            raise AnnotationError(
+                f"duplicate clause {name!r} in acc directive at {pos}"
+            )
         seen.add(name)
 
         if name == "parallel":
@@ -203,10 +274,16 @@ def parse_annotation(text: str, pos: Pos) -> Annotation:
         i += 1  # consume ')'
 
         if name == "private":
-            ann.private.extend(_parse_name_list(arg_toks, pos))
+            for var in _parse_name_list(arg_toks, pos):
+                if var not in ann.private:
+                    ann.private.append(var)
         elif name in ("copyin", "copyout", "create"):
-            sections = _parse_sections(arg_toks, pos)
-            getattr(ann, name).extend(sections)
+            existing = getattr(ann, name)
+            for section in _parse_sections(arg_toks, pos):
+                # repeated clauses merge; an identical section listed
+                # twice contributes one transfer, not two
+                if not any(section_equal(section, s) for s in existing):
+                    existing.append(section)
         elif name == "threads":
             value = _parse_single_int(arg_toks, pos, "threads")
             if value <= 0:

@@ -385,3 +385,16 @@ def find_loops(node: Node) -> list[For]:
 def annotated_loops(node: Node) -> list[For]:
     """All ``for`` loops carrying an ``acc`` annotation, in pre-order."""
     return [n for n in find_loops(node) if n.annotation is not None]
+
+
+def strip_annotations(node: Node) -> Node:
+    """Remove every ``acc`` annotation in a subtree, in place.
+
+    Used to produce bare variants of annotated programs (the annotation
+    -inference acceptance suite compares what inference proposes for a
+    stripped source against the hand directives it removed).
+    """
+    for n in walk(node):
+        if isinstance(n, For):
+            n.annotation = None
+    return node

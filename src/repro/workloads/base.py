@@ -66,6 +66,19 @@ class Workload:
             raise WorkloadError(f"{self.name}: no input generator")
         return self.make_inputs(n=n, seed=seed, **overrides)
 
+    def stripped_source(self) -> str:
+        """The workload's source with every ``acc`` directive removed.
+
+        This is the annotation-inference test subject: a functionally
+        identical program that carries no parallelism hints, pretty-
+        printed back to parseable mini-Java.
+        """
+        from ..lang import fmt_class, parse_program, strip_annotations
+
+        cls = parse_program(self.source)
+        strip_annotations(cls)
+        return fmt_class(cls)
+
     def make_context(
         self, paper_scale: bool = True, obs=None, cache=None, devices: int = 1
     ):

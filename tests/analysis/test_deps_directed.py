@@ -1,0 +1,198 @@
+"""Directed pair_test audit (ISSUE 7 bugfix satellite).
+
+Exercises the corners that used to misclassify pairs as loop-carried:
+identical-affine read+write on the same cell, negative-coefficient
+(reversed) subscripts, and iteration-space pruning from constant-
+evaluable bounds (trip count and step multiples).
+"""
+
+import pytest
+
+from repro.analysis.classify import LoopStatus, analyze_loop
+from repro.analysis.deps import (
+    DepKind,
+    PairVerdict,
+    collect_accesses,
+    pair_test,
+)
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse_program
+
+
+def loop_of(body, header="int i = 0; i < n; i++",
+            params="double[] x, double[] y, int[] idx, int n"):
+    src = f"""
+    class T {{
+      static void f({params}) {{
+        for ({header}) {{ {body} }}
+      }}
+    }}
+    """
+    cls = parse_program(src)
+    method = cls.methods[0]
+    return method, A.find_loops(method.body)[0]
+
+
+def accesses_of(body, **kw):
+    _, loop = loop_of(body, **kw)
+    from repro.analysis.symbols import declared_inside
+
+    return collect_accesses(loop, "i", declared_inside(loop) | {"i"})
+
+
+def find(accs, array, kind, nth=0):
+    return [a for a in accs if a.array == array and a.kind == kind][nth]
+
+
+class TestIdenticalIndexPairs:
+    """A write and read of the same affine cell pin distance 0: the
+    conflict is intra-iteration and must never demote the loop."""
+
+    def test_read_modify_write_same_cell(self):
+        accs = accesses_of("x[i] = x[i] + 1.0;")
+        out = pair_test(find(accs, "x", "W"), find(accs, "x", "R"))
+        assert out.verdict is PairVerdict.NO_DEP
+
+    def test_compound_assign_same_cell(self):
+        accs = accesses_of("x[i] += y[i];")
+        out = pair_test(find(accs, "x", "W"), find(accs, "x", "R"))
+        assert out.verdict is PairVerdict.NO_DEP
+
+    def test_incdec_same_cell(self):
+        accs = accesses_of("x[i]++;")
+        out = pair_test(find(accs, "x", "W"), find(accs, "x", "R"))
+        assert out.verdict is PairVerdict.NO_DEP
+
+    def test_scaled_same_cell(self):
+        accs = accesses_of("x[2 * i + 1] = x[2 * i + 1] * 0.5;")
+        out = pair_test(find(accs, "x", "W"), find(accs, "x", "R"))
+        assert out.verdict is PairVerdict.NO_DEP
+
+    def test_symbolic_offset_same_cell(self):
+        accs = accesses_of("x[i + n] = x[i + n] - 1.0;")
+        out = pair_test(find(accs, "x", "W"), find(accs, "x", "R"))
+        assert out.verdict is PairVerdict.NO_DEP
+
+    def test_whole_loop_stays_doall(self):
+        method, loop = loop_of("x[i] = x[i] + y[i];")
+        assert analyze_loop(method, loop).status is LoopStatus.DOALL
+
+
+class TestNegativeStrideAccesses:
+    """Negative-coefficient subscripts (reversed traversal of the
+    array) must solve with the correct distance sign, not fall back to
+    UNKNOWN or flip flow/anti."""
+
+    def test_reversed_self_cell(self):
+        accs = accesses_of("x[n - i] = x[n - i] + 1.0;")
+        out = pair_test(find(accs, "x", "W"), find(accs, "x", "R"))
+        assert out.verdict is PairVerdict.NO_DEP
+
+    def test_reversed_flow_becomes_anti(self):
+        # ascending i writes descending cells: x[n-i] = x[n-i-1] reads
+        # the cell the *next* iteration will write -> anti, distance 1
+        accs = accesses_of("x[n - i] = x[n - i - 1];")
+        out = pair_test(find(accs, "x", "W"), find(accs, "x", "R"))
+        assert out.verdict is PairVerdict.DEP
+        assert out.deps[0].kind is DepKind.ANTI
+        assert out.deps[0].distance == 1
+
+    def test_reversed_anti_becomes_flow(self):
+        accs = accesses_of("x[n - i] = x[n - i + 1];")
+        out = pair_test(find(accs, "x", "W"), find(accs, "x", "R"))
+        assert out.verdict is PairVerdict.DEP
+        assert out.deps[0].kind is DepKind.TRUE
+        assert out.deps[0].distance == 1
+
+    def test_opposed_coefficients_unknown(self):
+        # i vs n - i meet once at 2i = n: not a fixed distance
+        accs = accesses_of("x[i] = x[n - i];")
+        out = pair_test(find(accs, "x", "W"), find(accs, "x", "R"))
+        assert out.verdict is PairVerdict.UNKNOWN
+
+    def test_negative_scaled_disjoint(self):
+        # -2i and -2i+1 have opposite parities: never conflict
+        accs = accesses_of("x[n - 2 * i] = x[n - 2 * i + 1];")
+        out = pair_test(find(accs, "x", "W"), find(accs, "x", "R"))
+        assert out.verdict is PairVerdict.NO_DEP
+
+
+class TestTripCountPruning:
+    """Constant-evaluable bounds bound the realizable distances."""
+
+    def test_distance_beyond_span_pruned(self):
+        # 8 iterations: a distance-8 pair can never be realized
+        accs = accesses_of("x[i + 8] = x[i];", header="int i = 0; i < 8; i++")
+        out = pair_test(find(accs, "x", "W"), find(accs, "x", "R"),
+                        trip=8, step=1)
+        assert out.verdict is PairVerdict.NO_DEP
+
+    def test_distance_within_span_kept(self):
+        accs = accesses_of("x[i + 7] = x[i];", header="int i = 0; i < 8; i++")
+        out = pair_test(find(accs, "x", "W"), find(accs, "x", "R"),
+                        trip=8, step=1)
+        assert out.verdict is PairVerdict.DEP
+        assert out.deps[0].kind is DepKind.TRUE
+        assert out.deps[0].distance == 7
+
+    def test_single_iteration_no_dep(self):
+        accs = accesses_of("x[i] = x[i - 1];", header="int i = 0; i < 1; i++")
+        out = pair_test(find(accs, "x", "W"), find(accs, "x", "R"), trip=1)
+        assert out.verdict is PairVerdict.NO_DEP
+
+    def test_zero_trip_no_dep(self):
+        out_accs = accesses_of("x[i] = x[i - 1];",
+                               header="int i = 0; i < 0; i++")
+        out = pair_test(find(out_accs, "x", "W"), find(out_accs, "x", "R"),
+                        trip=0)
+        assert out.verdict is PairVerdict.NO_DEP
+
+    def test_distance_not_step_multiple_pruned(self):
+        # i advances by 2: an odd distance can never be realized
+        accs = accesses_of("x[i + 3] = x[i];",
+                           header="int i = 0; i < n; i += 2")
+        out = pair_test(find(accs, "x", "W"), find(accs, "x", "R"), step=2)
+        assert out.verdict is PairVerdict.NO_DEP
+
+    def test_distance_step_multiple_kept(self):
+        accs = accesses_of("x[i + 4] = x[i];",
+                           header="int i = 0; i < n; i += 2")
+        out = pair_test(find(accs, "x", "W"), find(accs, "x", "R"), step=2)
+        assert out.verdict is PairVerdict.DEP
+
+    def test_no_trip_info_stays_conservative(self):
+        # without bounds the distance-8 pair must still be reported
+        accs = accesses_of("x[i + 8] = x[i];")
+        out = pair_test(find(accs, "x", "W"), find(accs, "x", "R"))
+        assert out.verdict is PairVerdict.DEP
+
+
+class TestClassifyIntegration:
+    """analyze_loop feeds consteval trip/step into pair_test."""
+
+    def test_constant_bounds_promote_doall(self):
+        method, loop = loop_of("x[i + 8] = x[i];",
+                               header="int i = 0; i < 8; i++")
+        assert analyze_loop(method, loop).status is LoopStatus.DOALL
+
+    def test_symbolic_bounds_keep_dep(self):
+        method, loop = loop_of("x[i + 8] = x[i];")
+        an = analyze_loop(method, loop)
+        assert an.status is LoopStatus.STATIC_DEP
+        assert any(d.kind is DepKind.TRUE and d.distance == 8
+                   for d in an.static_deps)
+
+    def test_strided_loop_promotes_doall(self):
+        method, loop = loop_of("x[i + 1] = x[i];",
+                               header="int i = 0; i < n; i += 2")
+        assert analyze_loop(method, loop).status is LoopStatus.DOALL
+
+    def test_inclusive_bound_counts_final_iteration(self):
+        # i <= 7 is 8 iterations: distance 7 is realizable
+        method, loop = loop_of("x[i + 7] = x[i];",
+                               header="int i = 0; i <= 7; i++")
+        assert analyze_loop(method, loop).status is LoopStatus.STATIC_DEP
+
+    def test_gemm_style_update_still_doall(self):
+        method, loop = loop_of("x[i] = 2.0 * x[i] + y[i];")
+        assert analyze_loop(method, loop).status is LoopStatus.DOALL

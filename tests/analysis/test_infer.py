@@ -1,0 +1,363 @@
+"""Annotation-inference unit tests (ISSUE 7 tentpole).
+
+Covers the per-loop scoring, the placement recursion, tight-section
+synthesis with its whole-array widening fallbacks, and the
+never-touch-hand-annotations soundness rules.
+"""
+
+import pytest
+
+from repro.analysis.infer import (
+    SCORE_DEP,
+    SCORE_DOALL,
+    SCORE_FALSE_DEP,
+    SCORE_NONE,
+    SCORE_UNCERTAIN,
+    TAG_CONTAINER,
+    TAG_DOALL,
+    TAG_HAND,
+    TAG_NON_CANONICAL,
+    TAG_STATIC_DEP,
+    TAG_UNCERTAIN,
+    infer_class,
+    infer_method,
+    propose_loop,
+    synthesize_annotation,
+)
+from repro.lang import ast_nodes as A
+from repro.lang.annotations import section_key
+from repro.lang.parser import parse_program
+
+
+def method_of(body, params="double[] a, double[] b, int[] idx, int n"):
+    src = f"""
+    class T {{
+      static void f({params}) {{
+        {body}
+      }}
+    }}
+    """
+    return parse_program(src).methods[0]
+
+
+def first_proposal(body, **kw):
+    method = method_of(body, **kw)
+    loop = A.find_loops(method.body)[0]
+    return propose_loop(method, loop, 0, 0)
+
+
+def sections_by_name(section_list):
+    return {s.name: s for s in section_list}
+
+
+def section_text(section):
+    from repro.lang.pretty import _format_section
+
+    return _format_section(section)
+
+
+class TestScoring:
+    def test_doall(self):
+        p = first_proposal("for (int i = 0; i < n; i++) { a[i] = b[i]; }")
+        assert (p.tag, p.score) == (TAG_DOALL, SCORE_DOALL)
+
+    def test_uncertain_irregular(self):
+        p = first_proposal(
+            "for (int i = 0; i < n; i++) { a[idx[i]] = b[i]; }"
+        )
+        assert (p.tag, p.score) == (TAG_UNCERTAIN, SCORE_UNCERTAIN)
+
+    def test_static_true_dep(self):
+        p = first_proposal(
+            "for (int i = 1; i < n; i++) { a[i] = a[i - 1]; }"
+        )
+        assert (p.tag, p.score) == (TAG_STATIC_DEP, SCORE_DEP)
+
+    def test_scalar_live_out(self):
+        p = first_proposal(
+            "double s = 0.0; for (int i = 0; i < n; i++) { s += a[i]; }"
+        )
+        assert (p.tag, p.score) == (TAG_STATIC_DEP, SCORE_DEP)
+        assert "s" in p.reason
+
+    def test_false_dep_only(self):
+        # anti dependence a[i] -> a[i+1]: privatizable, score 2
+        p = first_proposal(
+            "for (int i = 0; i < n; i++) { a[i] = a[i + 1]; }"
+        )
+        assert (p.tag, p.score) == (TAG_STATIC_DEP, SCORE_FALSE_DEP)
+
+    def test_non_canonical(self):
+        p = first_proposal(
+            "for (int i = n; i >= 0; i--) { a[i] = b[i]; }"
+        )
+        assert (p.tag, p.score) == (TAG_NON_CANONICAL, SCORE_NONE)
+        assert p.annotation is None
+
+
+class TestPlacement:
+    def test_doall_outer_wins(self):
+        # GEMM shape: outer DOALL annotated, inner loops left bare
+        method = method_of(
+            """
+            for (int i = 0; i < n; i++) {
+              for (int j = 0; j < n; j++) { a[i] = a[i] + b[j]; }
+            }
+            """
+        )
+        mi = infer_method(method)
+        assert [p.chosen for p in mi.proposals] == [True, False]
+
+    def test_sequential_outer_descends(self):
+        # BFS shape: outer loop carries a true dep, inner is DOALL
+        method = method_of(
+            """
+            for (int t = 0; t < 4; t++) {
+              for (int i = 0; i < n; i++) { a[i] = b[i] + t; }
+            }
+            """
+        )
+        mi = infer_method(method)
+        chosen = mi.chosen
+        assert len(chosen) == 1
+        assert chosen[0].depth == 1
+        assert chosen[0].tag == TAG_DOALL
+
+    def test_non_canonical_outer_descends(self):
+        method = method_of(
+            """
+            int t = 0;
+            while (t < 4) {
+              for (int i = 0; i < n; i++) { a[i] = b[i]; }
+              t++;
+            }
+            """
+        )
+        mi = infer_method(method)
+        assert len(mi.chosen) == 1
+        assert mi.chosen[0].tag == TAG_DOALL
+
+    def test_uncertain_kept_over_weaker_children(self):
+        # uncertain outer with a sequential inner: annotate the outer and
+        # let the DD profiler decide
+        method = method_of(
+            """
+            for (int i = 0; i < n; i++) {
+              double s = 0.0;
+              for (int k = 0; k < n; k++) { s += b[idx[k]]; }
+              a[idx[i]] = s;
+            }
+            """
+        )
+        mi = infer_method(method)
+        assert len(mi.chosen) == 1
+        assert mi.chosen[0].depth == 0
+        assert mi.chosen[0].tag == TAG_UNCERTAIN
+
+    def test_static_dep_outer_yields_to_doall_inner(self):
+        method = method_of(
+            """
+            for (int i = 1; i < n; i++) {
+              a[0] = a[0] + 1.0;
+              for (int j = 0; j < n; j++) { b[j] = b[j] * 2.0; }
+            }
+            """
+        )
+        mi = infer_method(method)
+        assert len(mi.chosen) == 1
+        assert mi.chosen[0].depth == 1
+
+    def test_last_resort_sequential_loop_annotated(self):
+        # nothing better below: a static-dep loop still gets a directive
+        # (the middle end runs it as an ordered/profiled loop)
+        method = method_of(
+            "double s = 0.0; for (int i = 0; i < n; i++) { s += a[i]; }"
+        )
+        mi = infer_method(method)
+        assert len(mi.chosen) == 1
+        assert mi.chosen[0].tag == TAG_STATIC_DEP
+
+
+class TestSoundnessRules:
+    def test_hand_annotated_untouched(self):
+        method = method_of(
+            """
+            /* acc parallel */
+            for (int i = 0; i < n; i++) { a[i] = b[i]; }
+            """
+        )
+        before = method.body.stmts[-1].annotation
+        mi = infer_method(method)
+        assert mi.chosen == []
+        assert mi.proposals[0].tag == TAG_HAND
+        assert method.body.stmts[-1].annotation is before
+
+    def test_hand_annotated_interior_not_entered(self):
+        method = method_of(
+            """
+            /* acc parallel */
+            for (int i = 0; i < n; i++) {
+              for (int j = 0; j < n; j++) { a[j] = b[j]; }
+            }
+            """
+        )
+        mi = infer_method(method)
+        # only the hand loop is reported; its DOALL inner stays bare
+        assert [p.tag for p in mi.proposals] == [TAG_HAND]
+
+    def test_container_descends_without_proposing(self):
+        method = method_of(
+            """
+            for (int t = 0; t < 4; t++) {
+              /* acc parallel */
+              for (int i = 0; i < n; i++) { a[i] = b[i]; }
+              for (int j = 0; j < n; j++) { b[j] = a[j]; }
+            }
+            """
+        )
+        mi = infer_method(method)
+        tags = {p.index: p.tag for p in mi.proposals}
+        assert tags[0] == TAG_CONTAINER
+        assert tags[1] == TAG_HAND
+        chosen = mi.chosen
+        assert len(chosen) == 1 and chosen[0].index == 2
+
+    def test_fully_annotated_class_is_identity(self):
+        from repro.workloads import get
+
+        cls = parse_program(get("GEMM").source)
+        report = infer_class(cls)
+        assert report.chosen == []
+
+
+class TestSectionSynthesis:
+    def ann_of(self, body, **kw):
+        p = first_proposal(body, **kw)
+        assert p.analysis is not None
+        return synthesize_annotation(p.analysis)
+
+    def test_tight_unit_range(self):
+        ann = self.ann_of("for (int i = 0; i < n; i++) { a[i] = b[i]; }")
+        assert section_text(sections_by_name(ann.copyin)["b"]) == "b[0:n - 1]"
+        assert section_text(sections_by_name(ann.copyout)["a"]) == "a[0:n - 1]"
+
+    def test_stencil_offsets_widen_range(self):
+        ann = self.ann_of(
+            "for (int i = 1; i < n; i++) { a[i] = b[i - 1] + b[i]; }"
+        )
+        assert section_text(sections_by_name(ann.copyin)["b"]) == "b[0:n - 1]"
+        assert section_text(sections_by_name(ann.copyout)["a"]) == "a[1:n - 1]"
+
+    def test_inclusive_bound(self):
+        ann = self.ann_of("for (int i = 0; i <= n; i++) { a[i] = 0.0; }")
+        assert section_text(sections_by_name(ann.copyout)["a"]) == "a[0:n]"
+
+    def test_written_never_read_gets_create(self):
+        ann = self.ann_of("for (int i = 0; i < n; i++) { a[i] = b[i]; }")
+        assert [s.name for s in ann.create] == ["a"]
+        assert [s.name for s in ann.copyout] == ["a"]
+        assert "a" not in sections_by_name(ann.copyin)
+
+    def test_mixed_array_copyin_covers_writes(self):
+        # reads a[i], writes a[i+1]: copyin must span both
+        ann = self.ann_of(
+            "for (int i = 0; i < n; i++) { a[i + 1] = a[i] * 2.0; }"
+        )
+        assert section_text(sections_by_name(ann.copyin)["a"]) == "a[0:n]"
+        assert section_text(sections_by_name(ann.copyout)["a"]) == "a[1:n]"
+        assert ann.create == []
+
+    def test_non_affine_widens_to_whole(self):
+        ann = self.ann_of("for (int i = 0; i < n; i++) { a[idx[i]] = 1.0; }")
+        assert sections_by_name(ann.copyout)["a"].whole
+        assert section_text(sections_by_name(ann.copyin)["idx"]) \
+            == "idx[0:n - 1]"
+
+    def test_strided_loop_widens_to_whole(self):
+        ann = self.ann_of("for (int i = 0; i < n; i += 2) { a[i] = 0.0; }")
+        assert sections_by_name(ann.copyout)["a"].whole
+
+    def test_incomparable_shapes_widen_to_whole(self):
+        ann = self.ann_of(
+            "for (int i = 0; i < n; i++) { a[i] = a[2 * i] + 1.0; }"
+        )
+        assert sections_by_name(ann.copyin)["a"].whole
+
+    def test_scaled_access_tight(self):
+        ann = self.ann_of("for (int i = 0; i < n; i++) { a[2 * i] = 0.0; }")
+        assert section_text(sections_by_name(ann.copyout)["a"]) \
+            == "a[0:2 * (n - 1)]"
+
+    def test_leading_dim_of_2d(self):
+        ann = self.ann_of(
+            """
+            for (int i = 0; i < n; i++) {
+              for (int j = 0; j < n; j++) { M[i][j] = M[i][j] + 1.0; }
+            }
+            """,
+            params="double[][] M, int n",
+        )
+        assert section_text(sections_by_name(ann.copyin)["M"]) == "M[0:n - 1]"
+
+    def test_private_lists_temps_without_index(self):
+        ann = self.ann_of(
+            """
+            for (int i = 0; i < n; i++) {
+              double t = b[i];
+              int j = i + 1;
+              a[i] = t * j;
+            }
+            """
+        )
+        assert ann.private == ["j", "t"]
+
+    def test_synthesized_directive_reparses(self):
+        from repro.lang.annotations import annotation_equal, parse_annotation
+        from repro.lang.pretty import format_annotation
+        from repro.lang.tokens import Pos
+
+        ann = self.ann_of(
+            "for (int i = 1; i < n; i++) { a[i] = b[i - 1] + b[i + 1]; }"
+        )
+        again = parse_annotation(format_annotation(ann), Pos(1, 1))
+        assert annotation_equal(ann, again)
+
+
+class TestInferClass:
+    SRC = """
+    class T {
+      static void f(double[] a, double[] b, int n) {
+        for (int i = 0; i < n; i++) { a[i] = b[i]; }
+        double s = 0.0;
+        for (int i = 0; i < n; i++) { s += a[i]; }
+      }
+    }
+    """
+
+    def test_annotations_applied_in_place(self):
+        cls = parse_program(self.SRC)
+        report = infer_class(cls)
+        loops = A.find_loops(cls.methods[0].body)
+        assert all(l.annotation is not None for l in loops)
+        assert len(report.chosen) == 2
+
+    def test_loop_ids_match_annotation_order(self):
+        cls = parse_program(self.SRC)
+        report = infer_class(cls)
+        assert [p.loop_id for p in report.chosen] == ["f#0", "f#1"]
+
+    def test_applied_class_translates(self):
+        from repro.translate.translator import Translator
+
+        cls = parse_program(self.SRC)
+        infer_class(cls)
+        unit = Translator().translate(cls)
+        assert [tl.id for tl in unit.all_loops] == ["f#0", "f#1"]
+
+    def test_summary_marks_chosen(self):
+        cls = parse_program(self.SRC)
+        report = infer_class(cls)
+        lines = report.summary_lines()
+        assert len(lines) == 2
+        assert all(line.startswith("+") for line in lines)
+        assert "acc parallel" in lines[0]

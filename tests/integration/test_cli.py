@@ -51,6 +51,76 @@ class TestCli:
             main([])
 
 
+class TestInferCommand:
+    def test_workload_prints_reparseable_source(self, capsys):
+        assert main(["infer", "GEMM"]) == 0
+        captured = capsys.readouterr()
+        assert "acc parallel" in captured.out
+        assert "loop#" in captured.err  # proposal table on stderr
+        # stdout is valid mini-Java carrying the synthesized directives
+        from repro.lang import ast_nodes as A
+        from repro.lang.parser import parse_program
+
+        cls = parse_program(captured.out)
+        assert any(
+            l.annotation is not None
+            for m in cls.methods
+            for l in A.find_loops(m.body)
+        )
+
+    def test_file_target_respects_hand_annotations(self, tmp_path, capsys):
+        src = tmp_path / "demo.java"
+        src.write_text(
+            """
+            class Demo {
+              static void f(double[] a, double[] b, int n) {
+                /* acc parallel threads(64) */
+                for (int i = 0; i < n; i++) { b[i] = a[i] + 1.0; }
+              }
+            }
+            """
+        )
+        assert main(["infer", str(src)]) == 0
+        captured = capsys.readouterr()
+        assert "threads(64)" in captured.out  # hand directive untouched
+        assert "hand-annotated" in captured.err
+
+    def test_file_target_strip_reinfers(self, tmp_path, capsys):
+        src = tmp_path / "demo.java"
+        src.write_text(
+            """
+            class Demo {
+              static void f(double[] a, double[] b, int n) {
+                /* acc parallel threads(64) */
+                for (int i = 0; i < n; i++) { b[i] = a[i] + 1.0; }
+              }
+            }
+            """
+        )
+        assert main(["infer", str(src), "--strip"]) == 0
+        captured = capsys.readouterr()
+        assert "threads(64)" not in captured.out
+        assert "copyin(a[0:n - 1])" in captured.out
+
+    def test_confirm_reports_profiler_verdict(self, capsys):
+        assert main(["infer", "CFD", "--confirm"]) == 0
+        captured = capsys.readouterr()
+        assert "confirmed-privatizable" in captured.err
+
+    def test_confirm_rejects_file_target(self, tmp_path, capsys):
+        src = tmp_path / "demo.java"
+        src.write_text("class D { static void f(int n) { } }")
+        assert main(["infer", str(src), "--confirm"]) == 2
+
+    def test_unknown_target(self, capsys):
+        assert main(["infer", "NotAThing"]) == 2
+
+    def test_run_with_infer_flag_verifies(self, capsys):
+        code = main(["run", "VectorAdd", "--infer"])
+        assert code == 0
+        assert "verified" in capsys.readouterr().out
+
+
 class TestReportCommand:
     def test_writes_json_and_html(self, tmp_path, capsys):
         out = tmp_path / "r.json"

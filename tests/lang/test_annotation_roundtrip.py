@@ -1,0 +1,186 @@
+"""Annotation format/parse round-trip property (ISSUE 7 bugfix satellite).
+
+``parse_annotation(format_annotation(ann))`` must reproduce ``ann``
+under :func:`annotation_equal` — this is the contract the ``repro
+infer`` subcommand relies on when it prints synthesized directives as
+re-parseable source.  Also covers the duplicate-clause fixes: repeated
+list clauses merge, repeated scalar clauses raise an error that names
+the loop position.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnnotationError
+from repro.lang import ast_nodes as A
+from repro.lang.annotations import (
+    Annotation,
+    ArraySection,
+    annotation_equal,
+    parse_annotation,
+    section_equal,
+)
+from repro.lang.pretty import format_annotation
+from repro.lang.tokens import Pos
+
+POS = Pos(7, 9)
+
+
+def parse(text: str):
+    return parse_annotation(text, POS)
+
+
+def roundtrip(ann: Annotation) -> Annotation:
+    return parse(format_annotation(ann))
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+NAMES = st.sampled_from(
+    ["a", "b", "c", "n", "m", "len0", "arr", "tmp", "x1", "y2"]
+)
+
+
+def exprs(depth: int = 2):
+    """Random annotation-bound expressions over the mini-Java grammar."""
+    leaf = st.one_of(
+        st.integers(min_value=0, max_value=1000).map(
+            lambda v: A.IntLit(POS, v)
+        ),
+        NAMES.map(lambda name: A.VarRef(POS, name)),
+    )
+    if depth == 0:
+        return leaf
+    sub = exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(st.sampled_from("+-*/%"), sub, sub).map(
+            lambda t: A.Binary(POS, t[0], t[1], t[2])
+        ),
+        sub.map(lambda e: A.Unary(POS, "-", e)),
+    )
+
+
+def sections():
+    bounded = st.tuples(NAMES, exprs(), exprs()).map(
+        lambda t: ArraySection(t[0], t[1], t[2])
+    )
+    whole = NAMES.map(ArraySection)
+    return st.one_of(whole, bounded)
+
+
+def section_lists():
+    # unique per array name: the parser merges identical repeated
+    # sections, so duplicates would legitimately not round-trip
+    return st.lists(
+        sections(), max_size=3, unique_by=lambda s: s.name
+    )
+
+
+annotations = st.builds(
+    Annotation,
+    pos=st.just(POS),
+    parallel=st.just(True),
+    private=st.lists(NAMES, max_size=4, unique=True),
+    copyin=section_lists(),
+    copyout=section_lists(),
+    create=section_lists(),
+    threads=st.one_of(
+        st.none(), st.integers(min_value=1, max_value=4096)
+    ),
+    scheme=st.sampled_from(["sharing", "stealing"]),
+    scheme_explicit=st.booleans(),
+)
+
+
+def normalize(ann: Annotation) -> Annotation:
+    # a non-explicit scheme never prints, so only the default survives
+    if not ann.scheme_explicit:
+        ann.scheme = "sharing"
+    return ann
+
+
+# ---------------------------------------------------------------------------
+# The property
+# ---------------------------------------------------------------------------
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=300, deadline=None)
+    @given(annotations.map(normalize))
+    def test_format_then_parse_is_identity(self, ann):
+        again = roundtrip(ann)
+        assert annotation_equal(ann, again), (
+            f"round-trip changed the directive:\n"
+            f"  formatted: {format_annotation(ann)}\n"
+            f"  reparsed:  {format_annotation(again)}"
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(annotations.map(normalize))
+    def test_format_is_stable(self, ann):
+        # formatting the reparse prints the same text (fixed point)
+        text = format_annotation(ann)
+        assert format_annotation(parse(text)) == text
+
+
+class TestRoundTripDirected:
+    def test_negative_literal_bound(self):
+        # -5 prints as one token but reparses as Unary('-', IntLit(5))
+        ann = Annotation(
+            pos=POS, parallel=True,
+            copyin=[ArraySection("a", A.IntLit(POS, -5), A.IntLit(POS, 9))],
+        )
+        assert annotation_equal(ann, roundtrip(ann))
+
+    def test_workload_style_directive(self):
+        text = ("acc parallel private(acc, j, k) "
+                "copyin(A[0:n - 1], B, C[0:n - 1]) copyout(C[0:n - 1])")
+        assert format_annotation(parse(text)) == text
+
+    def test_nested_arithmetic_bound(self):
+        ann = parse("acc parallel copyin(a[n / 4:(n + 1) * 2 - 3])")
+        assert annotation_equal(ann, roundtrip(ann))
+
+
+class TestDuplicateClauses:
+    def test_repeated_copyin_merges(self):
+        ann = parse("acc parallel copyin(a[0:9]) copyin(b)")
+        assert [s.name for s in ann.copyin] == ["a", "b"]
+
+    def test_identical_sections_dedup(self):
+        ann = parse("acc parallel copyin(a[0:n - 1]) copyin(a[0:n - 1])")
+        assert len(ann.copyin) == 1
+
+    def test_different_sections_same_array_kept(self):
+        ann = parse("acc parallel copyin(a[0:4]) copyin(a[5:9])")
+        assert len(ann.copyin) == 2
+        assert not section_equal(ann.copyin[0], ann.copyin[1])
+
+    def test_repeated_private_merges(self):
+        ann = parse("acc parallel private(x, y) private(y, z)")
+        assert ann.private == ["x", "y", "z"]
+
+    def test_repeated_copyout_and_create_merge(self):
+        ann = parse("acc parallel copyout(a) copyout(b) create(t) create(t)")
+        assert [s.name for s in ann.copyout] == ["a", "b"]
+        assert len(ann.create) == 1
+
+    def test_duplicate_threads_raises_with_position(self):
+        with pytest.raises(AnnotationError, match=r"threads.*7:9"):
+            parse("acc parallel threads(4) threads(8)")
+
+    def test_duplicate_scheme_raises_with_position(self):
+        with pytest.raises(AnnotationError, match=r"scheme.*7:9"):
+            parse("acc parallel scheme(sharing) scheme(stealing)")
+
+    def test_duplicate_parallel_raises_with_position(self):
+        with pytest.raises(AnnotationError, match=r"parallel.*7:9"):
+            parse("acc parallel parallel")
+
+    def test_merged_directive_roundtrips(self):
+        ann = parse("acc parallel copyin(a[0:4]) copyin(a[5:9], b)")
+        assert annotation_equal(ann, roundtrip(ann))
