@@ -18,7 +18,11 @@ them to ``BENCH_HOSTPERF.json`` so the perf trajectory has data:
 4. **insight summaries** — a per-workload trace-insight report (critical
    path, slack, bottleneck lane) over the full suite, the same numbers
    ``python -m repro report`` emits, so the perf trajectory records
-   where the simulated time goes, not just how much of it there is.
+   where the simulated time goes, not just how much of it there is;
+5. **kernel tiers** — wall-clock of one hot kernel launch through the
+   interpreter vs. the generated-source tier (and the numba tier when
+   numba is importable), with the tiers' outputs checked bit-identical.
+   The source tier must clear 5x over the interpreter at the full size.
 
 Run standalone (the CI ``perf-smoke`` job uses ``--n 32768``)::
 
@@ -44,7 +48,7 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 )
 
-SCHEMA = "repro.hostperf/v3"
+SCHEMA = "repro.hostperf/v4"
 
 #: Saturated DOALL workloads whose makespan must improve with pool size.
 MULTIDEVICE_WORKLOADS = ("VectorAdd", "BFS", "MVT")
@@ -207,6 +211,68 @@ def measure_insight() -> dict:
     return out
 
 
+def measure_kernel_tiers(n: int) -> dict:
+    """One hot launch per tier; wall-clock each and compare outputs.
+
+    The dispatcher is driven directly (policy thresholds at 1) so each
+    leg runs entirely in one tier: a warm launch first to pay compiles
+    and promotion, then the timed launch.  The numba leg only appears
+    when numba is importable and its self-test passes.
+    """
+    import numpy as np
+
+    from repro.api import Japonica
+    from repro.ir.interpreter import ArrayStorage
+    from repro.ir.native import KernelCache, KernelDispatcher, TierPolicy
+    from repro.ir.native import numba_backend
+
+    program = Japonica().compile(VECADD_SRC)
+    fn = program.unit.methods["run"].loops[0].fn
+    rng = np.random.default_rng(7)
+    a = rng.standard_normal(n)
+    b = rng.standard_normal(n)
+    env = {"n": n}
+    indices = list(range(n))
+
+    def timed(native: bool, policy: TierPolicy) -> tuple[float, object]:
+        disp = KernelDispatcher(
+            cache=KernelCache(), policy=policy, native=native
+        )
+
+        def launch():
+            stg = ArrayStorage(
+                {"a": a.copy(), "b": b.copy(), "c": np.zeros(n)}
+            )
+            t0 = time.perf_counter()
+            disp.run_direct(fn, indices, env, stg)
+            dt = time.perf_counter() - t0
+            disp.take_counts(fn)
+            return dt, stg.arrays["c"]
+
+        launch()  # warm: compile + cross the promotion threshold
+        return launch()
+
+    interp_s, c_interp = timed(False, TierPolicy())
+    src_s, c_src = timed(True, TierPolicy(src_threshold=1))
+    out = {
+        "interp_s": interp_s,
+        "src_s": src_s,
+        "src_speedup": interp_s / src_s,
+        "identical": c_interp.tobytes() == c_src.tobytes(),
+        "numba": None,
+    }
+    if numba_backend.available():
+        numba_s, c_numba = timed(
+            True, TierPolicy(src_threshold=1, numba_threshold=1)
+        )
+        out["numba"] = {
+            "numba_s": numba_s,
+            "numba_speedup": interp_s / numba_s,
+            "identical": c_interp.tobytes() == c_numba.tobytes(),
+        }
+    return out
+
+
 def check_against(report: dict, baseline_path: str, tolerance: float) -> int:
     with open(baseline_path) as fh:
         baseline = json.load(fh)
@@ -250,6 +316,11 @@ def main(argv=None) -> int:
                         help="fail unless the columnar profiling speedup "
                              "reaches this factor (default: 5 when n is "
                              "the full 256Ki size, off otherwise)")
+    parser.add_argument("--min-kernel-speedup", type=float, default=None,
+                        help="fail unless the generated-source kernel "
+                             "tier reaches this speedup over the "
+                             "interpreter (default: 5 when n is the "
+                             "full 256Ki size, off otherwise)")
     args = parser.parse_args(argv)
 
     print(f"profiling phase: straight-line kernel, n={args.n} ...")
@@ -280,6 +351,20 @@ def main(argv=None) -> int:
               f"({row['speedup_at_max']:.2f}x at {DEVICE_COUNTS[-1]} "
               f"devices){flag}")
 
+    print(f"kernel tiers: hot launch, n={args.n} ...")
+    kernel_tiers = measure_kernel_tiers(args.n)
+    print(f"  interp   {kernel_tiers['interp_s']:8.3f}s")
+    print(f"  src      {kernel_tiers['src_s']:8.3f}s  "
+          f"({kernel_tiers['src_speedup']:.1f}x, "
+          f"identical={kernel_tiers['identical']})")
+    if kernel_tiers["numba"] is not None:
+        nb = kernel_tiers["numba"]
+        print(f"  numba    {nb['numba_s']:8.3f}s  "
+              f"({nb['numba_speedup']:.1f}x, "
+              f"identical={nb['identical']})")
+    else:
+        print("  numba    (not importable; tier skipped)")
+
     print("trace insight: critical path and bottleneck lane per workload ...")
     insight = measure_insight()
     print(f"  {'workload':14s} {'sim':>12s} {'crit-path':>12s} "
@@ -297,6 +382,7 @@ def main(argv=None) -> int:
         "profiling": profiling,
         "cache": cache,
         "multidevice": multidevice,
+        "kernel_tiers": kernel_tiers,
         "insight": insight,
     }
     with open(args.out, "w") as fh:
@@ -310,6 +396,20 @@ def main(argv=None) -> int:
     if min_speedup is not None and profiling["speedup"] < min_speedup:
         print(f"FAIL: profiling speedup {profiling['speedup']:.1f}x "
               f"< required {min_speedup:g}x", file=sys.stderr)
+        return 1
+    if not kernel_tiers["identical"] or (
+        kernel_tiers["numba"] is not None
+        and not kernel_tiers["numba"]["identical"]
+    ):
+        print("FAIL: kernel tiers disagree on results", file=sys.stderr)
+        return 1
+    min_kernel = args.min_kernel_speedup
+    if min_kernel is None and args.n >= 256 * 1024:
+        min_kernel = 5.0
+    if min_kernel is not None and kernel_tiers["src_speedup"] < min_kernel:
+        print(f"FAIL: kernel src-tier speedup "
+              f"{kernel_tiers['src_speedup']:.1f}x "
+              f"< required {min_kernel:g}x", file=sys.stderr)
         return 1
     if cache["warm"]["cache_misses"] != 0:
         print("FAIL: warm pass missed the cache", file=sys.stderr)

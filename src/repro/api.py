@@ -363,8 +363,22 @@ class Japonica:
         obs: Optional[Instrumentation] = None,
         cache: Optional[ArtifactCache] = None,
         infer_annotations: bool = False,
+        native: Optional[bool] = None,
+        native_crosscheck: Optional[bool] = None,
     ):
         self.platform = platform
+        # native tier knobs ride on the config; only materialize one when
+        # the caller overrides a default, so config=None stays None (and
+        # downstream default-construction paths are untouched)
+        if native is not None or native_crosscheck is not None:
+            from dataclasses import replace as _replace
+
+            config = _replace(
+                config or JaponicaConfig(),
+                **({} if native is None else {"native": native}),
+                **({} if native_crosscheck is None
+                   else {"native_crosscheck": native_crosscheck}),
+            )
         self.config = config
         self.obs = obs or NULL_INSTRUMENTATION
         self.cache = cache

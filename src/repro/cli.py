@@ -127,7 +127,9 @@ def _cmd_run(args) -> int:
                 strategy=strategy,
                 scheme=args.scheme or workload.scheme,
                 context=workload.make_context(
-                    obs=obs, cache=cache, devices=args.devices
+                    obs=obs, cache=cache, devices=args.devices,
+                    native=args.native,
+                    native_crosscheck=args.native_crosscheck,
                 ),
                 faults=args.faults, fault_seed=args.fault_seed,
                 **binds,
@@ -150,6 +152,8 @@ def _cmd_run(args) -> int:
                 scheme=args.scheme,
                 faults=args.faults, fault_seed=args.fault_seed,
                 cache=cache, devices=args.devices,
+                native=args.native,
+                native_crosscheck=args.native_crosscheck,
             )
         times[strategy] = result.sim_time_s
         modes = ",".join(sorted({r.mode for _, r in result.loop_results}))
@@ -262,7 +266,9 @@ def _cmd_report(args) -> int:
                 workload.method,
                 strategy=strategy,
                 scheme=args.scheme or workload.scheme,
-                context=workload.make_context(obs=obs, devices=args.devices),
+                context=workload.make_context(
+                    obs=obs, devices=args.devices, native=args.native
+                ),
                 **binds,
             )
             sim_total += result.sim_time_s
@@ -533,6 +539,18 @@ def build_parser() -> argparse.ArgumentParser:
              "the devices (results stay bit-identical to --devices 1)",
     )
     run_p.add_argument(
+        "--native", action=argparse.BooleanOptionalAction, default=True,
+        help="tiered native kernel backend: hot kernels are promoted "
+             "from the IR interpreter to generated type-specialized "
+             "source (results stay bit-identical; --no-native forces "
+             "the interpreter everywhere)",
+    )
+    run_p.add_argument(
+        "--native-crosscheck", action="store_true",
+        help="run every native launch against the interpreter oracle "
+             "and fail on any divergence (slow; for debugging the tier)",
+    )
+    run_p.add_argument(
         "--cache-dir", metavar="DIR", default=None,
         help="persist compile/profile artifacts to DIR; a repeated run "
              "with unchanged inputs skips the front end and profiling",
@@ -578,6 +596,11 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument(
         "--devices", type=int, default=1, metavar="N",
         help="size of the simulated GPU pool",
+    )
+    rep_p.add_argument(
+        "--native", action=argparse.BooleanOptionalAction, default=True,
+        help="tiered native kernel backend (--no-native forces the "
+             "interpreter everywhere; reports stay byte-identical)",
     )
     rep_p.add_argument(
         "--out", metavar="FILE", default="RUN_REPORT.json",

@@ -24,11 +24,10 @@ from ..faults.resilience import (
 from ..ir.instructions import IRFunction, stored_arrays
 from ..ir.interpreter import (
     ArrayStorage,
-    CompiledKernel,
     Counts,
-    DirectBackend,
 )
-from ..ir.vectorizer import VectorizedKernel, can_vectorize
+from ..ir.native import KernelDispatcher
+from ..ir.vectorizer import can_vectorize
 from ..obs.metrics import NULL_INSTRUMENTATION, Instrumentation
 from ..runtime.costmodel import CostModel
 from ..runtime.platform import CpuSpec
@@ -52,27 +51,16 @@ class CpuExecutor:
         cost: CostModel,
         faults: Optional[FaultRuntime] = None,
         obs: Optional[Instrumentation] = None,
+        kernels: Optional[KernelDispatcher] = None,
     ):
         self.spec = spec
         self.cost = cost
         self.faults = faults
         self.obs = obs or NULL_INSTRUMENTATION
-        self._compiled: dict[str, CompiledKernel] = {}
-        self._vectorized: dict[str, VectorizedKernel] = {}
-
-    # kernel caches are keyed by content fingerprint, not id(fn): a GC'd
-    # IRFunction whose id() is reused must never alias another kernel
-    def _kernel(self, fn: IRFunction) -> CompiledKernel:
-        key = fn.fingerprint()
-        if key not in self._compiled:
-            self._compiled[key] = CompiledKernel(fn)
-        return self._compiled[key]
-
-    def _vector_kernel(self, fn: IRFunction) -> VectorizedKernel:
-        key = fn.fingerprint()
-        if key not in self._vectorized:
-            self._vectorized[key] = VectorizedKernel(fn)
-        return self._vectorized[key]
+        #: tiered kernel backend, shared with the GPU devices of the
+        #: same context; artifacts are cached process-wide by content
+        #: fingerprint, not id(fn)
+        self.kernels = kernels or KernelDispatcher(obs=self.obs)
 
     def run_parallel(
         self,
@@ -177,7 +165,7 @@ class CpuExecutor:
                 if retries >= policy.max_retries:
                     # drain the partial counts so they are not double
                     # charged by a later run of the same kernel
-                    self._kernel(fn).take_counts()
+                    self.kernels.take_counts(fn)
                     raise WorkerFault(
                         f"CPU worker kept dying after {retries + 1} attempts",
                         completed=err.completed,
@@ -218,25 +206,28 @@ class CpuExecutor:
                     site=SITE_CPU_WORKER,
                     injected=True,
                 )
-            return self._vector_kernel(fn).run_range(
+            return self.kernels.cache.vectorized(fn).run_range(
                 storage, scalar_env, np.asarray(indices, dtype=np.int64)
             )
-        kern = self._kernel(fn)
-        backend = DirectBackend(storage)
         dies_at = (
             int(directive.fraction * len(indices))
             if directive is not None
             else None
         )
-        for k, i in enumerate(indices):
-            if dies_at is not None and k == dies_at:
-                raise WorkerFault(
-                    f"injected worker failure mid-chunk at {k}/{len(indices)}",
-                    completed=k,
-                    site=SITE_CPU_WORKER,
-                    injected=True,
-                )
-            kern.run_index(i, scalar_env, backend)
+        if dies_at is not None and dies_at < len(indices):
+            # the worker executes its prefix, then dies mid-chunk; the
+            # partial counts stay accumulated (wasted work costs time)
+            self.kernels.run_direct(
+                fn, indices[:dies_at], scalar_env, storage
+            )
+            raise WorkerFault(
+                f"injected worker failure mid-chunk at "
+                f"{dies_at}/{len(indices)}",
+                completed=dies_at,
+                site=SITE_CPU_WORKER,
+                injected=True,
+            )
+        self.kernels.run_direct(fn, indices, scalar_env, storage)
         if dies_at is not None:
             # fraction rounded to the chunk end: the worker died right
             # after its last iteration, before reporting completion
@@ -246,4 +237,4 @@ class CpuExecutor:
                 site=SITE_CPU_WORKER,
                 injected=True,
             )
-        return kern.take_counts()
+        return self.kernels.take_counts(fn)

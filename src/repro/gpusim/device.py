@@ -37,16 +37,12 @@ from ..faults.resilience import FaultRuntime
 from ..ir.instructions import IRFunction, stored_arrays
 from ..ir.interpreter import (
     ArrayStorage,
-    CompiledKernel,
     Counts,
-    DirectBackend,
     LaneSpecState,
-    SpeculativeBackend,
-    TracingBackend,
 )
 from ..ir.columnar import ColumnarLanes
-from ..ir.specvec import VectorizedSpecKernel
-from ..ir.vectorizer import VectorizedKernel, can_vectorize
+from ..ir.native import KernelDispatcher
+from ..ir.vectorizer import can_vectorize
 from ..obs.metrics import NULL_INSTRUMENTATION, Instrumentation
 from ..runtime.costmodel import CostModel
 from ..runtime.platform import GpuSpec
@@ -82,6 +78,7 @@ class GpuDevice:
         faults: Optional[FaultRuntime] = None,
         obs: Optional[Instrumentation] = None,
         device_id: int = 0,
+        kernels: Optional[KernelDispatcher] = None,
     ):
         self.spec = spec
         self.cost = cost
@@ -91,35 +88,28 @@ class GpuDevice:
         self.memory = DeviceMemory(
             faults=faults, obs=self.obs, device_id=device_id
         )
-        self._compiled: dict[str, CompiledKernel] = {}
-        self._vectorized: dict[str, VectorizedKernel] = {}
-        self._specvec: dict[str, VectorizedSpecKernel] = {}
+        #: tiered kernel backend; every device of a pool and the CPU
+        #: executor share one dispatcher (compile once per process), and
+        #: all artifacts are keyed by content fingerprint, not id(fn)
+        self.kernels = kernels or KernelDispatcher(obs=self.obs)
         #: columnar fast path for buffered launches; tests/benches flip
         #: this off to exercise the scalar oracle end to end
         self.columnar_profiling: bool = True
 
-    # -- kernel caches ---------------------------------------------------
-    # keyed by content fingerprint, not id(fn): a GC'd IRFunction whose
-    # id() is reused must never alias another kernel's compiled code, and
-    # content-equal clones (e.g. rename_privatized copies) share kernels
+    @property
+    def native_crosscheck(self) -> bool:
+        """Replay native-tier executions through the interpreter oracle.
 
-    def _kernel(self, fn: IRFunction) -> CompiledKernel:
-        key = fn.fingerprint()
-        if key not in self._compiled:
-            self._compiled[key] = CompiledKernel(fn)
-        return self._compiled[key]
+        Same pattern as the ``*_scalar`` cross-checks: tests/benches flip
+        this on to verify the generated tiers bit-for-bit end to end.
+        The flag lives on the shared dispatcher, so setting it on any
+        device of a pool covers the whole context.
+        """
+        return self.kernels.crosscheck
 
-    def _vector_kernel(self, fn: IRFunction) -> VectorizedKernel:
-        key = fn.fingerprint()
-        if key not in self._vectorized:
-            self._vectorized[key] = VectorizedKernel(fn)
-        return self._vectorized[key]
-
-    def _spec_kernel(self, fn: IRFunction) -> VectorizedSpecKernel:
-        key = fn.fingerprint()
-        if key not in self._specvec:
-            self._specvec[key] = VectorizedSpecKernel(fn)
-        return self._specvec[key]
+    @native_crosscheck.setter
+    def native_crosscheck(self, value: bool) -> None:
+        self.kernels.crosscheck = bool(value)
 
     # -- launches -------------------------------------------------------
 
@@ -160,21 +150,17 @@ class GpuDevice:
                     fn, indices, scalar_env, storage, warps, coalescing,
                     elem_bytes, check_allocations, block_size, penalty_s,
                 )
-            backend = SpeculativeBackend(storage)
+            per_lane, aux = self.kernels.run_buffered(
+                fn, indices, scalar_env, storage
+            )
         elif mode == "tracing":
-            backend = TracingBackend(storage)
+            per_lane, aux = self.kernels.run_tracing(
+                fn, indices, scalar_env, storage
+            )
         else:
             raise LaunchError(f"unknown launch mode {mode!r}")
 
-        kern = self._kernel(fn)
-        from ..ir.interpreter import C_TOTAL
-
-        per_lane: list[int] = []
-        for i in indices:
-            before = kern.counters[C_TOTAL]
-            kern.run_index(i, scalar_env, backend)
-            per_lane.append(kern.counters[C_TOTAL] - before)
-        counts = kern.take_counts()
+        counts = self.kernels.take_counts(fn)
         div = divergence_factor(per_lane, self.spec.warp_size)
         div *= self._block_padding(block_size)
         sim_time = penalty_s + self.cost.gpu_kernel_time(
@@ -184,12 +170,12 @@ class GpuDevice:
         result = LaunchResult(counts, sim_time, len(indices), warps, divergence=div)
         if mode == "buffered":
             result.lanes = (
-                ColumnarLanes.from_states(backend.lanes, indices)
+                ColumnarLanes.from_states(aux, indices)
                 if self.columnar_profiling
-                else backend.lanes
+                else aux
             )
         else:
-            result.traces = backend.traces
+            result.traces = aux
         if check_allocations:
             self._mark_writes(fn)
         self._record_launch(mode, len(indices), div, sim_time, False)
@@ -211,7 +197,7 @@ class GpuDevice:
         """Speculative (SE-phase) launch of a straight-line kernel, all
         lanes at once.  Straight-line bodies have uniform per-lane work,
         so the measured divergence factor is exactly 1."""
-        counts, lanes = self._spec_kernel(fn).run_buffered(
+        counts, lanes = self.kernels.cache.specvec(fn).run_buffered(
             storage, scalar_env, np.asarray(indices, dtype=np.int64)
         )
         div = self._block_padding(block_size)
@@ -245,21 +231,15 @@ class GpuDevice:
         div = self._block_padding(block_size)
         if can_vectorize(fn) and indices:
             # straight-line bodies have uniform lanes: divergence = 1
-            counts = self._vector_kernel(fn).run_range(
+            counts = self.kernels.cache.vectorized(fn).run_range(
                 storage, scalar_env, np.asarray(indices, dtype=np.int64)
             )
             vectorized = True
         else:
-            from ..ir.interpreter import C_TOTAL
-
-            kern = self._kernel(fn)
-            backend = DirectBackend(storage)
-            per_lane: list[int] = []
-            for i in indices:
-                before = kern.counters[C_TOTAL]
-                kern.run_index(i, scalar_env, backend)
-                per_lane.append(kern.counters[C_TOTAL] - before)
-            counts = kern.take_counts()
+            per_lane = self.kernels.run_direct(
+                fn, indices, scalar_env, storage
+            )
+            counts = self.kernels.take_counts(fn)
             div *= divergence_factor(per_lane, self.spec.warp_size)
             vectorized = False
         sim_time = penalty_s + self.cost.gpu_kernel_time(

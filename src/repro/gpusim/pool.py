@@ -19,6 +19,7 @@ from dataclasses import replace
 from typing import Optional
 
 from ..faults.resilience import FaultRuntime
+from ..ir.native import KernelDispatcher
 from ..obs.metrics import NULL_INSTRUMENTATION, Instrumentation
 from ..runtime.costmodel import CostModel
 from ..runtime.platform import GpuSpec, Platform
@@ -61,11 +62,15 @@ class DevicePool:
         size: int = 1,
         faults: Optional[FaultRuntime] = None,
         obs: Optional[Instrumentation] = None,
+        kernels: Optional[KernelDispatcher] = None,
     ):
         if size < 1:
             raise ValueError(f"device pool needs >= 1 device, got {size}")
         self.platform = platform
         obs = obs or NULL_INSTRUMENTATION
+        # every pool device shares the primary's dispatcher: one compile
+        # per kernel fingerprint for the whole pool, not one per device
+        kernels = kernels or primary.kernels
         self.devices: list[GpuDevice] = [primary]
         self.costs: list[CostModel] = [primary_cost]
         for k in range(1, size):
@@ -78,7 +83,8 @@ class DevicePool:
                 link_scale=primary_cost.link_scale,
             )
             self.devices.append(
-                GpuDevice(spec, cost, faults=faults, obs=obs, device_id=k)
+                GpuDevice(spec, cost, faults=faults, obs=obs, device_id=k,
+                          kernels=kernels)
             )
             self.costs.append(cost)
         self._dead: set[int] = set()

@@ -84,7 +84,7 @@ def binop(op: str, a, b, jtype: JType):
         elif op == "/":
             r = _fdiv(a, b)
         elif op == "%":
-            r = math.fmod(a, b) if b != 0 else float("nan")
+            r = _frem(a, b)
         else:
             raise ValueError(f"operator {op!r} not defined on floating types")
         return _round_float(r) if jtype is JType.FLOAT else r
@@ -125,6 +125,14 @@ def _fdiv(a: float, b: float) -> float:
         sign = math.copysign(1.0, a) * math.copysign(1.0, b)
         return sign * float("inf")
     return a / b
+
+
+def _frem(a: float, b: float) -> float:
+    # Java %: NaN for an infinite dividend or zero divisor (math.fmod
+    # raises ValueError on both instead of returning IEEE's NaN)
+    if b == 0.0 or math.isinf(a):
+        return float("nan")
+    return math.fmod(a, b)
 
 
 def unop(op: str, a, jtype: JType):
@@ -170,25 +178,47 @@ def _round_float(value: float) -> float:
         return math.copysign(float("inf"), value)
 
 
+def _intr_sqrt(x):
+    return math.sqrt(x) if x >= 0 else float("nan")
+
+
+def _intr_floor(x):
+    # Java Math.floor maps +-inf and NaN to themselves (math.floor
+    # raises) and preserves signed zero, e.g. floor(-0.0) == -0.0
+    if not math.isfinite(x):
+        return x
+    r = float(math.floor(x))
+    return math.copysign(r, x) if r == 0.0 else r
+
+
+def _intr_ceil(x):
+    # ceil(-0.5) is -0.0 in Java/C; int-based math.ceil gives +0.0
+    if not math.isfinite(x):
+        return x
+    r = float(math.ceil(x))
+    return math.copysign(r, x) if r == 0.0 else r
+
+
+def _intr_sin(x):
+    # Java: sin/cos/tan of an infinity is NaN; math.sin raises instead
+    return math.sin(x) if not math.isinf(x) else float("nan")
+
+
+def _intr_cos(x):
+    return math.cos(x) if not math.isinf(x) else float("nan")
+
+
+def _intr_tan(x):
+    return math.tan(x) if not math.isinf(x) else float("nan")
+
+
+def _intr_log(x):
+    return math.log(x) if x > 0 else (float("-inf") if x == 0 else float("nan"))
+
+
 def intrinsic(name: str, args, jtype: JType):
     """Evaluate a ``Math.*`` intrinsic."""
-    fns = {
-        "Math.sqrt": lambda x: math.sqrt(x) if x >= 0 else float("nan"),
-        "Math.exp": _safe_exp,
-        "Math.log": lambda x: math.log(x) if x > 0 else (
-            float("-inf") if x == 0 else float("nan")
-        ),
-        "Math.pow": _safe_pow,
-        "Math.abs": abs,
-        "Math.min": min,
-        "Math.max": max,
-        "Math.floor": math.floor,
-        "Math.ceil": math.ceil,
-        "Math.sin": math.sin,
-        "Math.cos": math.cos,
-        "Math.tan": math.tan,
-    }
-    result = fns[name](*args)
+    result = INTRINSIC_FNS[name](*args)
     if jtype is JType.FLOAT:
         return _round_float(float(result))
     if jtype is JType.DOUBLE:
@@ -210,6 +240,25 @@ def _safe_pow(x: float, y: float) -> float:
         if x < 0:
             return float("nan")
         return float("inf")
+
+
+#: Intrinsic evaluators, hoisted to module level so compiled kernel tiers
+#: (the generated-source backend) can pre-bind them instead of paying a
+#: dict build per call.
+INTRINSIC_FNS = {
+    "Math.sqrt": _intr_sqrt,
+    "Math.exp": _safe_exp,
+    "Math.log": _intr_log,
+    "Math.pow": _safe_pow,
+    "Math.abs": abs,
+    "Math.min": min,
+    "Math.max": max,
+    "Math.floor": _intr_floor,
+    "Math.ceil": _intr_ceil,
+    "Math.sin": _intr_sin,
+    "Math.cos": _intr_cos,
+    "Math.tan": _intr_tan,
+}
 
 
 def default_value(jtype: JType):

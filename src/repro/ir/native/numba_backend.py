@@ -1,0 +1,113 @@
+"""Optional numba acceleration layer for the direct flavor.
+
+Everything here is defensive: numba is an *optional* dependency and this
+module must degrade to a silent no-op when it is absent or when any
+compile/typing step fails.  ``available()`` gates the tier; a one-time
+self-test compiles a tiny kernel and verifies it against the interpreter
+before the tier is ever trusted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..instructions import IRFunction
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba  # noqa: F401
+
+    _HAVE_NUMBA = True
+except Exception:  # pragma: no cover - the common (absent) case
+    numba = None
+    _HAVE_NUMBA = False
+
+_SELFTEST: Optional[bool] = None
+
+
+class NumbaFallback(Exception):
+    """This call (or this kernel, if ``permanent``) must use a lower tier."""
+
+    def __init__(self, reason: str, permanent: bool = False):
+        super().__init__(reason)
+        self.permanent = permanent
+
+
+def available() -> bool:
+    """True when numba imports and passes the one-time self-test."""
+    global _SELFTEST
+    if not _HAVE_NUMBA:
+        return False
+    if _SELFTEST is None:
+        try:
+            _SELFTEST = _selftest()
+        except Exception:  # pragma: no cover - defensive
+            _SELFTEST = False
+    return _SELFTEST
+
+
+def compile_kernel(fn: IRFunction, fuel: int):  # pragma: no cover
+    """A :class:`NumbaKernel` for ``fn``, or None when lowering fails."""
+    if not available():
+        return None
+    try:
+        from ._numba_codegen import NumbaKernel
+
+        return NumbaKernel(fn, fuel)
+    except Exception:
+        return None
+
+
+def _selftest() -> bool:  # pragma: no cover - needs numba installed
+    """Compile one tiny branchy kernel and verify vs the interpreter."""
+    import numpy as np
+
+    from ..builder import IRBuilder
+    from ..instructions import JType
+    from ..interpreter import (
+        ArrayStorage,
+        CompiledKernel,
+        DirectBackend,
+        N_COUNTERS,
+    )
+    from ._numba_codegen import NumbaKernel
+
+    b = IRBuilder("numba_selftest")
+    i = b.declare_index("i")
+    b.declare_array("a", JType.INT, 1)
+    then_b = b.new_block("then")
+    else_b = b.new_block("else")
+    done = b.new_block("done")
+    v = b.load("a", (i,), JType.INT)
+    two = b.const(2, JType.INT)
+    cond = b.bin("%", v, two, JType.INT)
+    is_odd = b.bin("==", cond, b.const(1, JType.INT), JType.BOOL)
+    b.cbr(is_odd, then_b, else_b)
+    b.set_insert(then_b)
+    b.store("a", (i,), b.bin("*", v, two, JType.INT))
+    b.br(done)
+    b.set_insert(else_b)
+    b.store("a", (i,), b.bin("+", v, b.const(7, JType.INT), JType.INT))
+    b.br(done)
+    b.set_insert(done)
+    b.ret()
+    fn = b.finish()
+
+    base = np.arange(-8, 8, dtype=np.int32)
+    ref = ArrayStorage({"a": base.copy()})
+    kern = CompiledKernel(fn)
+    backend = DirectBackend(ref)
+    for k in range(base.size):
+        kern.run_index(k, {}, backend)
+    want = kern.take_counts()
+
+    got_storage = ArrayStorage({"a": base.copy()})
+    raw = [0] * N_COUNTERS
+    per_lane: list[int] = []
+    nk = NumbaKernel(fn, 200_000_000)
+    nk.run(list(range(base.size)), {}, got_storage, raw, per_lane)
+    from ..interpreter import Counts
+
+    return (
+        np.array_equal(ref.arrays["a"], got_storage.arrays["a"])
+        and Counts.from_raw(raw) == want
+    )

@@ -178,7 +178,11 @@ def _vbinop(op: str, a, b, jt: JType):
             if op == "/":
                 return np.divide(a, b)
             if op == "%":
-                return np.fmod(a, b)
+                # numpy's fmod yields -NaN for inf % y and x % 0; the
+                # interpreter (java_ops._frem) substitutes +NaN
+                r = np.fmod(a, b)
+                bad = np.isinf(a) | (b == 0)
+                return np.where(bad, np.nan, r) if np.any(bad) else r
         raise JaponicaError(f"bad float op {op!r}")
     # integral, Java wrap semantics (numpy ints wrap modularly)
     bits = 32 if jt is JType.INT else 64

@@ -126,12 +126,23 @@ def steal_summary(metrics, timelines: Sequence) -> dict:
     }
 
 
+#: Host-plane observability excluded from the report: the RunReport
+#: describes the *simulated* run, and which engine tier executed a
+#: kernel (or how long its host compile took in wall seconds) is not
+#: simulated behavior — equal simulations must render equal reports
+#: whether the native backend is on or off.
+_HOST_PLANE_METRIC_PREFIXES = ("kernel.",)
+_HOST_PLANE_SPAN_CATEGORIES = frozenset({"kernel"})
+
+
 def phase_summary(tracer) -> dict:
     """Pipeline span roll-up by category (counts + simulated seconds)."""
     if tracer is None:
         return {}
     out: dict[str, dict] = {}
     for sp in tracer.finished_spans():
+        if sp.category in _HOST_PLANE_SPAN_CATEGORIES:
+            continue
         row = out.setdefault(sp.category, {"count": 0, "sim_s": 0.0})
         row["count"] += 1
         if sp.sim_start_s is not None and sp.sim_end_s is not None:
@@ -168,7 +179,15 @@ def analyze_run(
     if sim_time_s is not None:
         section["sim_time_s"] = sim_time_s
     if metrics is not None:
-        section["metrics"] = metrics.to_dict()
+        doc = metrics.to_dict()
+        section["metrics"] = {
+            kind: {
+                name: v
+                for name, v in rows.items()
+                if not name.startswith(_HOST_PLANE_METRIC_PREFIXES)
+            }
+            for kind, rows in doc.items()
+        }
     return section
 
 

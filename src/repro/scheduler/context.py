@@ -11,6 +11,7 @@ from ..faults.resilience import FaultRuntime
 from ..gpusim.device import GpuDevice
 from ..gpusim.pool import DevicePool
 from ..ir.interpreter import ArrayStorage
+from ..ir.native import KernelDispatcher
 from ..obs.metrics import NULL_INSTRUMENTATION, Instrumentation
 from ..obs.tracer import PHASE_PROFILE
 from ..profiler.report import DEFAULT_DD_THRESHOLD, DependencyProfile
@@ -50,6 +51,15 @@ class JaponicaConfig:
     link_scale: float = 1.0
     #: simulated GPUs in the device pool (1 = the seed single-GPU path)
     devices: int = 1
+    #: tiered native kernel backend: promote hot kernels from the
+    #: interpreter to generated type-specialized source (and numba where
+    #: importable).  Semantics are bit-identical by construction; turn
+    #: off to force the interpreter everywhere.
+    native: bool = True
+    #: run every native launch twice — native on scratch storage, the
+    #: interpreter on the real storage — and raise NativeMismatch on any
+    #: divergence (arrays, counters, per-lane fuel, lane states)
+    native_crosscheck: bool = False
 
 
 class ExecutionContext:
@@ -82,8 +92,17 @@ class ExecutionContext:
         # one Instrumentation bundle likewise shared by every component;
         # the default is the no-op plane (zero overhead, no state)
         self.obs = obs or NULL_INSTRUMENTATION
+        # one kernel dispatcher shared by every executor of the context:
+        # devices and CPU hit the same process-wide compile cache, so an
+        # N-device pool compiles each kernel once, not N times
+        self.kernels = KernelDispatcher(
+            obs=self.obs,
+            native=self.config.native,
+            crosscheck=self.config.native_crosscheck,
+        )
         self.device = GpuDevice(
-            self.platform.gpu, self.cost, faults=self.faults, obs=self.obs
+            self.platform.gpu, self.cost, faults=self.faults, obs=self.obs,
+            kernels=self.kernels,
         )
         # the pool wraps the primary device; pool size 1 adds no devices
         # and no behaviour, so the seed single-GPU path is untouched
@@ -94,9 +113,11 @@ class ExecutionContext:
             size=max(1, self.config.devices),
             faults=self.faults,
             obs=self.obs,
+            kernels=self.kernels,
         )
         self.cpu = CpuExecutor(
-            self.platform.cpu, self.cost, faults=self.faults, obs=self.obs
+            self.platform.cpu, self.cost, faults=self.faults, obs=self.obs,
+            kernels=self.kernels,
         )
         self.profiles: dict[str, DependencyProfile] = {}
         # optional wall-clock budget of the current request (serve plane);
@@ -114,7 +135,11 @@ class ExecutionContext:
             self.config.byte_scale,
             self.config.iter_scale,
             self.config.link_scale,
-        ) + ((pool_sig,) if pool_sig is not None else ()))
+        ) + ((pool_sig,) if pool_sig is not None else ())
+          # the execution tier is part of the signature: artifacts
+          # produced by the native backend never serve an interpreter-only
+          # run (and vice versa), even though both are bit-identical
+          + (("native-v1",) if self.config.native else ()))
 
     @property
     def scheduler_seed(self) -> int:

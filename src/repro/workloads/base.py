@@ -80,7 +80,13 @@ class Workload:
         return fmt_class(cls)
 
     def make_context(
-        self, paper_scale: bool = True, obs=None, cache=None, devices: int = 1
+        self,
+        paper_scale: bool = True,
+        obs=None,
+        cache=None,
+        devices: int = 1,
+        native: bool = True,
+        native_crosscheck: bool = False,
     ):
         """Execution context with this workload's calibration applied."""
         from dataclasses import replace
@@ -93,7 +99,11 @@ class Workload:
             platform = platform.with_(
                 cpu=replace(platform.cpu, java_efficiency=self.java_efficiency)
             )
-        config = JaponicaConfig(devices=devices)
+        config = JaponicaConfig(
+            devices=devices,
+            native=native,
+            native_crosscheck=native_crosscheck,
+        )
         if paper_scale:
             config.work_scale = self.work_scale
             config.byte_scale = self.byte_scale
@@ -114,6 +124,8 @@ class Workload:
         fault_seed: int = 0,
         cache=None,
         devices: int = 1,
+        native: bool = True,
+        native_crosscheck: bool = False,
         **overrides,
     ) -> ProgramResult:
         """Execute under a strategy.
@@ -129,7 +141,10 @@ class Workload:
         ctx = (
             context
             if context is not None
-            else self.make_context(paper_scale, cache=cache, devices=devices)
+            else self.make_context(
+                paper_scale, cache=cache, devices=devices,
+                native=native, native_crosscheck=native_crosscheck,
+            )
         )
         return program.run(
             self.method,

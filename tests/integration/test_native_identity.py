@@ -1,0 +1,104 @@
+"""Native-backend acceptance: the tier is an implementation detail.
+
+Differential oracles over all Table-II workloads (ISSUE 8 tentpole
+acceptance):
+
+* **Identity** — running with the native backend enabled must change
+  *nothing* observable about the simulated run: insight reports
+  (critical paths, metrics, phase roll-up) byte-identical to the
+  interpreter path at 1 and 4 devices, bit-identical arrays, equal
+  scalars.
+
+* **Crosscheck** — ``native_crosscheck=True`` runs every launch through
+  both the native tier and the interpreter oracle and raises
+  :class:`NativeMismatch` on any divergence; a clean pass over every
+  workload is the strongest end-to-end guarantee the backend has.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import Japonica
+from repro.workloads import ALL_WORKLOADS
+
+DEVICE_COUNTS = (1, 4)
+
+
+def insight_doc(workload, native: bool, devices: int) -> tuple[str, object]:
+    """Run once traced and render the insight report deterministically."""
+    from repro.obs import Instrumentation
+    from repro.obs.insight import analyze_run, run_report
+
+    obs = Instrumentation.recording()
+    program = Japonica(obs=obs).compile(workload.source)
+    binds = workload.bindings()
+    result = program.run(
+        workload.method,
+        strategy="japonica",
+        scheme=workload.scheme,
+        context=workload.make_context(obs=obs, devices=devices, native=native),
+        **binds,
+    )
+    timelines = [
+        (f"japonica:{lid}", res.timeline)
+        for lid, res in result.loop_results
+        if res.timeline is not None
+    ]
+    section = analyze_run(
+        timelines, metrics=obs.metrics, tracer=obs.tracer,
+        sim_time_s=result.sim_time_s,
+    )
+    report = run_report({workload.name: section}, meta={"devices": devices})
+    return json.dumps(report, indent=1, sort_keys=True), result
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+def test_native_backend_is_identity_on_insight_report(workload):
+    for devices in DEVICE_COUNTS:
+        doc_interp, r_interp = insight_doc(
+            workload, native=False, devices=devices
+        )
+        doc_native, r_native = insight_doc(
+            workload, native=True, devices=devices
+        )
+        assert doc_interp == doc_native, (
+            f"{workload.name}: the native backend changed the insight "
+            f"report at devices={devices}"
+        )
+        assert r_interp.scalars == r_native.scalars
+        for name, arr in r_interp.arrays.items():
+            native_arr = r_native.arrays[name]
+            assert native_arr.dtype == arr.dtype, (devices, name)
+            assert arr.tobytes() == native_arr.tobytes(), (devices, name)
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+def test_native_crosscheck_clean(workload):
+    """The interpreter oracle agrees with the native tier launch by
+    launch; any divergence would raise NativeMismatch here."""
+    result = workload.run("japonica", native_crosscheck=True)
+    binds = workload.bindings()
+    workload.verify(result, binds)
+
+
+def test_native_kwarg_on_api():
+    """Japonica(native=...) reaches the context the program builds."""
+    from repro.workloads import get
+
+    w = get("VectorAdd")
+    binds = w.bindings()
+    results = []
+    for native in (False, True):
+        program = Japonica(native=native).compile(w.source)
+        results.append(
+            program.run(
+                w.method, strategy="japonica", scheme=w.scheme, **binds
+            )
+        )
+    assert results[0].sim_time_s == results[1].sim_time_s
+    for name, arr in results[0].arrays.items():
+        assert np.array_equal(results[1].arrays[name], arr, equal_nan=True)
