@@ -11,6 +11,7 @@ over functional CPU/GPU simulators with a calibrated performance model.
 
 from .api import CompiledProgram, Japonica, ProgramResult, STRATEGIES
 from .errors import JaponicaError
+from .frontend.pyjit import JitFunction, LiftReport, jit
 from .runtime.platform import Platform, paper_platform, symmetric_platform
 from .scheduler.context import ExecutionContext, JaponicaConfig
 
@@ -22,9 +23,12 @@ __all__ = [
     "Japonica",
     "JaponicaConfig",
     "JaponicaError",
+    "JitFunction",
+    "LiftReport",
     "Platform",
     "ProgramResult",
     "STRATEGIES",
+    "jit",
     "paper_platform",
     "symmetric_platform",
     "__version__",

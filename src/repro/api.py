@@ -255,6 +255,12 @@ class CompiledProgram:
                 raise JaponicaError("annotated loop missing from translation")
             ctx.check_deadline(f"execute:{tl.id}")
             env = loop_env()
+            if tl.analysis.info.trip_count(env) <= 0:
+                # zero-trip loop: nothing to schedule, and the inferred
+                # copy sections (e.g. a[0:n-1] with n == 0) would be
+                # empty/negative — skip before evaluating them
+                ctx.obs.metrics.counter("scheduler.zero_trip").inc()
+                return 0
             if strategy == "japonica" and use_scheme == "stealing":
                 run_loops = [tl]
                 consumed = 0
@@ -441,6 +447,32 @@ class Japonica:
             obs=self.obs,
             cache=self.cache,
             inference=report,
+        )
+
+    def jit(
+        self,
+        fn=None,
+        *,
+        strategy: str = "japonica",
+        scheme: Optional[str] = None,
+        devices: Optional[int] = None,
+        enabled: bool = True,
+    ):
+        """``@engine.jit``: lift a Python function onto this instance.
+
+        Same contract as the module-level :func:`repro.jit`, but the
+        lifted program compiles and runs with this engine's platform,
+        config, observability, and artifact cache.
+        """
+        from .frontend.pyjit import jit as _jit
+
+        return _jit(
+            fn,
+            japonica=self,
+            strategy=strategy,
+            scheme=scheme,
+            devices=devices,
+            enabled=enabled,
         )
 
     def compile_class(self, cls: ClassDecl) -> CompiledProgram:

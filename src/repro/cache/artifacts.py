@@ -196,6 +196,25 @@ def unit_key(source: str, cpu_threads: int, infer: bool = False) -> str:
     return "unit-" + h.hexdigest()
 
 
+def jit_unit_key(
+    code_fingerprint: str, signature: str, cpu_threads: int
+) -> str:
+    """Cache key of a translation unit lifted from CPython bytecode.
+
+    ``code_fingerprint`` must already include the Python version tag —
+    the same source file compiles to different bytecode across 3.10–3.12,
+    so a version upgrade must miss rather than replay a stale lift.
+    ``signature`` is the call-site type signature the unit was
+    specialized against.
+    """
+    h = hashlib.sha256()
+    h.update(f"jit/{CACHE_SCHEMA}/{cpu_threads}\n".encode())
+    h.update(code_fingerprint.encode())
+    h.update(b"\n")
+    h.update(signature.encode())
+    return "jit-" + h.hexdigest()
+
+
 def profile_key(
     fn,
     sample_indices: Sequence[int],

@@ -62,7 +62,85 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _run_jit_file(args) -> int:
+    """``run --jit FILE``: drive a @repro.jit example module.
+
+    The module convention: decorated functions at module top level plus
+    ``make_inputs(n, seed)`` returning ``{function_name: args_tuple}``.
+    Every function runs once jitted and once as the plain Python
+    original on an identical fresh input set; the two must agree
+    bitwise (arrays and return value) unless --no-verify.
+    """
+    import importlib.util
+    import os
+
+    import numpy as np
+
+    from .frontend.pyjit import JitFunction
+
+    path = args.workload
+    if not os.path.exists(path):
+        print(f"no such file: {path}", file=sys.stderr)
+        return EXIT_USAGE
+    name = os.path.splitext(os.path.basename(path))[0]
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    try:
+        spec.loader.exec_module(module)
+    except Exception as exc:
+        print(f"cannot import {path}: {exc}", file=sys.stderr)
+        return EXIT_FRONTEND
+    make_inputs = getattr(module, "make_inputs", None)
+    if make_inputs is None:
+        print(f"{path} defines no make_inputs(n, seed)", file=sys.stderr)
+        return EXIT_USAGE
+    inputs = make_inputs(n=args.n, seed=args.seed)
+    failed = False
+    fallbacks = 0
+    for fname, fargs in inputs.items():
+        fn = getattr(module, fname, None)
+        if not isinstance(fn, JitFunction):
+            print(f"{fname}: not a @repro.jit function", file=sys.stderr)
+            return EXIT_USAGE
+        if args.devices != 1:
+            fn._devices = args.devices
+        if args.scheme:
+            fn._scheme = args.scheme
+        ret = fn(*fargs)
+        rep = fn.last_report
+        status = ""
+        if args.verify:
+            oracle_args = tuple(
+                a.copy() if isinstance(a, np.ndarray) else a
+                for a in make_inputs(n=args.n, seed=args.seed)[fname]
+            )
+            oracle_ret = fn.__wrapped__(*oracle_args)
+            arrays_eq = all(
+                np.array_equal(a.view(np.uint8), b.view(np.uint8))
+                for a, b in zip(fargs, oracle_args)
+                if isinstance(a, np.ndarray)
+            )
+            ret_eq = ret == oracle_ret or (ret is None and oracle_ret is None)
+            status = "verified" if arrays_eq and ret_eq else "MISMATCH"
+            failed = failed or status == "MISMATCH"
+        if rep.lifted:
+            detail = f"loops={rep.loops_annotated}/{rep.loops_total}"
+        else:
+            fallbacks += 1
+            detail = f"fallback reason={rep.reason}"
+        print(f"{fname}: lifted={rep.lifted} {detail} {status}".rstrip())
+    if failed:
+        return EXIT_ERROR
+    if args.require_lift and fallbacks:
+        print(f"{fallbacks} function(s) fell back to plain Python",
+              file=sys.stderr)
+        return EXIT_FRONTEND
+    return EXIT_OK
+
+
 def _cmd_run(args) -> int:
+    if args.jit:
+        return _run_jit_file(args)
     from .workloads import get
 
     try:
@@ -532,6 +610,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="infer acc directives for bare loops at compile time "
              "(hand-annotated loops are left untouched, so annotated "
              "sources run identically)",
+    )
+    run_p.add_argument(
+        "--jit", action="store_true",
+        help="WORKLOAD is a Python file using @repro.jit; run each "
+             "decorated function on its make_inputs(n, seed) arguments, "
+             "print the lift report, and verify bitwise against the "
+             "undecorated function",
+    )
+    run_p.add_argument(
+        "--require-lift", action="store_true",
+        help="with --jit: fail (exit 3) if any decorated function falls "
+             "back to plain Python instead of lifting",
     )
     run_p.add_argument(
         "--devices", type=int, default=1, metavar="N",

@@ -1,0 +1,7 @@
+"""Alternative frontends that feed the mini-Java middle-end.
+
+The classic frontend is the mini-Java parser in ``repro.lang``; packages
+under here lift other program representations (CPython bytecode, for
+now) into the same typed AST so classify -> infer -> profile -> schedule
+run unchanged.
+"""

@@ -1,0 +1,30 @@
+"""``@repro.jit``: lift plain Python functions into the Japonica pipeline.
+
+The decorator disassembles a function's code object, recovers structured
+control flow from the stack-machine bytecode, and emits a synthetic
+mini-Java class that flows through annotation inference, translation,
+profiling and scheduling exactly like hand-written source.  Anything the
+lifter cannot prove equivalent falls back to the original Python
+function with a structured :class:`LiftReport` reason.
+"""
+
+from .bytecode import (
+    SUPPORTED_BY_VERSION,
+    python_version_tag,
+    supported_opnames,
+)
+from .errors import FALLBACK_REASONS, LiftError
+from .jit import JitFunction, LiftReport, jit
+from .lifter import lift_function
+
+__all__ = [
+    "FALLBACK_REASONS",
+    "JitFunction",
+    "LiftError",
+    "LiftReport",
+    "SUPPORTED_BY_VERSION",
+    "jit",
+    "lift_function",
+    "python_version_tag",
+    "supported_opnames",
+]

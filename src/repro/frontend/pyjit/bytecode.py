@@ -1,0 +1,340 @@
+"""Version-normalized view of CPython bytecode (3.10 / 3.11 / 3.12).
+
+The lifter never looks at raw opnames: this module rewrites each
+supported interpreter's instruction stream into one small canonical
+vocabulary (NInstr) so the structural decompiler in ``lifter.py`` is
+version-independent.  The per-version supported-opcode tables double as
+the committed coverage fixture (`tests/fixtures/jit_opcodes.json`) —
+bytecode drift on a Python upgrade fails the drift gate instead of
+miscompiling.
+"""
+
+from __future__ import annotations
+
+import dis
+import sys
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from .errors import LiftError
+
+#: Interpreter versions whose bytecode shapes the lifter understands.
+SUPPORTED_VERSIONS = ("3.10", "3.11", "3.12")
+
+
+def python_version_tag() -> str:
+    """``"3.11"``-style tag for the running interpreter."""
+    return f"{sys.version_info[0]}.{sys.version_info[1]}"
+
+
+# --------------------------------------------------------------------------
+# Canonical instruction model
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class NInstr:
+    """One canonical instruction.
+
+    op is one of: LOAD_CONST LOAD_FAST STORE_FAST LOAD_GLOBAL LOAD_ATTR
+    BINOP UNARY COMPARE SUBSCR STORE_SUBSCR BUILD_TUPLE GET_ITER
+    FOR_ITER JUMP PJIF PJIT CALL RETURN POP_TOP COPY SWAP ROT NOP
+    END_FOR.
+
+    ``arg`` meaning by op: operator symbol (BINOP/UNARY/COMPARE), name
+    (loads/stores), element/argument count (BUILD_TUPLE/CALL), depth
+    (COPY/SWAP/ROT), constant value (LOAD_CONST, RETURN with inline
+    const).  ``target`` is a bytecode offset for jumps/FOR_ITER.
+    ``flag`` is True when a LOAD_GLOBAL/LOAD_ATTR also pushes a NULL
+    (3.11+ call convention) and when a CALL must pop that NULL pad.
+    """
+
+    op: str
+    arg: object = None
+    target: Optional[int] = None
+    flag: bool = False
+    offset: int = 0
+    lineno: Optional[int] = None
+
+
+#: NB_* numeric codes of BINARY_OP (3.11+) -> operator symbol.  The
+#: inplace variants are the same table shifted by 13.
+_NB_SYMBOL = {
+    0: "+", 1: "&", 2: "//", 3: "<<", 4: "@", 5: "*", 6: "%",
+    7: "|", 8: "**", 9: ">>", 10: "-", 11: "/", 12: "^",
+}
+
+#: 3.10 dedicated binary/inplace opcodes -> operator symbol.
+_LEGACY_BINOP = {
+    "BINARY_ADD": "+", "BINARY_SUBTRACT": "-", "BINARY_MULTIPLY": "*",
+    "BINARY_TRUE_DIVIDE": "/", "BINARY_FLOOR_DIVIDE": "//",
+    "BINARY_MODULO": "%", "BINARY_POWER": "**", "BINARY_LSHIFT": "<<",
+    "BINARY_RSHIFT": ">>", "BINARY_AND": "&", "BINARY_OR": "|",
+    "BINARY_XOR": "^", "BINARY_MATRIX_MULTIPLY": "@",
+    "INPLACE_ADD": "+", "INPLACE_SUBTRACT": "-", "INPLACE_MULTIPLY": "*",
+    "INPLACE_TRUE_DIVIDE": "/", "INPLACE_FLOOR_DIVIDE": "//",
+    "INPLACE_MODULO": "%", "INPLACE_POWER": "**", "INPLACE_LSHIFT": "<<",
+    "INPLACE_RSHIFT": ">>", "INPLACE_AND": "&", "INPLACE_OR": "|",
+    "INPLACE_XOR": "^", "INPLACE_MATRIX_MULTIPLY": "@",
+}
+
+_UNARY = {
+    "UNARY_NEGATIVE": "-", "UNARY_NOT": "!", "UNARY_INVERT": "~",
+    "UNARY_POSITIVE": "+",
+}
+
+#: Exact raw opnames each interpreter may emit for liftable functions.
+#: This is the committed coverage surface: anything outside the running
+#: version's set is an `unsupported-opcode` fallback, and the fixture
+#: drift gate pins these sets byte-for-byte.
+SUPPORTED_BY_VERSION: Dict[str, Tuple[str, ...]] = {
+    "3.10": tuple(sorted(
+        {
+            "LOAD_CONST", "LOAD_FAST", "STORE_FAST", "LOAD_GLOBAL",
+            "LOAD_ATTR", "LOAD_METHOD", "CALL_FUNCTION", "CALL_METHOD",
+            "COMPARE_OP", "BINARY_SUBSCR", "STORE_SUBSCR", "BUILD_TUPLE",
+            "GET_ITER", "FOR_ITER", "JUMP_FORWARD", "JUMP_ABSOLUTE",
+            "POP_JUMP_IF_FALSE", "POP_JUMP_IF_TRUE", "RETURN_VALUE",
+            "POP_TOP", "NOP", "DUP_TOP", "DUP_TOP_TWO", "ROT_TWO",
+            "ROT_THREE", "ROT_FOUR",
+            "UNARY_NEGATIVE", "UNARY_POSITIVE", "UNARY_NOT",
+            "UNARY_INVERT",
+        }
+        | set(_LEGACY_BINOP)
+    )),
+    "3.11": tuple(sorted({
+        "RESUME", "PUSH_NULL", "PRECALL", "CALL",
+        "LOAD_CONST", "LOAD_FAST", "STORE_FAST", "LOAD_GLOBAL",
+        "LOAD_ATTR", "LOAD_METHOD", "BINARY_OP", "COMPARE_OP",
+        "UNARY_NEGATIVE", "UNARY_POSITIVE", "UNARY_NOT", "UNARY_INVERT",
+        "BINARY_SUBSCR", "STORE_SUBSCR", "BUILD_TUPLE", "GET_ITER",
+        "FOR_ITER", "JUMP_FORWARD", "JUMP_BACKWARD",
+        "JUMP_BACKWARD_NO_INTERRUPT",
+        "POP_JUMP_FORWARD_IF_FALSE", "POP_JUMP_FORWARD_IF_TRUE",
+        "POP_JUMP_BACKWARD_IF_FALSE", "POP_JUMP_BACKWARD_IF_TRUE",
+        "RETURN_VALUE", "POP_TOP", "NOP", "COPY", "SWAP", "CACHE",
+    })),
+    "3.12": tuple(sorted({
+        "RESUME", "PUSH_NULL", "CALL",
+        "LOAD_CONST", "LOAD_FAST", "LOAD_FAST_CHECK",
+        "LOAD_FAST_AND_CLEAR", "STORE_FAST", "LOAD_GLOBAL", "LOAD_ATTR",
+        "BINARY_OP", "COMPARE_OP",
+        "UNARY_NEGATIVE", "UNARY_NOT", "UNARY_INVERT",
+        "CALL_INTRINSIC_1",
+        "BINARY_SUBSCR", "STORE_SUBSCR", "BUILD_TUPLE", "GET_ITER",
+        "FOR_ITER", "END_FOR", "JUMP_FORWARD", "JUMP_BACKWARD",
+        "JUMP_BACKWARD_NO_INTERRUPT",
+        "POP_JUMP_IF_FALSE", "POP_JUMP_IF_TRUE",
+        "RETURN_VALUE", "RETURN_CONST", "POP_TOP", "NOP", "COPY",
+        "SWAP", "CACHE",
+    })),
+}
+
+
+def supported_opnames(version: Optional[str] = None) -> Tuple[str, ...]:
+    """Supported raw opnames for ``version`` (default: running one)."""
+    tag = version or python_version_tag()
+    if tag not in SUPPORTED_BY_VERSION:
+        raise LiftError("python-version", f"Python {tag} bytecode is not supported")
+    return SUPPORTED_BY_VERSION[tag]
+
+
+#: Raw opnames dropped during normalization (no stack/control effect we
+#: model; CACHE entries are already hidden by dis).
+_DROP = {"RESUME", "PRECALL", "CACHE", "NOP"}
+
+#: Unconditional jumps by version (direction normalized via offsets).
+_UNCOND_JUMPS = {
+    "JUMP_FORWARD", "JUMP_ABSOLUTE", "JUMP_BACKWARD",
+    "JUMP_BACKWARD_NO_INTERRUPT",
+}
+
+_COND_FALSE = {
+    "POP_JUMP_IF_FALSE", "POP_JUMP_FORWARD_IF_FALSE",
+    "POP_JUMP_BACKWARD_IF_FALSE",
+}
+_COND_TRUE = {
+    "POP_JUMP_IF_TRUE", "POP_JUMP_FORWARD_IF_TRUE",
+    "POP_JUMP_BACKWARD_IF_TRUE",
+}
+
+#: CALL_INTRINSIC_1 operand for INTRINSIC_UNARY_POSITIVE (3.12).
+_INTRINSIC_UNARY_POSITIVE = 5
+
+
+def normalize(code, version: Optional[str] = None) -> List[NInstr]:
+    """Disassemble ``code`` and rewrite it into canonical NInstr form.
+
+    Raises LiftError("unsupported-opcode") on any raw opname outside the
+    version's supported set, LiftError("python-version") off-matrix.
+    """
+    tag = version or python_version_tag()
+    allowed = set(supported_opnames(tag))
+    out: List[NInstr] = []
+    pending_null = 0  # PUSH_NULL instructions awaiting their load
+
+    for ins in dis.get_instructions(code):
+        name = ins.opname
+        if name not in allowed:
+            raise LiftError("unsupported-opcode", f"{name} (offset {ins.offset})")
+        if name in _DROP:
+            continue
+        off, line = ins.offset, ins.starts_line
+        if name == "PUSH_NULL":
+            pending_null += 1
+            continue
+
+        if name == "LOAD_CONST":
+            out.append(NInstr("LOAD_CONST", ins.argval, offset=off, lineno=line))
+        elif name in ("LOAD_FAST", "LOAD_FAST_CHECK", "LOAD_FAST_AND_CLEAR"):
+            out.append(NInstr("LOAD_FAST", ins.argval, offset=off, lineno=line))
+        elif name == "STORE_FAST":
+            out.append(NInstr("STORE_FAST", ins.argval, offset=off, lineno=line))
+        elif name == "LOAD_GLOBAL":
+            null = pending_null > 0
+            if null:
+                pending_null -= 1
+            if tag in ("3.11", "3.12") and ins.arg is not None and ins.arg & 1:
+                null = True
+            out.append(NInstr("LOAD_GLOBAL", ins.argval, flag=null,
+                              offset=off, lineno=line))
+        elif name == "LOAD_METHOD":
+            out.append(NInstr("LOAD_ATTR", ins.argval, flag=True,
+                              offset=off, lineno=line))
+        elif name == "LOAD_ATTR":
+            null = bool(tag == "3.12" and ins.arg is not None and ins.arg & 1)
+            out.append(NInstr("LOAD_ATTR", ins.argval, flag=null,
+                              offset=off, lineno=line))
+        elif name == "BINARY_OP":
+            nb = ins.arg if ins.arg < 13 else ins.arg - 13
+            sym = _NB_SYMBOL.get(nb)
+            if sym is None or sym == "@":
+                raise LiftError("unsupported-opcode", f"BINARY_OP {ins.argrepr}")
+            out.append(NInstr("BINOP", sym, offset=off, lineno=line))
+        elif name in _LEGACY_BINOP:
+            sym = _LEGACY_BINOP[name]
+            if sym == "@":
+                raise LiftError("unsupported-opcode", name)
+            out.append(NInstr("BINOP", sym, offset=off, lineno=line))
+        elif name in _UNARY:
+            out.append(NInstr("UNARY", _UNARY[name], offset=off, lineno=line))
+        elif name == "CALL_INTRINSIC_1":
+            if ins.arg == _INTRINSIC_UNARY_POSITIVE:
+                out.append(NInstr("UNARY", "+", offset=off, lineno=line))
+            else:
+                raise LiftError("unsupported-opcode",
+                                f"CALL_INTRINSIC_1 {ins.argrepr}")
+        elif name == "COMPARE_OP":
+            sym = ins.argval
+            if not isinstance(sym, str):
+                sym = str(ins.argrepr)
+            if sym not in ("<", "<=", ">", ">=", "==", "!="):
+                raise LiftError("unsupported-opcode", f"COMPARE_OP {sym}")
+            out.append(NInstr("COMPARE", sym, offset=off, lineno=line))
+        elif name == "BINARY_SUBSCR":
+            out.append(NInstr("SUBSCR", offset=off, lineno=line))
+        elif name == "STORE_SUBSCR":
+            out.append(NInstr("STORE_SUBSCR", offset=off, lineno=line))
+        elif name == "BUILD_TUPLE":
+            out.append(NInstr("BUILD_TUPLE", ins.arg, offset=off, lineno=line))
+        elif name == "GET_ITER":
+            out.append(NInstr("GET_ITER", offset=off, lineno=line))
+        elif name == "FOR_ITER":
+            out.append(NInstr("FOR_ITER", target=ins.argval,
+                              offset=off, lineno=line))
+        elif name == "END_FOR":
+            out.append(NInstr("END_FOR", offset=off, lineno=line))
+        elif name in _UNCOND_JUMPS:
+            out.append(NInstr("JUMP", target=ins.argval, offset=off, lineno=line))
+        elif name in _COND_FALSE:
+            out.append(NInstr("PJIF", target=ins.argval, offset=off, lineno=line))
+        elif name in _COND_TRUE:
+            out.append(NInstr("PJIT", target=ins.argval, offset=off, lineno=line))
+        elif name in ("CALL_FUNCTION", "CALL", "CALL_METHOD"):
+            pad = name in ("CALL", "CALL_METHOD")
+            out.append(NInstr("CALL", ins.arg, flag=pad, offset=off, lineno=line))
+        elif name == "RETURN_VALUE":
+            out.append(NInstr("RETURN", offset=off, lineno=line))
+        elif name == "RETURN_CONST":
+            out.append(NInstr("LOAD_CONST", ins.argval, offset=off, lineno=line))
+            out.append(NInstr("RETURN", offset=off, lineno=line))
+        elif name == "POP_TOP":
+            out.append(NInstr("POP_TOP", offset=off, lineno=line))
+        elif name == "COPY":
+            out.append(NInstr("COPY", ins.arg, offset=off, lineno=line))
+        elif name == "SWAP":
+            out.append(NInstr("SWAP", ins.arg, offset=off, lineno=line))
+        elif name == "DUP_TOP":
+            out.append(NInstr("COPY", 1, offset=off, lineno=line))
+        elif name == "DUP_TOP_TWO":
+            out.append(NInstr("COPY", 2, offset=off, lineno=line))
+            out.append(NInstr("COPY", 2, offset=off, lineno=line))
+        elif name == "ROT_TWO":
+            out.append(NInstr("SWAP", 2, offset=off, lineno=line))
+        elif name == "ROT_THREE":
+            out.append(NInstr("ROT", 3, offset=off, lineno=line))
+        elif name == "ROT_FOUR":
+            out.append(NInstr("ROT", 4, offset=off, lineno=line))
+        else:  # pragma: no cover - the allowed set above is exhaustive
+            raise LiftError("unsupported-opcode", name)
+
+    if pending_null:
+        raise LiftError("stack-imbalance", "unconsumed PUSH_NULL")
+    return _dedup_none_tails(out)
+
+
+def _dedup_none_tails(instrs: List[NInstr]) -> List[NInstr]:
+    """Merge a trailing run of duplicated ``return None`` epilogues.
+
+    CPython duplicates ``LOAD_CONST None; RETURN`` once per exit path
+    (if-false edge, loop exhaustion, ...), which breaks the nesting of
+    index regions the structural lifter relies on.  Keeping only the
+    first trailing pair and retargeting every jump into the dropped ones
+    restores a single function epilogue.
+    """
+    k = len(instrs)
+    while (
+        k >= 2
+        and instrs[k - 1].op == "RETURN"
+        and instrs[k - 2].op == "LOAD_CONST"
+        and instrs[k - 2].arg is None
+    ):
+        k -= 2
+    first = k  # index of the first trailing pair's LOAD_CONST
+    if first + 2 >= len(instrs):
+        return instrs
+    keep_off = instrs[first].offset
+    cut_off = instrs[first + 2].offset
+    kept = instrs[: first + 2]
+    return [
+        replace(ins, target=keep_off)
+        if ins.target is not None and ins.target >= cut_off
+        else ins
+        for ins in kept
+    ]
+
+
+def index_by_offset(instrs: List[NInstr]) -> Dict[int, int]:
+    """Map bytecode offset -> index in the canonical stream.
+
+    Jump targets may land on dropped instructions (RESUME/CACHE/NOP);
+    those resolve to the next surviving instruction, so the map is built
+    from the canonical list plus a fill pass handled by the caller via
+    :func:`resolve_target`.
+    """
+    return {ins.offset: i for i, ins in enumerate(instrs)}
+
+
+def resolve_target(instrs: List[NInstr], off2idx: Dict[int, int],
+                   target: int) -> int:
+    """Index of the instruction at bytecode offset ``target``.
+
+    Falls forward to the next canonical instruction when the exact
+    offset was normalized away; ``len(instrs)`` when the target is past
+    the end of the stream.
+    """
+    if target in off2idx:
+        return off2idx[target]
+    for i, ins in enumerate(instrs):
+        if ins.offset >= target:
+            return i
+    return len(instrs)

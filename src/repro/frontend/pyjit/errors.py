@@ -1,0 +1,64 @@
+"""Structured lift failure: every fallback carries a stable reason code.
+
+The reason codes are part of the ``@repro.jit`` contract — the
+differential suite asserts that fallback *decisions* (not just results)
+are deterministic, and the coverage fixture pins the taxonomy so a new
+code path cannot silently invent an undocumented reason.
+"""
+
+from __future__ import annotations
+
+#: Every reason a function (or one specialization of it) may decline the
+#: jit path.  Codes are stable identifiers; ``LiftReport.reason`` is
+#: always one of these (or None when lifted).
+FALLBACK_REASONS = frozenset(
+    {
+        "analysis-error",        # middle-end rejected the lifted AST
+        "array-alias",           # whole-array assignment creates an alias
+        "complex-condition",     # boolean operators beyond and/or chains
+        "disabled",              # jit disabled via option/environment
+        "early-return",          # return before the function tail
+        "generator",             # generator/coroutine/async code object
+        "closure",               # free/cell variables captured
+        "varargs",               # *args/**kwargs/kw-only parameters
+        "inexact-intrinsic",     # numpy ufunc not bit-identical to libm
+        "irreducible-control-flow",  # jump structure we cannot re-nest
+        "loop-var-escapes",      # loop counter read after its loop
+        "mixed-types",           # no Java type joins the operand types
+        "nonbool-condition",     # truthiness test on a non-boolean
+        "no-parallel-loops",     # lifted fine but nothing to offload
+        "pow-operator",          # ** has no bit-exact Java counterpart
+        "float-floordiv",        # // on floats (math.floor of a quotient)
+        "float-mod",             # % on floats (sign-adjust can re-round)
+        "bound-mutated",         # range() bound reassigned inside the loop
+        "index-assigned",        # loop counter reassigned inside the body
+        "python-version",        # interpreter outside the 3.10-3.12 set
+        "shift-on-float",        # << / >> on non-integral operands
+        "stack-imbalance",       # leftover operands at a region boundary
+        "unsupported-argument",  # call-site value has no Java type
+        "unsupported-call",      # call target outside the intrinsic set
+        "unsupported-constant",  # constant with no mini-Java literal
+        "unsupported-global",    # global other than range/len/math/...
+        "unsupported-opcode",    # opcode outside the supported set
+        "unsupported-subscript", # subscript shape we cannot type
+        "use-before-def",        # local read before any assignment
+        "while-loop",            # while loops are not lifted (host-only)
+        "opaque-store",          # STORE_FAST of a non-liftable value
+        "dynamic-step",          # range() step not a positive constant
+    }
+)
+
+
+class LiftError(Exception):
+    """Raised internally when a function cannot be lifted.
+
+    Carries a machine-readable ``code`` (member of FALLBACK_REASONS) and
+    a human ``detail``; the decorator converts it into a fallback, never
+    into a user-visible exception.
+    """
+
+    def __init__(self, code: str, detail: str = ""):
+        assert code in FALLBACK_REASONS, f"unknown lift reason: {code}"
+        self.code = code
+        self.detail = detail
+        super().__init__(f"{code}: {detail}" if detail else code)

@@ -1,0 +1,575 @@
+"""Call-site typing of lifted bodies: Python values -> mini-Java types.
+
+``lifter.py`` produces untyped statements with marker operators for the
+Python ops whose Java spelling depends on operand types (``/t`` true
+division, ``/f`` floor division, ``%p`` floor modulo).  This module:
+
+1. maps the call-site NumPy dtypes / Python scalars onto Java types,
+2. runs a fixpoint inference over the locals (join = Java numeric
+   promotion, with NEP-50-style weak literals against float32),
+3. rewrites the markers into bit-exact Java compositions
+   (``a // b`` -> ``(a - (((a % b) + b) % b)) / b`` etc.),
+4. proves definite assignment on every path (a lifted function must
+   never read a default where Python would raise UnboundLocalError),
+5. places each local's declaration: inside the innermost loop body
+   where no iteration reads it before writing it (a parallelizable
+   temp), else at method top (a carried value / reduction),
+6. emits the synthetic ``ClassDecl`` the middle-end consumes.
+
+Any rule violation raises :class:`LiftError` with a taxonomy code.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...lang import ast_nodes as A
+from ...lang.tokens import Pos
+from .errors import LiftError
+from .lifter import RET_NAME, LiftedBody
+
+_P0 = Pos(0, 0)
+
+_ORDER = {"int": 0, "long": 1, "float": 2, "double": 3}
+
+#: NumPy dtype -> Java element type.
+_DTYPE_TO_PRIM = {
+    np.dtype(np.int32): A.INT,
+    np.dtype(np.int64): A.LONG,
+    np.dtype(np.float32): A.FLOAT,
+    np.dtype(np.float64): A.DOUBLE,
+    np.dtype(np.bool_): A.BOOLEAN,
+}
+
+_LITERALS = (A.IntLit, A.LongLit, A.DoubleLit, A.FloatLit)
+
+
+def java_type_of_value(value) -> A.Type:
+    """Java type of one call-site argument; LiftError if none fits."""
+    if isinstance(value, np.ndarray):
+        elem = _DTYPE_TO_PRIM.get(value.dtype)
+        if elem is None:
+            raise LiftError("unsupported-argument", f"dtype {value.dtype}")
+        if value.ndim not in (1, 2):
+            raise LiftError("unsupported-argument", f"{value.ndim}-D array")
+        return A.ArrayType(elem, value.ndim)
+    if isinstance(value, (bool, np.bool_)):
+        return A.BOOLEAN
+    if isinstance(value, (int, np.int32)) and not isinstance(value, np.int64):
+        if isinstance(value, int) and not (-(2**31) <= value < 2**31):
+            if -(2**63) <= value < 2**63:
+                return A.LONG
+            raise LiftError("unsupported-argument", "int overflows long")
+        return A.INT
+    if isinstance(value, np.int64):
+        return A.LONG
+    if isinstance(value, np.float32):
+        return A.FLOAT
+    if isinstance(value, (float, np.float64)):
+        return A.DOUBLE
+    raise LiftError("unsupported-argument", type(value).__name__)
+
+
+def signature_tag(params: List[Tuple[str, A.Type]]) -> str:
+    """Stable text form of a typed signature (cache / report key)."""
+    return ",".join(f"{n}:{t}" for n, t in params)
+
+
+def _join(a: Optional[A.PrimType], b: Optional[A.PrimType]) -> Optional[A.PrimType]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a == b:
+        return a
+    if A.BOOLEAN in (a, b):
+        raise LiftError("mixed-types", "boolean with numeric")
+    return a if _ORDER[a.name] >= _ORDER[b.name] else b
+
+
+def _is_integral(t: Optional[A.PrimType]) -> bool:
+    return t is not None and t.name in ("int", "long")
+
+
+class _Typer:
+    def __init__(self, params: List[Tuple[str, A.Type]], lifted: LiftedBody):
+        self.arrays: Dict[str, A.ArrayType] = {
+            n: t for n, t in params if isinstance(t, A.ArrayType)
+        }
+        self.scalars: Dict[str, A.PrimType] = {
+            n: t for n, t in params if isinstance(t, A.PrimType)
+        }
+        self.lifted = lifted
+        self.env: Dict[str, Optional[A.PrimType]] = dict(self.scalars)
+        for v in lifted.loop_vars:
+            if v in self.arrays or v in self.scalars:
+                raise LiftError("loop-var-escapes", f"{v} shadows a parameter")
+            self.env[v] = A.INT
+        self.locals_order: List[str] = []  # first-assignment order
+
+    # -- expression typing (fixpoint phase) ------------------------------
+
+    def _arith_join(self, l: A.Expr, lt, r: A.Expr, rt) -> Optional[A.PrimType]:
+        """Join for arithmetic, honoring weak literals against float32."""
+        if lt == A.FLOAT and isinstance(r, _LITERALS):
+            return A.FLOAT if not isinstance(r, A.FloatLit) else A.FLOAT
+        if rt == A.FLOAT and isinstance(l, _LITERALS):
+            return A.FLOAT
+        if (lt == A.FLOAT and _is_integral(rt)) or (rt == A.FLOAT and _is_integral(lt)):
+            # NumPy (NEP 50) promotes int32 op float32 to float64; Java
+            # would compute in float32 — no type reproduces both.
+            raise LiftError("mixed-types", "integer array value with float32")
+        return _join(lt, rt)
+
+    def etype(self, e: A.Expr) -> Optional[A.PrimType]:
+        if isinstance(e, A.IntLit):
+            return A.INT
+        if isinstance(e, A.LongLit):
+            return A.LONG
+        if isinstance(e, A.FloatLit):
+            return A.FLOAT
+        if isinstance(e, A.DoubleLit):
+            return A.DOUBLE
+        if isinstance(e, A.BoolLit):
+            return A.BOOLEAN
+        if isinstance(e, A.VarRef):
+            if e.name in self.arrays:
+                raise LiftError("array-alias", f"array {e.name} used as a value")
+            if e.name in self.env:
+                return self.env[e.name]
+            raise LiftError("use-before-def", e.name)
+        if isinstance(e, A.Length):
+            at = self.arrays.get(e.array.name)
+            if at is None or e.axis >= at.dims:
+                raise LiftError("unsupported-subscript",
+                                f"len/shape of {e.array.name}")
+            return A.INT
+        if isinstance(e, A.ArrayRef):
+            at = self.arrays.get(e.base.name)
+            if at is None:
+                raise LiftError("unsupported-subscript",
+                                f"{e.base.name} is not an array")
+            if len(e.indices) != at.dims:
+                raise LiftError("unsupported-subscript",
+                                f"{e.base.name}: {len(e.indices)} indices on "
+                                f"{at.dims}-D array")
+            for ix in e.indices:
+                it = self.etype(ix)
+                if it is not None and not _is_integral(it):
+                    raise LiftError("unsupported-subscript", "non-integral index")
+            return at.elem
+        if isinstance(e, A.Unary):
+            ot = self.etype(e.operand)
+            if e.op == "!":
+                if ot is not None and ot != A.BOOLEAN:
+                    raise LiftError("nonbool-condition", "not on a non-boolean")
+                return A.BOOLEAN
+            if ot == A.BOOLEAN:
+                raise LiftError("mixed-types", f"{e.op} on boolean")
+            if e.op == "~" and ot is not None and not _is_integral(ot):
+                raise LiftError("shift-on-float", "~ on a float")
+            return ot
+        if isinstance(e, A.Cast):
+            self.etype(e.operand)
+            return e.target
+        if isinstance(e, A.Call):
+            ats = [self.etype(a) for a in e.args]
+            if e.name in ("Math.abs", "Math.min", "Math.max"):
+                out = ats[0]
+                for i, t in enumerate(ats[1:], 1):
+                    out = self._arith_join(e.args[0], out, e.args[i], t)
+                return out
+            return A.DOUBLE
+        if isinstance(e, A.Binary):
+            return self._btype(e)
+        if isinstance(e, A.Ternary):
+            ct = self.etype(e.cond)
+            if ct is not None and ct != A.BOOLEAN:
+                raise LiftError("nonbool-condition", "?: condition")
+            return _join(self.etype(e.then), self.etype(e.other))
+        raise LiftError("analysis-error", f"untypable {type(e).__name__}")
+
+    def _btype(self, e: A.Binary) -> Optional[A.PrimType]:
+        op = e.op
+        lt = self.etype(e.left)
+        rt = self.etype(e.right)
+        if op in ("<", "<=", ">", ">=", "==", "!="):
+            if A.BOOLEAN in (lt, rt):
+                raise LiftError("mixed-types", "comparison on boolean")
+            return A.BOOLEAN
+        if op in ("&&", "||"):
+            for t in (lt, rt):
+                if t is not None and t != A.BOOLEAN:
+                    raise LiftError("nonbool-condition", f"{op} operand")
+            return A.BOOLEAN
+        if op in ("&", "|", "^"):
+            if lt == A.BOOLEAN and rt == A.BOOLEAN:
+                return A.BOOLEAN
+            if (lt is None or _is_integral(lt)) and (rt is None or _is_integral(rt)):
+                return _join(lt, rt)
+            raise LiftError("mixed-types", f"{op} operands")
+        if op in ("<<", ">>"):
+            for t in (lt, rt):
+                if t is not None and not _is_integral(t):
+                    raise LiftError("shift-on-float", f"{op} operand")
+            return lt
+        if op == "/t":
+            if _is_integral(lt) and _is_integral(rt):
+                return A.DOUBLE
+            if lt is None or rt is None:
+                return None
+            return self._arith_join(e.left, lt, e.right, rt)
+        if op == "/f":
+            if (lt is not None and not _is_integral(lt)) or (
+                rt is not None and not _is_integral(rt)
+            ):
+                raise LiftError("float-floordiv", "// on floats")
+            return _join(lt, rt)
+        if op == "%p":
+            if (lt is not None and not _is_integral(lt)) or (
+                rt is not None and not _is_integral(rt)
+            ):
+                raise LiftError("float-mod", "% on floats")
+            return _join(lt, rt)
+        if op in ("+", "-", "*", "/", "%"):
+            if A.BOOLEAN in (lt, rt):
+                raise LiftError("mixed-types", f"{op} on boolean")
+            return self._arith_join(e.left, lt, e.right, rt)
+        raise LiftError("analysis-error", f"operator {op!r}")
+
+    # -- fixpoint over assignments ---------------------------------------
+
+    def infer(self) -> None:
+        for _ in range(16):
+            changed = self._infer_pass(self.lifted.stmts)
+            if not changed:
+                break
+        else:
+            raise LiftError("mixed-types", "type inference did not converge")
+        # every local must have resolved
+        for v, t in self.env.items():
+            if t is None:
+                raise LiftError("use-before-def", v)
+        # assignments to scalar params must preserve the param type
+        for st in self._walk_stmts(self.lifted.stmts):
+            if isinstance(st, A.Assign) and isinstance(st.target, A.VarRef):
+                name = st.target.name
+                if name in self.scalars and self.env[name] != self.scalars[name]:
+                    raise LiftError("mixed-types",
+                                    f"param {name} widened by assignment")
+
+    def _walk_stmts(self, stmts: List[A.Stmt]):
+        for st in stmts:
+            yield st
+            if isinstance(st, A.If):
+                yield from self._walk_stmts(st.then.stmts)
+                if st.els is not None:
+                    yield from self._walk_stmts(st.els.stmts)
+            elif isinstance(st, A.For):
+                yield from self._walk_stmts(st.body.stmts)
+
+    def _infer_pass(self, stmts: List[A.Stmt]) -> bool:
+        changed = False
+        for st in self._walk_stmts(stmts):
+            if isinstance(st, A.Assign) and isinstance(st.target, A.VarRef):
+                name = st.target.name
+                if name in self.arrays:
+                    raise LiftError("array-alias", f"assignment to array {name}")
+                try:
+                    vt = self.etype(st.value)
+                except LiftError as err:
+                    if err.code == "use-before-def":
+                        vt = None  # not yet resolved this round
+                    else:
+                        raise
+                if name not in self.env:
+                    self.env[name] = None
+                    self.locals_order.append(name)
+                if vt is not None:
+                    joined = _join(self.env[name], vt)
+                    if joined != self.env[name]:
+                        self.env[name] = joined
+                        changed = True
+        return changed
+
+    # -- verification (full typing with complete env) --------------------
+
+    def verify(self) -> None:
+        for st in self._walk_stmts(self.lifted.stmts):
+            if isinstance(st, A.Assign):
+                self.etype(st.value)
+                if isinstance(st.target, A.ArrayRef):
+                    self.etype(st.target)
+                    vt = self.etype(st.value)
+                    at = self.arrays[st.target.base.name].elem
+                    if A.BOOLEAN in (vt, at) and vt != at:
+                        raise LiftError("mixed-types", "boolean array store")
+            elif isinstance(st, A.If):
+                if self.etype(st.cond) != A.BOOLEAN:
+                    raise LiftError("nonbool-condition", "if condition")
+            elif isinstance(st, A.For):
+                for b in (st.init.init, st.cond.right):
+                    bt = self.etype(b)
+                    if not _is_integral(bt):
+                        raise LiftError("dynamic-step", "non-integral range bound")
+            elif isinstance(st, A.ExprStmt):
+                self.etype(st.expr)
+
+    # -- definite assignment ----------------------------------------------
+
+    def check_defassign(self) -> None:
+        assigned = set(self.scalars) | set(self.arrays)
+        self._da_seq(self.lifted.stmts, assigned)
+
+    def _da_reads(self, e: A.Expr, assigned: set) -> None:
+        for n in A.walk(e):
+            if isinstance(n, A.VarRef) and n.name not in self.arrays:
+                if n.name not in assigned:
+                    raise LiftError("use-before-def", n.name)
+
+    def _da_seq(self, stmts: List[A.Stmt], assigned: set) -> set:
+        for st in stmts:
+            if isinstance(st, A.Assign):
+                self._da_reads(st.value, assigned)
+                if isinstance(st.target, A.ArrayRef):
+                    for ix in st.target.indices:
+                        self._da_reads(ix, assigned)
+                else:
+                    assigned.add(st.target.name)
+            elif isinstance(st, A.ExprStmt):
+                self._da_reads(st.expr, assigned)
+            elif isinstance(st, A.If):
+                self._da_reads(st.cond, assigned)
+                a1 = self._da_seq(st.then.stmts, set(assigned))
+                a2 = (
+                    self._da_seq(st.els.stmts, set(assigned))
+                    if st.els is not None
+                    else set(assigned)
+                )
+                assigned = a1 & a2
+            elif isinstance(st, A.For):
+                self._da_reads(st.init.init, assigned)
+                self._da_reads(st.cond.right, assigned)
+                body_in = set(assigned) | {st.init.name}
+                self._da_seq(st.body.stmts, body_in)
+                # zero-trip loops contribute nothing definite
+        return assigned
+
+    # -- marker rewriting --------------------------------------------------
+
+    def _weaken(self, e: A.Expr, other_t: Optional[A.PrimType]) -> A.Expr:
+        if other_t == A.FLOAT and isinstance(e, _LITERALS) and not isinstance(e, A.FloatLit):
+            return A.FloatLit(e.pos, float(e.value))
+        return e
+
+    def _pymod(self, l: A.Expr, r: A.Expr, p: Pos) -> A.Expr:
+        """Python floor-mod from Java truncation: ((l % r) + r) % r."""
+        inner = A.Binary(p, "%", l, r)
+        plus = A.Binary(p, "+", inner, copy.deepcopy(r))
+        return A.Binary(p, "%", plus, copy.deepcopy(r))
+
+    def rewrite_expr(self, e: A.Expr) -> A.Expr:
+        for name in ("operand",):
+            if hasattr(e, name):
+                setattr(e, name, self.rewrite_expr(getattr(e, name)))
+        if isinstance(e, A.Binary):
+            e.left = self.rewrite_expr(e.left)
+            e.right = self.rewrite_expr(e.right)
+            lt = self.etype(e.left)
+            rt = self.etype(e.right)
+            p = e.pos
+            if e.op == "/t":
+                if _is_integral(lt) and _is_integral(rt):
+                    return A.Binary(
+                        p, "/", A.Cast(p, A.DOUBLE, e.left),
+                        A.Cast(p, A.DOUBLE, e.right),
+                    )
+                e.op = "/"
+                e.left = self._weaken(e.left, rt)
+                e.right = self._weaken(e.right, lt)
+                return e
+            if e.op == "/f":
+                if (lt is not None and not _is_integral(lt)) or (
+                    rt is not None and not _is_integral(rt)
+                ):
+                    raise LiftError("float-floordiv", "// on floats")
+                pm = self._pymod(copy.deepcopy(e.left), copy.deepcopy(e.right), p)
+                return A.Binary(
+                    p, "/", A.Binary(p, "-", e.left, pm), copy.deepcopy(e.right)
+                )
+            if e.op == "%p":
+                if (lt is not None and not _is_integral(lt)) or (
+                    rt is not None and not _is_integral(rt)
+                ):
+                    raise LiftError("float-mod", "% on floats")
+                return self._pymod(e.left, e.right, p)
+            if e.op in ("+", "-", "*", "<", "<=", ">", ">=", "==", "!="):
+                e.left = self._weaken(e.left, rt)
+                e.right = self._weaken(e.right, lt)
+            return e
+        if isinstance(e, A.ArrayRef):
+            e.indices = [self.rewrite_expr(ix) for ix in e.indices]
+            return e
+        if isinstance(e, A.Call):
+            e.args = [self.rewrite_expr(a) for a in e.args]
+            return e
+        if isinstance(e, A.Ternary):
+            e.cond = self.rewrite_expr(e.cond)
+            e.then = self.rewrite_expr(e.then)
+            e.other = self.rewrite_expr(e.other)
+            return e
+        return e
+
+    def rewrite(self, stmts: List[A.Stmt]) -> None:
+        for st in stmts:
+            if isinstance(st, A.Assign):
+                st.value = self.rewrite_expr(st.value)
+                if isinstance(st.target, A.ArrayRef):
+                    st.target = self.rewrite_expr(st.target)
+            elif isinstance(st, A.ExprStmt):
+                st.expr = self.rewrite_expr(st.expr)
+            elif isinstance(st, A.If):
+                st.cond = self.rewrite_expr(st.cond)
+                self.rewrite(st.then.stmts)
+                if st.els is not None:
+                    self.rewrite(st.els.stmts)
+            elif isinstance(st, A.For):
+                st.init.init = self.rewrite_expr(st.init.init)
+                st.cond.right = self.rewrite_expr(st.cond.right)
+                self.rewrite(st.body.stmts)
+
+    # -- declaration placement --------------------------------------------
+
+    def place_decls(self) -> List[A.Stmt]:
+        """Insert VarDecls; return the final top-level statement list."""
+        chains: Dict[str, List[List[A.For]]] = {v: [] for v in self.locals_order}
+        self._collect_chains(self.lifted.stmts, [], chains)
+        top_decls: List[A.Stmt] = []
+        for v in self.locals_order:
+            t = self.env[v]
+            occ = chains[v]
+            prefix = self._common_prefix(occ)
+            placed = False
+            while prefix:
+                loop = prefix[-1]
+                if self._iteration_fresh(v, loop.body.stmts):
+                    loop.body.stmts.insert(0, A.VarDecl(_P0, t, v, None))
+                    placed = True
+                    break
+                prefix = prefix[:-1]
+            if not placed:
+                top_decls.append(A.VarDecl(_P0, t, v, None))
+        return top_decls + list(self.lifted.stmts)
+
+    def _collect_chains(self, stmts, forstack, chains) -> None:
+        for st in stmts:
+            if isinstance(st, A.For):
+                self._collect_chains(st.body.stmts, forstack + [st], chains)
+                for e in (st.init.init, st.cond.right):
+                    self._note_chain(e, forstack, chains)
+            elif isinstance(st, A.If):
+                self._note_chain(st.cond, forstack, chains)
+                self._collect_chains(st.then.stmts, forstack, chains)
+                if st.els is not None:
+                    self._collect_chains(st.els.stmts, forstack, chains)
+            elif isinstance(st, A.Assign):
+                self._note_chain(st.value, forstack, chains)
+                if isinstance(st.target, A.ArrayRef):
+                    self._note_chain(st.target, forstack, chains)
+                elif st.target.name in chains:
+                    chains[st.target.name].append(list(forstack))
+            elif isinstance(st, A.ExprStmt):
+                self._note_chain(st.expr, forstack, chains)
+
+    def _note_chain(self, e: A.Expr, forstack, chains) -> None:
+        for n in A.walk(e):
+            if isinstance(n, A.VarRef) and n.name in chains:
+                chains[n.name].append(list(forstack))
+
+    @staticmethod
+    def _common_prefix(chains: List[List[A.For]]) -> List[A.For]:
+        if not chains:
+            return []
+        prefix = list(chains[0])
+        for c in chains[1:]:
+            k = 0
+            while k < len(prefix) and k < len(c) and prefix[k] is c[k]:
+                k += 1
+            prefix = prefix[:k]
+        return prefix
+
+    def _iteration_fresh(self, v: str, body: List[A.Stmt]) -> bool:
+        """True when no path through one iteration reads ``v`` first."""
+        return self._fresh_seq(v, body, written=False)[0]
+
+    def _fresh_seq(self, v, stmts, written) -> Tuple[bool, bool]:
+        """-> (ok, definitely-written-after)."""
+        for st in stmts:
+            if isinstance(st, A.Assign):
+                if not written and self._reads(v, st.value):
+                    return False, written
+                if isinstance(st.target, A.ArrayRef):
+                    if not written and any(
+                        self._reads(v, ix) for ix in st.target.indices
+                    ):
+                        return False, written
+                elif st.target.name == v:
+                    written = True
+            elif isinstance(st, A.ExprStmt):
+                if not written and self._reads(v, st.expr):
+                    return False, written
+            elif isinstance(st, A.If):
+                if not written and self._reads(v, st.cond):
+                    return False, written
+                ok1, w1 = self._fresh_seq(v, st.then.stmts, written)
+                ok2, w2 = (
+                    self._fresh_seq(v, st.els.stmts, written)
+                    if st.els is not None
+                    else (True, written)
+                )
+                if not (ok1 and ok2):
+                    return False, written
+                written = w1 and w2
+            elif isinstance(st, A.For):
+                if not written and (
+                    self._reads(v, st.init.init) or self._reads(v, st.cond.right)
+                ):
+                    return False, written
+                ok, _ = self._fresh_seq(v, st.body.stmts, written)
+                if not ok:
+                    return False, written
+                # the nested loop may run zero times: no definite write
+        return True, written
+
+    @staticmethod
+    def _reads(v: str, e: A.Expr) -> bool:
+        return any(isinstance(n, A.VarRef) and n.name == v for n in A.walk(e))
+
+
+def build_class(
+    fn_name: str, params: List[Tuple[str, A.Type]], lifted: LiftedBody
+) -> Tuple[A.ClassDecl, Optional[A.PrimType]]:
+    """Type a lifted body against a signature; emit the synthetic class.
+
+    Returns ``(class_decl, return_type)`` where return_type is None for
+    functions without a tail ``return expr``.
+    """
+    typer = _Typer(params, lifted)
+    typer.infer()
+    typer.check_defassign()
+    typer.rewrite(lifted.stmts)
+    typer.verify()
+    body = typer.place_decls()
+    method = A.Method(
+        _P0,
+        fn_name,
+        A.VOID,
+        [A.Param(_P0, t, n) for n, t in params],
+        A.Block(_P0, body),
+    )
+    cls = A.ClassDecl(_P0, f"Jit_{fn_name}", [method])
+    ret_t = typer.env.get(RET_NAME) if lifted.has_ret else None
+    return cls, ret_t

@@ -161,6 +161,16 @@ def _eval_int(expr, env: Mapping[str, int]) -> int:
             raise AnnotationError(
                 f"annotation bound refers to unknown scalar {expr.name!r}"
             ) from None
+    if isinstance(expr, A.Length):
+        from ..ir.lower import length_param
+
+        key = length_param(expr.array.name, expr.axis)
+        try:
+            return int(env[key])
+        except KeyError:
+            raise AnnotationError(
+                f"annotation bound refers to unknown length {key!r}"
+            ) from None
     if isinstance(expr, A.Unary) and expr.op == "-":
         return -_eval_int(expr.operand, env)
     if isinstance(expr, A.Binary):

@@ -131,8 +131,8 @@ def steal_summary(metrics, timelines: Sequence) -> dict:
 #: kernel (or how long its host compile took in wall seconds) is not
 #: simulated behavior — equal simulations must render equal reports
 #: whether the native backend is on or off.
-_HOST_PLANE_METRIC_PREFIXES = ("kernel.",)
-_HOST_PLANE_SPAN_CATEGORIES = frozenset({"kernel"})
+_HOST_PLANE_METRIC_PREFIXES = ("kernel.", "jit.")
+_HOST_PLANE_SPAN_CATEGORIES = frozenset({"kernel", "jit"})
 
 
 def phase_summary(tracer) -> dict:

@@ -33,6 +33,39 @@ def pytest_configure(config):
     )
 
 
+try:  # differential-suite profiles; hypothesis is an optional test dep
+    from hypothesis import settings as _hyp_settings
+
+    _hyp_settings.register_profile("dev", max_examples=25, deadline=None)
+    _hyp_settings.register_profile("ci", max_examples=200, deadline=None)
+    _hyp_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover
+    pass
+
+
+@pytest.fixture(autouse=True)
+def _native_backend_isolation():
+    """Keep process-wide native-backend state from leaking across tests.
+
+    Two module globals survive a test otherwise: the numba probe's
+    ``_SELFTEST`` tri-state (a test that monkeypatches the probe, or
+    runs where numba is absent, poisons the verdict for every later
+    test) and ``GLOBAL_KERNEL_CACHE`` (kernels compiled under one
+    test's policy/monkeypatching get reused by the next).  Snapshot the
+    verdict and swap in a fresh cache for each test.
+    """
+    from repro.ir.native import dispatch, numba_backend
+
+    saved_selftest = numba_backend._SELFTEST
+    saved_cache = dispatch.GLOBAL_KERNEL_CACHE
+    dispatch.GLOBAL_KERNEL_CACHE = dispatch.KernelCache()
+    try:
+        yield
+    finally:
+        numba_backend._SELFTEST = saved_selftest
+        dispatch.GLOBAL_KERNEL_CACHE = saved_cache
+
+
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):
     if not _ALARM_USABLE:

@@ -1,0 +1,1 @@
+"""Tests of the ``@repro.jit`` CPython-bytecode frontend."""

@@ -1,0 +1,183 @@
+"""API surface of the jit frontend: imports, engine binding, examples,
+the artifact-cache path, and the ``repro run --jit`` CLI contract."""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import textwrap
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cache.artifacts import ArtifactCache, jit_unit_key
+from repro.cli import EXIT_FRONTEND, EXIT_OK, EXIT_USAGE, main
+from repro.frontend.pyjit import JitFunction
+from repro.obs import Instrumentation
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+EXAMPLES = [
+    os.path.join(REPO, "examples", name)
+    for name in ("jit_saxpy.py", "jit_dot.py", "jit_stencil2d.py")
+]
+
+
+def _load(path):
+    name = os.path.splitext(os.path.basename(path))[0]
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+# -- import surface ----------------------------------------------------
+
+
+def test_public_names():
+    assert callable(repro.jit)
+    assert repro.JitFunction is JitFunction
+    assert hasattr(repro, "LiftReport")
+
+
+def test_decorator_bare_and_configured():
+    @repro.jit
+    def f(a, n):
+        for i in range(n):
+            a[i] = a[i] + 1.0
+
+    @repro.jit(devices=4, scheme="blocked")
+    def g(a, n):
+        for i in range(n):
+            a[i] = a[i] + 1.0
+
+    assert isinstance(f, JitFunction) and isinstance(g, JitFunction)
+    assert f.__name__ == "f" and g._devices == 4
+    a = np.zeros(8)
+    f(a, 8)
+    assert f.last_report.lifted and np.all(a == 1.0)
+
+
+def test_engine_method_binds_instance():
+    eng = repro.Japonica(obs=Instrumentation.recording())
+
+    @eng.jit
+    def f(a, n):
+        for i in range(n):
+            a[i] = a[i] * 2.0
+
+    assert f._japonica is eng
+    f(np.ones(8), 8)
+    counters = eng.obs.metrics.to_dict()["counters"]
+    assert counters.get("jit.lift.ok") == 1
+    assert counters.get("jit.call.jit") == 1
+
+
+# -- committed examples: the lift-rate floor ---------------------------
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=[os.path.basename(p) for p in EXAMPLES])
+def test_example_lifts_and_verifies(path):
+    module = _load(path)
+    inputs = module.make_inputs(n=1, seed=3)
+    for fname, fargs in inputs.items():
+        fn = getattr(module, fname)
+        assert isinstance(fn, JitFunction), fname
+        ret = fn(*fargs)
+        rep = fn.last_report
+        assert rep.lifted, f"{fname} fell back: {rep.reason} ({rep.detail})"
+        # oracle: the plain function on an identical fresh input set
+        oracle = module.make_inputs(n=1, seed=3)[fname]
+        oracle_ret = fn.__wrapped__(*oracle)
+        for got, want in zip(fargs, oracle):
+            if isinstance(got, np.ndarray):
+                assert np.array_equal(
+                    got.view(np.uint8), want.view(np.uint8)
+                ), fname
+        assert (ret is None and oracle_ret is None) or ret == oracle_ret
+
+
+# -- artifact cache ----------------------------------------------------
+
+
+def test_jit_unit_key_distinct():
+    k = jit_unit_key("fp", "a:double[]", 16)
+    assert k != jit_unit_key("fp2", "a:double[]", 16)
+    assert k != jit_unit_key("fp", "a:float[]", 16)
+    assert k != jit_unit_key("fp", "a:double[]", 8)
+    assert k == jit_unit_key("fp", "a:double[]", 16)
+
+
+def test_second_specialize_hits_artifact_cache():
+    eng = repro.Japonica(
+        cache=ArtifactCache(), obs=Instrumentation.recording()
+    )
+
+    def f(a, n):
+        for i in range(n):
+            a[i] = a[i] + 1.0
+
+    cold = eng.jit(f)
+    warm = eng.jit(f)  # fresh wrapper: no per-wrapper memo to hide behind
+    a = np.zeros(8)
+    rep_cold = cold.specialize(a, 8)
+    rep_warm = warm.specialize(a, 8)
+    assert rep_cold.lifted and not rep_cold.cache_hit
+    assert rep_warm.lifted and rep_warm.cache_hit
+    counters = eng.obs.metrics.to_dict()["counters"]
+    assert counters.get("jit.lift.cache_hit") == 1
+    # the cached unit still runs and agrees with the plain function
+    warm(a, 8)
+    assert np.all(a == 1.0)
+
+
+# -- CLI: repro run --jit ----------------------------------------------
+
+
+def test_cli_examples_lift_floor():
+    for path in EXAMPLES:
+        rc = main(["run", "--jit", "--require-lift", path, "--n", "1"])
+        assert rc == EXIT_OK, path
+
+
+def test_cli_devices_4():
+    rc = main(["run", "--jit", EXAMPLES[0], "--devices", "4", "--n", "1"])
+    assert rc == EXIT_OK
+
+
+def test_cli_missing_file():
+    assert main(["run", "--jit", "no/such/file.py"]) == EXIT_USAGE
+
+
+def test_cli_module_without_make_inputs(tmp_path):
+    mod = tmp_path / "bad.py"
+    mod.write_text("import repro\n")
+    assert main(["run", "--jit", str(mod)]) == EXIT_USAGE
+
+
+def test_cli_require_lift_fails_on_fallback(tmp_path, capsys):
+    mod = tmp_path / "fallback.py"
+    mod.write_text(textwrap.dedent("""
+        import numpy as np
+        import repro
+
+        @repro.jit
+        def f(a, n):
+            i = 0
+            while i < n:   # while loops never lift
+                a[i] = 1.0
+                i = i + 1
+
+        def make_inputs(n=1, seed=0):
+            return {"f": (np.zeros(8), 8)}
+    """))
+    assert main(["run", "--jit", str(mod)]) == EXIT_OK  # fallback still runs
+    assert main(["run", "--jit", "--require-lift", str(mod)]) == EXIT_FRONTEND
+    out = capsys.readouterr()
+    assert "reason=while-loop" in out.out
+
+
+def test_cli_broken_module_is_frontend_error(tmp_path):
+    mod = tmp_path / "broken.py"
+    mod.write_text("raise RuntimeError('boom')\n")
+    assert main(["run", "--jit", str(mod)]) == EXIT_FRONTEND

@@ -1,0 +1,390 @@
+"""Unit tests of the bytecode lifter: structure, typing, fallbacks.
+
+These pin the *decisions* of the frontend — which shapes lift, which
+fall back, and under which reason code — one function per rule, so a
+regression points at the exact rule that moved.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro.frontend.pyjit import (
+    FALLBACK_REASONS,
+    LiftError,
+    lift_function,
+    python_version_tag,
+    supported_opnames,
+)
+from repro.frontend.pyjit.bytecode import normalize
+from repro.frontend.pyjit.jit import code_fingerprint
+from repro.frontend.pyjit.typing import java_type_of_value, signature_tag
+from repro.lang import ast_nodes as A
+
+
+def lift_reason(fn, *args) -> str | None:
+    """Specialize a decorated twin of ``fn`` and return the reason code."""
+    jfn = repro.jit(fn)
+    return jfn.specialize(*args).reason
+
+
+# -- normalization -----------------------------------------------------
+
+
+def test_version_is_supported_here():
+    assert python_version_tag() in ("3.10", "3.11", "3.12")
+
+
+def test_supported_opnames_unknown_version():
+    with pytest.raises(LiftError) as exc:
+        supported_opnames("3.9")
+    assert exc.value.code == "python-version"
+
+
+def test_normalize_simple_loop_vocabulary():
+    def f(a, n):
+        for i in range(n):
+            a[i] = a[i] + 1.0
+
+    ops = {ins.op for ins in normalize(f.__code__)}
+    assert {"LOAD_FAST", "STORE_SUBSCR", "GET_ITER", "FOR_ITER",
+            "JUMP", "BINOP", "RETURN"} <= ops
+
+
+def test_normalize_rejects_unsupported_opcode():
+    def f(a):
+        return [v for v in a]  # LIST comprehension machinery
+
+    with pytest.raises(LiftError) as exc:
+        normalize(f.__code__)
+    assert exc.value.code == "unsupported-opcode"
+
+
+def test_return_none_tail_dedup():
+    def f(a, n, flag):
+        if flag:
+            for i in range(n):
+                a[i] = a[i] + 1.0
+
+    instrs = normalize(f.__code__)
+    pairs = [
+        k
+        for k in range(len(instrs) - 1)
+        if instrs[k].op == "LOAD_CONST"
+        and instrs[k].arg is None
+        and instrs[k + 1].op == "RETURN"
+    ]
+    assert len(pairs) == 1, "duplicated return-None epilogues must merge"
+
+
+def test_fingerprint_stable_and_version_tagged():
+    def f(a, n):
+        for i in range(n):
+            a[i] = 0.0
+
+    def g(a, n):
+        for i in range(n):
+            a[i] = 1.0
+
+    assert code_fingerprint(f) == code_fingerprint(f)
+    assert code_fingerprint(f) != code_fingerprint(g)
+
+
+# -- structural lifting ------------------------------------------------
+
+
+def test_lift_builds_counted_for():
+    def f(a, n):
+        for i in range(n):
+            a[i] = a[i] * 2.0
+
+    body = lift_function(f)
+    assert body.n_loops == 1
+    fors = [s for s in body.stmts if isinstance(s, A.For)]
+    assert len(fors) == 1
+    assert isinstance(fors[0].init, A.VarDecl) and fors[0].init.name == "i"
+    assert isinstance(fors[0].cond, A.Binary) and fors[0].cond.op == "<"
+
+
+def test_lift_nested_and_shape_bounds():
+    def f(a, b):
+        for i in range(a.shape[0]):
+            for j in range(a.shape[1]):
+                b[i, j] = a[i, j]
+
+    body = lift_function(f)
+    assert body.n_loops == 2
+    outer = next(s for s in body.stmts if isinstance(s, A.For))
+    assert isinstance(outer.cond.right, A.Length)
+
+
+def test_lift_sibling_loops_share_counter():
+    def f(a, n):
+        for i in range(n):
+            a[i] = 1.0
+        for i in range(n):
+            a[i] = a[i] + 1.0
+
+    assert lift_function(f).n_loops == 2
+
+
+def test_lift_stepped_range():
+    def f(a, n):
+        for i in range(0, n, 3):
+            a[i] = 1.0
+
+    body = lift_function(f)
+    upd = next(s for s in body.stmts if isinstance(s, A.For)).update
+    assert isinstance(upd, A.Assign) and upd.op == "+"
+
+
+# -- fallback taxonomy -------------------------------------------------
+
+
+def test_all_reasons_are_documented():
+    assert "while-loop" in FALLBACK_REASONS
+    assert len(FALLBACK_REASONS) >= 25
+
+
+def test_reason_while_loop():
+    def f(a, n):
+        i = 0
+        while i < n:
+            a[i] = 1.0
+            i = i + 1
+
+    assert lift_reason(f, np.zeros(4), 4) == "while-loop"
+
+
+def test_reason_pow_operator():
+    def f(a, n):
+        for i in range(n):
+            a[i] = a[i] ** 2
+
+    assert lift_reason(f, np.zeros(4), 4) == "pow-operator"
+
+
+def test_reason_inexact_intrinsic():
+    def f(a, n):
+        for i in range(n):
+            a[i] = math.exp(a[i])
+
+    assert lift_reason(f, np.zeros(4), 4) == "inexact-intrinsic"
+
+
+def test_reason_generator():
+    def f(n):
+        for i in range(n):
+            yield i
+
+    assert lift_reason(f, 4) == "generator"
+
+
+def test_reason_closure():
+    k = 2.0
+
+    def f(a, n):
+        for i in range(n):
+            a[i] = a[i] * k
+
+    assert lift_reason(f, np.zeros(4), 4) == "closure"
+
+
+def test_reason_varargs():
+    def f(a, *rest):
+        for i in range(2):
+            a[i] = 1.0
+
+    assert lift_reason(f, np.zeros(4)) == "varargs"
+
+
+def test_reason_loop_var_escapes():
+    def f(a, n):
+        for i in range(n):
+            a[i] = 1.0
+        return i
+
+    assert lift_reason(f, np.zeros(4), 4) == "loop-var-escapes"
+
+
+def test_reason_counter_in_own_bounds():
+    def f(a, n):
+        for i in range(n):
+            a[i] = 1.0
+        for i in range(i):
+            a[i] = a[i] + 1.0
+
+    assert lift_reason(f, np.zeros(4), 4) == "loop-var-escapes"
+
+
+def test_reason_nested_counter_reuse():
+    def f(a, n):
+        for i in range(n):
+            for i in range(n):
+                a[i] = 1.0
+
+    assert lift_reason(f, np.zeros(4), 4) == "irreducible-control-flow"
+
+
+def test_reason_index_assigned():
+    def f(a, n):
+        for i in range(n):
+            a[i] = 1.0
+            i = i + 1
+
+    assert lift_reason(f, np.zeros(8), 8) in (
+        "index-assigned", "loop-var-escapes",
+    )
+
+
+def test_reason_bound_mutated():
+    def f(a, n):
+        for i in range(n):
+            a[i] = 1.0
+            n = n - 1
+
+    assert lift_reason(f, np.zeros(8), 8) == "bound-mutated"
+
+
+def test_reason_dynamic_step():
+    def f(a, n, k):
+        for i in range(0, n, k):
+            a[i] = 1.0
+
+    assert lift_reason(f, np.zeros(8), 8, 2) == "dynamic-step"
+
+
+def test_reason_unsupported_global():
+    def f(a, n):
+        for i in range(n):
+            a[i] = np.sin(a[i])
+
+    assert lift_reason(f, np.zeros(4), 4) == "unsupported-global"
+
+
+def test_reason_use_before_def():
+    def f(a, n, flag):
+        if flag:
+            s = 1.0
+        for i in range(n):
+            a[i] = s
+
+    assert lift_reason(f, np.zeros(4), 4, True) == "use-before-def"
+
+
+def test_reason_float_floordiv():
+    def f(a, n):
+        for i in range(n):
+            a[i] = a[i] // 2.0
+
+    assert lift_reason(f, np.zeros(4), 4) == "float-floordiv"
+
+
+def test_reason_float_mod():
+    def f(a, n):
+        for i in range(n):
+            a[i] = a[i] % 2.0
+
+    assert lift_reason(f, np.zeros(4), 4) == "float-mod"
+
+
+def test_reason_nonbool_condition():
+    def f(a, n):
+        for i in range(n):
+            if n:
+                a[i] = 1.0
+
+    assert lift_reason(f, np.zeros(4), 4) == "nonbool-condition"
+
+
+def test_reason_mixed_types():
+    def f(a, b, n):
+        for i in range(n):
+            b[i] = a[i] * b[i]
+
+    reason = lift_reason(
+        f, np.zeros(4, np.int64), np.zeros(4, np.float32), 4
+    )
+    assert reason == "mixed-types"
+
+
+def test_reason_unsupported_argument():
+    def f(a, n):
+        for i in range(n):
+            pass
+
+    assert lift_reason(f, [1, 2, 3], 3) == "unsupported-argument"
+
+
+def test_reason_disabled_via_option():
+    def f(a, n):
+        for i in range(n):
+            a[i] = 1.0
+
+    jfn = repro.jit(f, enabled=False)
+    assert jfn.specialize(np.zeros(4), 4).reason == "disabled"
+
+
+def test_reason_disabled_via_env(monkeypatch):
+    monkeypatch.setenv("REPRO_JIT_DISABLE", "1")
+
+    def f(a, n):
+        for i in range(n):
+            a[i] = 1.0
+
+    jfn = repro.jit(f)
+    assert jfn.specialize(np.zeros(4), 4).reason == "disabled"
+
+
+def test_every_reported_reason_is_in_taxonomy():
+    cases = [
+        (lambda a, n: None, (np.zeros(2), 2)),
+    ]
+    for fn, args in cases:
+        reason = repro.jit(fn).specialize(*args).reason
+        assert reason is None or reason in FALLBACK_REASONS
+
+
+# -- call-site typing --------------------------------------------------
+
+
+def test_java_type_of_value_dtypes():
+    assert java_type_of_value(np.zeros(2, np.int32)).elem is A.INT
+    assert java_type_of_value(np.zeros(2, np.float32)).elem is A.FLOAT
+    assert java_type_of_value(np.zeros((2, 2))).dims == 2
+    assert java_type_of_value(3) is A.LONG or java_type_of_value(3) is A.INT
+    assert java_type_of_value(3.0) is A.DOUBLE
+    assert java_type_of_value(True) is A.BOOLEAN
+
+
+def test_java_type_of_value_rejects_objects():
+    with pytest.raises(LiftError) as exc:
+        java_type_of_value({"a": 1})
+    assert exc.value.code == "unsupported-argument"
+    with pytest.raises(LiftError):
+        java_type_of_value(np.zeros((2, 2, 2)))  # 3-D unsupported
+
+
+def test_signature_tag_shape():
+    params = [("a", java_type_of_value(np.zeros(2))),
+              ("n", java_type_of_value(5))]
+    tag = signature_tag(params)
+    assert tag.startswith("a:double[]") and "n:" in tag
+
+
+def test_specialization_per_signature():
+    @repro.jit
+    def f(a, n):
+        for i in range(n):
+            a[i] = a[i] + 1
+
+    f(np.zeros(4), 4)
+    rep_d = f.last_report
+    f(np.zeros(4, np.int64), 4)
+    rep_l = f.last_report
+    assert rep_d.lifted and rep_l.lifted
+    assert rep_d.signature != rep_l.signature

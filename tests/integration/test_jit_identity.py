@@ -1,0 +1,172 @@
+"""A ``@repro.jit`` twin must be indistinguishable from mini-Java.
+
+The same workload written twice — once as bare mini-Java source pushed
+through annotation inference, once as a plain Python function lifted by
+``@repro.jit`` — must produce identical loop classifications, identical
+scheduling decisions, and bitwise-identical arrays, at 1 and at 4
+devices.  And the jit plumbing must be invisible to everyone else: an
+insight report for a non-jit run is byte-identical whether or not a
+lift happened on the same engine (``jit.*`` metrics and ``jit``-category
+spans are host-plane, filtered like PR-8's ``kernel.*``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.obs import Instrumentation
+from repro.obs.insight.report import analyze_run
+
+#: Bare (un-annotated) source: annotation inference supplies the acc
+#: directive, exactly like the lifted twin's loops.
+BARE_SRC = """
+class Vec {
+  static void run(double[] x, double[] y, double[] out, int n) {
+    for (int i = 0; i < n; i++) {
+      out[i] = x[i] * 2.0 + y[i];
+    }
+  }
+}
+"""
+
+
+def run(x, y, out, n):
+    for i in range(n):
+        out[i] = x[i] * 2.0 + y[i]
+
+
+def _inputs(n, seed=11):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n), rng.standard_normal(n), np.zeros(n)
+
+
+def _jit_spec(jfn, *args):
+    """Specialize and return the underlying compiled specialization."""
+    jfn.specialize(*args)
+    (spec,) = jfn._specs.values()
+    return spec
+
+
+class TestClassificationIdentity:
+    def test_same_loops_same_statuses(self):
+        prog = repro.Japonica().compile(BARE_SRC, infer=True)
+        jfn = repro.jit(run)
+        x, y, out = _inputs(8)
+        spec = _jit_spec(jfn, x, y, out, 8)
+        assert spec.ok, spec.report.reason
+
+        mini = [(tl.id, tl.analysis.status.name) for tl in prog.unit.all_loops]
+        lifted = [
+            (tl.id, tl.analysis.status.name)
+            for tl in spec.program.unit.all_loops
+        ]
+        assert mini == lifted
+        assert mini == [("run#0", "DOALL")]
+
+    def test_inference_reports_agree(self):
+        eng = repro.Japonica()
+        prog = eng.compile(BARE_SRC, infer=True)
+        jfn = repro.jit(run, japonica=eng)
+        x, y, out = _inputs(8)
+        spec = _jit_spec(jfn, x, y, out, 8)
+
+        def decisions(report):
+            return [
+                (p.method, p.index, p.tag, p.chosen, p.directive)
+                for p in report.proposals
+            ]
+
+        assert decisions(prog.inference) == decisions(spec.program.inference)
+
+
+class TestExecutionIdentity:
+    @pytest.mark.parametrize("devices", [1, 4])
+    def test_bitwise_identical_arrays_and_modes(self, devices):
+        n = 256
+        x, y, out = _inputs(n)
+        prog = repro.Japonica().compile(BARE_SRC, infer=True)
+        res_mini = prog.run("run", x=x, y=y, out=out, n=n, devices=devices)
+
+        x_j, y_j, out_j = _inputs(n)
+        jfn = repro.jit(run, devices=devices)
+        jfn(x_j, y_j, out_j, n)
+        assert jfn.last_report.lifted, jfn.last_report.reason
+        res_jit = jfn.last_result
+
+        assert np.array_equal(
+            res_mini.arrays["out"].view(np.uint8), out_j.view(np.uint8)
+        ), f"devices={devices}: lifted twin diverged from mini-Java"
+
+        # the scheduler saw the same loop: same mode, same sim time
+        modes_mini = [(lid, r.mode) for lid, r in res_mini.loop_results]
+        modes_jit = [(lid, r.mode) for lid, r in res_jit.loop_results]
+        assert modes_mini == modes_jit
+        assert res_mini.sim_time_s == res_jit.sim_time_s
+
+    def test_devices_1_vs_4_bitwise(self):
+        n = 256
+        outs = {}
+        for devices in (1, 4):
+            x, y, out = _inputs(n)
+            jfn = repro.jit(run, devices=devices)
+            jfn(x, y, out, n)
+            assert jfn.last_report.lifted
+            outs[devices] = out
+        assert np.array_equal(
+            outs[1].view(np.uint8), outs[4].view(np.uint8)
+        ), "sharding a lifted DOALL across 4 devices changed bits"
+
+
+class TestReportInvisibility:
+    """jit plumbing must not perturb non-jit insight reports."""
+
+    @staticmethod
+    def _section(obs):
+        return json.dumps(
+            analyze_run([], metrics=obs.metrics, tracer=obs.tracer),
+            sort_keys=True,
+        ).encode()
+
+    def _workload_report(self, with_jit: bool) -> bytes:
+        obs = Instrumentation.recording()
+        eng = repro.Japonica(obs=obs)
+        if with_jit:
+            # a lift AND a jitted run on the same engine first
+            jfn = repro.jit(run, japonica=eng)
+            x, y, out = _inputs(16)
+            jfn(x, y, out, 16)
+            assert jfn.last_report.lifted
+        prog = eng.compile(BARE_SRC, infer=True)
+        n = 64
+        x, y, out = _inputs(n)
+        prog.run("run", x=x, y=y, out=out, n=n)
+        return self._section(obs)
+
+    def test_lift_alone_leaves_report_untouched(self):
+        obs = Instrumentation.recording()
+        base = self._section(obs)
+        eng = repro.Japonica(obs=Instrumentation.recording())
+        jfn = repro.jit(run, japonica=eng)
+        x, y, out = _inputs(8)
+        rep = jfn.specialize(x, y, out, 8)
+        assert rep.lifted
+        assert self._section(eng.obs) == base
+
+    def test_jit_metrics_recorded_but_filtered(self):
+        eng = repro.Japonica(obs=Instrumentation.recording())
+        jfn = repro.jit(run, japonica=eng)
+        x, y, out = _inputs(8)
+        jfn(x, y, out, 8)
+        counters = eng.obs.metrics.to_dict()["counters"]
+        assert counters.get("jit.lift.ok") == 1
+        assert counters.get("jit.call.jit") == 1
+        section = json.loads(self._section(eng.obs))
+        assert not any(
+            k.startswith("jit.") for k in section.get("metrics", {})
+        )
+        text = json.dumps(section)
+        assert "jit.lift" not in text and "jit.call" not in text

@@ -1,0 +1,56 @@
+"""Regression: native-backend state must not leak between tests.
+
+Two globals used to escape test boundaries — the numba probe's
+``_SELFTEST`` negative cache and the process-wide
+``GLOBAL_KERNEL_CACHE``.  A test that poisoned either (e.g. forcing the
+numba probe to a verdict, or filling the kernel cache) silently changed
+every later test in the session.  The autouse ``_native_backend_
+isolation`` fixture in ``tests/conftest.py`` now snapshots both around
+each test; these tests deliberately poison the globals and rely on
+pytest's in-file ordering to prove the next test starts clean.
+"""
+
+from __future__ import annotations
+
+from repro.ir.native import dispatch, numba_backend
+
+
+def test_poison_selftest_and_swap_cache():
+    # simulate a badly-behaved test: force the probe verdict and
+    # replace the process-wide cache with a pre-filled one
+    numba_backend._SELFTEST = False
+    poisoned = dispatch.KernelCache()
+    poisoned.compiles["src"] = 999
+    dispatch.GLOBAL_KERNEL_CACHE = poisoned
+    assert dispatch.GLOBAL_KERNEL_CACHE.compiles["src"] == 999
+
+
+def test_next_test_sees_pristine_state():
+    # the fixture must have restored the probe cache...
+    assert numba_backend._SELFTEST is None or isinstance(
+        numba_backend._SELFTEST, bool
+    )
+    assert numba_backend._SELFTEST is not False or numba_backend._HAVE_NUMBA, (
+        "poisoned _SELFTEST=False leaked from the previous test"
+    )
+    # ...and the global kernel cache is no longer the poisoned object
+    assert dispatch.GLOBAL_KERNEL_CACHE.compiles["src"] != 999, (
+        "poisoned GLOBAL_KERNEL_CACHE leaked from the previous test"
+    )
+
+
+def test_each_test_gets_a_fresh_kernel_cache():
+    # the fixture installs a fresh cache per test: dispatchers built
+    # with the default must never observe another test's compilations
+    cache = dispatch.GLOBAL_KERNEL_CACHE
+    assert all(v == 0 for v in cache.compiles.values())
+    cache.compiles["interp"] = 7
+
+
+def test_fresh_cache_does_not_carry_counts():
+    assert dispatch.GLOBAL_KERNEL_CACHE.compiles["interp"] == 0
+
+
+def test_default_dispatcher_uses_current_global(monkeypatch):
+    d = dispatch.KernelDispatcher()
+    assert d.cache is dispatch.GLOBAL_KERNEL_CACHE
