@@ -22,6 +22,13 @@ runs that and gates on the ledger staying clean.
 structural invariants (zero lost, zero duplicated, completions happened)
 plus the tail-amplification ratio p99/p50, which is machine-speed
 independent, within ``--tolerance``x of the baseline's.
+
+The observability leg (``repro.benchserve/v2``) runs a paired mix —
+tracing off, then tracing on — on otherwise identical servers and
+reports the p99 ratio in the ``obs`` section.  Tracing is gated to cost
+at most ``--trace-tolerance``x (default 1.10) of the untraced p99, with
+a small absolute slack so sub-millisecond jitter cannot fail the gate.
+``--skip-obs`` drops the leg (the section is then ``null``).
 """
 
 from __future__ import annotations
@@ -40,7 +47,7 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 )
 
-SCHEMA = "repro.benchserve/v1"
+SCHEMA = "repro.benchserve/v2"
 
 #: Job shapes the generator draws from (cheap Table-II runs; repeats are
 #: common, so the shared artifact cache and pooled contexts get hits).
@@ -79,7 +86,7 @@ def build_requests(args) -> list[dict]:
     return out
 
 
-def start_server(args):
+def start_server(args, trace: bool = False):
     """Run the serve stack on its own event loop in a daemon thread."""
     from repro.serve import CompilationService, ServeConfig, ServeServer
 
@@ -92,6 +99,7 @@ def start_server(args):
         default_deadline_s=args.deadline_s,
         faults=args.faults,
         fault_seed=args.fault_seed,
+        trace=trace,
     )
     server = ServeServer(CompilationService(config), port=0)
     loop = asyncio.new_event_loop()
@@ -163,7 +171,76 @@ def drive(args, port: int, requests: list[dict]) -> list[dict]:
     return rows
 
 
-def summarize(args, rows: list[dict], wall_s: float, stats: dict) -> dict:
+def run_leg(args, requests: list[dict], trace: bool):
+    """One full boot→warm→drive→stop cycle; returns (rows, wall_s, stats)."""
+    from repro.serve.client import ServeClient
+
+    server, loop, thread = start_server(args, trace=trace)
+    try:
+        warm = ServeClient(port=server.port, timeout=args.deadline_s * 4)
+        for shape in JOB_SHAPES:
+            warm.submit({**shape, "tenant": "warmup", "priority": 0})
+        t0 = time.perf_counter()
+        rows = drive(args, server.port, requests)
+        wall_s = time.perf_counter() - t0
+        stats = warm.stats()
+    finally:
+        stop_server(server, loop, thread)
+    return rows, wall_s, stats
+
+
+def measure_tracing_overhead(args) -> dict:
+    """Paired leg: the same seeded mix, tracing off then on.
+
+    Both sides run on fresh servers so neither inherits the other's warm
+    caches beyond the explicit warmup, and the p99 ratio isolates what
+    the tracing plane itself costs.
+    """
+    obs_args = argparse.Namespace(**vars(args))
+    obs_args.requests = args.obs_requests
+    obs_args.faults = None  # overhead measured on the clean path
+    requests = build_requests(obs_args)
+
+    legs = {}
+    for label, trace in (("off", False), ("on", True)):
+        rows, wall_s, _stats = run_leg(obs_args, requests, trace=trace)
+        ok_lat = sorted(r["latency_s"] for r in rows if r["status"] == "ok")
+        legs[label] = {
+            "ok": len(ok_lat),
+            "wall_s": wall_s,
+            "p50_s": percentile(ok_lat, 0.50),
+            "p99_s": percentile(ok_lat, 0.99),
+        }
+    off_p99, on_p99 = legs["off"]["p99_s"], legs["on"]["p99_s"]
+    return {
+        "requests": len(requests),
+        "off": legs["off"],
+        "on": legs["on"],
+        "p99_ratio": on_p99 / off_p99 if off_p99 > 0 else 0.0,
+    }
+
+
+def check_tracing_overhead(obs: dict, tolerance: float,
+                           slack_s: float) -> int:
+    """Gate: tracing on costs at most ``tolerance``x the untraced p99.
+
+    The absolute ``slack_s`` floor keeps sub-millisecond jitter on fast
+    machines from tripping a purely relative gate.
+    """
+    off_p99, on_p99 = obs["off"]["p99_s"], obs["on"]["p99_s"]
+    allowed = max(off_p99 * tolerance, off_p99 + slack_s)
+    print(f"tracing overhead: p99 on {on_p99 * 1e3:.1f}ms vs "
+          f"off {off_p99 * 1e3:.1f}ms "
+          f"(ratio {obs['p99_ratio']:.2f}, allowed {allowed * 1e3:.1f}ms)")
+    if on_p99 > allowed:
+        print(f"FAIL: tracing p99 {on_p99 * 1e3:.1f}ms exceeds allowed "
+              f"{allowed * 1e3:.1f}ms", file=sys.stderr)
+        return 1
+    return 0
+
+
+def summarize(args, rows: list[dict], wall_s: float, stats: dict,
+              obs: dict | None = None) -> dict:
     counts: dict[str, int] = {}
     for row in rows:
         counts[row["status"]] = counts.get(row["status"], 0) + 1
@@ -212,6 +289,7 @@ def summarize(args, rows: list[dict], wall_s: float, stats: dict) -> dict:
             "trips": stats["breakers"]["trips"],
             "recoveries": stats["breakers"]["recoveries"],
         },
+        "obs": obs,
     }
 
 
@@ -276,6 +354,16 @@ def main(argv=None) -> int:
     parser.add_argument("--check", metavar="BASELINE", default=None)
     parser.add_argument("--tolerance", type=float, default=3.0,
                         help="allowed p99/p50 amplification vs baseline")
+    parser.add_argument("--obs-requests", type=int, default=60,
+                        help="requests per side of the tracing-overhead "
+                             "leg (default 60)")
+    parser.add_argument("--trace-tolerance", type=float, default=1.10,
+                        help="allowed tracing-on/off p99 ratio "
+                             "(default 1.10)")
+    parser.add_argument("--trace-slack-s", type=float, default=0.05,
+                        help="absolute p99 slack for the tracing gate")
+    parser.add_argument("--skip-obs", action="store_true",
+                        help="skip the tracing-overhead leg")
     args = parser.parse_args(argv)
 
     requests = build_requests(args)
@@ -284,24 +372,17 @@ def main(argv=None) -> int:
           f"{args.workers} {args.backend} workers, queue {args.max_queue}"
           + (f", chaos {args.faults!r}" if args.faults else ""))
 
-    server, loop, thread = start_server(args)
-    try:
-        # warm each distinct shape once (compile + profile paid up front,
-        # outside the timed window) through a dedicated tenant
-        from repro.serve.client import ServeClient
+    # primary leg: tracing off (warm each distinct shape once through a
+    # dedicated tenant — compile + profile paid up front, untimed)
+    rows, wall_s, stats = run_leg(args, requests, trace=False)
 
-        warm = ServeClient(port=server.port, timeout=args.deadline_s * 4)
-        for shape in JOB_SHAPES:
-            warm.submit({**shape, "tenant": "warmup", "priority": 0})
+    obs = None
+    if not args.skip_obs:
+        print(f"tracing-overhead leg: {args.obs_requests} requests "
+              f"per side (off, then on)")
+        obs = measure_tracing_overhead(args)
 
-        t0 = time.perf_counter()
-        rows = drive(args, server.port, requests)
-        wall_s = time.perf_counter() - t0
-        stats = warm.stats()
-    finally:
-        stop_server(server, loop, thread)
-
-    report = summarize(args, rows, wall_s, stats)
+    report = summarize(args, rows, wall_s, stats, obs=obs)
     lat = report["latency"]
     print(f"  wall {wall_s:8.2f}s   {report['requests_per_s']:7.1f} req/s")
     print(f"  latency p50 {lat['p50_s'] * 1e3:8.1f}ms   "
@@ -324,6 +405,10 @@ def main(argv=None) -> int:
     # the invariants hold unconditionally, baseline or not
     if report["ledger"]["lost"] or report["ledger"]["duplicated"]:
         print("FAIL: exactly-once ledger violated", file=sys.stderr)
+        return 1
+    if obs is not None and check_tracing_overhead(
+        obs, args.trace_tolerance, args.trace_slack_s
+    ):
         return 1
     if args.check:
         return check_against(report, args.check, args.tolerance)

@@ -452,6 +452,11 @@ def _cmd_serve(args) -> int:
             default_deadline_s=args.deadline,
             faults=args.faults,
             fault_seed=args.fault_seed,
+            trace=args.trace,
+            slo_wall_ms=args.slo_ms,
+            flight_events=args.flight_events,
+            dump_on_shed=args.dump_on_shed,
+            dump_dir=args.dump_dir,
         )
         server = ServeServer(
             CompilationService(config), host=args.host, port=args.port
@@ -464,8 +469,11 @@ def _cmd_serve(args) -> int:
         await server.start()
         print(f"repro serve on http://{server.host}:{server.port} "
               f"({args.workers} {args.backend} workers, "
-              f"queue {args.max_queue})")
-        print("POST /v1/jobs | GET /healthz | GET /v1/stats  (Ctrl-C stops)")
+              f"queue {args.max_queue}"
+              + (", tracing on" if args.trace else "") + ")")
+        print("POST /v1/jobs | GET /healthz | GET /v1/stats | "
+              "GET /v1/metrics | GET /v1/trace/<job> | GET /v1/flight  "
+              "(Ctrl-C stops)")
         try:
             await server.serve_forever()
         except asyncio.CancelledError:
@@ -477,6 +485,55 @@ def _cmd_serve(args) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:
         print("\nserve: stopped")
+    return 0
+
+
+def _cmd_tail(args) -> int:
+    """Render a flight-recorder dump (file or a serve URL) for humans."""
+    import json as _json
+
+    from .obs.distrib import FLIGHT_SCHEMA, render_flight
+
+    source = args.source
+    if source.startswith(("http://", "https://")):
+        import urllib.error
+        import urllib.request
+
+        url = source.rstrip("/") + "/v1/flight"
+        try:
+            with urllib.request.urlopen(url, timeout=10.0) as resp:
+                raw = resp.read()
+        except urllib.error.HTTPError as exc:
+            if exc.code == 404:
+                print(f"{source}: no flight dump recorded yet",
+                      file=sys.stderr)
+                return 1
+            print(f"tail: HTTP {exc.code} from {url}", file=sys.stderr)
+            return 1
+        except (urllib.error.URLError, OSError) as exc:
+            print(f"tail: cannot reach {url}: {exc}", file=sys.stderr)
+            return 1
+    else:
+        try:
+            with open(source, "rb") as fh:
+                raw = fh.read()
+        except OSError as exc:
+            print(f"tail: {exc}", file=sys.stderr)
+            return 1
+    try:
+        doc = _json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        print(f"tail: not JSON: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(doc, indent=1, sort_keys=True))
+        return 0
+    try:
+        sys.stdout.write(render_flight(doc))
+    except ValueError as exc:
+        print(f"tail: {exc} (expected schema {FLIGHT_SCHEMA})",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -749,7 +806,38 @@ def build_parser() -> argparse.ArgumentParser:
                           "'serve.worker:0.05' kills a worker before 5%% "
                           "of dispatches")
     srv.add_argument("--fault-seed", type=int, default=0)
+    srv.add_argument("--trace", action="store_true",
+                     help="request-scoped distributed tracing + worker "
+                          "metric shipping (GET /v1/trace/<job_id>, "
+                          "richer /v1/metrics)")
+    srv.add_argument("--slo-ms", type=float, default=30000.0,
+                     help="latency SLO target feeding the burn-rate "
+                          "counters (default 30000)")
+    srv.add_argument("--flight-events", type=int, default=64,
+                     help="flight-recorder ring capacity per lane "
+                          "(default 64)")
+    srv.add_argument("--dump-on-shed", action="store_true",
+                     help="also dump the flight recorder when a job "
+                          "is shed")
+    srv.add_argument("--dump-dir", metavar="DIR", default=None,
+                     help="write flight dumps as JSON files here "
+                          "(default: in-memory only, GET /v1/flight)")
     srv.set_defaults(fn=_cmd_serve)
+
+    tail_p = sub.add_parser(
+        "tail",
+        help="render a flight-recorder dump (a repro.flight/v1 JSON "
+             "file or a running server's URL) for humans",
+    )
+    tail_p.add_argument(
+        "source",
+        help="path to a flight-dump JSON file, or a server base URL "
+             "(http://host:port) to fetch its latest dump from",
+    )
+    tail_p.add_argument("--json", action="store_true",
+                        help="print the raw JSON bundle instead of the "
+                             "rendered table")
+    tail_p.set_defaults(fn=_cmd_tail)
 
     inf = sub.add_parser(
         "infer",

@@ -156,8 +156,16 @@ class WorkerDied(JaponicaError):
     The job itself is pure (results travel in-band), so the service may
     retry it on another worker without risking duplicated side effects;
     the ledger still enforces at-most-one settlement per job id.
+
+    Carries the job's identity (``job_id``, ``tenant``, ``trace_id``)
+    so a worker-death fault in a log or flight dump is never anonymous:
+    the message names exactly whose dispatch was lost.
     """
 
-    def __init__(self, message: str = "", worker: str = ""):
+    def __init__(self, message: str = "", worker: str = "",
+                 job_id: str = "", tenant: str = "", trace_id: str = ""):
         super().__init__(message)
         self.worker = worker
+        self.job_id = job_id
+        self.tenant = tenant
+        self.trace_id = trace_id

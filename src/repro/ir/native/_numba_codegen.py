@@ -152,8 +152,16 @@ def _nb_bin(e, indent, instr, fault_exit) -> None:
         elif op == "*":
             core = f"{a} * {b}"
         elif op == "/":
-            # C float division: 0/0 = nan, x/0 = +-inf (matches _fdiv)
-            core = f"{a} / {b}"
+            # hardware 0/0 (and nan/0) yields the negative QNaN; the
+            # interpreter's _fdiv substitutes +NaN, and the sign bit
+            # matters bitwise.  x/0 stays +-inf, matching _fdiv's
+            # copysign product
+            core = (
+                f"((_NAN if {a} == 0.0 or {a} != {a}"
+                f" else math.copysign(_INF, math.copysign(1.0, {a})"
+                f" * math.copysign(1.0, {b})))"
+                f" if {b} == 0.0 else {a} / {b})"
+            )
         elif op == "%":
             # Java %: NaN for zero divisor or infinite dividend, with
             # the interpreter's +NaN rather than libm's result

@@ -176,7 +176,11 @@ def _vbinop(op: str, a, b, jt: JType):
             if op == "*":
                 return a * b
             if op == "/":
-                return np.divide(a, b)
+                # numpy's 0/0 and nan/0 yield the hardware -NaN; the
+                # interpreter (java_ops._fdiv) substitutes +NaN
+                r = np.divide(a, b)
+                bad = (b == 0) & ((a == 0) | np.isnan(a))
+                return np.where(bad, np.nan, r) if np.any(bad) else r
             if op == "%":
                 # numpy's fmod yields -NaN for inf % y and x % 0; the
                 # interpreter (java_ops._frem) substitutes +NaN

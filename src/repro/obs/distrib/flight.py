@@ -1,0 +1,145 @@
+"""Flight recorder: bounded per-lane ring buffers of job event records.
+
+The serve plane appends one small record per lifecycle event — submit,
+gate verdict, dispatch, worker death, retry, settlement, breaker trip,
+ladder move — into a ring buffer per lane (``service`` plus one lane per
+worker).  Rings are bounded, so steady-state cost is O(1) per event and
+the recorder never grows with uptime.
+
+On a trigger (worker death, breaker trip, or a shed when the service
+runs with ``--dump-on-shed``) the recorder emits a **post-mortem
+bundle**: schema ``repro.flight/v1``, carrying the last N events of
+every lane in one global sequence order, the spans still open in the
+active job traces, and the ladder/breaker/pool state at the moment of
+the dump.  Bundles are deterministic for a deterministic scenario —
+records carry a monotone sequence number, never a wall clock.
+
+``repro tail <dump|url>`` renders a bundle for humans
+(:func:`render_flight`).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Optional
+
+FLIGHT_SCHEMA = "repro.flight/v1"
+
+#: Lane name of service-side (non-worker) events.
+LANE_SERVICE = "service"
+
+
+class FlightRecorder:
+    """Bounded per-lane event rings with one global sequence."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError(f"flight ring needs capacity >= 1, "
+                             f"got {capacity}")
+        self.capacity = capacity
+        self._rings: dict[str, deque] = {}
+        self._seq = 0
+        self.recorded = 0
+        self.dumps = 0
+
+    def record(self, lane: str, kind: str, **attrs) -> dict:
+        """Append one event record to ``lane``'s ring."""
+        self._seq += 1
+        self.recorded += 1
+        event = {"seq": self._seq, "lane": lane, "kind": kind}
+        for key in sorted(attrs):
+            if attrs[key] is not None:
+                event[key] = attrs[key]
+        ring = self._rings.get(lane)
+        if ring is None:
+            ring = self._rings[lane] = deque(maxlen=self.capacity)
+        ring.append(event)
+        return event
+
+    def events(self) -> list[dict]:
+        """Every retained event across all lanes, in sequence order."""
+        out = [e for ring in self._rings.values() for e in ring]
+        out.sort(key=lambda e: e["seq"])
+        return out
+
+    def lanes(self) -> list[str]:
+        return sorted(self._rings)
+
+    def dump(
+        self,
+        reason: str,
+        open_spans: Optional[list[dict]] = None,
+        state: Optional[dict] = None,
+        **attrs,
+    ) -> dict:
+        """Build one post-mortem bundle (plain JSON document)."""
+        self.dumps += 1
+        doc = {
+            "schema": FLIGHT_SCHEMA,
+            "dump_seq": self.dumps,
+            "reason": reason,
+            "lanes": self.lanes(),
+            "events": self.events(),
+            "open_spans": list(open_spans or ()),
+            "state": dict(state or {}),
+        }
+        for key in sorted(attrs):
+            if attrs[key] is not None:
+                doc[key] = attrs[key]
+        return doc
+
+
+def write_flight_dump(path: str, doc: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def _fmt_attrs(event: dict, skip=("seq", "lane", "kind")) -> str:
+    return " ".join(
+        f"{k}={event[k]}" for k in sorted(event) if k not in skip
+    )
+
+
+def render_flight(doc: dict) -> str:
+    """Human rendering of one flight bundle (the ``repro tail`` view)."""
+    if doc.get("schema") != FLIGHT_SCHEMA:
+        raise ValueError(
+            f"not a flight dump: schema {doc.get('schema')!r} "
+            f"(expected {FLIGHT_SCHEMA!r})"
+        )
+    lines = [
+        f"flight dump #{doc.get('dump_seq', '?')} — "
+        f"reason: {doc.get('reason', '?')}",
+        f"lanes: {', '.join(doc.get('lanes', ())) or '(none)'}",
+        "",
+        f"{'seq':>5}  {'lane':<12} {'kind':<18} detail",
+    ]
+    for event in doc.get("events", ()):
+        lines.append(
+            f"{event['seq']:>5}  {event['lane']:<12} "
+            f"{event['kind']:<18} {_fmt_attrs(event)}"
+        )
+    open_spans = doc.get("open_spans", ())
+    lines.append("")
+    if open_spans:
+        lines.append(f"open spans at dump ({len(open_spans)}):")
+        for sp in open_spans:
+            attrs = " ".join(
+                f"{k}={v}" for k, v in sorted(sp.get("attrs", {}).items())
+            )
+            lines.append(
+                f"  [{sp.get('id')}] {sp.get('name')} "
+                f"(cat {sp.get('cat')}, tick {sp.get('tick_start')}..) "
+                f"{attrs}".rstrip()
+            )
+    else:
+        lines.append("open spans at dump: none")
+    state = doc.get("state", {})
+    if state:
+        lines.append("")
+        lines.append("state:")
+        for key in sorted(state):
+            lines.append(f"  {key}: {json.dumps(state[key], sort_keys=True)}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,181 @@
+"""Cross-process metric merge: registry snapshots and their fold.
+
+Worker runtimes ship a *snapshot state* of their metrics registry back
+with every job result; the service folds the latest state per worker
+with its own registry to answer ``/v1/metrics``.  The fold must behave
+like a commutative monoid so the merged view is independent of worker
+count, arrival order, and fold shape:
+
+* **counters** — add (monotone totals);
+* **gauges** — max (serve gauges are non-negative occupancy/level
+  readings, so "worst observed across the fleet" is the merged view);
+* **histograms** — bucket-wise count addition plus ``count``/``sum``
+  add, ``min`` min, ``max`` max.  Quantile estimates depend only on
+  (buckets, count, min, max), all of which merge exactly, so the merged
+  quantiles equal the quantiles of a single registry fed the
+  concatenated observation stream — the property the Hypothesis suite
+  pins (associativity, commutativity, identity included).
+
+The identity element is :data:`EMPTY_STATE`.  States are plain JSON
+documents (sorted keys when dumped), so they cross the process boundary
+as-is.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+#: The merge identity: a snapshot of a registry nothing ever touched.
+EMPTY_STATE: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def _bucket_key(le) -> tuple:
+    """Sort key for a bucket bound (floats ascending, '+Inf' last)."""
+    if le == "+Inf":
+        return (1, 0.0)
+    return (0, float(le))
+
+
+def registry_state(registry) -> dict:
+    """Snapshot a :class:`~repro.obs.metrics.MetricsRegistry` as a state.
+
+    Null registries (the zero-overhead off path) snapshot to the merge
+    identity.
+    """
+    counters = getattr(registry, "_counters", None)
+    if counters is None:  # NullMetricsRegistry
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+    return {
+        "counters": {
+            name: c.value for name, c in sorted(counters.items())
+        },
+        "gauges": {
+            name: g.value
+            for name, g in sorted(registry._gauges.items())
+            if g.written
+        },
+        "histograms": {
+            name: {
+                "count": h.count,
+                "sum": h.total,
+                "min": h.min if h.count else 0.0,
+                "max": h.max if h.count else 0.0,
+                "buckets": h.bucket_pairs(),
+            }
+            for name, h in sorted(registry._histograms.items())
+        },
+    }
+
+
+def _merge_histogram(a: dict, b: dict) -> dict:
+    counts: dict[tuple, list] = {}
+    for le, n in list(a["buckets"]) + list(b["buckets"]):
+        key = _bucket_key(le)
+        if key in counts:
+            counts[key][1] += n
+        else:
+            counts[key] = [le, n]
+    merged_count = a["count"] + b["count"]
+    return {
+        "count": merged_count,
+        "sum": a["sum"] + b["sum"],
+        "min": (
+            min(a["min"], b["min"]) if a["count"] and b["count"]
+            else (a["min"] if a["count"] else b["min"])
+        ),
+        "max": (
+            max(a["max"], b["max"]) if a["count"] and b["count"]
+            else (a["max"] if a["count"] else b["max"])
+        ),
+        "buckets": [counts[k] for k in sorted(counts)],
+    }
+
+
+def merge_states(a: dict, b: dict) -> dict:
+    """Fold two registry states; associative, commutative, identity
+    :data:`EMPTY_STATE`."""
+    counters = dict(a["counters"])
+    for name, v in b["counters"].items():
+        counters[name] = counters.get(name, 0.0) + v
+    gauges = dict(a["gauges"])
+    for name, v in b["gauges"].items():
+        gauges[name] = max(gauges[name], v) if name in gauges else v
+    histograms = {name: dict(h) for name, h in a["histograms"].items()}
+    for name, h in b["histograms"].items():
+        if name in histograms:
+            histograms[name] = _merge_histogram(histograms[name], h)
+        else:
+            histograms[name] = dict(h)
+    return {
+        "counters": {k: counters[k] for k in sorted(counters)},
+        "gauges": {k: gauges[k] for k in sorted(gauges)},
+        "histograms": {k: histograms[k] for k in sorted(histograms)},
+    }
+
+
+def state_histogram_quantile(hstate: dict, q: float) -> float:
+    """Quantile estimate from a histogram state.
+
+    Mirrors :meth:`repro.obs.metrics.Histogram.quantile` exactly: the
+    upper bound of the bucket holding the ``q``-th observation, clamped
+    to the observed ``[min, max]``.
+    """
+    count = hstate["count"]
+    if not count:
+        return 0.0
+    rank = max(1, math.ceil(q * count))
+    cum = 0
+    for le, n in sorted(hstate["buckets"], key=lambda p: _bucket_key(p[0])):
+        cum += n
+        if cum >= rank:
+            bound = hstate["max"] if le == "+Inf" else float(le)
+            return min(max(bound, hstate["min"]), hstate["max"])
+    return hstate["max"]
+
+
+def state_histogram_summary(hstate: dict) -> dict:
+    """The deterministic summary block exported for one histogram."""
+    count = hstate["count"]
+    return {
+        "count": count,
+        "sum": hstate["sum"],
+        "min": hstate["min"],
+        "max": hstate["max"],
+        "mean": hstate["sum"] / count if count else 0.0,
+        "p50": state_histogram_quantile(hstate, 0.50),
+        "p95": state_histogram_quantile(hstate, 0.95),
+        "p99": state_histogram_quantile(hstate, 0.99),
+    }
+
+
+def tenant_latency_summary(
+    state: dict, prefix: str = "serve.tenant.", suffix: str = ".wall_ms",
+) -> dict:
+    """Per-tenant latency quantiles from the merged state's histograms.
+
+    The service records one ``serve.tenant.<tenant>.wall_ms`` histogram
+    per tenant at settlement; this extracts ``{tenant: summary}``.
+    """
+    out = {}
+    for name, h in state["histograms"].items():
+        if name.startswith(prefix) and name.endswith(suffix):
+            tenant = name[len(prefix):-len(suffix)]
+            if tenant:
+                out[tenant] = state_histogram_summary(h)
+    return out
+
+
+def slo_summary(state: dict, target_ms: Optional[float] = None) -> dict:
+    """SLO burn-rate view over the good/bad settlement counters."""
+    good = state["counters"].get("serve.slo.good", 0.0)
+    bad = state["counters"].get("serve.slo.bad", 0.0)
+    total = good + bad
+    out = {
+        "good": good,
+        "bad": bad,
+        "burn_rate": bad / total if total else 0.0,
+    }
+    if target_ms is not None:
+        out["target_wall_ms"] = target_ms
+    return out

@@ -1,0 +1,112 @@
+"""Prometheus text exposition of a merged registry state.
+
+Renders the merge state (see :mod:`repro.obs.distrib.merge`) as
+Prometheus text format 0.0.4 — the format ``GET /v1/metrics`` answers
+by default.  Deterministic by construction: families and labels are
+sorted, and every value comes from the merged state (no wall clock, no
+iteration-order dependence).
+
+Naming: dots become underscores under a ``repro_`` prefix, so the
+``serve.wall_ms`` histogram exports as ``repro_serve_wall_ms``.  The
+per-tenant convention ``serve.tenant.<tenant>.<rest>`` is recognized and
+exported as ``repro_serve_tenant_<rest>{tenant="<tenant>"}`` — one
+family with a tenant label, not one family per tenant.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .merge import _bucket_key, state_histogram_quantile
+
+_TENANT_RE = re.compile(r"^serve\.tenant\.(?P<tenant>.+)\.(?P<rest>[^.]+)$")
+
+
+def _sanitize(name: str) -> str:
+    return "repro_" + re.sub(r"[^a-zA-Z0-9_]", "_", name)
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _family(name: str) -> tuple[str, str]:
+    """Split one flat metric name into (family, label-string)."""
+    m = _TENANT_RE.match(name)
+    if m:
+        fam = _sanitize(f"serve.tenant.{m.group('rest')}")
+        return fam, f'tenant="{_escape(m.group("tenant"))}"'
+    return _sanitize(name), ""
+
+
+def _line(fam: str, labels: str, value, suffix: str = "") -> str:
+    label_part = "{" + labels + "}" if labels else ""
+    if isinstance(value, float) and value == int(value):
+        value = int(value)
+    return f"{fam}{suffix}{label_part} {value}"
+
+
+def render_prometheus(state: dict) -> str:
+    """The merged state as Prometheus text (trailing newline included)."""
+    lines: list[str] = []
+    families_seen: set[str] = set()
+
+    def header(fam: str, kind: str) -> None:
+        if fam not in families_seen:
+            families_seen.add(fam)
+            lines.append(f"# TYPE {fam} {kind}")
+
+    for name in sorted(state["counters"]):
+        fam, labels = _family(name)
+        header(fam, "counter")
+        lines.append(_line(fam, labels, state["counters"][name]))
+
+    for name in sorted(state["gauges"]):
+        fam, labels = _family(name)
+        header(fam, "gauge")
+        lines.append(_line(fam, labels, state["gauges"][name]))
+
+    # group histograms by family first: tenant-labelled series share one
+    # family, and all samples of a family must stay contiguous
+    groups: dict[str, list[tuple[str, dict]]] = {}
+    for name in sorted(state["histograms"]):
+        fam, labels = _family(name)
+        groups.setdefault(fam, []).append((labels, state["histograms"][name]))
+
+    for fam in sorted(groups):
+        header(fam, "histogram")
+        for labels, h in groups[fam]:
+            cum = 0
+            for le, n in sorted(
+                h["buckets"], key=lambda p: _bucket_key(p[0])
+            ):
+                cum += n
+                le_txt = "+Inf" if le == "+Inf" else repr(float(le))
+                bucket_labels = ", ".join(
+                    x for x in (labels, f'le="{le_txt}"') if x
+                )
+                lines.append(
+                    _line(fam, bucket_labels, cum, suffix="_bucket")
+                )
+            if not h["buckets"] or h["buckets"][-1][0] != "+Inf":
+                bucket_labels = ", ".join(
+                    x for x in (labels, 'le="+Inf"') if x
+                )
+                lines.append(
+                    _line(fam, bucket_labels, cum, suffix="_bucket")
+                )
+            lines.append(_line(fam, labels, h["count"], suffix="_count"))
+            lines.append(_line(fam, labels, h["sum"], suffix="_sum"))
+
+    for fam in sorted(groups):
+        for q, tag in ((0.50, "p50"), (0.95, "p95"), (0.99, "p99")):
+            qfam = f"{fam}_{tag}"
+            header(qfam, "gauge")
+            for labels, h in groups[fam]:
+                lines.append(
+                    _line(qfam, labels, state_histogram_quantile(h, q))
+                )
+
+    return "\n".join(lines) + "\n"

@@ -130,9 +130,14 @@ def steal_summary(metrics, timelines: Sequence) -> dict:
 #: describes the *simulated* run, and which engine tier executed a
 #: kernel (or how long its host compile took in wall seconds) is not
 #: simulated behavior — equal simulations must render equal reports
-#: whether the native backend is on or off.
-_HOST_PLANE_METRIC_PREFIXES = ("kernel.", "jit.")
-_HOST_PLANE_SPAN_CATEGORIES = frozenset({"kernel", "jit"})
+#: whether the native backend is on or off.  The ``serve.*`` plane
+#: (request tracing, gate verdicts, worker bookkeeping) is host-side
+#: wall-clock machinery too: a job served with ``--trace`` must render
+#: the same insight report as one served without it.
+_HOST_PLANE_METRIC_PREFIXES = ("kernel.", "jit.", "serve.")
+_HOST_PLANE_SPAN_CATEGORIES = frozenset(
+    {"kernel", "jit", "serve", "serve.worker", "serve.http"}
+)
 
 
 def phase_summary(tracer) -> dict:

@@ -75,3 +75,45 @@ class ServeClient:
         if status != 200:
             raise JaponicaError(f"stats failed: HTTP {status}: {doc}")
         return doc
+
+    def metrics(self) -> dict:
+        """The merged ``repro.servemetrics/v1`` JSON document."""
+        status, doc = self._request("GET", "/v1/metrics?format=json")
+        if status != 200:
+            raise JaponicaError(f"metrics failed: HTTP {status}: {doc}")
+        return doc
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition of ``/v1/metrics``."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", "/v1/metrics")
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status != 200:
+                raise JaponicaError(
+                    f"metrics failed: HTTP {response.status}"
+                )
+            return raw.decode("utf-8")
+        finally:
+            conn.close()
+
+    def trace(self, job_id: str) -> dict:
+        """One traced job's Chrome-trace document."""
+        status, doc = self._request("GET", f"/v1/trace/{job_id}")
+        if status != 200:
+            raise JaponicaError(
+                f"trace failed: HTTP {status}: {doc.get('error', doc)}"
+            )
+        return doc
+
+    def flight(self) -> Optional[dict]:
+        """The latest flight dump, or None if no trigger has fired."""
+        status, doc = self._request("GET", "/v1/flight")
+        if status == 404:
+            return None
+        if status != 200:
+            raise JaponicaError(f"flight failed: HTTP {status}: {doc}")
+        return doc

@@ -185,6 +185,11 @@ class JobLedger:
     def __init__(self):
         self.admitted: dict[str, Optional[str]] = {}
         self.refused: dict[str, str] = {}
+        #: per-settled-job context record (tenant, trace id, attempts):
+        #: parallel to ``admitted`` so post-mortems can name whose job a
+        #: settlement was without changing the status-keyed view the
+        #: chaos suite reconciles
+        self.records: dict[str, dict] = {}
         self.duplicate_settlements = 0
 
     def admit(self, job: JobSpec) -> None:
@@ -196,7 +201,8 @@ class JobLedger:
         """Record a pre-admission refusal (reject/shed/breaker)."""
         self.refused[job.job_id] = status
 
-    def settle(self, job_id: str, status: str) -> None:
+    def settle(self, job_id: str, status: str, tenant: str = "",
+               trace_id: str = "", attempts: int = 0) -> None:
         if status not in TERMINAL_STATUSES:
             raise JaponicaError(f"not a terminal status: {status!r}")
         if job_id not in self.admitted:
@@ -205,6 +211,12 @@ class JobLedger:
             self.duplicate_settlements += 1
             raise JaponicaError(f"job {job_id} settled twice")
         self.admitted[job_id] = status
+        self.records[job_id] = {
+            "status": status,
+            "tenant": tenant,
+            "trace_id": trace_id,
+            "attempts": attempts,
+        }
 
     def unsettled(self) -> list[str]:
         return [jid for jid, st in self.admitted.items() if st is None]

@@ -17,6 +17,13 @@ Worker-death injection (site ``serve.worker``) is decided *in the event
 loop* before dispatch, keyed to the pool's fault schedule by the global
 dispatch index — so a chaos run replayed with the same ``--fault-seed``
 kills the same jobs' workers regardless of thread/process timing.
+
+When the pool is built with ``trace=True`` each runtime records spans
+and metrics; the trace context crosses the process pipe as a plain dict
+next to the job document, and the worker's span slice plus registry
+snapshot ride back on the result document.  :class:`WorkerDied` raised
+here always carries the lost job's identity (job id, tenant, trace id)
+so death messages in logs and flight dumps are never anonymous.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ from ..cache.artifacts import ArtifactCache
 from ..errors import JaponicaError, WorkerDied
 from ..faults.plane import SITE_SERVE_WORKER
 from ..faults.resilience import FaultRuntime
+from ..obs.distrib import TraceContext
 from ..runtime.deadline import Deadline
 from .jobs import JobResult, JobSpec
 from .worker import WorkerRuntime
@@ -42,10 +50,14 @@ BACKENDS = ("thread", "process")
 #: Liveness poll interval while waiting on a process worker (seconds).
 _POLL_S = 0.02
 
+#: Result-doc keys that are pool transport, not client answer fields.
+_SIDE_CHANNEL_KEYS = ("trace_spans", "worker_metrics", "worker_name")
 
-def _process_worker_main(conn, cache_dir: Optional[str]) -> None:
-    """Child-process loop: recv (job, level, deadline) -> send result."""
-    runtime = WorkerRuntime(cache_dir=cache_dir)
+
+def _process_worker_main(conn, cache_dir: Optional[str],
+                         name: str = "serve-w", trace: bool = False) -> None:
+    """Child-process loop: recv (job, level, deadline, trace) -> result."""
+    runtime = WorkerRuntime(cache_dir=cache_dir, trace=trace, name=name)
     while True:
         try:
             msg = conn.recv()
@@ -53,10 +65,11 @@ def _process_worker_main(conn, cache_dir: Optional[str]) -> None:
             break
         if msg is None:
             break
-        job_doc, degrade_level, deadline_remaining_s = msg
+        job_doc, degrade_level, deadline_remaining_s, trace_doc = msg
         try:
             out = runtime.execute_dict(
-                job_doc, degrade_level, deadline_remaining_s
+                job_doc, degrade_level, deadline_remaining_s,
+                trace_doc=trace_doc,
             )
         except BaseException as exc:  # the loop itself must never die
             out = JobResult(
@@ -74,12 +87,13 @@ def _process_worker_main(conn, cache_dir: Optional[str]) -> None:
 class _ProcWorker:
     """Handle on one child process + its pipe."""
 
-    def __init__(self, mp_ctx, cache_dir: Optional[str], name: str):
+    def __init__(self, mp_ctx, cache_dir: Optional[str], name: str,
+                 trace: bool = False):
         parent, child = mp_ctx.Pipe()
         self.conn = parent
         self.name = name
         self.process = mp_ctx.Process(
-            target=_process_worker_main, args=(child, cache_dir),
+            target=_process_worker_main, args=(child, cache_dir, name, trace),
             name=name, daemon=True,
         )
         self.process.start()
@@ -114,6 +128,7 @@ class WorkerPool:
         backend: str = "thread",
         cache_dir: Optional[str] = None,
         faults: Optional[FaultRuntime] = None,
+        trace: bool = False,
     ):
         if workers < 1:
             raise JaponicaError(f"pool needs >= 1 worker, got {workers}")
@@ -124,6 +139,7 @@ class WorkerPool:
         self.workers = workers
         self.backend = backend
         self.cache_dir = cache_dir
+        self.trace = bool(trace)
         #: fault runtime probed at ``serve.worker`` per dispatch
         self.faults = faults or FaultRuntime()
         self.worker_deaths = 0
@@ -133,6 +149,7 @@ class WorkerPool:
         self._executor: Optional[ThreadPoolExecutor] = None
         self._runtimes: dict[int, WorkerRuntime] = {}
         self._runtimes_lock = threading.Lock()
+        self._thread_seq = 0
         # process backend state
         self._mp_ctx = None
         self._free: Optional[asyncio.Queue] = None
@@ -163,7 +180,8 @@ class WorkerPool:
     def _spawn(self) -> _ProcWorker:
         self.workers_spawned += 1
         w = _ProcWorker(
-            self._mp_ctx, self.cache_dir, f"serve-w{self.workers_spawned}"
+            self._mp_ctx, self.cache_dir, f"serve-w{self.workers_spawned}",
+            trace=self.trace,
         )
         # track every live handle: stop() must reach workers that are
         # checked out of the free queue (a run() in flight), not only
@@ -195,6 +213,7 @@ class WorkerPool:
         job: JobSpec,
         degrade_level: int = 0,
         deadline: Optional[Deadline] = None,
+        trace_ctx: Optional[TraceContext] = None,
     ) -> JobResult:
         """Execute ``job``; raises :class:`WorkerDied` on a lost worker."""
         if not self._started:
@@ -208,9 +227,20 @@ class WorkerPool:
         )
         if self.backend == "thread":
             return await self._run_thread(job, degrade_level, deadline,
-                                          die=directive is not None)
+                                          die=directive is not None,
+                                          trace_ctx=trace_ctx)
         return await self._run_process(job, degrade_level, deadline,
-                                       die=directive is not None)
+                                       die=directive is not None,
+                                       trace_ctx=trace_ctx)
+
+    def _died(self, message: str, worker: str, job: JobSpec,
+              trace_ctx: Optional[TraceContext]) -> WorkerDied:
+        return WorkerDied(
+            f"{message} [job={job.job_id} tenant={job.tenant}"
+            + (f" trace={trace_ctx.trace_id}" if trace_ctx else "") + "]",
+            worker=worker, job_id=job.job_id, tenant=job.tenant,
+            trace_id=trace_ctx.trace_id if trace_ctx else "",
+        )
 
     # -- thread backend ---------------------------------------------------
 
@@ -219,30 +249,37 @@ class WorkerPool:
         with self._runtimes_lock:
             runtime = self._runtimes.get(ident)
             if runtime is None:
-                runtime = WorkerRuntime(cache=self.cache)
+                self._thread_seq += 1
+                runtime = WorkerRuntime(
+                    cache=self.cache, trace=self.trace,
+                    name=f"thread-w{self._thread_seq}",
+                )
                 self._runtimes[ident] = runtime
         return runtime
 
     async def _run_thread(
         self, job: JobSpec, degrade_level: int,
         deadline: Optional[Deadline], die: bool,
+        trace_ctx: Optional[TraceContext] = None,
     ) -> JobResult:
         if die:
             # the worker dies before acknowledging: its in-memory pools
             # are lost (one runtime dropped), the job is never acked
             self.worker_deaths += 1
+            name = "thread"
             with self._runtimes_lock:
                 if self._runtimes:
-                    self._runtimes.pop(next(iter(self._runtimes)))
-            raise WorkerDied(
+                    dropped = self._runtimes.pop(next(iter(self._runtimes)))
+                    name = dropped.name
+            raise self._died(
                 f"injected worker death before job {job.job_id}",
-                worker="thread",
+                worker=name, job=job, trace_ctx=trace_ctx,
             )
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(
             self._executor,
             lambda: self._thread_runtime().execute(
-                job, degrade_level, deadline
+                job, degrade_level, deadline, trace=trace_ctx
             ),
         )
 
@@ -270,6 +307,7 @@ class WorkerPool:
     async def _run_process(
         self, job: JobSpec, degrade_level: int,
         deadline: Optional[Deadline], die: bool,
+        trace_ctx: Optional[TraceContext] = None,
     ) -> JobResult:
         w: _ProcWorker = await self._free.get()
         replaced = False
@@ -278,12 +316,15 @@ class WorkerPool:
                 w.kill()  # real SIGKILL: the dispatch below must recover
             remaining = deadline.remaining() if deadline is not None else None
             loop = asyncio.get_running_loop()
-            payload = (job.to_dict(), degrade_level, remaining)
+            payload = (
+                job.to_dict(), degrade_level, remaining,
+                trace_ctx.to_doc() if trace_ctx is not None else None,
+            )
             try:
                 doc = await loop.run_in_executor(
                     None, self._exchange, w, payload
                 )
-            except WorkerDied:
+            except WorkerDied as exc:
                 self.worker_deaths += 1
                 replaced = True
                 try:
@@ -294,10 +335,16 @@ class WorkerPool:
                 if w in self._procs:
                     self._procs.remove(w)
                 self._free.put_nowait(self._spawn())
-                raise
+                raise self._died(
+                    str(exc), worker=w.name, job=job, trace_ctx=trace_ctx,
+                ) from None
             cache_delta = doc.pop("cache_delta", {"hits": 0, "misses": 0})
+            side = {
+                key: doc.pop(key) for key in _SIDE_CHANNEL_KEYS if key in doc
+            }
             result = JobResult.from_dict(doc)
             result.__dict__["cache_delta"] = cache_delta
+            result.__dict__.update(side)
             return result
         finally:
             if not replaced:

@@ -22,6 +22,18 @@ Routes
 
 * ``GET /healthz`` — liveness + current degradation level.
 * ``GET /v1/stats`` — full :meth:`CompilationService.stats` document.
+* ``GET /v1/metrics`` — live merged metrics: Prometheus text 0.0.4 by
+  default, the deterministic ``repro.servemetrics/v1`` JSON document
+  with ``?format=json``.
+* ``GET /v1/trace/<job_id>`` — one traced job's Chrome-trace document
+  (404 unless the service runs with tracing and the job is known).
+* ``GET /v1/flight`` — the latest flight-recorder dump (404 until a
+  trigger — worker death, breaker trip, shed — has fired).
+
+When tracing is on, ``POST /v1/jobs`` opens the request's root span
+(``http:POST /v1/jobs`` — the HTTP-accept edge of the trace tree) and
+the response body gains a ``trace_id`` field.  With tracing off the
+body is byte-identical to the untraced server.
 """
 
 from __future__ import annotations
@@ -32,6 +44,7 @@ import math
 from typing import Optional
 
 from ..errors import JaponicaError
+from ..obs.distrib import JobTrace, TraceContext
 from .jobs import (
     STATUS_BREAKER_OPEN,
     STATUS_DEADLINE,
@@ -154,6 +167,21 @@ class ServeServer:
             }, {}
         if method == "GET" and path == "/v1/stats":
             return 200, self.service.stats(), {}
+        if method == "GET" and path.split("?", 1)[0] == "/v1/metrics":
+            if path.endswith("?format=json"):
+                return 200, self.service.metrics_document(), {}
+            return 200, self.service.metrics_prometheus(), {}
+        if method == "GET" and path.startswith("/v1/trace/"):
+            job_id = path[len("/v1/trace/"):]
+            doc = self.service.trace_document(job_id)
+            if doc is None:
+                return 404, {"error": f"no trace for job {job_id!r}"}, {}
+            return 200, doc, {}
+        if method == "GET" and path == "/v1/flight":
+            dump = self.service.flight_latest()
+            if dump is None:
+                return 404, {"error": "no flight dump recorded yet"}, {}
+            return 200, dump, {}
         if path == "/v1/jobs":
             if method != "POST":
                 return 405, {"error": "use POST /v1/jobs"}, {}
@@ -167,7 +195,16 @@ class ServeServer:
             return 400, {"error": f"bad JSON body: {exc}"}, {}
         try:
             job = JobSpec.from_dict(doc)
-            result = await self.service.submit(job)
+            trace = None
+            if self.service.config.trace:
+                # the HTTP edge mints the trace: its root span is the
+                # accept event the whole request tree hangs under
+                trace = JobTrace(TraceContext.mint(job.tenant, job.job_id))
+                trace.open_root(
+                    "http:POST /v1/jobs", "serve.http",
+                    job_id=job.job_id, tenant=job.tenant,
+                )
+            result = await self.service.submit(job, trace=trace)
         except JaponicaError as exc:
             # malformed spec (including a bad --faults grammar): pointed
             # message, 400, never a traceback
@@ -180,16 +217,24 @@ class ServeServer:
             headers["Retry-After"] = str(
                 max(1, math.ceil(result.retry_after_s))
             )
-        return status, result.to_dict(), headers
+        doc = result.to_dict()
+        if trace is not None:
+            doc["trace_id"] = trace.context.trace_id
+        return status, doc, headers
 
     @staticmethod
-    def _write_response(writer, status: int, payload: dict,
+    def _write_response(writer, status: int, payload,
                         headers: dict) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            ctype = "application/json"
         reason = _REASONS.get(status, "Unknown")
         head = [
             f"HTTP/1.1 {status} {reason}",
-            "Content-Type: application/json",
+            f"Content-Type: {ctype}",
             f"Content-Length: {len(body)}",
             "Connection: close",
         ]

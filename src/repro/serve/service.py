@@ -20,21 +20,53 @@ gates in a fixed order:
 
 Every admitted job settles in the :class:`JobLedger` exactly once; the
 chaos suite reconciles that invariant after killing workers mid-run.
+
+**Observability** (``trace=True`` in :class:`ServeConfig`): every job
+carries a :class:`~repro.obs.distrib.JobTrace` whose tracer records one
+span per gate verdict and dispatch attempt; worker-side pipeline spans
+ship back with the result and are grafted under the attempt that
+produced them, so one job exports one Chrome-trace tree from HTTP accept
+to settlement.  Worker registries ride back the same way and fold into
+the service's own metrics with the commutative merge behind
+``/v1/metrics``.  A bounded flight recorder runs regardless of tracing
+and dumps a ``repro.flight/v1`` post-mortem bundle on worker death,
+breaker trip, or (with ``dump_on_shed``) a shed.  With tracing off, the
+null tracer makes every span call a shared no-op and results carry no
+extra fields: responses are byte-identical to the untraced service.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+import os
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..errors import JaponicaError, WorkerDied
 from ..faults.resilience import FaultRuntime, ResiliencePolicy
 from ..faults.schedule import FaultSchedule
+from ..obs.export import chrome_trace
 from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER
+from ..obs.distrib import (
+    LANE_SERVICE,
+    FlightRecorder,
+    JobTrace,
+    TraceContext,
+    adopt_spans,
+    close_open_spans,
+    merge_states,
+    open_span_docs,
+    registry_state,
+    render_prometheus,
+    slo_summary,
+    state_histogram_summary,
+    tenant_latency_summary,
+    write_flight_dump,
+)
 from ..runtime.deadline import Deadline
 from .admission import AdmissionController, TenantQuota
 from .breaker import BreakerBoard
@@ -56,6 +88,9 @@ from .jobs import (
     JobSpec,
 )
 from .pool import WorkerPool
+
+#: Schema tag of the ``/v1/metrics`` JSON document.
+METRICS_DOC_SCHEMA = "repro.servemetrics/v1"
 
 
 @dataclass
@@ -88,6 +123,21 @@ class ServeConfig:
     fault_seed: int = 0
     #: completed-results cache (the cache-only degradation rung)
     results_cache_entries: int = 256
+    #: request tracing + worker metric shipping (PR 10); off by default
+    #: so the untraced serve plane stays byte-identical
+    trace: bool = False
+    #: settled job traces retained for ``GET /v1/trace/<job_id>`` (LRU)
+    trace_keep: int = 64
+    #: flight-recorder ring capacity (events per lane)
+    flight_events: int = 64
+    #: in-memory flight dumps retained
+    flight_keep: int = 8
+    #: also dump the flight recorder when a job is shed
+    dump_on_shed: bool = False
+    #: directory for flight-dump files (None = in-memory only)
+    dump_dir: Optional[str] = None
+    #: latency SLO target feeding the good/bad burn-rate counters
+    slo_wall_ms: float = 30000.0
 
 
 class CompilationService:
@@ -128,8 +178,17 @@ class CompilationService:
             backend=cfg.backend,
             cache_dir=cfg.cache_dir,
             faults=self.faults,
+            trace=cfg.trace,
         )
         self.ledger = JobLedger()
+        self.flight = FlightRecorder(capacity=cfg.flight_events)
+        self._flight_dumps: deque = deque(maxlen=cfg.flight_keep)
+        #: latest registry snapshot per worker (cumulative, so keeping
+        #: only the newest per worker makes the fold exact)
+        self._worker_metrics: dict[str, dict] = {}
+        #: job traces: in flight, then an LRU of settled ones
+        self._active_traces: dict[str, JobTrace] = {}
+        self._traces: OrderedDict[str, JobTrace] = OrderedDict()
         self._queue: asyncio.PriorityQueue = asyncio.PriorityQueue()
         self._qseq = itertools.count()
         self._dispatchers: list[asyncio.Task] = []
@@ -164,19 +223,155 @@ class CompilationService:
         await self.pool.stop()
         self._started = False
 
+    # -- tracing helpers --------------------------------------------------
+
+    def _mint_trace(self, job: JobSpec) -> Optional[JobTrace]:
+        if not self.config.trace:
+            return None
+        trace = JobTrace(TraceContext.mint(job.tenant, job.job_id))
+        trace.open_root(
+            "serve.job", "serve", job_id=job.job_id, tenant=job.tenant,
+        )
+        self._active_traces[job.job_id] = trace
+        return trace
+
+    def _finish_trace(self, job: JobSpec, trace: Optional[JobTrace],
+                      result: JobResult) -> None:
+        """Close the root, sweep stragglers, retire the trace to the LRU."""
+        if trace is None:
+            return
+        if trace.root is not None and trace.root.span.open:
+            trace.root.annotate(status=result.status,
+                                attempts=result.attempts)
+            trace.root.close()
+        close_open_spans(trace.tracer, status="abandoned")
+        self._active_traces.pop(job.job_id, None)
+        self._traces[job.job_id] = trace
+        self._traces.move_to_end(job.job_id)
+        while len(self._traces) > self.config.trace_keep:
+            self._traces.popitem(last=False)
+
+    def _flight_dump(self, reason: str, **attrs) -> dict:
+        open_spans = []
+        for job_id in sorted(self._active_traces):
+            open_spans.extend(
+                open_span_docs(self._active_traces[job_id].tracer)
+            )
+        state = {
+            "queue_depth": self._queue.qsize(),
+            "degradation": self.ladder.stats(),
+            "breakers": {
+                "trips": self.breakers.trips,
+                "recoveries": self.breakers.recoveries,
+            },
+            "pool": {
+                "backend": self.pool.backend,
+                "workers": self.pool.workers,
+                "worker_deaths": self.pool.worker_deaths,
+                "workers_spawned": self.pool.workers_spawned,
+            },
+            "ledger": self.ledger.counts(),
+        }
+        doc = self.flight.dump(
+            reason, open_spans=open_spans, state=state, **attrs
+        )
+        self._flight_dumps.append(doc)
+        if self.config.dump_dir:
+            os.makedirs(self.config.dump_dir, exist_ok=True)
+            write_flight_dump(
+                os.path.join(
+                    self.config.dump_dir,
+                    f"flight-{doc['dump_seq']:04d}-{reason}.json",
+                ),
+                doc,
+            )
+        return doc
+
+    def flight_latest(self) -> Optional[dict]:
+        """The most recent flight dump, if any trigger has fired."""
+        return self._flight_dumps[-1] if self._flight_dumps else None
+
+    def trace_document(self, job_id: str) -> Optional[dict]:
+        """One settled (or in-flight) job's Chrome-trace document."""
+        trace = self._traces.get(job_id) or self._active_traces.get(job_id)
+        if trace is None:
+            return None
+        return chrome_trace(
+            trace.tracer.spans,
+            metadata={"trace_id": trace.context.trace_id, "job_id": job_id},
+        )
+
+    # -- metrics merge ----------------------------------------------------
+
+    def metrics_state(self) -> dict:
+        """Service registry folded with every worker's latest snapshot."""
+        state = registry_state(self.metrics)
+        for name in sorted(self._worker_metrics):
+            state = merge_states(state, self._worker_metrics[name])
+        return state
+
+    def metrics_prometheus(self) -> str:
+        return render_prometheus(self.metrics_state())
+
+    def metrics_document(self) -> dict:
+        """The deterministic JSON view behind ``/v1/metrics?format=json``."""
+        state = self.metrics_state()
+        counters = state["counters"]
+        admitted = counters.get("serve.admitted", 0.0)
+        refused = sum(
+            v for k, v in counters.items()
+            if k in (f"serve.{STATUS_REJECTED}", f"serve.{STATUS_SHED}",
+                     f"serve.{STATUS_BREAKER_OPEN}")
+        )
+        submitted = admitted + refused
+        return {
+            "schema": METRICS_DOC_SCHEMA,
+            "workers_reporting": sorted(self._worker_metrics),
+            "counters": counters,
+            "gauges": state["gauges"],
+            "histograms": {
+                name: state_histogram_summary(h)
+                for name, h in state["histograms"].items()
+            },
+            "tenants": tenant_latency_summary(state),
+            "slo": slo_summary(state, self.config.slo_wall_ms),
+            "rates": {
+                "shed": (
+                    counters.get(f"serve.{STATUS_SHED}", 0.0) / submitted
+                    if submitted else 0.0
+                ),
+                "rejected": (
+                    counters.get(f"serve.{STATUS_REJECTED}", 0.0) / submitted
+                    if submitted else 0.0
+                ),
+                "retry": (
+                    counters.get("serve.retry.attempts", 0.0) / admitted
+                    if admitted else 0.0
+                ),
+            },
+        }
+
     # -- submission path --------------------------------------------------
 
     def _load(self) -> float:
         return self._queue.qsize() / self.config.max_queue
 
     def _refuse(self, job: JobSpec, status: str, retry_after_s: float,
-                error: str) -> JobResult:
+                error: str, trace: Optional[JobTrace] = None) -> JobResult:
         self.ledger.refuse(job, status)
         self.metrics.counter(f"serve.{status}").inc()
-        return JobResult(
+        self.flight.record(
+            LANE_SERVICE, "job.refused", job_id=job.job_id,
+            tenant=job.tenant, status=status,
+        )
+        result = JobResult(
             job.job_id, job.tenant, status, kind=job.kind,
             retry_after_s=retry_after_s or None, error=error,
         )
+        self._finish_trace(job, trace, result)
+        if status == STATUS_SHED and self.config.dump_on_shed:
+            self._flight_dump("shed", job_id=job.job_id, tenant=job.tenant)
+        return result
 
     def _cached_answer(self, job: JobSpec) -> Optional[JobResult]:
         doc = self._results_cache.get(job.result_key())
@@ -198,31 +393,54 @@ class CompilationService:
         while len(self._results_cache) > self.config.results_cache_entries:
             self._results_cache.popitem(last=False)
 
-    async def submit(self, job: JobSpec) -> JobResult:
+    async def submit(self, job: JobSpec,
+                     trace: Optional[JobTrace] = None) -> JobResult:
         """Drive one job through every gate to a terminal result.
 
         Raises :class:`JaponicaError` only for *malformed* specs (the
         HTTP layer maps that to 400); every load-dependent refusal is a
         terminal :class:`JobResult`, so callers can always distinguish
         "you sent garbage" from "come back later".
+
+        ``trace`` lets the accepting edge (the HTTP layer) hand in a
+        :class:`JobTrace` whose root span it already opened; with
+        tracing on and no trace given, the service mints one rooted at
+        ``serve.job``.
         """
         if not self._started:
             await self.start()
         job.validate()
+        if trace is None:
+            trace = self._mint_trace(job)
+        elif self.config.trace:
+            self._active_traces[job.job_id] = trace
+        tr = trace.tracer if trace is not None else NULL_TRACER
+        self.flight.record(
+            LANE_SERVICE, "job.submit", job_id=job.job_id, tenant=job.tenant,
+            job_kind=job.kind, priority=job.priority,
+            trace_id=trace.context.trace_id if trace else None,
+        )
 
         # 2. circuit breaker
         breaker = self.breakers.breaker(job.tenant)
-        if not breaker.allow():
+        with tr.span("gate:breaker", "serve", tenant=job.tenant) as sp:
+            allowed = breaker.allow()
+            sp.annotate(outcome="allow" if allowed else "open",
+                        state=breaker.state)
+        if not allowed:
             self.metrics.counter("serve.breaker.refused").inc()
             return self._refuse(
                 job, STATUS_BREAKER_OPEN,
                 retry_after_s=max(breaker.retry_after(), 1e-3),
                 error=f"circuit breaker open for tenant {job.tenant!r}",
+                trace=trace,
             )
 
         # 3. degradation ladder (cumulative rungs); any refusal past the
         # breaker must hand back the half-open probe slot allow() took
-        level = self.ladder.observe(self._load())
+        with tr.span("gate:ladder", "serve") as sp:
+            level = self.ladder.observe(self._load())
+            sp.annotate(outcome=level)
         self.metrics.gauge("serve.degrade.level").set(level)
         if level >= LEVEL_SHED_LOW and job.priority >= PRIORITY_LOW:
             breaker.release()
@@ -230,6 +448,7 @@ class CompilationService:
             return self._refuse(
                 job, STATUS_SHED, retry_after_s=0.1,
                 error="shedding lowest-priority jobs under overload",
+                trace=trace,
             )
         if level >= LEVEL_CACHE_ONLY:
             breaker.release()
@@ -237,15 +456,21 @@ class CompilationService:
             if cached is not None:
                 self.metrics.counter("serve.cache_only.hit").inc()
                 self.ledger.refuse(job, STATUS_OK)
+                self._finish_trace(job, trace, cached)
                 return cached
             self.metrics.counter("serve.shed.cache_only").inc()
             return self._refuse(
                 job, STATUS_SHED, retry_after_s=0.1,
                 error="cache-only mode under overload and no cached answer",
+                trace=trace,
             )
 
-        # 4. admission control
-        decision = self.admission.admit(job.tenant, self._queue.qsize())
+        # 4. admission control (queue depth, then the tenant's tokens)
+        with tr.span("gate:admission", "serve", tenant=job.tenant) as sp:
+            decision = self.admission.admit(job.tenant, self._queue.qsize())
+            sp.annotate(
+                outcome="admit" if decision.admitted else decision.reason
+            )
         if not decision.admitted:
             breaker.release()
             self.metrics.counter(
@@ -255,6 +480,7 @@ class CompilationService:
                 job, STATUS_REJECTED,
                 retry_after_s=decision.retry_after_s,
                 error=f"admission refused ({decision.reason})",
+                trace=trace,
             )
 
         # 5. admitted: stamp the deadline, queue, await settlement
@@ -265,10 +491,16 @@ class CompilationService:
             if job.deadline_ms is not None
             else self.config.default_deadline_s
         )
-        deadline = Deadline(budget_s, clock=self.clock)
+        with tr.span("gate:deadline", "serve") as sp:
+            deadline = Deadline(budget_s, clock=self.clock)
+            sp.annotate(outcome="stamped", budget_s=budget_s)
+        self.flight.record(
+            LANE_SERVICE, "job.admitted", job_id=job.job_id,
+            tenant=job.tenant, budget_s=budget_s,
+        )
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._queue.put_nowait(
-            (job.priority, next(self._qseq), job, future, deadline)
+            (job.priority, next(self._qseq), job, future, deadline, trace)
         )
         self.metrics.gauge("serve.queue_depth").set(self._queue.qsize())
         return await future
@@ -277,10 +509,10 @@ class CompilationService:
 
     async def _dispatch_loop(self) -> None:
         while True:
-            _prio, _seq, job, future, deadline = await self._queue.get()
+            _prio, _seq, job, future, deadline, trace = await self._queue.get()
             try:
                 level = self.ladder.observe(self._load())
-                result = await self._execute(job, level, deadline)
+                result = await self._execute(job, level, deadline, trace)
                 breaker = self.breakers.breaker(job.tenant)
                 trips_before = breaker.trips
                 if result.status == STATUS_OK:
@@ -289,17 +521,45 @@ class CompilationService:
                     breaker.record_failure()
                     if breaker.trips > trips_before:
                         self.metrics.counter("serve.breaker.trips").inc()
+                        self.flight.record(
+                            LANE_SERVICE, "breaker.trip",
+                            tenant=job.tenant, job_id=job.job_id,
+                        )
+                        self._flight_dump(
+                            "breaker_trip", tenant=job.tenant,
+                            job_id=job.job_id,
+                        )
                 else:
                     # neutral outcome (e.g. deadline): no verdict on the
                     # tenant's health, but the half-open probe slot that
                     # allow() took must be handed back
                     breaker.release()
                 self._store_answer(job, result)
-                self.ledger.settle(job.job_id, result.status)
+                self.ledger.settle(
+                    job.job_id, result.status, tenant=job.tenant,
+                    trace_id=trace.context.trace_id if trace else "",
+                    attempts=result.attempts,
+                )
                 self.metrics.counter(f"serve.{result.status}").inc()
                 self.metrics.histogram("serve.wall_ms").observe(
                     result.wall_ms
                 )
+                self.metrics.histogram(
+                    f"serve.tenant.{job.tenant}.wall_ms"
+                ).observe(result.wall_ms)
+                slo_ok = (
+                    result.status == STATUS_OK
+                    and result.wall_ms <= self.config.slo_wall_ms
+                )
+                self.metrics.counter(
+                    "serve.slo.good" if slo_ok else "serve.slo.bad"
+                ).inc()
+                self.flight.record(
+                    LANE_SERVICE, "job.settle", job_id=job.job_id,
+                    tenant=job.tenant, status=result.status,
+                    attempts=result.attempts,
+                )
+                self._finish_trace(job, trace, result)
                 if not future.done():
                     future.set_result(result)
             except Exception as exc:  # dispatcher must never die
@@ -308,7 +568,12 @@ class CompilationService:
                 if self.ledger.admitted.get(job.job_id) is None:
                     self.breakers.breaker(job.tenant).record_failure()
                     try:
-                        self.ledger.settle(job.job_id, STATUS_FAILED)
+                        self.ledger.settle(
+                            job.job_id, STATUS_FAILED, tenant=job.tenant,
+                            trace_id=(
+                                trace.context.trace_id if trace else ""
+                            ),
+                        )
                     except JaponicaError:  # pragma: no cover - raced settle
                         pass
                     self.metrics.counter(f"serve.{STATUS_FAILED}").inc()
@@ -318,20 +583,48 @@ class CompilationService:
                 self._queue.task_done()
 
     async def _execute(
-        self, job: JobSpec, level: int, deadline: Deadline
+        self, job: JobSpec, level: int, deadline: Deadline,
+        trace: Optional[JobTrace] = None,
     ) -> JobResult:
         """Run with seeded-jitter retries around transient worker deaths."""
         policy = self.faults.policy
         seed = self.config.fault_seed
+        tr = trace.tracer if trace is not None else NULL_TRACER
         attempt = 0
         while True:
+            handle = tr.span(
+                "attempt:%d" % (attempt + 1), "serve",
+                job_id=job.job_id, attempt=attempt + 1,
+            )
+            trace_ctx = (
+                trace.context.child(handle.span.id)
+                if trace is not None else None
+            )
             try:
-                result = await self.pool.run(job, level, deadline)
+                result = await self.pool.run(
+                    job, level, deadline, trace_ctx=trace_ctx
+                )
                 result.attempts = attempt + 1
                 self._account_cache(result)
+                self._adopt_result(result, trace, handle)
+                handle.annotate(outcome=result.status)
+                handle.close()
                 return result
             except WorkerDied as exc:
+                # the liveness reaper detected a killed worker: the
+                # attempt span it left open closes here, marked killed
+                handle.annotate(outcome="worker_died", status="killed",
+                                worker=exc.worker)
+                handle.close()
                 self.metrics.counter("serve.worker.deaths").inc()
+                self.flight.record(
+                    LANE_SERVICE, "worker.death", job_id=job.job_id,
+                    tenant=job.tenant, worker=exc.worker,
+                    trace_id=exc.trace_id or None, attempt=attempt + 1,
+                )
+                self._flight_dump(
+                    "worker_death", job_id=job.job_id, worker=exc.worker,
+                )
                 if attempt >= policy.max_retries:
                     return JobResult(
                         job.job_id, job.tenant, STATUS_FAILED, kind=job.kind,
@@ -346,8 +639,24 @@ class CompilationService:
                 )
                 self.metrics.counter("serve.retry.attempts").inc()
                 self.metrics.counter("serve.retry.backoff_s").inc(backoff)
+                self.flight.record(
+                    LANE_SERVICE, "job.retry", job_id=job.job_id,
+                    tenant=job.tenant, attempt=attempt + 1,
+                    backoff_ms=round(backoff * 1e3, 3),
+                )
                 await asyncio.sleep(backoff)
                 attempt += 1
+
+    def _adopt_result(self, result: JobResult, trace: Optional[JobTrace],
+                      handle) -> None:
+        """Graft shipped worker spans; fold the worker's registry."""
+        docs = result.__dict__.pop("trace_spans", None)
+        worker_state = result.__dict__.pop("worker_metrics", None)
+        worker_name = result.__dict__.pop("worker_name", None)
+        if trace is not None and docs:
+            adopt_spans(trace.tracer, docs, parent_id=handle.span.id)
+        if worker_name and worker_state is not None:
+            self._worker_metrics[worker_name] = worker_state
 
     def _account_cache(self, result: JobResult) -> None:
         delta = result.__dict__.get("cache_delta")

@@ -17,6 +17,17 @@ another worker without risking duplicated side effects.
 Fault-injected jobs always run on a fresh, un-pooled context: fault
 probes are counted per context, and a pooled context's probe history
 would desynchronise the deterministic schedule.
+
+**Distributed tracing** (``trace=True``): the runtime owns one
+long-lived recording :class:`Instrumentation` shared by its front end
+and every pooled context.  Each traced job is wrapped in a
+``worker:job`` span; the job's slice of the span list plus a snapshot of
+the runtime's metrics registry travel back *in-band* on the result (as
+transport side-channel fields, exactly like ``cache_delta``), where the
+service grafts the spans into the per-job trace tree and folds the
+registry into the ``/v1/metrics`` merge.  With tracing off the bundle is
+``NULL_INSTRUMENTATION`` and nothing is shipped — the result documents
+are byte-identical to the untraced serve plane.
 """
 
 from __future__ import annotations
@@ -28,6 +39,13 @@ from typing import Optional
 from ..api import Japonica
 from ..cache.artifacts import ArtifactCache
 from ..errors import DeadlineExceeded, JaponicaError, RuntimeFaultError
+from ..obs import Instrumentation
+from ..obs.distrib import (
+    TraceContext,
+    merge_span_docs,
+    registry_state,
+    span_doc,
+)
 from ..runtime.deadline import Deadline
 from .degrade import LEVEL_DROP_REPORT
 from .jobs import (
@@ -49,14 +67,30 @@ class WorkerRuntime:
         self,
         cache: Optional[ArtifactCache] = None,
         cache_dir: Optional[str] = None,
+        trace: bool = False,
+        name: str = "worker",
     ):
         self.cache = cache if cache is not None else ArtifactCache(
             cache_dir=cache_dir
         )
-        self.japonica = Japonica(cache=self.cache)
+        self.name = name
+        self.traced = bool(trace)
+        #: one recording bundle for the runtime's whole life when traced;
+        #: the null bundle (no state, no overhead) otherwise
+        self.obs = (
+            Instrumentation.recording() if self.traced
+            else Instrumentation.disabled()
+        )
+        self.japonica = Japonica(
+            cache=self.cache, obs=self.obs if self.traced else None
+        )
         self._contexts: OrderedDict[tuple, object] = OrderedDict()
         self.jobs_executed = 0
         self.contexts_reused = 0
+        #: isolated per-report instrumentation of the last traced job
+        #: (report jobs need their own bundle so the insight report only
+        #: sees that run; its spans are still shipped with the result)
+        self._report_obs: Optional[Instrumentation] = None
 
     # -- context pool -----------------------------------------------------
 
@@ -66,8 +100,12 @@ class WorkerRuntime:
         if ctx is not None:
             self._contexts.move_to_end(key)
             self.contexts_reused += 1
+            self.obs.metrics.counter("serve.worker.context_reuse").inc()
             return ctx
-        ctx = workload.make_context(cache=self.cache, devices=job.devices)
+        ctx = workload.make_context(
+            cache=self.cache, devices=job.devices,
+            obs=self.obs if self.traced else None,
+        )
         self._contexts[key] = ctx
         while len(self._contexts) > MAX_POOLED_CONTEXTS:
             self._contexts.popitem(last=False)
@@ -80,8 +118,51 @@ class WorkerRuntime:
         job: JobSpec,
         degrade_level: int = 0,
         deadline: Optional[Deadline] = None,
+        trace: Optional[TraceContext] = None,
     ) -> JobResult:
-        """Run one job to a terminal :class:`JobResult` (never raises)."""
+        """Run one job to a terminal :class:`JobResult` (never raises).
+
+        When the runtime is traced and a :class:`TraceContext` arrives
+        with the job, the execution is wrapped in a ``worker:job`` span
+        and the job's spans plus a registry snapshot ship back on the
+        result's transport side channel.
+        """
+        if not (self.traced and trace is not None):
+            return self._execute(job, degrade_level, deadline)
+
+        tracer = self.obs.tracer
+        base = len(tracer.spans)
+        self._report_obs = None
+        with tracer.span(
+            "worker:job", "serve.worker",
+            job_id=job.job_id, tenant=job.tenant,
+            trace_id=trace.trace_id, worker=self.name,
+        ) as sp:
+            result = self._execute(job, degrade_level, deadline)
+            sp.annotate(status=result.status)
+        docs = [span_doc(s) for s in tracer.spans[base:]]
+        if self._report_obs is not None:
+            docs = merge_span_docs(
+                docs,
+                [span_doc(s) for s in self._report_obs.tracer.spans],
+                attach_to=docs[0]["id"],
+            )
+            self._report_obs = None
+        m = self.obs.metrics
+        m.counter("serve.worker.jobs").inc()
+        m.counter(f"serve.worker.status.{result.status}").inc()
+        m.histogram("serve.worker.wall_ms").observe(result.wall_ms)
+        result.__dict__["trace_spans"] = docs
+        result.__dict__["worker_metrics"] = registry_state(self.obs.metrics)
+        result.__dict__["worker_name"] = self.name
+        return result
+
+    def _execute(
+        self,
+        job: JobSpec,
+        degrade_level: int = 0,
+        deadline: Optional[Deadline] = None,
+    ) -> JobResult:
         t0 = time.perf_counter()
         hits0, misses0 = self.cache.hits, self.cache.misses
         try:
@@ -120,9 +201,14 @@ class WorkerRuntime:
         return result
 
     def execute_dict(self, doc: dict, degrade_level: int = 0,
-                     deadline_remaining_s: Optional[float] = None) -> dict:
+                     deadline_remaining_s: Optional[float] = None,
+                     trace_doc: Optional[dict] = None) -> dict:
         """Process-transport entry: dict in, dict out (picklable)."""
         job = JobSpec.from_dict(doc)
+        trace = (
+            TraceContext.from_doc(trace_doc) if trace_doc is not None
+            else None
+        )
         deadline = (
             Deadline(deadline_remaining_s)
             if deadline_remaining_s is not None and deadline_remaining_s > 0
@@ -133,11 +219,16 @@ class WorkerRuntime:
                 job.job_id, job.tenant, STATUS_DEADLINE, kind=job.kind,
                 error="deadline expired before the worker started",
             ).to_dict()
-        result = self.execute(job, degrade_level, deadline)
+        result = self.execute(job, degrade_level, deadline, trace=trace)
         doc = result.to_dict()
         doc["cache_delta"] = result.__dict__.get(
             "cache_delta", {"hits": 0, "misses": 0}
         )
+        # the trace/metrics side channel crosses the pipe explicitly;
+        # the pool pops it back off before the client ever sees the doc
+        for key in ("trace_spans", "worker_metrics", "worker_name"):
+            if key in result.__dict__:
+                doc[key] = result.__dict__[key]
         return doc
 
     def _execute_compile(
@@ -181,9 +272,8 @@ class WorkerRuntime:
         if want_report:
             # the traced path needs a recording Instrumentation threaded
             # through compile and context, so it cannot use the pools
-            from ..obs import Instrumentation
-
             obs = Instrumentation.recording()
+            self._report_obs = obs
             program = Japonica(obs=obs, cache=self.cache).compile(
                 workload.source
             )
@@ -193,7 +283,8 @@ class WorkerRuntime:
         elif job.faults:
             program = self.japonica.compile(workload.source)
             ctx = workload.make_context(
-                cache=self.cache, devices=job.devices
+                cache=self.cache, devices=job.devices,
+                obs=self.obs if self.traced else None,
             )
         else:
             program = self.japonica.compile(workload.source)

@@ -254,6 +254,30 @@ COMMON = dict(
 
 
 class TestDifferential:
+    def test_zero_over_zero_is_positive_nan_in_every_tier(self):
+        """0.0/0.0 must be +NaN bitwise in all tiers (hardware division
+        yields the negative QNaN; java_ops._fdiv substitutes +NaN)."""
+        prog = {
+            "int_consts": [],
+            "dbl_consts": [],
+            "ops": [("dbin", "/", 0, 0)],
+            "branch": None,
+            "loop": None,
+        }
+        fn = build(prog)
+        env = {"n": N, "s": 0.0}
+        pos_nan = np.float64("nan").tobytes()
+        s1, s2 = _storage([0] * N, [0.0] * N), _storage([0] * N, [0.0] * N)
+        _, _, _, e1 = _interp(fn, "direct", range(N), env, s1)
+        _, _, _, e2 = _native(fn, "direct", list(range(N)), env, s2)
+        assert e1 is None and e2 is None
+        for s_ in (s1, s2):
+            assert s_.arrays["od"].tobytes() == pos_nan * N
+        s3 = _storage([0] * N, [0.0] * N)
+        (code, _pos, *_), _, _ = _run_unjitted(fn, env, s3)
+        assert code == 0
+        assert s3.arrays["od"].tobytes() == pos_nan * N
+
     @given(prog=_programs, ai=_i32, ad=_f64, s=st.floats(width=64))
     @settings(max_examples=60, **COMMON)
     def test_all_tiers_bitwise_identical(self, prog, ai, ad, s):

@@ -1,0 +1,124 @@
+"""Property suite for the cross-process registry merge.
+
+The fold behind ``/v1/metrics`` must behave like a commutative monoid —
+associative, commutative, identity :data:`EMPTY_STATE` — and merged
+histogram quantiles must equal the quantiles of a single registry fed
+the concatenated observation stream.  Observations are drawn as dyadic
+rationals (k/8) so float addition stays exact and the algebraic laws
+can be asserted with ``==``, not a tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.distrib import (
+    EMPTY_STATE,
+    merge_states,
+    registry_state,
+    state_histogram_quantile,
+    state_histogram_summary,
+)
+from repro.obs.metrics import MetricsRegistry
+
+#: dyadic rationals: exact under float addition at these magnitudes
+dyadic = st.integers(min_value=1, max_value=8 * 10**6).map(lambda v: v / 8)
+
+counter_names = st.sampled_from(
+    ["serve.admitted", "serve.retry.attempts", "serve.slo.good"]
+)
+gauge_names = st.sampled_from(["serve.queue_depth", "serve.degrade.level"])
+hist_names = st.sampled_from(
+    ["serve.wall_ms", "serve.tenant.acme.wall_ms", "serve.worker.wall_ms"]
+)
+
+
+@st.composite
+def observation_streams(draw):
+    """A stream of registry operations (the pre-image of one state)."""
+    counters = draw(st.lists(st.tuples(counter_names, dyadic), max_size=12))
+    gauges = draw(st.lists(st.tuples(gauge_names, dyadic), max_size=6))
+    hists = draw(st.lists(st.tuples(hist_names, dyadic), max_size=25))
+    return counters, gauges, hists
+
+
+def feed(registry: MetricsRegistry, stream) -> MetricsRegistry:
+    counters, gauges, hists = stream
+    for name, v in counters:
+        registry.counter(name).inc(v)
+    for name, v in gauges:
+        registry.gauge(name).set(v)
+    for name, v in hists:
+        registry.histogram(name).observe(v)
+    return registry
+
+
+def state_of(stream) -> dict:
+    return registry_state(feed(MetricsRegistry(), stream))
+
+
+def canon(state: dict) -> str:
+    return json.dumps(state, sort_keys=True)
+
+
+@settings(max_examples=60, deadline=None)
+@given(observation_streams(), observation_streams(), observation_streams())
+def test_merge_is_associative(sa, sb, sc):
+    a, b, c = state_of(sa), state_of(sb), state_of(sc)
+    left = merge_states(merge_states(a, b), c)
+    right = merge_states(a, merge_states(b, c))
+    assert canon(left) == canon(right)
+
+
+@settings(max_examples=60, deadline=None)
+@given(observation_streams(), observation_streams())
+def test_merge_is_commutative(sa, sb):
+    a, b = state_of(sa), state_of(sb)
+    assert canon(merge_states(a, b)) == canon(merge_states(b, a))
+
+
+@settings(max_examples=60, deadline=None)
+@given(observation_streams())
+def test_empty_state_is_the_identity(sa):
+    a = state_of(sa)
+    assert canon(merge_states(a, EMPTY_STATE)) == canon(a)
+    assert canon(merge_states(EMPTY_STATE, a)) == canon(a)
+    # and the identity is inert on itself
+    assert canon(merge_states(EMPTY_STATE, EMPTY_STATE)) == canon(EMPTY_STATE)
+
+
+@settings(max_examples=60, deadline=None)
+@given(observation_streams(), observation_streams())
+def test_merged_quantiles_equal_single_registry_quantiles(sa, sb):
+    """merge(state(A), state(B)) answers quantiles exactly like one
+    registry that observed A ++ B."""
+    merged = merge_states(state_of(sa), state_of(sb))
+    combined = MetricsRegistry()
+    feed(combined, sa)
+    feed(combined, sb)
+    for name, h in registry_state(combined)["histograms"].items():
+        assert name in merged["histograms"]
+        m = merged["histograms"][name]
+        for q in (0.5, 0.9, 0.95, 0.99, 1.0):
+            assert state_histogram_quantile(m, q) == (
+                combined.histogram(name).quantile(q)
+            )
+        summary = state_histogram_summary(m)
+        hist = combined.histogram(name)
+        assert summary["count"] == hist.count
+        assert summary["sum"] == hist.total
+        assert summary["min"] == hist.min
+        assert summary["max"] == hist.max
+
+
+@settings(max_examples=40, deadline=None)
+@given(observation_streams(), observation_streams())
+def test_merge_does_not_mutate_its_inputs(sa, sb):
+    a, b = state_of(sa), state_of(sb)
+    a0, b0 = canon(a), canon(b)
+    merge_states(a, b)
+    assert canon(a) == a0
+    assert canon(b) == b0

@@ -1,0 +1,212 @@
+"""Flight recorder: rings, dumps, the SIGKILL reaper, ``repro tail``.
+
+The regression this file pins (satellite of PR 10): spans left open by a
+worker that a real SIGKILL took down mid-job must be closed by the
+liveness reaper with ``status="killed"`` — a settled job's exported
+trace never contains a dangling open span.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro import cli
+from repro.obs.distrib import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    render_flight,
+    write_flight_dump,
+)
+from repro.serve import CompilationService, ServeConfig
+from repro.serve.jobs import JobSpec
+
+
+class TestFlightRecorder:
+    def test_rings_are_bounded_per_lane(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(10):
+            rec.record("service", "tick", n=i)
+        rec.record("worker-1", "tick", n=99)
+        events = rec.events()
+        assert len(events) == 5  # 4 retained on service + 1 on worker-1
+        assert [e["n"] for e in events if e["lane"] == "service"] == [
+            6, 7, 8, 9
+        ]
+        assert rec.recorded == 11
+
+    def test_events_interleave_in_sequence_order(self):
+        rec = FlightRecorder(capacity=8)
+        rec.record("a", "one")
+        rec.record("b", "two")
+        rec.record("a", "three")
+        assert [e["kind"] for e in rec.events()] == ["one", "two", "three"]
+
+    def test_dump_schema_and_render(self, tmp_path):
+        rec = FlightRecorder(capacity=8)
+        rec.record("service", "job.submit", job_id="j1", tenant="t")
+        doc = rec.dump("test_trigger", open_spans=[],
+                       state={"queue_depth": 0})
+        assert doc["schema"] == FLIGHT_SCHEMA
+        assert doc["reason"] == "test_trigger"
+        assert doc["dump_seq"] == 1
+        text = render_flight(doc)
+        assert "job.submit" in text
+        assert "test_trigger" in text
+        path = tmp_path / "dump.json"
+        write_flight_dump(str(path), doc)
+        assert json.loads(path.read_text())["schema"] == FLIGHT_SCHEMA
+
+    def test_render_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="not a flight dump"):
+            render_flight({"schema": "repro.serve/v1"})
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(capacity=0)
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestSigkillReaper:
+    """Process backend: a real SIGKILL mid-job leaves no open spans."""
+
+    def test_killed_worker_spans_closed_by_reaper(self, tmp_path):
+        async def body():
+            cfg = ServeConfig(
+                workers=1, backend="process", trace=True,
+                cache_dir=str(tmp_path / "cache"),
+                faults="serve.worker@1", fault_seed=7,
+                retry_base_s=0.001, retry_cap_s=0.01,
+                dump_dir=str(tmp_path / "dumps"),
+            )
+            svc = CompilationService(cfg)
+            await svc.start()
+            try:
+                job = JobSpec(tenant="kill-t", workload="VectorAdd",
+                              n=16, job_id="job-sigkill")
+                result = await svc.submit(job)
+                trace = svc.trace_document("job-sigkill")
+                dump = svc.flight_latest()
+                records = dict(svc.ledger.records)
+                deaths = svc.pool.worker_deaths
+                return result, trace, dump, records, deaths
+            finally:
+                await svc.stop()
+
+        result, trace, dump, records, deaths = _run(body())
+        assert result.status == "ok"
+        assert result.attempts == 2
+        assert deaths == 1
+
+        # every span in the exported trace is closed — the exporter
+        # drops open spans, so the killed attempt must still be present
+        spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        by_name = {sp["name"]: sp for sp in spans}
+        assert by_name["attempt:1"]["args"]["status"] == "killed"
+        assert by_name["attempt:1"]["args"]["outcome"] == "worker_died"
+        assert by_name["attempt:2"]["args"]["outcome"] == "ok"
+        assert by_name["serve.job"]["args"]["status"] == "ok"
+
+        # the death produced a flight dump naming the worker
+        assert dump is not None
+        assert dump["reason"] == "worker_death"
+        kinds = [e["kind"] for e in dump["events"]]
+        assert "worker.death" in kinds
+        death = next(e for e in dump["events"] if e["kind"] == "worker.death")
+        assert death["job_id"] == "job-sigkill"
+        assert death["tenant"] == "kill-t"
+        assert death["worker"].startswith("serve-w")
+
+        # ledger settlement records carry the job's full identity
+        rec = records["job-sigkill"]
+        assert rec["tenant"] == "kill-t"
+        assert rec["attempts"] == 2
+        assert len(rec["trace_id"]) == 16
+
+    def test_worker_died_error_names_the_job(self, tmp_path):
+        """Retries exhausted: the failure message is never anonymous."""
+        async def body():
+            cfg = ServeConfig(
+                workers=1, backend="thread", trace=True,
+                faults="serve.worker@1+2+3+4+5", fault_seed=3,
+                max_retries=1, retry_base_s=0.001, retry_cap_s=0.01,
+            )
+            svc = CompilationService(cfg)
+            await svc.start()
+            try:
+                job = JobSpec(tenant="doom-t", workload="VectorAdd",
+                              job_id="job-doomed")
+                return await svc.submit(job)
+            finally:
+                await svc.stop()
+
+        result = _run(body())
+        assert result.status == "failed"
+        assert "job=job-doomed" in result.error
+        assert "tenant=doom-t" in result.error
+        assert "trace=" in result.error
+
+
+class TestDumpTriggersAndTail:
+    def test_dump_on_shed_writes_a_file(self, tmp_path):
+        async def body():
+            cfg = ServeConfig(
+                workers=1, backend="thread", max_queue=4,
+                dump_on_shed=True, dump_dir=str(tmp_path),
+                # force the ladder straight to shedding
+                thresholds=((0.0, 0.0), (0.0, 0.0), (0.0, 0.0)),
+            )
+            svc = CompilationService(cfg)
+            await svc.start()
+            try:
+                job = JobSpec(tenant="shed-t", workload="VectorAdd",
+                              priority=2, job_id="job-shed")
+                return await svc.submit(job), svc.flight_latest()
+            finally:
+                await svc.stop()
+
+        result, dump = _run(body())
+        assert result.status == "shed"
+        assert dump is not None and dump["reason"] == "shed"
+        files = sorted(os.listdir(tmp_path))
+        assert files and files[0].startswith("flight-0001-shed")
+
+    def test_repro_tail_renders_a_dump_file(self, tmp_path, capsys):
+        rec = FlightRecorder(capacity=8)
+        rec.record("service", "job.submit", job_id="j1", tenant="t")
+        rec.record("service", "worker.death", job_id="j1", worker="w1")
+        path = tmp_path / "flight.json"
+        write_flight_dump(str(path), rec.dump("worker_death"))
+
+        assert cli.main(["tail", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "worker_death" in out
+        assert "job.submit" in out
+        assert "worker=w1" in out
+
+    def test_repro_tail_json_roundtrip(self, tmp_path, capsys):
+        rec = FlightRecorder(capacity=8)
+        rec.record("service", "breaker.trip", tenant="t")
+        path = tmp_path / "flight.json"
+        write_flight_dump(str(path), rec.dump("breaker_trip"))
+
+        assert cli.main(["tail", "--json", str(path)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == FLIGHT_SCHEMA
+        assert doc["reason"] == "breaker_trip"
+
+    def test_repro_tail_rejects_non_flight_json(self, tmp_path, capsys):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"schema": "repro.serve/v1"}))
+        assert cli.main(["tail", str(path)]) == 1
+        assert "not a flight dump" in capsys.readouterr().err
+
+    def test_repro_tail_missing_file(self, tmp_path, capsys):
+        assert cli.main(["tail", str(tmp_path / "nope.json")]) == 1
+        assert "tail:" in capsys.readouterr().err

@@ -1,0 +1,150 @@
+"""``GET /v1/metrics``: Prometheus text + deterministic JSON document."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve import CompilationService, ServeConfig, ServeServer
+from repro.serve.client import ServeClient
+from repro.serve.service import METRICS_DOC_SCHEMA
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    config = ServeConfig(
+        workers=2, trace=True, quota_rate=500.0, quota_burst=100.0,
+        slo_wall_ms=60000.0,
+    )
+    server = ServeServer(CompilationService(config), port=0)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def run():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(timeout=30)
+    client = ServeClient(port=server.port)
+    # settle two tenants' jobs so the merged view has content
+    for tenant in ("acme", "zeta"):
+        status, doc = client.submit({
+            "tenant": tenant, "workload": "VectorAdd", "n": 16,
+        })
+        assert status == 200, doc
+    yield server
+    asyncio.run_coroutine_threadsafe(server.stop(), loop).result(timeout=60)
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(timeout=10)
+
+
+@pytest.fixture()
+def client(live_server):
+    return ServeClient(port=live_server.port)
+
+
+def test_json_document_schema(client):
+    doc = client.metrics()
+    assert doc["schema"] == METRICS_DOC_SCHEMA
+    assert doc["counters"]["serve.admitted"] == 2
+    assert doc["counters"]["serve.ok"] == 2
+    # per-tenant latency quantiles for both tenants
+    for tenant in ("acme", "zeta"):
+        summary = doc["tenants"][tenant]
+        assert summary["count"] == 1
+        assert summary["p50"] > 0
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+    # SLO burn-rate counters (both jobs well under the 60 s target)
+    assert doc["slo"]["good"] == 2
+    assert doc["slo"]["bad"] == 0
+    assert doc["slo"]["burn_rate"] == 0.0
+    assert doc["slo"]["target_wall_ms"] == 60000.0
+    assert set(doc["rates"]) == {"shed", "rejected", "retry"}
+    # worker registries were shipped back and merged
+    assert doc["workers_reporting"]
+    assert any(
+        name.startswith("serve.worker.") for name in doc["counters"]
+    )
+
+
+def test_json_document_is_deterministic_between_scrapes(client):
+    import json
+
+    a = client.metrics()
+    b = client.metrics()
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+def test_prometheus_text_exposition(client):
+    text = client.metrics_text()
+    assert text.endswith("\n")
+    lines = text.splitlines()
+    assert lines[0].startswith("# TYPE ")
+    assert any(line.startswith("repro_serve_admitted 2") for line in lines)
+    # tenant histograms share one family with a tenant label
+    assert any(
+        line.startswith('repro_serve_tenant_wall_ms_bucket{tenant="acme"')
+        for line in lines
+    )
+    assert any(
+        line.startswith('repro_serve_tenant_wall_ms_count{tenant="zeta"')
+        for line in lines
+    )
+    # quantile gauges are exported as separate families
+    assert any(
+        line.startswith('repro_serve_tenant_wall_ms_p99{tenant=')
+        for line in lines
+    )
+
+
+def test_prometheus_families_are_contiguous(client):
+    """All samples of one family must be adjacent (exposition format)."""
+    text = client.metrics_text()
+    seen: list[str] = []
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            fam = line.split()[2]
+            assert fam not in seen, f"family {fam} split into two blocks"
+            seen.append(fam)
+
+
+def test_metrics_endpoint_works_with_tracing_off():
+    config = ServeConfig(workers=1)
+    server = ServeServer(CompilationService(config), port=0)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def run():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(timeout=30)
+    try:
+        client = ServeClient(port=server.port)
+        status, doc = client.submit(
+            {"tenant": "t", "workload": "VectorAdd"}
+        )
+        assert status == 200
+        doc = client.metrics()
+        # service-side counters still flow; no workers report registries
+        assert doc["schema"] == METRICS_DOC_SCHEMA
+        assert doc["counters"]["serve.admitted"] == 1
+        assert doc["workers_reporting"] == []
+        text = client.metrics_text()
+        assert "repro_serve_admitted 1" in text
+    finally:
+        asyncio.run_coroutine_threadsafe(server.stop(), loop).result(
+            timeout=60
+        )
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)

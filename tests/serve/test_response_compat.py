@@ -1,0 +1,110 @@
+"""Zero-overhead off path: tracing must not change a single response byte.
+
+Three contracts pinned here:
+
+* with tracing **off**, the ``POST /v1/jobs`` response body matches the
+  committed golden fixture byte-for-byte (after normalizing the two
+  wall-clock fields) — the serve wire format did not drift;
+* with tracing **on**, the same submission differs from the untraced
+  body by exactly one added ``trace_id`` key — nothing else moves;
+* a job's insight report section is byte-identical whether the service
+  traces it or not (the ``serve.*`` plane is host-side machinery and is
+  filtered out of reports like the ``kernel.*``/``jit.*`` planes).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+
+from repro.serve import CompilationService, ServeConfig, ServeServer
+from repro.serve.client import ServeClient
+
+FIXTURE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "fixtures", "serve_response_v1.json",
+)
+
+JOB = {
+    "tenant": "compat-t",
+    "kind": "run",
+    "workload": "VectorAdd",
+    "n": 32,
+    "seed": 5,
+    "devices": 2,
+    "job_id": "job-compat-golden",
+}
+
+#: wall-clock fields normalized before byte comparison
+_VOLATILE = ("wall_ms", "host_time_ms")
+
+
+def _serve_one(job: dict, **config) -> dict:
+    server = ServeServer(
+        CompilationService(ServeConfig(workers=1, backend="thread",
+                                       **config)),
+        port=0,
+    )
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def run():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(timeout=30)
+    try:
+        status, doc = ServeClient(port=server.port).submit(dict(job))
+        assert status == 200, doc
+        return doc
+    finally:
+        asyncio.run_coroutine_threadsafe(server.stop(), loop).result(
+            timeout=60
+        )
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+
+
+def _normalize(doc: dict) -> dict:
+    doc = dict(doc)
+    for key in _VOLATILE:
+        doc[key] = 0.0
+    return doc
+
+
+def test_untraced_response_matches_golden_fixture():
+    with open(FIXTURE) as fh:
+        golden = fh.read()
+    doc = _normalize(_serve_one(JOB))
+    rendered = json.dumps(doc, indent=1, sort_keys=True) + "\n"
+    assert rendered == golden
+
+
+def test_tracing_adds_exactly_one_field():
+    plain = _normalize(_serve_one(JOB))
+    traced = _normalize(_serve_one(JOB, trace=True))
+    trace_id = traced.pop("trace_id")
+    assert len(trace_id) == 16
+    assert json.dumps(traced, sort_keys=True) == json.dumps(
+        plain, sort_keys=True
+    )
+
+
+def test_insight_report_identical_with_and_without_tracing():
+    job = dict(JOB, report=True, job_id="job-compat-report")
+    plain = _serve_one(job)
+    traced = _serve_one(job, trace=True)
+    assert plain["report"] is not None
+    # no serve-plane leakage: equal reports byte-for-byte
+    assert json.dumps(plain["report"], sort_keys=True) == json.dumps(
+        traced["report"], sort_keys=True
+    )
+    # and the report never mentions the serve host plane at all
+    blob = json.dumps(traced["report"])
+    assert '"serve.' not in blob

@@ -299,7 +299,7 @@ class TestHalfOpenProbeRelease:
 class TestDispatchFaults:
     def test_unexpected_dispatch_error_still_settles_the_ledger(self):
         async def body(svc):
-            async def boom(job, level, deadline):
+            async def boom(job, level, deadline, **kw):
                 raise TypeError("unexpected pipeline explosion")
 
             svc.pool.run = boom
